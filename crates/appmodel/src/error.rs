@@ -1,0 +1,74 @@
+use std::fmt;
+
+/// Errors produced by the application performance models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// No model registered under the requested name.
+    UnknownApp(String),
+    /// A required input parameter is missing.
+    MissingInput { app: String, key: String },
+    /// An input parameter failed to parse or is out of range.
+    BadInput {
+        app: String,
+        key: String,
+        value: String,
+        reason: String,
+    },
+    /// The problem does not fit in the allocated nodes' memory — the
+    /// simulated equivalent of an OOM-killed MPI job.
+    OutOfMemory {
+        app: String,
+        required_gib: f64,
+        available_gib: f64,
+    },
+    /// The process layout is invalid (zero nodes/ppn, ppn > cores, …).
+    BadLayout(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownApp(a) => write!(f, "unknown application '{a}'"),
+            ModelError::MissingInput { app, key } => {
+                write!(f, "{app}: missing required input '{key}'")
+            }
+            ModelError::BadInput {
+                app,
+                key,
+                value,
+                reason,
+            } => write!(f, "{app}: bad input {key}='{value}': {reason}"),
+            ModelError::OutOfMemory {
+                app,
+                required_gib,
+                available_gib,
+            } => write!(
+                f,
+                "{app}: out of memory: needs {required_gib:.1} GiB, nodes provide {available_gib:.1} GiB"
+            ),
+            ModelError::BadLayout(msg) => write!(f, "bad process layout: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_app() {
+        let e = ModelError::MissingInput {
+            app: "lammps".into(),
+            key: "BOXFACTOR".into(),
+        };
+        assert!(e.to_string().contains("lammps") && e.to_string().contains("BOXFACTOR"));
+        let oom = ModelError::OutOfMemory {
+            app: "wrf".into(),
+            required_gib: 512.0,
+            available_gib: 448.0,
+        };
+        assert!(oom.to_string().contains("512.0"));
+    }
+}

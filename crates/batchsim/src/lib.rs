@@ -1,0 +1,39 @@
+//! A batch-orchestrator simulator — the Azure Batch substitute.
+//!
+//! HPCAdvisor's data-collection loop (the paper's Algorithm 1) talks to
+//! Azure Batch through a narrow surface: create a pool of a given VM type,
+//! resize it, submit a *setup task* (runs once per pool, prepares the
+//! application on the shared filesystem) and *compute tasks* (one per
+//! scenario, spanning several nodes), observe task status
+//! (pending/running/completed/failed), and finally resize to zero or delete
+//! the pool. This crate provides exactly that surface over
+//! [`cloudsim::CloudProvider`] and virtual time.
+//!
+//! The orchestrator is a small discrete-event scheduler: tasks occupy
+//! concrete nodes (so their host lists are real), several tasks can run
+//! concurrently on disjoint nodes of one pool, and
+//! [`BatchService::run_until_idle`] drives the event queue to completion,
+//! advancing the shared virtual clock. Task *work* is supplied by the caller
+//! as a closure from [`TaskContext`] to [`TaskResult`] — the core crate
+//! wires that closure to the `taskshell` interpreter running the user's
+//! setup/run script against the application models.
+
+pub mod pool;
+pub mod service;
+pub mod task;
+
+pub use pool::{Pool, PoolState};
+pub use service::BatchService;
+pub use task::{TaskContext, TaskId, TaskKind, TaskRecord, TaskResult, TaskState};
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Shared handle to the cloud provider, used by the orchestrator and the
+/// tool concurrently.
+pub type SharedProvider = Arc<Mutex<cloudsim::CloudProvider>>;
+
+/// Wraps a provider for shared use.
+pub fn share(provider: cloudsim::CloudProvider) -> SharedProvider {
+    Arc::new(Mutex::new(provider))
+}

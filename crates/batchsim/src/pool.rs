@@ -1,0 +1,132 @@
+//! Pools: groups of identical nodes backing task execution.
+
+use cloudsim::AllocationId;
+
+/// Lifecycle state of a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolState {
+    /// Exists (possibly with zero nodes).
+    Active,
+    /// Deleted; kept for audit.
+    Deleted,
+}
+
+/// A pool of identical VMs.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    /// Pool name (unique within the service).
+    pub name: String,
+    /// SKU of every node in the pool.
+    pub sku: String,
+    /// Current node count.
+    pub nodes: u32,
+    /// Busy flag per node index (`true` = running a task).
+    pub busy: Vec<bool>,
+    /// Backing allocation in the cloud provider, if nodes > 0.
+    pub allocation: Option<AllocationId>,
+    /// Lifecycle state.
+    pub state: PoolState,
+    /// True once the pool's setup task completed successfully.
+    pub setup_done: bool,
+}
+
+impl Pool {
+    /// Creates an empty, active pool.
+    pub fn new(name: &str, sku: &str) -> Self {
+        Pool {
+            name: name.to_string(),
+            sku: sku.to_string(),
+            nodes: 0,
+            busy: Vec::new(),
+            allocation: None,
+            state: PoolState::Active,
+            setup_done: false,
+        }
+    }
+
+    /// Number of idle nodes.
+    pub fn idle_nodes(&self) -> u32 {
+        self.busy.iter().filter(|b| !**b).count() as u32
+    }
+
+    /// Claims `count` idle nodes, returning their indices, or `None` if not
+    /// enough are idle.
+    pub fn claim(&mut self, count: u32) -> Option<Vec<u32>> {
+        if self.idle_nodes() < count {
+            return None;
+        }
+        let mut taken = Vec::with_capacity(count as usize);
+        for (i, b) in self.busy.iter_mut().enumerate() {
+            if taken.len() == count as usize {
+                break;
+            }
+            if !*b {
+                *b = true;
+                taken.push(i as u32);
+            }
+        }
+        Some(taken)
+    }
+
+    /// Releases previously claimed node indices.
+    pub fn release(&mut self, indices: &[u32]) {
+        for &i in indices {
+            if let Some(b) = self.busy.get_mut(i as usize) {
+                *b = false;
+            }
+        }
+    }
+
+    /// Hostname of node `i` in this pool.
+    pub fn hostname(&self, i: u32) -> String {
+        format!("{}-{:04}", self.name, i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool_with_nodes(n: u32) -> Pool {
+        let mut p = Pool::new("pool-hb", "Standard_HB120rs_v3");
+        p.nodes = n;
+        p.busy = vec![false; n as usize];
+        p
+    }
+
+    #[test]
+    fn claim_and_release() {
+        let mut p = pool_with_nodes(4);
+        assert_eq!(p.idle_nodes(), 4);
+        let a = p.claim(3).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(p.idle_nodes(), 1);
+        assert!(p.claim(2).is_none(), "only one node idle");
+        let b = p.claim(1).unwrap();
+        assert_eq!(p.idle_nodes(), 0);
+        p.release(&a);
+        p.release(&b);
+        assert_eq!(p.idle_nodes(), 4);
+    }
+
+    #[test]
+    fn claim_zero_nodes_is_trivially_ok() {
+        let mut p = pool_with_nodes(0);
+        assert_eq!(p.claim(0), Some(vec![]));
+        assert!(p.claim(1).is_none());
+    }
+
+    #[test]
+    fn hostnames_are_stable() {
+        let p = pool_with_nodes(2);
+        assert_eq!(p.hostname(0), "pool-hb-0000");
+        assert_eq!(p.hostname(1), "pool-hb-0001");
+    }
+
+    #[test]
+    fn release_out_of_range_is_ignored() {
+        let mut p = pool_with_nodes(2);
+        p.release(&[5]);
+        assert_eq!(p.idle_nodes(), 2);
+    }
+}

@@ -1,0 +1,551 @@
+//! The batch service: pools + a discrete-event task scheduler.
+
+use crate::pool::{Pool, PoolState};
+use crate::task::{TaskContext, TaskId, TaskKind, TaskRecord, TaskResult, TaskState};
+use crate::SharedProvider;
+use cloudsim::{CloudError, Operation};
+use simtime::{EventQueue, SharedClock, SimInstant};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// A task runner: computes the outcome of a task given where it runs.
+///
+/// The core crate passes a closure that interprets the user's run script
+/// (via `taskshell`) against the application models; tests pass simple
+/// stubs.
+pub type Runner = Box<dyn FnOnce(&TaskContext) -> TaskResult + Send>;
+
+#[derive(Debug)]
+struct FinishEvent {
+    task: TaskId,
+}
+
+struct RunningTask {
+    pool: String,
+    node_indices: Vec<u32>,
+    result: TaskResult,
+}
+
+/// The batch orchestrator for one resource group.
+pub struct BatchService {
+    provider: SharedProvider,
+    resource_group: String,
+    clock: SharedClock,
+    pools: HashMap<String, Pool>,
+    tasks: BTreeMap<TaskId, TaskRecord>,
+    runners: HashMap<TaskId, Runner>,
+    queue: VecDeque<TaskId>,
+    events: EventQueue<FinishEvent>,
+    running: HashMap<TaskId, RunningTask>,
+    next_task: u64,
+}
+
+impl BatchService {
+    /// Creates a service bound to a resource group of the shared provider.
+    pub fn new(provider: SharedProvider, resource_group: &str) -> Self {
+        let clock = provider.lock().clock();
+        BatchService {
+            provider,
+            resource_group: resource_group.to_string(),
+            clock,
+            pools: HashMap::new(),
+            tasks: BTreeMap::new(),
+            runners: HashMap::new(),
+            queue: VecDeque::new(),
+            events: EventQueue::new(),
+            running: HashMap::new(),
+            next_task: 1,
+        }
+    }
+
+    /// The virtual clock shared with the provider.
+    pub fn clock(&self) -> SharedClock {
+        self.clock.clone()
+    }
+
+    /// Creates an empty pool of `sku` nodes.
+    pub fn create_pool(&mut self, name: &str, sku: &str) -> Result<(), CloudError> {
+        if self
+            .pools
+            .get(name)
+            .is_some_and(|p| p.state == PoolState::Active)
+        {
+            return Err(CloudError::ResourceExists {
+                group: self.resource_group.clone(),
+                name: name.to_string(),
+            });
+        }
+        {
+            let provider = self.provider.lock();
+            provider
+                .catalog()
+                .get(sku)
+                .ok_or_else(|| CloudError::UnknownSku(sku.to_string()))?;
+        }
+        self.pools.insert(name.to_string(), Pool::new(name, sku));
+        Ok(())
+    }
+
+    /// Resizes a pool to `target` nodes. The pool must be idle: Algorithm 1
+    /// only resizes between scenarios. Each resize closes the previous
+    /// billing span and opens a new one.
+    pub fn resize_pool(&mut self, name: &str, target: u32) -> Result<(), CloudError> {
+        let pool = self.active_pool(name)?;
+        if pool.idle_nodes() != pool.nodes {
+            return Err(CloudError::ProvisioningFailed {
+                operation: "resize pool".into(),
+                reason: format!("pool '{name}' has running tasks"),
+            });
+        }
+        if pool.nodes == target {
+            return Ok(());
+        }
+        let sku = pool.sku.clone();
+        let old_allocation = pool.allocation.take();
+        // Close out the old allocation first so quota frees before the new
+        // acquire (growing a pool within quota would otherwise double-count).
+        if let Some(id) = old_allocation {
+            self.provider.lock().release_nodes(id)?;
+        }
+        let pool = self.active_pool(name)?;
+        pool.nodes = 0;
+        pool.busy.clear();
+        if target > 0 {
+            let allocation = self
+                .provider
+                .lock()
+                .allocate_nodes(&self.resource_group, &sku, target)?;
+            let pool = self.active_pool(name)?;
+            pool.allocation = Some(allocation);
+            pool.nodes = target;
+            pool.busy = vec![false; target as usize];
+        }
+        Ok(())
+    }
+
+    /// Deletes a pool (resizing it to zero first).
+    pub fn delete_pool(&mut self, name: &str) -> Result<(), CloudError> {
+        self.resize_pool(name, 0)?;
+        let pool = self.active_pool(name)?;
+        pool.state = PoolState::Deleted;
+        Ok(())
+    }
+
+    /// Looks up a pool.
+    pub fn pool(&self, name: &str) -> Option<&Pool> {
+        self.pools.get(name)
+    }
+
+    /// Active pool or error.
+    fn active_pool(&mut self, name: &str) -> Result<&mut Pool, CloudError> {
+        match self.pools.get_mut(name) {
+            Some(p) if p.state == PoolState::Active => Ok(p),
+            _ => Err(CloudError::UnknownResourceGroup(format!("pool '{name}'"))),
+        }
+    }
+
+    /// Submits a task. It stays `Pending` until nodes free up; execution
+    /// happens inside [`BatchService::run_until_idle`].
+    pub fn submit(
+        &mut self,
+        pool: &str,
+        name: &str,
+        kind: TaskKind,
+        nodes_required: u32,
+        ppn: u32,
+        runner: Runner,
+    ) -> Result<TaskId, CloudError> {
+        let (sku_name, _) = {
+            let p = self.active_pool(pool)?;
+            (p.sku.clone(), p.nodes)
+        };
+        let cores = {
+            let provider = self.provider.lock();
+            provider
+                .catalog()
+                .get(&sku_name)
+                .map(|s| s.cores)
+                .ok_or_else(|| CloudError::UnknownSku(sku_name.clone()))?
+        };
+        if nodes_required == 0 || ppn == 0 || ppn > cores {
+            return Err(CloudError::ProvisioningFailed {
+                operation: "submit task".into(),
+                reason: format!(
+                    "invalid layout: nodes={nodes_required}, ppn={ppn} (sku has {cores} cores)"
+                ),
+            });
+        }
+        let id = TaskId(self.next_task);
+        self.next_task += 1;
+        self.tasks.insert(
+            id,
+            TaskRecord {
+                id,
+                name: name.to_string(),
+                kind,
+                pool: pool.to_string(),
+                nodes_required,
+                ppn,
+                state: TaskState::Pending,
+                submitted_at: self.clock.now(),
+                started_at: None,
+                completed_at: None,
+                stdout: String::new(),
+                exit_code: None,
+            },
+        );
+        self.runners.insert(id, runner);
+        self.queue.push_back(id);
+        Ok(id)
+    }
+
+    /// One task record.
+    pub fn task(&self, id: TaskId) -> Option<&TaskRecord> {
+        self.tasks.get(&id)
+    }
+
+    /// All task records in submission order.
+    pub fn tasks(&self) -> impl Iterator<Item = &TaskRecord> {
+        self.tasks.values()
+    }
+
+    /// Tries to start every queued task that fits on idle nodes right now.
+    fn schedule_ready(&mut self) {
+        let mut requeue = VecDeque::new();
+        while let Some(id) = self.queue.pop_front() {
+            let record = self.tasks.get(&id).expect("queued task has record");
+            let pool_name = record.pool.clone();
+            let needed = record.nodes_required;
+            let Some(pool) = self.pools.get_mut(&pool_name) else {
+                self.fail_now(id, "pool deleted before task ran");
+                continue;
+            };
+            if pool.state != PoolState::Active || pool.nodes < needed {
+                // Will never fit: fail rather than hang the sweep.
+                let reason = format!(
+                    "pool '{}' has {} nodes, task needs {}",
+                    pool_name, pool.nodes, needed
+                );
+                self.fail_now(id, &reason);
+                continue;
+            }
+            let Some(indices) = pool.claim(needed) else {
+                // Fits eventually — keep queued.
+                requeue.push_back(id);
+                continue;
+            };
+            // Injected task failures (capacity loss, node crash, …).
+            let fault = self
+                .provider
+                .lock()
+                .check_operation(Operation::RunTask, "run task");
+            if let Err(e) = fault {
+                let pool = self.pools.get_mut(&pool_name).expect("pool exists");
+                pool.release(&indices);
+                self.fail_now(id, &e.to_string());
+                continue;
+            }
+            let pool = self.pools.get(&pool_name).expect("pool exists");
+            let hosts: Vec<String> = indices.iter().map(|&i| pool.hostname(i)).collect();
+            let record = self.tasks.get_mut(&id).expect("record");
+            record.state = TaskState::Running;
+            record.started_at = Some(self.clock.now());
+            let ctx = TaskContext {
+                task_id: id,
+                sku: {
+                    let provider = self.provider.lock();
+                    provider
+                        .catalog()
+                        .get(&pool.sku)
+                        .expect("validated at create_pool")
+                        .clone()
+                },
+                hosts,
+                ppn: record.ppn,
+                task_dir: format!("/share/{}/tasks/{}", self.resource_group, id.0),
+                pool: pool_name.clone(),
+            };
+            let runner = self.runners.remove(&id).expect("runner for queued task");
+            let result = runner(&ctx);
+            let finish_at = self.clock.now() + result.duration;
+            self.running.insert(
+                id,
+                RunningTask {
+                    pool: pool_name,
+                    node_indices: indices,
+                    result,
+                },
+            );
+            self.events.schedule(finish_at, FinishEvent { task: id });
+        }
+        self.queue = requeue;
+    }
+
+    /// Marks a task failed without running it.
+    fn fail_now(&mut self, id: TaskId, reason: &str) {
+        self.runners.remove(&id);
+        let now = self.clock.now();
+        let record = self.tasks.get_mut(&id).expect("record");
+        record.state = TaskState::Failed;
+        record.started_at = Some(now);
+        record.completed_at = Some(now);
+        record.stdout = format!("task failed before start: {reason}\n");
+        record.exit_code = Some(-1);
+    }
+
+    fn finish(&mut self, id: TaskId, at: SimInstant) {
+        self.clock.advance_to(at);
+        let running = self.running.remove(&id).expect("finishing task is running");
+        if let Some(pool) = self.pools.get_mut(&running.pool) {
+            pool.release(&running.node_indices);
+            if running.result.exit_code == 0 {
+                if let Some(rec) = self.tasks.get(&id) {
+                    if rec.kind == TaskKind::Setup {
+                        pool.setup_done = true;
+                    }
+                }
+            }
+        }
+        let record = self.tasks.get_mut(&id).expect("record");
+        record.completed_at = Some(at);
+        record.stdout = running.result.stdout;
+        record.exit_code = Some(running.result.exit_code);
+        record.state = if running.result.exit_code == 0 {
+            TaskState::Completed
+        } else {
+            TaskState::Failed
+        };
+    }
+
+    /// Drives the scheduler until no task is pending or running, advancing
+    /// the shared virtual clock through each completion.
+    pub fn run_until_idle(&mut self) {
+        loop {
+            self.schedule_ready();
+            match self.events.pop() {
+                Some((at, ev)) => self.finish(ev.task, at),
+                None => {
+                    if self.queue.is_empty() {
+                        break;
+                    }
+                    // Queue non-empty but nothing running and nothing could
+                    // be scheduled: schedule_ready already failed the
+                    // impossible ones; anything left fits but is blocked by
+                    // a task that no longer exists — fail defensively.
+                    let stuck: Vec<TaskId> = self.queue.drain(..).collect();
+                    for id in stuck {
+                        self.fail_now(id, "scheduler stuck: no running task to free nodes");
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Convenience for the sequential Algorithm 1 loop: submit one task and
+    /// run it to completion, returning its final record.
+    pub fn run_task(
+        &mut self,
+        pool: &str,
+        name: &str,
+        kind: TaskKind,
+        nodes_required: u32,
+        ppn: u32,
+        runner: Runner,
+    ) -> Result<TaskRecord, CloudError> {
+        let id = self.submit(pool, name, kind, nodes_required, ppn, runner)?;
+        self.run_until_idle();
+        Ok(self.task(id).expect("task just ran").clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::share;
+    use cloudsim::{CloudProvider, FaultPlan, ProviderConfig};
+    use simtime::SimDuration;
+
+    fn service() -> BatchService {
+        let mut provider = CloudProvider::new(ProviderConfig::default()).unwrap();
+        provider.create_resource_group("rg").unwrap();
+        provider.create_vnet("rg", "vnet", "default").unwrap();
+        provider.create_storage_account("rg", "stor").unwrap();
+        provider.create_batch_account("rg", "batch").unwrap();
+        BatchService::new(share(provider), "rg")
+    }
+
+    fn quick_runner(secs: u64) -> Runner {
+        Box::new(move |_ctx| TaskResult::ok(SimDuration::from_secs(secs), "done\n"))
+    }
+
+    #[test]
+    fn pool_lifecycle() {
+        let mut svc = service();
+        svc.create_pool("p1", "HB120rs_v3").unwrap();
+        assert_eq!(svc.pool("p1").unwrap().nodes, 0);
+        svc.resize_pool("p1", 4).unwrap();
+        assert_eq!(svc.pool("p1").unwrap().nodes, 4);
+        svc.resize_pool("p1", 8).unwrap();
+        assert_eq!(svc.pool("p1").unwrap().nodes, 8);
+        svc.delete_pool("p1").unwrap();
+        assert_eq!(svc.pool("p1").unwrap().state, PoolState::Deleted);
+        assert!(svc.resize_pool("p1", 2).is_err(), "deleted pool unusable");
+    }
+
+    #[test]
+    fn duplicate_pool_rejected_unknown_sku_rejected() {
+        let mut svc = service();
+        svc.create_pool("p1", "HC44rs").unwrap();
+        assert!(svc.create_pool("p1", "HC44rs").is_err());
+        assert!(svc.create_pool("p2", "NoSuchSku").is_err());
+    }
+
+    #[test]
+    fn task_runs_and_completes() {
+        let mut svc = service();
+        svc.create_pool("p1", "HC44rs").unwrap();
+        svc.resize_pool("p1", 2).unwrap();
+        let before = svc.clock().now();
+        let rec = svc
+            .run_task("p1", "scenario-1", TaskKind::Compute, 2, 44, quick_runner(120))
+            .unwrap();
+        assert_eq!(rec.state, TaskState::Completed);
+        assert_eq!(rec.exit_code, Some(0));
+        assert_eq!(rec.duration(), Some(SimDuration::from_secs(120)));
+        assert_eq!(svc.clock().now() - before, SimDuration::from_secs(120));
+        // Nodes freed.
+        assert_eq!(svc.pool("p1").unwrap().idle_nodes(), 2);
+    }
+
+    #[test]
+    fn context_carries_table1_environment() {
+        let mut svc = service();
+        svc.create_pool("p1", "HB120rs_v3").unwrap();
+        svc.resize_pool("p1", 3).unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let runner: Runner = Box::new(move |ctx| {
+            tx.send((
+                ctx.nnodes(),
+                ctx.ppn,
+                ctx.hostlist_ppn(),
+                ctx.sku.name.clone(),
+                ctx.task_dir.clone(),
+            ))
+            .unwrap();
+            TaskResult::ok(SimDuration::from_secs(1), "")
+        });
+        svc.run_task("p1", "t", TaskKind::Compute, 3, 120, runner).unwrap();
+        let (nnodes, ppn, hostlist, sku, dir) = rx.recv().unwrap();
+        assert_eq!(nnodes, 3);
+        assert_eq!(ppn, 120);
+        assert_eq!(hostlist, "p1-0000:120,p1-0001:120,p1-0002:120");
+        assert_eq!(sku, "Standard_HB120rs_v3");
+        assert!(dir.starts_with("/share/rg/tasks/"));
+    }
+
+    #[test]
+    fn failing_task_marked_failed() {
+        let mut svc = service();
+        svc.create_pool("p1", "HC44rs").unwrap();
+        svc.resize_pool("p1", 1).unwrap();
+        let runner: Runner = Box::new(|_| {
+            TaskResult::failed(SimDuration::from_secs(5), "Simulation did not complete\n", 1)
+        });
+        let rec = svc
+            .run_task("p1", "bad", TaskKind::Compute, 1, 44, runner)
+            .unwrap();
+        assert_eq!(rec.state, TaskState::Failed);
+        assert_eq!(rec.exit_code, Some(1));
+        assert!(rec.stdout.contains("did not complete"));
+    }
+
+    #[test]
+    fn oversized_task_fails_not_hangs() {
+        let mut svc = service();
+        svc.create_pool("p1", "HC44rs").unwrap();
+        svc.resize_pool("p1", 2).unwrap();
+        let rec = svc
+            .run_task("p1", "huge", TaskKind::Compute, 16, 44, quick_runner(1))
+            .unwrap();
+        assert_eq!(rec.state, TaskState::Failed);
+        assert!(rec.stdout.contains("needs 16"));
+    }
+
+    #[test]
+    fn concurrent_tasks_on_disjoint_nodes() {
+        let mut svc = service();
+        svc.create_pool("p1", "HC44rs").unwrap();
+        svc.resize_pool("p1", 4).unwrap();
+        let t0 = svc.clock().now();
+        // Two 2-node tasks fit simultaneously on 4 nodes.
+        svc.submit("p1", "a", TaskKind::Compute, 2, 44, quick_runner(100)).unwrap();
+        svc.submit("p1", "b", TaskKind::Compute, 2, 44, quick_runner(100)).unwrap();
+        // A third queues behind them.
+        let c = svc.submit("p1", "c", TaskKind::Compute, 2, 44, quick_runner(50)).unwrap();
+        svc.run_until_idle();
+        // a, b run in parallel (100 s), then c (50 s) ⇒ 150 s total.
+        assert_eq!(svc.clock().now() - t0, SimDuration::from_secs(150));
+        assert_eq!(svc.task(c).unwrap().state, TaskState::Completed);
+        assert!(svc.tasks().all(|t| t.state == TaskState::Completed));
+    }
+
+    #[test]
+    fn setup_task_marks_pool() {
+        let mut svc = service();
+        svc.create_pool("p1", "HC44rs").unwrap();
+        svc.resize_pool("p1", 1).unwrap();
+        assert!(!svc.pool("p1").unwrap().setup_done);
+        svc.run_task("p1", "setup", TaskKind::Setup, 1, 1, quick_runner(30)).unwrap();
+        assert!(svc.pool("p1").unwrap().setup_done);
+    }
+
+    #[test]
+    fn injected_task_fault() {
+        let mut provider = CloudProvider::new(ProviderConfig::default()).unwrap();
+        provider.create_resource_group("rg").unwrap();
+        provider.create_vnet("rg", "vnet", "default").unwrap();
+        provider.create_storage_account("rg", "stor").unwrap();
+        provider.create_batch_account("rg", "batch").unwrap();
+        provider.set_fault_plan(FaultPlan::none().fail_nth(Operation::RunTask, 0));
+        let mut svc = BatchService::new(share(provider), "rg");
+        svc.create_pool("p1", "HC44rs").unwrap();
+        svc.resize_pool("p1", 1).unwrap();
+        let rec = svc
+            .run_task("p1", "t", TaskKind::Compute, 1, 44, quick_runner(10))
+            .unwrap();
+        assert_eq!(rec.state, TaskState::Failed);
+        assert!(rec.stdout.contains("injected failure"));
+        // Nodes are back; the next task succeeds.
+        let rec2 = svc
+            .run_task("p1", "t2", TaskKind::Compute, 1, 44, quick_runner(10))
+            .unwrap();
+        assert_eq!(rec2.state, TaskState::Completed);
+    }
+
+    #[test]
+    fn resize_closes_billing_spans() {
+        let mut svc = service();
+        svc.create_pool("p1", "HB120rs_v3").unwrap();
+        svc.resize_pool("p1", 2).unwrap();
+        svc.clock().advance_by(SimDuration::from_hours(1));
+        svc.resize_pool("p1", 0).unwrap();
+        let provider = svc.provider.lock();
+        let records = provider.billing().records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].nodes, 2);
+        assert!(records[0].cost >= 2.0 * 3.60);
+    }
+
+    #[test]
+    fn resize_while_running_rejected() {
+        let mut svc = service();
+        svc.create_pool("p1", "HC44rs").unwrap();
+        svc.resize_pool("p1", 1).unwrap();
+        svc.submit("p1", "t", TaskKind::Compute, 1, 44, quick_runner(100)).unwrap();
+        // Manually drive one scheduling pass without finishing the task.
+        svc.schedule_ready();
+        assert!(svc.resize_pool("p1", 2).is_err());
+        svc.run_until_idle();
+        assert!(svc.resize_pool("p1", 2).is_ok());
+    }
+}

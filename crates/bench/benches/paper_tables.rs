@@ -1,0 +1,119 @@
+//! Benches regenerating the paper's tables and listings:
+//! E1 (Listing 1 config), E2 (Listing 2 script + Table I env), E9/E10
+//! (Listings 3–4 advice tables), E11 (Table II CLI surface), E12 (the
+//! §III-F sampling ablation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcadvisor_bench::{ablation_config, collect, lammps_config, openfoam_config, SEED};
+use hpcadvisor_core::prelude::*;
+use hpcadvisor_core::sampling::{
+    run_sampled, AggressiveDiscard, BottleneckAware, FixedPerfFactor, FullGrid, Sampler,
+};
+use std::hint::black_box;
+
+fn tables(c: &mut Criterion) {
+    // --- E9 / Listing 3 ----------------------------------------------------
+    let of_dataset = collect(openfoam_config());
+    let of_advice = Advice::from_dataset(&of_dataset, &DataFilter::all());
+    println!("\n=== E9 / Listing 3: OpenFOAM motorBike @ 8M cells ===");
+    println!("{}", of_advice.render_text());
+    println!("paper: 34/0.544@16 v3 | 38/0.304@8 v2 | 48/0.192@4 v3 | 59/0.177@3 v3\n");
+
+    // --- E10 / Listing 4 ----------------------------------------------------
+    let lj_dataset = collect(lammps_config());
+    let lj_advice = Advice::from_dataset(&lj_dataset, &DataFilter::all());
+    println!("=== E10 / Listing 4: LAMMPS LJ ×30 (≈864M atoms) ===");
+    println!("{}", lj_advice.render_text());
+    println!("paper: 36/0.576@16 | 69/0.552@8 | 132/0.528@4 | 173/0.519@3 (all v3)\n");
+
+    // --- E12 / §III-F sampling ablation -------------------------------------
+    println!("=== E12 / §III-F: smart-sampling ablation (36-scenario sweep) ===");
+    let reference = {
+        let mut session = Session::create(ablation_config(), SEED).unwrap();
+        let (ds, _) = run_sampled(&mut session, &mut FullGrid::new()).unwrap();
+        Advice::from_dataset(&ds, &DataFilter::all())
+    };
+    println!(
+        "{:<20} {:>10} {:>8} {:>8} {:>8}",
+        "strategy", "executed", "saved%", "front≈", "regret%"
+    );
+    let samplers: Vec<Box<dyn Sampler>> = vec![
+        Box::new(FullGrid::new()),
+        Box::new(AggressiveDiscard::new(0.15)),
+        Box::new(FixedPerfFactor::new(0.10)),
+        Box::new(BottleneckAware::new(0.55, 0.25)),
+    ];
+    for mut sampler in samplers {
+        let mut session = Session::create(ablation_config(), SEED).unwrap();
+        let (ds, report) = run_sampled(&mut session, sampler.as_mut()).unwrap();
+        let advice = Advice::from_dataset(&ds, &DataFilter::all());
+        println!(
+            "{:<20} {:>6}/{:<3} {:>7.0}% {:>8.2} {:>7.1}%",
+            report.strategy,
+            report.executed,
+            report.total,
+            report.savings() * 100.0,
+            hpcadvisor_core::sampling::front_similarity(&reference, &advice),
+            hpcadvisor_core::sampling::front_regret(&reference, &advice) * 100.0,
+        );
+    }
+    println!();
+
+    // --- Benchmarks ----------------------------------------------------------
+    let mut group = c.benchmark_group("paper_tables");
+    // E1 / Listing 1: configuration parse + scenario expansion.
+    let listing1 = r#"
+subscription: mysubscription
+skus:
+- Standard_HC44rs
+- Standard_HB120rs_v2
+- Standard_HB120rs_v3
+rgprefix: hpcadvisortest1
+appsetupurl: https://example.com/scripts/openfoam.sh
+nnodes: [1, 2, 3, 4, 8, 16]
+appname: openfoam
+tags:
+  version: v1
+region: southcentralus
+createjumpbox: true
+ppr: 100
+appinputs:
+  mesh: "80 24 24"
+  mesh: "60 16 16"
+"#;
+    group.bench_function("listing1_parse_and_expand", |b| {
+        b.iter(|| {
+            let config = UserConfig::from_yaml(black_box(listing1)).unwrap();
+            hpcadvisor_core::scenario::generate_scenarios(
+                &config,
+                &cloudsim::SkuCatalog::azure_hpc(),
+            )
+            .unwrap()
+            .len()
+        })
+    });
+    // E9/E10: Pareto-front advice from a collected dataset.
+    group.bench_function("listing4_advice_from_dataset", |b| {
+        b.iter(|| Advice::from_dataset(black_box(&lj_dataset), black_box(&DataFilter::all())))
+    });
+    group.bench_function("listing3_advice_from_dataset", |b| {
+        b.iter(|| Advice::from_dataset(black_box(&of_dataset), black_box(&DataFilter::all())))
+    });
+    // E12: one full aggressive-discard sampling run (includes collection).
+    group.sample_size(10);
+    group.bench_function("ablation_aggressive_discard_run", |b| {
+        b.iter(|| {
+            let mut session = Session::create(ablation_config(), SEED).unwrap();
+            let mut sampler = AggressiveDiscard::new(0.15);
+            run_sampled(&mut session, &mut sampler).unwrap().1.executed
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = tables
+}
+criterion_main!(benches);

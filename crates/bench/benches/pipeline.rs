@@ -1,0 +1,111 @@
+//! Benches of the pipeline substrates: E2 (Listing 2 interpretation with
+//! Table I environment), E3 (Algorithm 1 collection throughput), plus the
+//! codec and simulator kernels everything sits on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcadvisor_bench::SEED;
+use hpcadvisor_core::appscript::LAMMPS_SCRIPT;
+use hpcadvisor_core::prelude::*;
+use std::hint::black_box;
+use std::sync::Arc;
+use taskshell::{ExecutionEnv, Interpreter, UrlStore, Vfs};
+
+fn small_config() -> UserConfig {
+    UserConfig::example_lammps_small()
+}
+
+fn pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+
+    // E2 / Listing 2 + Table I: full script execution (setup + run).
+    let sku = cloudsim::SkuCatalog::azure_hpc()
+        .get("Standard_HB120rs_v3")
+        .unwrap()
+        .clone();
+    let registry = Arc::new(appmodel::AppRegistry::standard());
+    group.bench_function("listing2_full_script_execution", |b| {
+        b.iter(|| {
+            let mut interp = Interpreter::new(
+                ExecutionEnv {
+                    sku: sku.clone(),
+                    registry: registry.clone(),
+                    experiment_seed: SEED,
+                },
+                Vfs::new(),
+                UrlStore::with_known_inputs(),
+            );
+            interp.set_cwd("/apps/lammps");
+            interp.load_script(black_box(LAMMPS_SCRIPT)).unwrap();
+            interp.call_function("hpcadvisor_setup").unwrap();
+            interp.set_cwd("/apps/lammps/task-1");
+            interp.set_var("BOXFACTOR", "12");
+            interp.set_var("NNODES", "4");
+            interp.set_var("PPN", "120");
+            interp.set_var(
+                "HOSTLIST_PPN",
+                "n0:120,n1:120,n2:120,n3:120",
+            );
+            interp.call_function("hpcadvisor_run").unwrap().exit_code
+        })
+    });
+
+    // E3 / Algorithm 1: end-to-end deploy + collect of a small sweep.
+    group.sample_size(10);
+    group.bench_function("alg1_deploy_and_collect_3_scenarios", |b| {
+        b.iter(|| {
+            let mut session = Session::create(small_config(), SEED).unwrap();
+            session.collect().unwrap().len()
+        })
+    });
+
+    // Application model kernel: one performance-model evaluation.
+    group.sample_size(100);
+    let machine = appmodel::MachineProfile::from_sku(&sku);
+    let inputs = appmodel::inputs(&[("BOXFACTOR", "30")]);
+    group.bench_function("appmodel_single_run", |b| {
+        b.iter(|| {
+            registry
+                .run("lammps", black_box(&machine), 16, 120, black_box(&inputs), SEED)
+                .unwrap()
+                .wall_secs
+        })
+    });
+
+    // Codec kernels: the dataset file round-trip.
+    let dataset = {
+        let mut session = Session::create(small_config(), SEED).unwrap();
+        session.collect().unwrap()
+    };
+    let json = dataset.to_json();
+    group.bench_function("dataset_to_json", |b| b.iter(|| black_box(&dataset).to_json().len()));
+    group.bench_function("dataset_from_json", |b| {
+        b.iter(|| Dataset::from_json(black_box(&json)).unwrap().len())
+    });
+
+    // Pareto kernel at scale: 10,000 scenarios.
+    let mut points = Vec::with_capacity(10_000);
+    let mut x = 88172645463325252u64;
+    for _ in 0..10_000 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let a = (x >> 11) as f64 / (1u64 << 53) as f64;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let b = (x >> 11) as f64 / (1u64 << 53) as f64;
+        points.push((a, b));
+    }
+    group.bench_function("pareto_front_10k_points", |b| {
+        b.iter(|| pareto_front(black_box(&points)).len())
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = pipeline
+}
+criterion_main!(benches);

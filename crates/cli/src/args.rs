@@ -1,0 +1,118 @@
+//! A small argument parser: positional words plus `--flag [value]` options.
+
+use hpcadvisor_core::ToolError;
+
+/// Parsed command line.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// Positional words in order (command, subcommand, operands).
+    pub positional: Vec<String>,
+    /// `--key value` / `--switch` options (switches store an empty value).
+    pub options: Vec<(String, String)>,
+}
+
+/// Option names that take a value; everything else is a boolean switch.
+const VALUED: &[&str] = &[
+    "workdir", "config", "filter", "seed", "sampler", "sort", "out",
+];
+
+/// Short-option aliases.
+fn canonical(name: &str) -> &str {
+    match name {
+        "w" => "workdir",
+        "c" => "config",
+        "f" => "filter",
+        "o" => "out",
+        other => other,
+    }
+}
+
+impl Args {
+    /// Parses argv (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Args, ToolError> {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+                let name = canonical(name).to_string();
+                if VALUED.contains(&name.as_str()) {
+                    let value = argv.get(i + 1).ok_or_else(|| {
+                        ToolError::Config(format!("option --{name} requires a value"))
+                    })?;
+                    args.options.push((name, value.clone()));
+                    i += 2;
+                } else {
+                    args.options.push((name, String::new()));
+                    i += 1;
+                }
+            } else {
+                args.positional.push(a.clone());
+                i += 1;
+            }
+        }
+        Ok(args)
+    }
+
+    /// Value of an option, if present.
+    pub fn option(&self, name: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True if a boolean switch was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.options.iter().any(|(k, _)| k == name)
+    }
+
+    /// The experiment seed (`--seed`, default 42).
+    pub fn seed(&self) -> Result<u64, ToolError> {
+        match self.option("seed") {
+            None => Ok(42),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ToolError::Config(format!("bad --seed '{v}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Args {
+        let argv: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+        Args::parse(&argv).unwrap()
+    }
+
+    #[test]
+    fn positional_and_options() {
+        let a = parse(&["deploy", "create", "-c", "config.yaml", "--seed", "7", "--ascii"]);
+        assert_eq!(a.positional, vec!["deploy", "create"]);
+        assert_eq!(a.option("config"), Some("config.yaml"));
+        assert_eq!(a.seed().unwrap(), 7);
+        assert!(a.has("ascii"));
+        assert!(!a.has("slurm"));
+    }
+
+    #[test]
+    fn short_aliases() {
+        let a = parse(&["plot", "-f", "appname=lammps", "-w", "/tmp/x"]);
+        assert_eq!(a.option("filter"), Some("appname=lammps"));
+        assert_eq!(a.option("workdir"), Some("/tmp/x"));
+    }
+
+    #[test]
+    fn missing_value_errors() {
+        let argv = vec!["collect".to_string(), "--config".to_string()];
+        assert!(Args::parse(&argv).is_err());
+    }
+
+    #[test]
+    fn bad_seed_errors() {
+        let a = parse(&["collect", "--seed", "not-a-number"]);
+        assert!(a.seed().is_err());
+    }
+}

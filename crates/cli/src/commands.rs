@@ -1,0 +1,523 @@
+//! Command implementations.
+
+use crate::args::Args;
+use crate::state::{DeploymentRecord, WorkDir};
+use hpcadvisor_core::advice::{Advice, AdviceSort};
+use hpcadvisor_core::collector::{Collector, CollectorOptions};
+use hpcadvisor_core::deployment::DeploymentManager;
+use hpcadvisor_core::plot;
+use hpcadvisor_core::sampling::{
+    run_sampled, AggressiveDiscard, BottleneckAware, FixedPerfFactor, FullGrid, Sampler,
+};
+use hpcadvisor_core::scenario::generate_scenarios;
+use hpcadvisor_core::session::Session;
+use hpcadvisor_core::{DataFilter, ToolError, UserConfig};
+use std::io::Write;
+
+type Out<'a> = &'a mut dyn Write;
+
+fn wline(out: Out, text: &str) -> Result<(), ToolError> {
+    writeln!(out, "{text}").map_err(ToolError::Io)
+}
+
+/// Dispatches a parsed command line.
+pub fn dispatch(argv: &[String], out: Out) -> Result<(), ToolError> {
+    let args = Args::parse(argv)?;
+    if args.has("help") || args.has("h") {
+        return wline(out, crate::USAGE);
+    }
+    let command = args
+        .positional
+        .first()
+        .map(|s| s.as_str())
+        .ok_or_else(|| ToolError::Config("missing command; try --help".into()))?;
+    let workdir = WorkDir::open(args.option("workdir").unwrap_or("hpcadvisor-data"))?;
+    match command {
+        "deploy" => deploy(&args, &workdir, out),
+        "collect" => collect(&args, &workdir, out),
+        "plot" => plot_cmd(&args, &workdir, out),
+        "advice" => advice_cmd(&args, &workdir, out),
+        "export" => export_cmd(&args, &workdir, out),
+        "gui" => gui(&args, &workdir, out),
+        other => Err(ToolError::Config(format!(
+            "unknown command '{other}'; try --help"
+        ))),
+    }
+}
+
+fn deploy(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
+    match args.positional.get(1).map(|s| s.as_str()) {
+        Some("create") => {
+            let config_path = args.option("config").ok_or_else(|| {
+                ToolError::Config("deploy create requires -c <config.yaml>".into())
+            })?;
+            let text = std::fs::read_to_string(config_path)?;
+            let config = UserConfig::from_yaml(&text)?;
+            let seed = args.seed()?;
+            // Provision (validates the whole Section III-B sequence).
+            let mut manager = DeploymentManager::new(&config.subscription, &config.region, seed)?;
+            let name = manager.create(&config)?;
+            // Persist state for the later commands.
+            workdir.save_config_text(&text)?;
+            let scenarios = generate_scenarios(&config, &cloudsim::SkuCatalog::azure_hpc())?;
+            workdir.save_scenarios(&scenarios)?;
+            let mut records = workdir.load_deployments()?;
+            records.push(DeploymentRecord {
+                name: name.clone(),
+                region: config.region.clone(),
+                appname: config.appname.clone(),
+                seed,
+                state: "active".into(),
+            });
+            workdir.save_deployments(&records)?;
+            wline(out, &format!("deployment '{name}' created in {}", config.region))?;
+            wline(
+                out,
+                &format!("{} scenarios pending; run 'hpcadvisor collect'", scenarios.len()),
+            )
+        }
+        Some("list") => {
+            let records = workdir.load_deployments()?;
+            wline(out, "NAME                    REGION           APP        SEED  STATE")?;
+            for r in records {
+                wline(
+                    out,
+                    &format!(
+                        "{:<22}  {:<15}  {:<9}  {:<4}  {}",
+                        r.name, r.region, r.appname, r.seed, r.state
+                    ),
+                )?;
+            }
+            Ok(())
+        }
+        Some("shutdown") => {
+            let name = args
+                .positional
+                .get(2)
+                .ok_or_else(|| ToolError::Config("deploy shutdown requires a name".into()))?;
+            let mut records = workdir.load_deployments()?;
+            let record = records
+                .iter_mut()
+                .find(|r| &r.name == name && r.state == "active")
+                .ok_or_else(|| ToolError::UnknownDeployment(name.clone()))?;
+            record.state = "shutdown".into();
+            workdir.save_deployments(&records)?;
+            wline(out, &format!("deployment '{name}' shut down; resources deleted"))
+        }
+        other => Err(ToolError::Config(format!(
+            "deploy needs a subcommand (create|list|shutdown), got {other:?}"
+        ))),
+    }
+}
+
+fn make_sampler(name: &str) -> Result<Box<dyn Sampler>, ToolError> {
+    match name {
+        "full" => Ok(Box::new(FullGrid::new())),
+        "aggressive" => Ok(Box::new(AggressiveDiscard::new(0.15))),
+        "perf-factor" => Ok(Box::new(FixedPerfFactor::new(0.10))),
+        "bottleneck" => Ok(Box::new(BottleneckAware::new(0.55, 0.25))),
+        other => Err(ToolError::Config(format!(
+            "unknown sampler '{other}' (full|aggressive|perf-factor|bottleneck|partial)"
+        ))),
+    }
+}
+
+fn collect(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
+    let config = workdir.load_config()?;
+    let record = workdir
+        .active_deployment()?
+        .ok_or_else(|| ToolError::Config("no active deployment; run 'deploy create' first".into()))?;
+    let mut scenarios = workdir.load_scenarios()?;
+    if scenarios.is_empty() {
+        scenarios = generate_scenarios(&config, &cloudsim::SkuCatalog::azure_hpc())?;
+    }
+
+    // Re-provision the recorded deployment deterministically (the cloud is
+    // simulated in-process) and run the collection loop on it.
+    let mut manager = DeploymentManager::new(&config.subscription, &config.region, record.seed)?;
+    let name = manager.create(&config)?;
+    let mut collector = Collector::new(
+        manager.provider(),
+        &name,
+        config.clone(),
+        CollectorOptions {
+            experiment_seed: record.seed,
+            ..CollectorOptions::default()
+        },
+    )?;
+
+    let increment = match args.option("sampler") {
+        None | Some("full") => collector.collect(&mut scenarios)?,
+        Some("partial") => {
+            // Partial-execution prediction (cited technique): probe every
+            // scenario at 10% of its steps, verify the predicted front.
+            let report = hpcadvisor_core::sampling::partial::run_partial_execution(
+                &config,
+                record.seed,
+                0.10,
+                0.10,
+            )?;
+            for p in &report.verified.points {
+                if let Some(slot) = scenarios.iter_mut().find(|x| x.id == p.scenario_id) {
+                    slot.status = p.status;
+                }
+            }
+            wline(
+                out,
+                &format!(
+                    "partial execution: {} probes + {} full runs for {} scenarios                      (prediction error {:.1}%)",
+                    report.probe_runs,
+                    report.full_runs,
+                    report.total,
+                    report.mean_relative_error * 100.0
+                ),
+            )?;
+            report.verified
+        }
+        Some(sampler_name) => {
+            // Sampling needs the Session wrapper for iterative batches.
+            let mut session = Session::create(config.clone(), record.seed)?;
+            let mut sampler = make_sampler(sampler_name)?;
+            let (ds, report) = run_sampled(&mut session, sampler.as_mut())?;
+            for s in session.scenarios() {
+                if let Some(slot) = scenarios.iter_mut().find(|x| x.id == s.id) {
+                    slot.status = s.status;
+                }
+            }
+            wline(
+                out,
+                &format!(
+                    "sampler '{}': executed {}/{} scenarios ({} batches, {:.0}% saved)",
+                    report.strategy,
+                    report.executed,
+                    report.total,
+                    report.batches,
+                    report.savings() * 100.0
+                ),
+            )?;
+            ds
+        }
+    };
+
+    let completed = increment
+        .points
+        .iter()
+        .filter(|p| p.status == hpcadvisor_core::ScenarioStatus::Completed)
+        .count();
+    let failed = increment.len() - completed;
+    let mut dataset = workdir.load_dataset()?;
+    dataset.extend(increment);
+    workdir.save_dataset(&dataset)?;
+    workdir.save_scenarios(&scenarios)?;
+    let total_cost = manager.provider().lock().billing().total_cost();
+    wline(
+        out,
+        &format!(
+            "collected {completed} completed, {failed} failed; dataset now has {} rows",
+            dataset.len()
+        ),
+    )?;
+    wline(out, &format!("cloud spend this collection: ${total_cost:.2}"))
+}
+
+fn parse_filter(args: &Args) -> Result<DataFilter, ToolError> {
+    match args.option("filter") {
+        None => Ok(DataFilter::all()),
+        Some(spec) => DataFilter::parse(spec),
+    }
+}
+
+fn plot_cmd(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
+    let dataset = workdir.load_dataset()?;
+    if dataset.is_empty() {
+        return Err(ToolError::NoData("dataset is empty; run 'collect' first".into()));
+    }
+    let filter = parse_filter(args)?;
+    let charts = plot::all_charts(&dataset, &filter);
+    if args.has("ascii") {
+        for (_, chart) in charts {
+            wline(out, &chart.to_ascii(72, 18))?;
+        }
+        return Ok(());
+    }
+    let dir = workdir.plots_dir()?;
+    for (name, chart) in charts {
+        let svg_path = dir.join(format!("{name}.svg"));
+        std::fs::write(&svg_path, chart.to_svg(800, 500))?;
+        std::fs::write(dir.join(format!("{name}.csv")), chart.to_csv())?;
+        wline(out, &format!("wrote {}", svg_path.display()))?;
+    }
+    Ok(())
+}
+
+fn advice_cmd(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
+    let dataset = workdir.load_dataset()?;
+    if dataset.is_empty() {
+        return Err(ToolError::NoData("dataset is empty; run 'collect' first".into()));
+    }
+    let filter = parse_filter(args)?;
+    let sort = match args.option("sort") {
+        None | Some("time") => AdviceSort::ByTime,
+        Some("cost") => AdviceSort::ByCost,
+        Some(other) => {
+            return Err(ToolError::Config(format!(
+                "unknown sort '{other}' (time|cost)"
+            )))
+        }
+    };
+    let advice = Advice::from_dataset_sorted(&dataset, &filter, sort);
+    if advice.rows.is_empty() {
+        return Err(ToolError::NoData("no completed rows match the filter".into()));
+    }
+    wline(out, advice.render_text().trim_end())?;
+    if args.has("slurm") {
+        let appname = dataset
+            .points
+            .first()
+            .map(|p| p.appname.clone())
+            .unwrap_or_else(|| "app".into());
+        wline(out, "\n# Slurm recipe for the fastest Pareto-efficient row:")?;
+        wline(out, &advice.slurm_recipe(&advice.rows[0], &appname))?;
+    }
+    Ok(())
+}
+
+/// `export`: write the (filtered) dataset as CSV for spreadsheets/pandas.
+fn export_cmd(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
+    let dataset = workdir.load_dataset()?;
+    if dataset.is_empty() {
+        return Err(ToolError::NoData("dataset is empty; run 'collect' first".into()));
+    }
+    let filter = parse_filter(args)?;
+    let mut filtered = hpcadvisor_core::Dataset::new();
+    for p in dataset.filter(&filter) {
+        filtered.push(p.clone());
+    }
+    let csv = filtered.to_csv();
+    match args.option("out") {
+        Some(path) => {
+            std::fs::write(path, csv)?;
+            wline(out, &format!("wrote {} rows to {path}", filtered.len()))
+        }
+        None => {
+            let path = workdir.root().join("dataset.csv");
+            std::fs::write(&path, csv)?;
+            wline(out, &format!("wrote {} rows to {}", filtered.len(), path.display()))
+        }
+    }
+}
+
+fn gui(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
+    let _ = args;
+    wline(out, "=== HPCAdvisor dashboard (terminal GUI) ===\n")?;
+    wline(out, "-- Deployments --")?;
+    let records = workdir.load_deployments()?;
+    if records.is_empty() {
+        wline(out, "(none)")?;
+    }
+    for r in &records {
+        wline(
+            out,
+            &format!("{} [{}] app={} region={}", r.name, r.state, r.appname, r.region),
+        )?;
+    }
+    let scenarios = workdir.load_scenarios()?;
+    let pending = scenarios
+        .iter()
+        .filter(|s| s.status == hpcadvisor_core::ScenarioStatus::Pending)
+        .count();
+    wline(
+        out,
+        &format!(
+            "\n-- Scenarios -- {} total, {} pending, {} completed, {} failed",
+            scenarios.len(),
+            pending,
+            scenarios
+                .iter()
+                .filter(|s| s.status == hpcadvisor_core::ScenarioStatus::Completed)
+                .count(),
+            scenarios
+                .iter()
+                .filter(|s| s.status == hpcadvisor_core::ScenarioStatus::Failed)
+                .count(),
+        ),
+    )?;
+    let dataset = workdir.load_dataset()?;
+    wline(out, &format!("\n-- Dataset -- {} rows", dataset.len()))?;
+    if !dataset.is_empty() {
+        let chart = plot::pareto_chart(&dataset, &DataFilter::all());
+        wline(out, &chart.to_ascii(72, 16))?;
+        let advice = Advice::from_dataset(&dataset, &DataFilter::all());
+        wline(out, "-- Advice (Pareto front) --")?;
+        wline(out, advice.render_text().trim_end())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+    use std::path::PathBuf;
+
+    pub(crate) fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hpcadvisor-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    pub(crate) fn run_in(workdir: &std::path::Path, words: &[&str]) -> (String, bool) {
+        let mut argv: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+        argv.push("--workdir".into());
+        argv.push(workdir.to_string_lossy().into_owned());
+        let mut out = Vec::new();
+        let ok = dispatch(&argv, &mut out).is_ok();
+        (String::from_utf8(out).unwrap(), ok)
+    }
+
+    pub(crate) fn write_config(dir: &std::path::Path) -> PathBuf {
+        std::fs::create_dir_all(dir).unwrap();
+        let path = dir.join("myconfig.yaml");
+        std::fs::write(
+            &path,
+            r#"
+subscription: mysubscription
+skus:
+- Standard_HB120rs_v3
+rgprefix: clitest
+appsetupurl: https://example.com/scripts/lammps.sh
+nnodes: [1, 2]
+appname: lammps
+region: southcentralus
+ppr: 100
+appinputs:
+  BOXFACTOR: "8"
+"#,
+        )
+        .unwrap();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::*;
+
+    /// The full Table II command walk-through.
+    #[test]
+    fn table2_end_to_end() {
+        let dir = tempdir("e2e");
+        let config = write_config(&dir);
+
+        let (out, ok) = run_in(&dir, &["deploy", "create", "-c", config.to_str().unwrap()]);
+        assert!(ok, "{out}");
+        assert!(out.contains("deployment 'clitest001' created"));
+        assert!(out.contains("2 scenarios pending"));
+
+        let (out, ok) = run_in(&dir, &["deploy", "list"]);
+        assert!(ok);
+        assert!(out.contains("clitest001") && out.contains("active"));
+
+        let (out, ok) = run_in(&dir, &["collect"]);
+        assert!(ok, "{out}");
+        assert!(out.contains("collected 2 completed, 0 failed"), "{out}");
+        assert!(out.contains("cloud spend"));
+
+        let (out, ok) = run_in(&dir, &["plot"]);
+        assert!(ok, "{out}");
+        assert!(out.contains("exectime_vs_nodes.svg"));
+        assert!(dir.join("plots/pareto_front.svg").exists());
+        assert!(dir.join("plots/efficiency.csv").exists());
+
+        let (out, ok) = run_in(&dir, &["plot", "--ascii"]);
+        assert!(ok);
+        assert!(out.contains("Execution Time vs Number of Nodes"));
+
+        let (out, ok) = run_in(&dir, &["advice"]);
+        assert!(ok, "{out}");
+        assert!(out.contains("Exectime(s)  Cost($)  Nodes  SKU"));
+        assert!(out.contains("hb120rs_v3"));
+
+        let (out, ok) = run_in(&dir, &["advice", "--sort", "cost", "--slurm"]);
+        assert!(ok);
+        assert!(out.contains("#SBATCH --nodes="));
+
+        let (out, ok) = run_in(&dir, &["gui"]);
+        assert!(ok);
+        assert!(out.contains("dashboard"));
+        assert!(out.contains("2 completed"));
+
+        let (out, ok) = run_in(&dir, &["deploy", "shutdown", "clitest001"]);
+        assert!(ok, "{out}");
+        let (out, _) = run_in(&dir, &["deploy", "list"]);
+        assert!(out.contains("shutdown"));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn collect_with_sampler() {
+        let dir = tempdir("sampler");
+        let config = write_config(&dir);
+        let (_, ok) = run_in(&dir, &["deploy", "create", "-c", config.to_str().unwrap()]);
+        assert!(ok);
+        let (out, ok) = run_in(&dir, &["collect", "--sampler", "aggressive"]);
+        assert!(ok, "{out}");
+        assert!(out.contains("sampler 'aggressive-discard'"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn error_paths() {
+        let dir = tempdir("errors");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (out, ok) = run_in(&dir, &["collect"]);
+        assert!(!ok);
+        assert!(out.is_empty(), "error is returned, not printed by dispatch");
+        let (_, ok) = run_in(&dir, &["advice"]);
+        assert!(!ok);
+        let (_, ok) = run_in(&dir, &["plot"]);
+        assert!(!ok);
+        let (_, ok) = run_in(&dir, &["deploy", "shutdown", "nope"]);
+        assert!(!ok);
+        let (_, ok) = run_in(&dir, &["deploy"]);
+        assert!(!ok);
+        let (_, ok) = run_in(&dir, &["collect", "--sampler", "bogus"]);
+        assert!(!ok);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[cfg(test)]
+mod export_tests {
+    use super::tests_support::*;
+
+    #[test]
+    fn export_writes_csv() {
+        let dir = tempdir("export");
+        let config = write_config(&dir);
+        let (_, ok) = run_in(&dir, &["deploy", "create", "-c", config.to_str().unwrap()]);
+        assert!(ok);
+        let (_, ok) = run_in(&dir, &["collect"]);
+        assert!(ok);
+        let (out, ok) = run_in(&dir, &["export"]);
+        assert!(ok, "{out}");
+        let csv = std::fs::read_to_string(dir.join("dataset.csv")).unwrap();
+        assert!(csv.starts_with("scenario_id,"));
+        assert_eq!(csv.lines().count(), 3, "header + 2 rows");
+        // Filtered export to a chosen path.
+        let target = dir.join("v3only.csv");
+        let (_, ok) = run_in(
+            &dir,
+            &["export", "-f", "sku=hb120rs_v3", "-o", target.to_str().unwrap()],
+        );
+        assert!(ok);
+        assert!(target.exists());
+        // Empty workdir errors.
+        let empty = tempdir("export-empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        let (_, ok) = run_in(&empty, &["export"]);
+        assert!(!ok);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&empty);
+    }
+}

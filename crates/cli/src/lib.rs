@@ -1,0 +1,93 @@
+//! The `hpcadvisor` command-line interface (paper Section IV, Table II).
+//!
+//! | Command | Subcommand | Description |
+//! |---------|-----------|-------------|
+//! | `deploy` | `create` | Creates a cloud deployment |
+//! | `deploy` | `list` | Lists all previous and current cloud deployments |
+//! | `deploy` | `shutdown` | Shuts down a deployment, deleting its resources |
+//! | `collect` | — | Runs all scenarios on a given deployment |
+//! | `plot` | — | Generates plots using a given data filter |
+//! | `advice` | — | Generates advice (Pareto front) using a data filter |
+//! | `gui` | — | Starts the GUI mode |
+//!
+//! State lives in a work directory (default `./hpcadvisor-data`):
+//! `config.yaml`, `deployments.json`, `scenarios.json`, `dataset.json`,
+//! and generated plots under `plots/`. The cloud is simulated in-process,
+//! so `collect` deterministically re-provisions the recorded deployment
+//! (same seed ⇒ same timeline) before running scenarios — the recorded
+//! state is the source of truth, exactly like the Python tool's JSON files.
+//!
+//! The browser GUI of the paper is substituted by a terminal dashboard
+//! (`gui` renders deployments, dataset summary and the Pareto plot as
+//! text).
+
+pub mod args;
+pub mod commands;
+pub mod state;
+
+use std::io::Write;
+
+/// Runs the CLI with the given arguments (excluding argv[0]), writing to
+/// `out`. Returns the process exit code.
+pub fn run(argv: &[String], out: &mut dyn Write) -> i32 {
+    match commands::dispatch(argv, out) {
+        Ok(()) => 0,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            1
+        }
+    }
+}
+
+/// The `--help` text.
+pub const USAGE: &str = "\
+hpcadvisor — HPC resource-selection advisor for the (simulated) cloud
+
+USAGE:
+    hpcadvisor <command> [options]
+
+COMMANDS:
+    deploy create -c <config.yaml>   create a cloud deployment
+    deploy list                      list all deployments
+    deploy shutdown <name>           delete a deployment's resources
+    collect                          run all pending scenarios
+    plot [-f <filter>] [--ascii]     generate the four plots (+ Pareto)
+    advice [-f <filter>] [--sort time|cost] [--slurm]
+                                     print the Pareto-front advice table
+    export [-f <filter>] [-o <file>] write the dataset as CSV
+    gui                              textual dashboard
+
+OPTIONS:
+    -w, --workdir <dir>    state directory (default ./hpcadvisor-data)
+    -c, --config <file>    main YAML configuration file
+    -f, --filter <spec>    data filter, e.g. 'appname=lammps,BOXFACTOR=30'
+    --seed <n>             experiment seed (default 42)
+    --sampler <name>       full | aggressive | perf-factor | bottleneck | partial
+    --ascii                print plots to the terminal instead of SVG files
+    --sort <key>           advice sort order: time (default) or cost
+    --slurm                also print a Slurm recipe for the fastest row
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(args: &[&str]) -> (String, i32) {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        let code = run(&argv, &mut out);
+        (String::from_utf8(out).unwrap(), code)
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        let (out, code) = run_to_string(&["--help"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("deploy create"));
+        let (out, code) = run_to_string(&["frobnicate"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("error"));
+        let (_, code) = run_to_string(&[]);
+        assert_eq!(code, 1);
+    }
+}

@@ -1,0 +1,5 @@
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    std::process::exit(hpcadvisor_cli::run(&args, &mut stdout));
+}

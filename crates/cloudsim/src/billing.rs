@@ -1,0 +1,153 @@
+//! Per-second VM metering.
+//!
+//! Azure bills VMs by the second at an hourly rate. The paper's cost column
+//! is "VMs only, without considering other costs such as software license,
+//! storage, or any additional services" — the meter reproduces exactly that.
+
+use crate::sku::VmSku;
+use simtime::{SimDuration, SimInstant};
+
+/// One metered span of VM usage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UsageRecord {
+    /// SKU name of the metered VMs.
+    pub sku: String,
+    /// Number of VMs metered.
+    pub nodes: u32,
+    /// Start of the span.
+    pub start: SimInstant,
+    /// End of the span.
+    pub end: SimInstant,
+    /// Cost in USD for the span.
+    pub cost: f64,
+    /// Resource group the usage was billed to.
+    pub resource_group: String,
+}
+
+impl UsageRecord {
+    /// Duration of the span.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// Computes the cost of running `nodes` VMs of `sku` for `duration` at a
+/// regional price multiplier.
+pub fn cost_for(sku: &VmSku, price_multiplier: f64, nodes: u32, duration: SimDuration) -> f64 {
+    sku.price_per_hour * price_multiplier * nodes as f64 * duration.as_hours_f64()
+}
+
+/// Accumulates usage records for a provider.
+#[derive(Debug, Clone, Default)]
+pub struct BillingMeter {
+    records: Vec<UsageRecord>,
+}
+
+impl BillingMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        BillingMeter::default()
+    }
+
+    /// Records one usage span.
+    pub fn record(&mut self, record: UsageRecord) {
+        self.records.push(record);
+    }
+
+    /// All records in insertion order.
+    pub fn records(&self) -> &[UsageRecord] {
+        &self.records
+    }
+
+    /// Total cost across all records.
+    pub fn total_cost(&self) -> f64 {
+        self.records.iter().map(|r| r.cost).sum()
+    }
+
+    /// Total cost for one SKU.
+    pub fn cost_for_sku(&self, sku: &str) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.sku.eq_ignore_ascii_case(sku))
+            .map(|r| r.cost)
+            .sum()
+    }
+
+    /// Total cost for one resource group.
+    pub fn cost_for_group(&self, group: &str) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.resource_group == group)
+            .map(|r| r.cost)
+            .sum()
+    }
+
+    /// Total metered node-hours.
+    pub fn total_node_hours(&self) -> f64 {
+        self.records
+            .iter()
+            .map(|r| r.nodes as f64 * r.duration().as_hours_f64())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sku::SkuCatalog;
+
+    #[test]
+    fn paper_cost_example() {
+        // Listing 4 top row: 16 × HB120rs_v3 for 36 s ⇒ $0.576.
+        let catalog = SkuCatalog::azure_hpc();
+        let sku = catalog.get("HB120rs_v3").unwrap();
+        let cost = cost_for(sku, 1.0, 16, SimDuration::from_secs(36));
+        assert!((cost - 0.576).abs() < 1e-9, "cost {cost}");
+    }
+
+    #[test]
+    fn meter_aggregations() {
+        let catalog = SkuCatalog::azure_hpc();
+        let v3 = catalog.get("HB120rs_v3").unwrap();
+        let hc = catalog.get("HC44rs").unwrap();
+        let mut meter = BillingMeter::new();
+        let t0 = SimInstant::EPOCH;
+        let one_hour = SimDuration::from_hours(1);
+        meter.record(UsageRecord {
+            sku: v3.name.clone(),
+            nodes: 2,
+            start: t0,
+            end: t0 + one_hour,
+            cost: cost_for(v3, 1.0, 2, one_hour),
+            resource_group: "rg1".into(),
+        });
+        meter.record(UsageRecord {
+            sku: hc.name.clone(),
+            nodes: 1,
+            start: t0,
+            end: t0 + one_hour,
+            cost: cost_for(hc, 1.0, 1, one_hour),
+            resource_group: "rg2".into(),
+        });
+        assert!((meter.total_cost() - (7.2 + 3.168)).abs() < 1e-9);
+        assert!((meter.cost_for_sku("standard_hb120rs_v3") - 7.2).abs() < 1e-9);
+        assert!((meter.cost_for_group("rg2") - 3.168).abs() < 1e-9);
+        assert!((meter.total_node_hours() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regional_multiplier_scales_cost() {
+        let catalog = SkuCatalog::azure_hpc();
+        let sku = catalog.get("HB120rs_v3").unwrap();
+        let base = cost_for(sku, 1.0, 4, SimDuration::from_hours(2));
+        let eu = cost_for(sku, 1.08, 4, SimDuration::from_hours(2));
+        assert!((eu / base - 1.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_is_free() {
+        let catalog = SkuCatalog::azure_hpc();
+        let sku = catalog.get("HC44rs").unwrap();
+        assert_eq!(cost_for(sku, 1.0, 100, SimDuration::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+use std::fmt;
+
+/// Errors surfaced by the simulated cloud control plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CloudError {
+    /// Referenced SKU does not exist in the catalog.
+    UnknownSku(String),
+    /// SKU exists but is not offered in the requested region.
+    SkuNotInRegion { sku: String, region: String },
+    /// Referenced region does not exist.
+    UnknownRegion(String),
+    /// Referenced resource group does not exist (or was deleted).
+    UnknownResourceGroup(String),
+    /// Resource group with that name already exists.
+    ResourceGroupExists(String),
+    /// A named resource already exists inside the group.
+    ResourceExists { group: String, name: String },
+    /// A prerequisite resource is missing (e.g. jumpbox before VNet).
+    MissingDependency { group: String, needs: String },
+    /// Family core quota would be exceeded.
+    QuotaExceeded {
+        family: String,
+        requested: u32,
+        available: u32,
+    },
+    /// An injected (or capacity) failure occurred during the operation.
+    ProvisioningFailed { operation: String, reason: String },
+    /// Referenced allocation does not exist or was already released.
+    UnknownAllocation(u64),
+    /// Subscription name does not match the provider's subscription.
+    WrongSubscription { expected: String, got: String },
+}
+
+impl fmt::Display for CloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudError::UnknownSku(s) => write!(f, "unknown SKU '{s}'"),
+            CloudError::SkuNotInRegion { sku, region } => {
+                write!(f, "SKU '{sku}' is not available in region '{region}'")
+            }
+            CloudError::UnknownRegion(r) => write!(f, "unknown region '{r}'"),
+            CloudError::UnknownResourceGroup(g) => {
+                write!(f, "resource group '{g}' not found")
+            }
+            CloudError::ResourceGroupExists(g) => {
+                write!(f, "resource group '{g}' already exists")
+            }
+            CloudError::ResourceExists { group, name } => {
+                write!(f, "resource '{name}' already exists in group '{group}'")
+            }
+            CloudError::MissingDependency { group, needs } => {
+                write!(f, "group '{group}' is missing prerequisite '{needs}'")
+            }
+            CloudError::QuotaExceeded {
+                family,
+                requested,
+                available,
+            } => write!(
+                f,
+                "quota exceeded for family '{family}': requested {requested} cores, {available} available"
+            ),
+            CloudError::ProvisioningFailed { operation, reason } => {
+                write!(f, "provisioning failed during {operation}: {reason}")
+            }
+            CloudError::UnknownAllocation(id) => write!(f, "unknown allocation #{id}"),
+            CloudError::WrongSubscription { expected, got } => {
+                write!(f, "subscription mismatch: provider is '{expected}', request used '{got}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CloudError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CloudError::QuotaExceeded {
+            family: "HBv3".into(),
+            requested: 1920,
+            available: 960,
+        };
+        let s = e.to_string();
+        assert!(s.contains("HBv3") && s.contains("1920") && s.contains("960"));
+        assert!(CloudError::UnknownSku("X".into()).to_string().contains('X'));
+    }
+}

@@ -1,0 +1,117 @@
+//! Deterministic failure injection.
+//!
+//! Real clouds fail: allocations hit capacity, nodes come up unhealthy,
+//! tasks die. The paper's task list carries a `pending / failed / completed`
+//! status precisely because of this. A [`FaultPlan`] lets tests and
+//! experiments inject failures at exact points — deterministically, so a
+//! failing sweep replays identically.
+
+use std::collections::HashMap;
+
+/// Control-plane operations that can be made to fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operation {
+    /// Creating a resource group.
+    CreateResourceGroup,
+    /// Creating a VNet/subnet.
+    CreateNetwork,
+    /// Creating a storage account.
+    CreateStorage,
+    /// Creating the batch account.
+    CreateBatch,
+    /// Creating the jumpbox VM.
+    CreateJumpbox,
+    /// Peering VNets.
+    PeerVnets,
+    /// Allocating compute nodes into a pool.
+    AllocateNodes,
+    /// Running a task on the pool (checked by the orchestrator).
+    RunTask,
+}
+
+/// A deterministic plan of which invocations of each operation fail.
+///
+/// Failures are specified by *invocation index* (0-based, per operation):
+/// `fail_nth(AllocateNodes, 2)` makes the third allocation attempt fail.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    fail_on: HashMap<Operation, Vec<u64>>,
+    counters: HashMap<Operation, u64>,
+}
+
+impl FaultPlan {
+    /// A plan with no failures.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Registers the `n`-th invocation (0-based) of `op` to fail.
+    pub fn fail_nth(mut self, op: Operation, n: u64) -> Self {
+        self.fail_on.entry(op).or_default().push(n);
+        self
+    }
+
+    /// Registers every invocation of `op` to fail.
+    pub fn fail_always(mut self, op: Operation) -> Self {
+        self.fail_on.entry(op).or_default().push(u64::MAX);
+        self
+    }
+
+    /// Records one invocation of `op` and reports whether it should fail.
+    pub fn check(&mut self, op: Operation) -> Result<(), String> {
+        let count = self.counters.entry(op).or_insert(0);
+        let n = *count;
+        *count += 1;
+        if let Some(ns) = self.fail_on.get(&op) {
+            if ns.contains(&n) || ns.contains(&u64::MAX) {
+                return Err(format!("injected failure on {op:?} invocation #{n}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of times `op` has been attempted so far.
+    pub fn attempts(&self, op: Operation) -> u64 {
+        self.counters.get(&op).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_failures_by_default() {
+        let mut plan = FaultPlan::none();
+        for _ in 0..100 {
+            assert!(plan.check(Operation::AllocateNodes).is_ok());
+        }
+    }
+
+    #[test]
+    fn fails_exactly_nth_invocation() {
+        let mut plan = FaultPlan::none().fail_nth(Operation::AllocateNodes, 1);
+        assert!(plan.check(Operation::AllocateNodes).is_ok());
+        assert!(plan.check(Operation::AllocateNodes).is_err());
+        assert!(plan.check(Operation::AllocateNodes).is_ok());
+        assert_eq!(plan.attempts(Operation::AllocateNodes), 3);
+    }
+
+    #[test]
+    fn fail_always() {
+        let mut plan = FaultPlan::none().fail_always(Operation::CreateStorage);
+        for _ in 0..3 {
+            assert!(plan.check(Operation::CreateStorage).is_err());
+        }
+        // Other operations are unaffected.
+        assert!(plan.check(Operation::CreateBatch).is_ok());
+    }
+
+    #[test]
+    fn operations_count_independently() {
+        let mut plan = FaultPlan::none().fail_nth(Operation::RunTask, 0);
+        assert!(plan.check(Operation::AllocateNodes).is_ok());
+        assert!(plan.check(Operation::RunTask).is_err());
+        assert!(plan.check(Operation::RunTask).is_ok());
+    }
+}

@@ -1,0 +1,640 @@
+//! The simulated cloud control plane.
+//!
+//! [`CloudProvider`] exposes the operations HPCAdvisor's deployment phase
+//! performs (paper Section III-B), in the same order the paper lists them:
+//! landing zone, storage account, batch service, then optional jumpbox and
+//! peering. Every operation consumes virtual time (a deterministic base
+//! latency plus seeded jitter), can fail via the [`FaultPlan`], and is billed
+//! where applicable.
+
+use crate::billing::{cost_for, BillingMeter, UsageRecord};
+use crate::error::CloudError;
+use crate::fault::{FaultPlan, Operation};
+use crate::quota::QuotaTracker;
+use crate::region::{Region, RegionCatalog};
+use crate::resources::{Resource, ResourceGroup, ResourceKind, ResourceState};
+use crate::sku::{SkuCatalog, VmSku};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simtime::{SharedClock, SimDuration, SimInstant};
+use std::collections::HashMap;
+
+/// Configuration for a [`CloudProvider`].
+#[derive(Debug, Clone)]
+pub struct ProviderConfig {
+    /// Subscription name; requests carrying a different one are rejected.
+    pub subscription: String,
+    /// Region where all resources are provisioned.
+    pub region: String,
+    /// RNG seed for latency jitter.
+    pub seed: u64,
+    /// Default per-family core quota.
+    pub default_quota_cores: u32,
+}
+
+impl Default for ProviderConfig {
+    fn default() -> Self {
+        ProviderConfig {
+            subscription: "mysubscription".into(),
+            region: "southcentralus".into(),
+            seed: 42,
+            default_quota_cores: 20_000,
+        }
+    }
+}
+
+/// Handle to a live node allocation (a batch pool's backing VMs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocationId(pub u64);
+
+#[derive(Debug, Clone)]
+struct Allocation {
+    sku: String,
+    family: String,
+    nodes: u32,
+    start: SimInstant,
+    resource_group: String,
+}
+
+/// The simulated cloud provider.
+#[derive(Debug)]
+pub struct CloudProvider {
+    config: ProviderConfig,
+    clock: SharedClock,
+    catalog: SkuCatalog,
+    regions: RegionCatalog,
+    quota: QuotaTracker,
+    billing: BillingMeter,
+    fault: FaultPlan,
+    groups: HashMap<String, ResourceGroup>,
+    allocations: HashMap<u64, Allocation>,
+    next_allocation: u64,
+    rng: StdRng,
+}
+
+impl CloudProvider {
+    /// Creates a provider with the default SKU and region catalogs.
+    pub fn new(config: ProviderConfig) -> Result<Self, CloudError> {
+        Self::with_catalogs(config, SkuCatalog::azure_hpc(), RegionCatalog::azure())
+    }
+
+    /// Creates a provider with custom catalogs.
+    pub fn with_catalogs(
+        config: ProviderConfig,
+        catalog: SkuCatalog,
+        regions: RegionCatalog,
+    ) -> Result<Self, CloudError> {
+        if regions.get(&config.region).is_none() {
+            return Err(CloudError::UnknownRegion(config.region.clone()));
+        }
+        let quota = QuotaTracker::with_default_limit(config.default_quota_cores);
+        let rng = StdRng::seed_from_u64(config.seed);
+        Ok(CloudProvider {
+            clock: SharedClock::new(),
+            catalog,
+            regions,
+            quota,
+            billing: BillingMeter::new(),
+            fault: FaultPlan::none(),
+            groups: HashMap::new(),
+            allocations: HashMap::new(),
+            next_allocation: 1,
+            rng,
+            config,
+        })
+    }
+
+    /// Installs a failure-injection plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = plan;
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> SharedClock {
+        self.clock.clone()
+    }
+
+    /// The SKU catalog.
+    pub fn catalog(&self) -> &SkuCatalog {
+        &self.catalog
+    }
+
+    /// The provider's region.
+    pub fn region(&self) -> &Region {
+        self.regions
+            .get(&self.config.region)
+            .expect("validated at construction")
+    }
+
+    /// The billing meter.
+    pub fn billing(&self) -> &BillingMeter {
+        &self.billing
+    }
+
+    /// Quota tracker (mutable, e.g. for tests lowering limits).
+    pub fn quota_mut(&mut self) -> &mut QuotaTracker {
+        &mut self.quota
+    }
+
+    /// Validates the caller's subscription.
+    pub fn check_subscription(&self, subscription: &str) -> Result<(), CloudError> {
+        if subscription == self.config.subscription {
+            Ok(())
+        } else {
+            Err(CloudError::WrongSubscription {
+                expected: self.config.subscription.clone(),
+                got: subscription.to_string(),
+            })
+        }
+    }
+
+    /// Effective hourly price for a SKU in this provider's region.
+    pub fn price_per_hour(&self, sku: &str) -> Result<f64, CloudError> {
+        let s = self.sku(sku)?;
+        Ok(s.price_per_hour * self.region().price_multiplier)
+    }
+
+    fn sku(&self, name: &str) -> Result<&VmSku, CloudError> {
+        self.catalog
+            .get(name)
+            .ok_or_else(|| CloudError::UnknownSku(name.to_string()))
+    }
+
+    /// Advances the clock by `base` seconds ± seeded jitter.
+    fn spend(&mut self, base_secs: f64) {
+        let jitter: f64 = self.rng.gen_range(0.85..1.30);
+        self.clock
+            .advance_by(SimDuration::from_secs_f64(base_secs * jitter));
+    }
+
+    fn check_fault(&mut self, op: Operation, label: &str) -> Result<(), CloudError> {
+        self.fault
+            .check(op)
+            .map_err(|reason| CloudError::ProvisioningFailed {
+                operation: label.to_string(),
+                reason,
+            })
+    }
+
+    /// Records one invocation of `op` against the fault plan, failing if the
+    /// plan says so. Exposed for higher layers (the batch orchestrator uses
+    /// it to inject task failures).
+    pub fn check_operation(&mut self, op: Operation, label: &str) -> Result<(), CloudError> {
+        self.check_fault(op, label)
+    }
+
+    fn group_mut(&mut self, name: &str) -> Result<&mut ResourceGroup, CloudError> {
+        match self.groups.get_mut(name) {
+            Some(g) if g.state == ResourceState::Ready => Ok(g),
+            _ => Err(CloudError::UnknownResourceGroup(name.to_string())),
+        }
+    }
+
+    /// Creates an empty resource group (~5 s).
+    pub fn create_resource_group(&mut self, name: &str) -> Result<(), CloudError> {
+        if self
+            .groups
+            .get(name)
+            .is_some_and(|g| g.state == ResourceState::Ready)
+        {
+            return Err(CloudError::ResourceGroupExists(name.to_string()));
+        }
+        self.check_fault(Operation::CreateResourceGroup, "create resource group")?;
+        self.spend(5.0);
+        let group = ResourceGroup {
+            name: name.to_string(),
+            region: self.config.region.clone(),
+            state: ResourceState::Ready,
+            created_at: self.clock.now(),
+            resources: Vec::new(),
+        };
+        self.groups.insert(name.to_string(), group);
+        Ok(())
+    }
+
+    fn add_resource(
+        &mut self,
+        group: &str,
+        name: &str,
+        kind: ResourceKind,
+        base_secs: f64,
+        op: Operation,
+        label: &str,
+    ) -> Result<(), CloudError> {
+        // Validate before spending time or counting a fault invocation.
+        let g = self.group_mut(group)?;
+        if g.resource(name).is_some() {
+            return Err(CloudError::ResourceExists {
+                group: group.to_string(),
+                name: name.to_string(),
+            });
+        }
+        self.check_fault(op, label)?;
+        self.spend(base_secs);
+        let ready_at = self.clock.now();
+        let g = self.group_mut(group)?;
+        g.resources.push(Resource {
+            name: name.to_string(),
+            kind,
+            state: ResourceState::Ready,
+            ready_at,
+        });
+        Ok(())
+    }
+
+    /// Creates a VNet with one subnet (~12 s) — the "basic landing zone".
+    pub fn create_vnet(
+        &mut self,
+        group: &str,
+        name: &str,
+        subnet: &str,
+    ) -> Result<(), CloudError> {
+        self.add_resource(
+            group,
+            name,
+            ResourceKind::VirtualNetwork {
+                subnets: vec![subnet.to_string()],
+            },
+            12.0,
+            Operation::CreateNetwork,
+            "create vnet",
+        )
+    }
+
+    /// Creates a storage account (~25 s).
+    pub fn create_storage_account(&mut self, group: &str, name: &str) -> Result<(), CloudError> {
+        self.add_resource(
+            group,
+            name,
+            ResourceKind::StorageAccount,
+            25.0,
+            Operation::CreateStorage,
+            "create storage account",
+        )
+    }
+
+    /// Creates the batch service account with no resources (~35 s). Requires
+    /// the VNet and storage account to exist, mirroring the paper's order.
+    pub fn create_batch_account(&mut self, group: &str, name: &str) -> Result<(), CloudError> {
+        let g = self.group_mut(group)?;
+        if !g.has_ready("vnet") {
+            return Err(CloudError::MissingDependency {
+                group: group.to_string(),
+                needs: "vnet".into(),
+            });
+        }
+        if !g.has_ready("storage") {
+            return Err(CloudError::MissingDependency {
+                group: group.to_string(),
+                needs: "storage".into(),
+            });
+        }
+        self.add_resource(
+            group,
+            name,
+            ResourceKind::BatchAccount,
+            35.0,
+            Operation::CreateBatch,
+            "create batch account",
+        )
+    }
+
+    /// Creates a jumpbox VM (~90 s). Requires the VNet.
+    pub fn create_jumpbox(&mut self, group: &str, name: &str) -> Result<(), CloudError> {
+        let g = self.group_mut(group)?;
+        if !g.has_ready("vnet") {
+            return Err(CloudError::MissingDependency {
+                group: group.to_string(),
+                needs: "vnet".into(),
+            });
+        }
+        self.add_resource(
+            group,
+            name,
+            ResourceKind::Jumpbox,
+            90.0,
+            Operation::CreateJumpbox,
+            "create jumpbox",
+        )
+    }
+
+    /// Peers this group's VNet with another VNet (~15 s).
+    pub fn peer_vnets(
+        &mut self,
+        group: &str,
+        remote_group: &str,
+        remote_vnet: &str,
+    ) -> Result<(), CloudError> {
+        let g = self.group_mut(group)?;
+        if !g.has_ready("vnet") {
+            return Err(CloudError::MissingDependency {
+                group: group.to_string(),
+                needs: "vnet".into(),
+            });
+        }
+        let name = format!("peer-{remote_group}-{remote_vnet}");
+        self.add_resource(
+            group,
+            &name,
+            ResourceKind::VnetPeering {
+                remote_group: remote_group.to_string(),
+                remote_vnet: remote_vnet.to_string(),
+            },
+            15.0,
+            Operation::PeerVnets,
+            "peer vnets",
+        )
+    }
+
+    /// Deletes a resource group and everything in it (~30 s), releasing any
+    /// allocations billed to it.
+    pub fn delete_resource_group(&mut self, name: &str) -> Result<(), CloudError> {
+        if self
+            .groups
+            .get(name)
+            .map(|g| g.state != ResourceState::Ready)
+            .unwrap_or(true)
+        {
+            return Err(CloudError::UnknownResourceGroup(name.to_string()));
+        }
+        // Release outstanding allocations first so billing closes out.
+        let ids: Vec<u64> = self
+            .allocations
+            .iter()
+            .filter(|(_, a)| a.resource_group == name)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in ids {
+            let _ = self.release_nodes(AllocationId(id));
+        }
+        self.spend(30.0);
+        let g = self.groups.get_mut(name).expect("checked above");
+        g.state = ResourceState::Deleted;
+        for r in &mut g.resources {
+            r.state = ResourceState::Deleted;
+        }
+        Ok(())
+    }
+
+    /// Lists resource groups (including deleted ones, flagged by state).
+    pub fn resource_groups(&self) -> Vec<&ResourceGroup> {
+        let mut gs: Vec<&ResourceGroup> = self.groups.values().collect();
+        gs.sort_by(|a, b| a.created_at.cmp(&b.created_at).then(a.name.cmp(&b.name)));
+        gs
+    }
+
+    /// Looks up one resource group.
+    pub fn resource_group(&self, name: &str) -> Option<&ResourceGroup> {
+        self.groups.get(name)
+    }
+
+    /// Allocates `nodes` VMs of `sku` for a pool in `group`. Consumes quota,
+    /// takes node boot time (~150 s base, parallel boot), and starts the
+    /// billing meter. Returns a handle used to release the nodes.
+    pub fn allocate_nodes(
+        &mut self,
+        group: &str,
+        sku_name: &str,
+        nodes: u32,
+    ) -> Result<AllocationId, CloudError> {
+        self.group_mut(group)?;
+        let sku = self.sku(sku_name)?.clone();
+        if !self.region().offers_family(&sku.family) {
+            return Err(CloudError::SkuNotInRegion {
+                sku: sku.name.clone(),
+                region: self.config.region.clone(),
+            });
+        }
+        self.check_fault(Operation::AllocateNodes, "allocate nodes")?;
+        let cores = sku
+            .cores
+            .checked_mul(nodes)
+            .ok_or_else(|| CloudError::QuotaExceeded {
+                family: sku.family.clone(),
+                requested: u32::MAX,
+                available: self.quota.available(&sku.family),
+            })?;
+        self.quota.try_acquire(&sku.family, cores)?;
+        // Nodes boot in parallel: total latency is the max of per-node boots,
+        // which grows slowly with pool size.
+        let boot = 150.0 + 10.0 * (nodes as f64).ln_1p();
+        self.spend(boot);
+        let id = self.next_allocation;
+        self.next_allocation += 1;
+        self.allocations.insert(
+            id,
+            Allocation {
+                sku: sku.name.clone(),
+                family: sku.family.clone(),
+                nodes,
+                start: self.clock.now(),
+                resource_group: group.to_string(),
+            },
+        );
+        Ok(AllocationId(id))
+    }
+
+    /// Releases an allocation, returning the billed cost of its whole span.
+    pub fn release_nodes(&mut self, id: AllocationId) -> Result<f64, CloudError> {
+        let alloc = self
+            .allocations
+            .remove(&id.0)
+            .ok_or(CloudError::UnknownAllocation(id.0))?;
+        let sku = self.sku(&alloc.sku)?.clone();
+        self.quota.release(&alloc.family, sku.cores * alloc.nodes);
+        let end = self.clock.now();
+        let cost = cost_for(
+            &sku,
+            self.region().price_multiplier,
+            alloc.nodes,
+            end - alloc.start,
+        );
+        self.billing.record(UsageRecord {
+            sku: alloc.sku,
+            nodes: alloc.nodes,
+            start: alloc.start,
+            end,
+            cost,
+            resource_group: alloc.resource_group,
+        });
+        Ok(cost)
+    }
+
+    /// Nodes currently allocated under a group (for listings/tests).
+    pub fn allocated_nodes(&self, group: &str) -> u32 {
+        self.allocations
+            .values()
+            .filter(|a| a.resource_group == group)
+            .map(|a| a.nodes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn provider() -> CloudProvider {
+        CloudProvider::new(ProviderConfig::default()).unwrap()
+    }
+
+    /// Replays the paper's Section III-B provisioning sequence.
+    fn deploy_landing_zone(p: &mut CloudProvider, rg: &str) {
+        p.create_resource_group(rg).unwrap();
+        p.create_vnet(rg, "vnet", "default").unwrap();
+        p.create_storage_account(rg, "storage").unwrap();
+        p.create_batch_account(rg, "batch").unwrap();
+    }
+
+    #[test]
+    fn full_deployment_sequence() {
+        let mut p = provider();
+        deploy_landing_zone(&mut p, "rg1");
+        p.create_jumpbox("rg1", "jumpbox").unwrap();
+        p.peer_vnets("rg1", "vpnrg", "vpnvnet").unwrap();
+        let g = p.resource_group("rg1").unwrap();
+        assert!(g.has_ready("vnet"));
+        assert!(g.has_ready("storage"));
+        assert!(g.has_ready("batch"));
+        assert!(g.has_ready("jumpbox"));
+        assert!(g.has_ready("peering"));
+        // Provisioning consumed virtual time.
+        assert!(p.clock().now().as_secs_f64() > 100.0);
+    }
+
+    #[test]
+    fn batch_requires_landing_zone() {
+        let mut p = provider();
+        p.create_resource_group("rg1").unwrap();
+        let err = p.create_batch_account("rg1", "batch").unwrap_err();
+        assert!(matches!(err, CloudError::MissingDependency { .. }));
+    }
+
+    #[test]
+    fn duplicate_group_rejected() {
+        let mut p = provider();
+        p.create_resource_group("rg1").unwrap();
+        assert!(matches!(
+            p.create_resource_group("rg1"),
+            Err(CloudError::ResourceGroupExists(_))
+        ));
+    }
+
+    #[test]
+    fn allocation_bills_on_release() {
+        let mut p = provider();
+        deploy_landing_zone(&mut p, "rg1");
+        let id = p.allocate_nodes("rg1", "HB120rs_v3", 4).unwrap();
+        assert_eq!(p.allocated_nodes("rg1"), 4);
+        p.clock().advance_by(SimDuration::from_hours(1));
+        let cost = p.release_nodes(id).unwrap();
+        assert!(cost >= 4.0 * 3.60, "cost {cost} must cover 4 node-hours");
+        assert_eq!(p.allocated_nodes("rg1"), 0);
+        assert!((p.billing().total_cost() - cost).abs() < 1e-12);
+        // Quota fully restored.
+        assert_eq!(p.quota_mut().used("HBv3"), 0);
+    }
+
+    #[test]
+    fn quota_enforced_on_allocation() {
+        let mut p = provider();
+        deploy_landing_zone(&mut p, "rg1");
+        p.quota_mut().set_limit("HBv3", 240);
+        assert!(p.allocate_nodes("rg1", "HB120rs_v3", 2).is_ok());
+        let err = p.allocate_nodes("rg1", "HB120rs_v3", 1).unwrap_err();
+        assert!(matches!(err, CloudError::QuotaExceeded { .. }));
+    }
+
+    #[test]
+    fn delete_group_releases_allocations() {
+        let mut p = provider();
+        deploy_landing_zone(&mut p, "rg1");
+        let _id = p.allocate_nodes("rg1", "HC44rs", 2).unwrap();
+        p.clock().advance_by(SimDuration::from_mins(30));
+        p.delete_resource_group("rg1").unwrap();
+        assert!(p.billing().total_cost() > 0.0);
+        assert_eq!(p.quota_mut().used("HC"), 0);
+        // Group is gone for control-plane purposes.
+        assert!(matches!(
+            p.create_vnet("rg1", "v", "s"),
+            Err(CloudError::UnknownResourceGroup(_))
+        ));
+    }
+
+    #[test]
+    fn fault_injection_fails_operation() {
+        let mut p = provider();
+        p.set_fault_plan(FaultPlan::none().fail_nth(Operation::AllocateNodes, 0));
+        deploy_landing_zone(&mut p, "rg1");
+        let err = p.allocate_nodes("rg1", "HB120rs_v3", 1).unwrap_err();
+        assert!(matches!(err, CloudError::ProvisioningFailed { .. }));
+        // Failed allocation takes no quota.
+        assert_eq!(p.quota_mut().used("HBv3"), 0);
+        // Retry succeeds.
+        assert!(p.allocate_nodes("rg1", "HB120rs_v3", 1).is_ok());
+    }
+
+    #[test]
+    fn unknown_sku_and_region_errors() {
+        let mut p = provider();
+        deploy_landing_zone(&mut p, "rg1");
+        assert!(matches!(
+            p.allocate_nodes("rg1", "Standard_Bogus", 1),
+            Err(CloudError::UnknownSku(_))
+        ));
+        let bad = ProviderConfig {
+            region: "atlantis".into(),
+            ..ProviderConfig::default()
+        };
+        assert!(matches!(
+            CloudProvider::new(bad),
+            Err(CloudError::UnknownRegion(_))
+        ));
+    }
+
+    #[test]
+    fn regional_sku_availability_enforced() {
+        let config = ProviderConfig {
+            region: "japaneast".into(),
+            ..ProviderConfig::default()
+        };
+        let mut p = CloudProvider::new(config).unwrap();
+        deploy_landing_zone(&mut p, "rg1");
+        // japaneast lacks the HB (Naples) family.
+        assert!(matches!(
+            p.allocate_nodes("rg1", "HB60rs", 1),
+            Err(CloudError::SkuNotInRegion { .. })
+        ));
+    }
+
+    #[test]
+    fn regional_price_multiplier_applied() {
+        let config = ProviderConfig {
+            region: "westeurope".into(),
+            ..ProviderConfig::default()
+        };
+        let p = CloudProvider::new(config).unwrap();
+        let price = p.price_per_hour("HB120rs_v3").unwrap();
+        assert!((price - 3.60 * 1.08).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subscription_check() {
+        let p = provider();
+        assert!(p.check_subscription("mysubscription").is_ok());
+        assert!(p.check_subscription("other").is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut p = provider();
+            deploy_landing_zone(&mut p, "rg1");
+            let id = p.allocate_nodes("rg1", "HB120rs_v3", 8).unwrap();
+            p.clock().advance_by(SimDuration::from_secs(120));
+            p.release_nodes(id).unwrap();
+            (p.clock().now(), p.billing().total_cost())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,112 @@
+//! Geographical regions with price multipliers and SKU availability.
+
+use crate::sku::SkuCatalog;
+
+/// A cloud region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Region {
+    /// Region name, e.g. `southcentralus`.
+    pub name: String,
+    /// Multiplier applied to base SKU prices in this region.
+    pub price_multiplier: f64,
+    /// SKU families *not* offered in this region (empty ⇒ everything).
+    pub unavailable_families: Vec<String>,
+}
+
+impl Region {
+    /// True if the family is offered here.
+    pub fn offers_family(&self, family: &str) -> bool {
+        !self
+            .unavailable_families
+            .iter()
+            .any(|f| f.eq_ignore_ascii_case(family))
+    }
+}
+
+/// The set of known regions.
+#[derive(Debug, Clone)]
+pub struct RegionCatalog {
+    regions: Vec<Region>,
+}
+
+impl RegionCatalog {
+    /// Default region set. `southcentralus` (the paper's example region) is
+    /// the price baseline and offers every HPC family.
+    pub fn azure() -> Self {
+        let r = |name: &str, mult: f64, missing: &[&str]| Region {
+            name: name.into(),
+            price_multiplier: mult,
+            unavailable_families: missing.iter().map(|s| s.to_string()).collect(),
+        };
+        RegionCatalog {
+            regions: vec![
+                r("southcentralus", 1.00, &[]),
+                r("eastus", 1.00, &["HBv4", "HX"]),
+                r("westus2", 1.02, &["HC"]),
+                r("westeurope", 1.08, &[]),
+                r("northeurope", 1.06, &["HBv4"]),
+                r("japaneast", 1.12, &["HB", "HBv4", "HX"]),
+                r("australiaeast", 1.10, &["HBv4", "HX"]),
+                r("southeastasia", 1.09, &["HC", "HBv4"]),
+            ],
+        }
+    }
+
+    /// Looks up a region by (case-insensitive) name.
+    pub fn get(&self, name: &str) -> Option<&Region> {
+        self.regions
+            .iter()
+            .find(|r| r.name.eq_ignore_ascii_case(name))
+    }
+
+    /// All regions.
+    pub fn all(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Lists the SKU names (from `catalog`) offered in `region`.
+    pub fn skus_in_region<'a>(&self, region: &Region, catalog: &'a SkuCatalog) -> Vec<&'a str> {
+        catalog
+            .all()
+            .iter()
+            .filter(|s| region.offers_family(&s.family))
+            .map(|s| s.name.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_region_offers_everything() {
+        let rc = RegionCatalog::azure();
+        let region = rc.get("southcentralus").unwrap();
+        assert_eq!(region.price_multiplier, 1.0);
+        let catalog = SkuCatalog::azure_hpc();
+        assert_eq!(
+            rc.skus_in_region(region, &catalog).len(),
+            catalog.all().len()
+        );
+    }
+
+    #[test]
+    fn availability_filtering() {
+        let rc = RegionCatalog::azure();
+        let japan = rc.get("japaneast").unwrap();
+        assert!(!japan.offers_family("HB"));
+        assert!(japan.offers_family("HBv3"));
+        let catalog = SkuCatalog::azure_hpc();
+        let offered = rc.skus_in_region(japan, &catalog);
+        assert!(!offered.contains(&"Standard_HB60rs"));
+        assert!(offered.contains(&"Standard_HB120rs_v3"));
+    }
+
+    #[test]
+    fn lookup_case_insensitive() {
+        let rc = RegionCatalog::azure();
+        assert!(rc.get("SouthCentralUS").is_some());
+        assert!(rc.get("atlantis").is_none());
+    }
+}

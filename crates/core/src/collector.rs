@@ -1,0 +1,673 @@
+//! The data-collection loop — the paper's Algorithm 1.
+//!
+//! ```text
+//! previousVMType ← ∅
+//! foreach task in tasks do
+//!     if previousVMType ≠ task.vmtype then
+//!         if pool exists then resize pool to zero or delete pool
+//!         create_setup_task(task)
+//!         pool ← resize_pool(task.vmtype, task.nnodes)
+//!     create_compute_task(task); execute_compute_task(task)
+//!     store_task_data(task); update_task_status(task, completed)
+//!     previousVMType ← task.vmtype
+//! if pool then resize pool to zero or delete pool
+//! ```
+//!
+//! Each compute task runs the user's `hpcadvisor_run` function in a fresh
+//! `taskshell` interpreter over the deployment's shared filesystem, with the
+//! Table I environment variables injected. `HPCADVISORVAR key=value` lines
+//! printed by the script are scraped into the dataset, exactly as the paper
+//! describes.
+
+use crate::appscript;
+use crate::config::UserConfig;
+use crate::dataset::{DataPoint, Dataset};
+use crate::error::ToolError;
+use crate::scenario::{Scenario, ScenarioStatus};
+use batchsim::{BatchService, SharedProvider, TaskContext, TaskKind, TaskResult, TaskState};
+use parking_lot::Mutex;
+use appmodel::AppRegistry;
+use simtime::SimDuration;
+use std::sync::Arc;
+use taskshell::{ExecutionEnv, Interpreter, UrlStore, Vfs};
+
+/// Options for a collection run.
+#[derive(Debug, Clone)]
+pub struct CollectorOptions {
+    /// Seed for the deterministic run-to-run noise.
+    pub experiment_seed: u64,
+    /// Delete pools after use instead of resizing them to zero (the paper's
+    /// "resize pool to zero or delete pool, depending on user preference").
+    pub delete_pools: bool,
+    /// Re-run scenarios already marked failed.
+    pub rerun_failed: bool,
+}
+
+impl Default for CollectorOptions {
+    fn default() -> Self {
+        CollectorOptions {
+            experiment_seed: 42,
+            delete_pools: false,
+            rerun_failed: false,
+        }
+    }
+}
+
+/// The collector for one deployment.
+pub struct Collector {
+    provider: SharedProvider,
+    service: BatchService,
+    config: UserConfig,
+    script: String,
+    urls: UrlStore,
+    deployment: String,
+    shared_vfs: Arc<Mutex<Vfs>>,
+    registry: Arc<AppRegistry>,
+    options: CollectorOptions,
+}
+
+impl Collector {
+    /// Creates a collector bound to an existing deployment. Resolves the
+    /// application script from `appsetupurl` (bundled scripts are
+    /// registered automatically for known app names).
+    pub fn new(
+        provider: SharedProvider,
+        deployment: &str,
+        config: UserConfig,
+        options: CollectorOptions,
+    ) -> Result<Self, ToolError> {
+        let mut urls = UrlStore::with_known_inputs();
+        appscript::seed_urlstore(&mut urls, &config.appsetupurl, &config.appname);
+        let script = appscript::fetch_script(&urls, &config.appsetupurl)?;
+        let service = BatchService::new(provider.clone(), deployment);
+        Ok(Collector {
+            provider,
+            service,
+            config,
+            script,
+            urls,
+            deployment: deployment.to_string(),
+            shared_vfs: Arc::new(Mutex::new(Vfs::new())),
+            registry: Arc::new(AppRegistry::standard()),
+            options,
+        })
+    }
+
+    /// Registers custom script content for a URL (user-provided scripts).
+    pub fn register_script(&mut self, url: &str, content: &str) -> Result<(), ToolError> {
+        self.urls.put(url, content);
+        if url == self.config.appsetupurl {
+            self.script = content.to_string();
+        }
+        Ok(())
+    }
+
+    /// The deployment's shared filesystem (inspectable, like the paper's
+    /// jumpbox lets users do).
+    pub fn shared_vfs(&self) -> Arc<Mutex<Vfs>> {
+        self.shared_vfs.clone()
+    }
+
+    /// Runs every pending scenario (Algorithm 1 over the whole list).
+    pub fn collect(&mut self, scenarios: &mut [Scenario]) -> Result<Dataset, ToolError> {
+        let ids: Vec<u32> = scenarios
+            .iter()
+            .filter(|s| self.should_run(s))
+            .map(|s| s.id)
+            .collect();
+        self.run_scenarios(scenarios, &ids)
+    }
+
+    fn should_run(&self, s: &Scenario) -> bool {
+        match s.status {
+            ScenarioStatus::Pending => true,
+            ScenarioStatus::Failed => self.options.rerun_failed,
+            ScenarioStatus::Completed => false,
+        }
+    }
+
+    /// Runs a chosen subset of scenarios (the smart-sampling drivers use
+    /// this), preserving Algorithm 1's pool-reuse structure.
+    pub fn run_scenarios(
+        &mut self,
+        scenarios: &mut [Scenario],
+        ids: &[u32],
+    ) -> Result<Dataset, ToolError> {
+        let mut dataset = Dataset::new();
+        let mut previous_vmtype: Option<String> = None;
+        let mut pool_name = String::new();
+        let mut setup_ok = true;
+
+        for &id in ids {
+            let Some(idx) = scenarios.iter().position(|s| s.id == id) else {
+                return Err(ToolError::NoData(format!("scenario id {id} not found")));
+            };
+            let scenario = scenarios[idx].clone();
+            if !self.should_run(&scenario) {
+                continue;
+            }
+
+            // Pool management per Algorithm 1.
+            if previous_vmtype.as_deref() != Some(scenario.sku.as_str()) {
+                if previous_vmtype.is_some() {
+                    self.teardown_pool(&pool_name)?;
+                }
+                pool_name = format!(
+                    "pool-{}",
+                    scenario.sku.to_ascii_lowercase().replace("standard_", "")
+                );
+                if self
+                    .service
+                    .pool(&pool_name)
+                    .map(|p| p.state != batchsim::PoolState::Active)
+                    .unwrap_or(true)
+                {
+                    // Deleted pools cannot be recreated under the same name;
+                    // uniquify defensively.
+                    if self.service.pool(&pool_name).is_some() {
+                        pool_name = format!("{pool_name}-{id}");
+                    }
+                    self.service.create_pool(&pool_name, &scenario.sku)?;
+                }
+                match self.service.resize_pool(&pool_name, scenario.nnodes) {
+                    Ok(()) => {
+                        setup_ok = self.run_setup_task(&pool_name)?;
+                    }
+                    Err(e) => {
+                        // Quota/capacity failure: this scenario fails, the
+                        // sweep continues.
+                        scenarios[idx].status = ScenarioStatus::Failed;
+                        dataset.push(self.failed_point(&scenario, &format!("pool resize: {e}")));
+                        previous_vmtype = Some(scenario.sku.clone());
+                        setup_ok = false;
+                        continue;
+                    }
+                }
+            } else if self
+                .service
+                .pool(&pool_name)
+                .map(|p| p.nodes < scenario.nnodes)
+                .unwrap_or(false)
+            {
+                // "The number of nodes that the user requested for testing
+                // is then incremented in the pool."
+                if let Err(e) = self.service.resize_pool(&pool_name, scenario.nnodes) {
+                    scenarios[idx].status = ScenarioStatus::Failed;
+                    dataset.push(self.failed_point(&scenario, &format!("pool resize: {e}")));
+                    continue;
+                }
+            }
+            previous_vmtype = Some(scenario.sku.clone());
+
+            if !setup_ok {
+                scenarios[idx].status = ScenarioStatus::Failed;
+                dataset.push(self.failed_point(&scenario, "application setup failed on this pool"));
+                continue;
+            }
+
+            // Compute task.
+            let point = self.run_compute_task(&pool_name, &scenario)?;
+            scenarios[idx].status = point.status;
+            dataset.push(point);
+        }
+        if previous_vmtype.is_some() {
+            self.teardown_pool(&pool_name)?;
+        }
+        Ok(dataset)
+    }
+
+    fn teardown_pool(&mut self, pool: &str) -> Result<(), ToolError> {
+        if self.service.pool(pool).is_none() {
+            return Ok(());
+        }
+        if self.options.delete_pools {
+            self.service.delete_pool(pool)?;
+        } else {
+            self.service.resize_pool(pool, 0)?;
+        }
+        Ok(())
+    }
+
+    fn app_dir(&self) -> String {
+        format!("/share/{}/apps/{}", self.deployment, self.config.appname)
+    }
+
+    /// Runs the pool's setup task (`hpcadvisor_setup` in the app directory).
+    /// Returns whether setup succeeded.
+    fn run_setup_task(&mut self, pool: &str) -> Result<bool, ToolError> {
+        let runner = self.make_runner(RunnerSpec {
+            function: "hpcadvisor_setup".into(),
+            cwd: self.app_dir(),
+            env: Vec::new(),
+            write_hostfile: false,
+        });
+        let record = self.service.run_task(
+            pool,
+            &format!("setup-{}", self.config.appname),
+            TaskKind::Setup,
+            1,
+            1,
+            runner,
+        )?;
+        Ok(record.state == TaskState::Completed)
+    }
+
+    /// Runs one scenario's compute task and converts it to a data point.
+    fn run_compute_task(
+        &mut self,
+        pool: &str,
+        scenario: &Scenario,
+    ) -> Result<DataPoint, ToolError> {
+        let task_dir = format!("{}/task-{}", self.app_dir(), scenario.id);
+        let mut env: Vec<(String, String)> = vec![
+            ("NNODES".into(), scenario.nnodes.to_string()),
+            ("PPN".into(), scenario.ppn.to_string()),
+            ("SKU".into(), scenario.sku.clone()),
+            ("VMTYPE".into(), scenario.sku.clone()),
+            ("TASKRUN_DIR".into(), task_dir.clone()),
+        ];
+        for (k, v) in &scenario.appinputs {
+            env.push((k.clone(), v.clone()));
+        }
+        let runner = self.make_runner(RunnerSpec {
+            function: "hpcadvisor_run".into(),
+            cwd: task_dir,
+            env,
+            write_hostfile: true,
+        });
+        let record = self.service.run_task(
+            pool,
+            &scenario.label(&self.config.appname),
+            TaskKind::Compute,
+            scenario.nnodes,
+            scenario.ppn,
+            runner,
+        )?;
+
+        // Scrape HPCADVISORVAR / HPCADVISORINFRA lines.
+        let mut metrics: Vec<(String, String)> = Vec::new();
+        let mut infra: Vec<(String, String)> = Vec::new();
+        for line in record.stdout.lines() {
+            if let Some(rest) = line.strip_prefix("HPCADVISORVAR ") {
+                if let Some((k, v)) = rest.split_once('=') {
+                    metrics.push((k.trim().to_string(), v.trim().to_string()));
+                }
+            } else if let Some(rest) = line.strip_prefix("HPCADVISORINFRA ") {
+                for kv in rest.split_whitespace() {
+                    if let Some((k, v)) = kv.split_once('=') {
+                        infra.push((k.to_string(), v.to_string()));
+                    }
+                }
+            }
+        }
+
+        let task_secs = record
+            .duration()
+            .unwrap_or(SimDuration::ZERO)
+            .as_secs_f64();
+        let exec_time_secs = metrics
+            .iter()
+            .find(|(k, _)| k == "APPEXECTIME")
+            .and_then(|(_, v)| v.parse::<f64>().ok())
+            .unwrap_or(task_secs);
+        let price = self.provider.lock().price_per_hour(&scenario.sku)?;
+        let cost_dollars = price * scenario.nnodes as f64 * exec_time_secs / 3600.0;
+        let status = match record.state {
+            TaskState::Completed => ScenarioStatus::Completed,
+            _ => ScenarioStatus::Failed,
+        };
+        Ok(DataPoint {
+            scenario_id: scenario.id,
+            appname: self.config.appname.clone(),
+            sku: scenario.sku.clone(),
+            nnodes: scenario.nnodes,
+            ppn: scenario.ppn,
+            appinputs: scenario.appinputs.clone(),
+            exec_time_secs,
+            task_secs,
+            cost_dollars,
+            status,
+            metrics,
+            infra,
+            tags: self.config.tags.clone(),
+            deployment: self.deployment.clone(),
+        })
+    }
+
+    fn failed_point(&self, scenario: &Scenario, reason: &str) -> DataPoint {
+        DataPoint {
+            scenario_id: scenario.id,
+            appname: self.config.appname.clone(),
+            sku: scenario.sku.clone(),
+            nnodes: scenario.nnodes,
+            ppn: scenario.ppn,
+            appinputs: scenario.appinputs.clone(),
+            exec_time_secs: 0.0,
+            task_secs: 0.0,
+            cost_dollars: 0.0,
+            status: ScenarioStatus::Failed,
+            metrics: vec![("FAILREASON".into(), reason.to_string())],
+            infra: Vec::new(),
+            tags: self.config.tags.clone(),
+            deployment: self.deployment.clone(),
+        }
+    }
+
+    /// Builds the task runner closure for the batch service.
+    fn make_runner(&self, spec: RunnerSpec) -> batchsim::service::Runner {
+        let shared_vfs = self.shared_vfs.clone();
+        let urls = self.urls.clone();
+        let registry = self.registry.clone();
+        let script = self.script.clone();
+        let seed = self.options.experiment_seed;
+        Box::new(move |ctx: &TaskContext| -> TaskResult {
+            run_script_task(ctx, &spec, shared_vfs, urls, registry, &script, seed)
+        })
+    }
+}
+
+/// What a runner should do.
+#[derive(Debug, Clone)]
+struct RunnerSpec {
+    function: String,
+    cwd: String,
+    env: Vec<(String, String)>,
+    write_hostfile: bool,
+}
+
+/// Executes one script function inside a fresh interpreter over the shared
+/// filesystem, then merges filesystem changes back (sequential tasks ⇒ the
+/// merge is a plain replace, like a shared NFS mount).
+fn run_script_task(
+    ctx: &TaskContext,
+    spec: &RunnerSpec,
+    shared_vfs: Arc<Mutex<Vfs>>,
+    urls: UrlStore,
+    registry: Arc<AppRegistry>,
+    script: &str,
+    seed: u64,
+) -> TaskResult {
+    let vfs = shared_vfs.lock().clone();
+    let mut interp = Interpreter::new(
+        ExecutionEnv {
+            sku: ctx.sku.clone(),
+            registry,
+            experiment_seed: seed,
+        },
+        vfs,
+        urls,
+    );
+    interp.set_cwd(&spec.cwd);
+    for (k, v) in &spec.env {
+        interp.set_var(k, v);
+    }
+    // Table I variables that depend on the concrete node assignment.
+    interp.set_var("HOSTLIST_PPN", &ctx.hostlist_ppn());
+    if spec.write_hostfile {
+        let hostfile_path = format!("{}/hostfile", spec.cwd.trim_end_matches('/'));
+        interp.vfs_mut().write(&hostfile_path, ctx.hostfile());
+        interp.set_var("HOSTFILE_PATH", &hostfile_path);
+    }
+
+    // Scheduling/launch overhead on the batch side.
+    let overhead = SimDuration::from_secs(5);
+    let load = match interp.load_script(script) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            return TaskResult::failed(overhead, format!("script parse error: {e}\n"), 127)
+        }
+    };
+    if load.exit_code != 0 {
+        return TaskResult::failed(
+            overhead + load.elapsed,
+            format!("{}script top-level failed\n", load.stdout),
+            load.exit_code,
+        );
+    }
+    match interp.call_function(&spec.function) {
+        Ok(outcome) => {
+            *shared_vfs.lock() = interp.vfs().clone();
+            let duration = overhead + load.elapsed + outcome.elapsed;
+            if outcome.exit_code == 0 {
+                TaskResult::ok(duration, outcome.stdout)
+            } else {
+                TaskResult::failed(duration, outcome.stdout, outcome.exit_code)
+            }
+        }
+        Err(e) => TaskResult::failed(
+            overhead + load.elapsed,
+            format!("script error in {}: {e}\n", spec.function),
+            126,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::DeploymentManager;
+    use crate::scenario::generate_scenarios;
+    use cloudsim::SkuCatalog;
+
+    fn setup(config: &UserConfig) -> (Collector, Vec<Scenario>) {
+        let mut manager =
+            DeploymentManager::new(&config.subscription, &config.region, 7).unwrap();
+        let rg = manager.create(config).unwrap();
+        let collector = Collector::new(
+            manager.provider(),
+            &rg,
+            config.clone(),
+            CollectorOptions::default(),
+        )
+        .unwrap();
+        let scenarios = generate_scenarios(config, &SkuCatalog::azure_hpc()).unwrap();
+        (collector, scenarios)
+    }
+
+    #[test]
+    fn collects_small_lammps_sweep() {
+        let config = UserConfig::example_lammps_small();
+        let (mut collector, mut scenarios) = setup(&config);
+        let ds = collector.collect(&mut scenarios).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert!(scenarios.iter().all(|s| s.status == ScenarioStatus::Completed));
+        for p in &ds.points {
+            assert!(p.exec_time_secs > 0.0, "{p:?}");
+            assert!(p.cost_dollars > 0.0);
+            assert!(p.task_secs >= p.exec_time_secs * 0.5);
+            assert!(p.metric("LAMMPSATOMS").is_some(), "scraped metrics present");
+            assert!(p.infra_metric("bottleneck").is_some());
+            assert_eq!(p.tags, vec![("version".to_string(), "v1".to_string())]);
+        }
+        // More nodes ⇒ faster for this compute-bound input.
+        let t1 = ds.points.iter().find(|p| p.nnodes == 1).unwrap().exec_time_secs;
+        let t4 = ds.points.iter().find(|p| p.nnodes == 4).unwrap().exec_time_secs;
+        assert!(t4 < t1);
+    }
+
+    #[test]
+    fn scraped_exectime_excludes_setup_overhead() {
+        let config = UserConfig::example_lammps_small();
+        let (mut collector, mut scenarios) = setup(&config);
+        let ds = collector.collect(&mut scenarios).unwrap();
+        for p in &ds.points {
+            // APPEXECTIME (loop time) is well below the whole task duration
+            // (which includes EESSI init, module load, wget, mpirun launch).
+            assert!(p.exec_time_secs < p.task_secs, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn completed_scenarios_are_not_rerun() {
+        let config = UserConfig::example_lammps_small();
+        let (mut collector, mut scenarios) = setup(&config);
+        let first = collector.collect(&mut scenarios).unwrap();
+        assert_eq!(first.len(), 3);
+        let second = collector.collect(&mut scenarios).unwrap();
+        assert!(second.is_empty(), "everything already completed");
+    }
+
+    #[test]
+    fn pool_reuse_across_same_sku() {
+        // With 1 SKU and 3 node counts, billing shows pool growth (resizes),
+        // not one pool per scenario.
+        let config = UserConfig::example_lammps_small();
+        let (mut collector, mut scenarios) = setup(&config);
+        collector.collect(&mut scenarios).unwrap();
+        let provider = collector.provider.clone();
+        let p = provider.lock();
+        let spans = p.billing().records();
+        // Three resizes (1→2→4 nodes) plus the final resize-to-zero closes
+        // the last span: exactly 3 usage records for the single pool.
+        assert_eq!(spans.len(), 3, "spans: {spans:?}");
+        assert_eq!(spans[0].nodes, 1);
+        assert_eq!(spans[1].nodes, 2);
+        assert_eq!(spans[2].nodes, 4);
+    }
+
+    #[test]
+    fn oom_scenario_marked_failed_and_sweep_continues() {
+        let mut config = UserConfig::example_lammps_small();
+        config.appname = "wrf".into();
+        config.appsetupurl = "https://example.com/scripts/wrf.sh".into();
+        // 1 km WRF OOMs on 1–2 nodes of HBv3, succeeds on 16.
+        config.appinputs = vec![
+            ("resolution_km".into(), vec!["1".into()]),
+            ("hours".into(), vec!["1".into()]),
+        ];
+        config.nnodes = vec![1, 16];
+        let (mut collector, mut scenarios) = setup(&config);
+        let ds = collector.collect(&mut scenarios).unwrap();
+        assert_eq!(ds.len(), 2);
+        let failed = ds.points.iter().find(|p| p.nnodes == 1).unwrap();
+        assert_eq!(failed.status, ScenarioStatus::Failed);
+        let ok = ds.points.iter().find(|p| p.nnodes == 16).unwrap();
+        assert_eq!(ok.status, ScenarioStatus::Completed);
+        assert_eq!(
+            scenarios.iter().filter(|s| s.status == ScenarioStatus::Failed).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn cost_matches_price_times_nodes_times_time() {
+        let config = UserConfig::example_lammps_small();
+        let (mut collector, mut scenarios) = setup(&config);
+        let ds = collector.collect(&mut scenarios).unwrap();
+        for p in ds.completed() {
+            let expected = 3.60 * p.nnodes as f64 * p.exec_time_secs / 3600.0;
+            assert!(
+                (p.cost_dollars - expected).abs() < 1e-9,
+                "cost {} vs expected {expected}",
+                p.cost_dollars
+            );
+        }
+    }
+
+    #[test]
+    fn setup_artifacts_visible_to_tasks_via_shared_fs() {
+        let config = UserConfig::example_lammps_small();
+        let (mut collector, mut scenarios) = setup(&config);
+        collector.collect(&mut scenarios).unwrap();
+        let vfs = collector.shared_vfs();
+        let vfs = vfs.lock();
+        // Setup downloaded in.lj.txt into the app dir...
+        assert!(vfs.exists("/share/hpcadvisorlammps001/apps/lammps/in.lj.txt"));
+        // ...and each task dir holds its own (sed-patched) copy + log.
+        for s in &scenarios {
+            let dir = format!("/share/hpcadvisorlammps001/apps/lammps/task-{}", s.id);
+            assert!(vfs.exists(&format!("{dir}/in.lj.txt")), "{dir}");
+            assert!(vfs.exists(&format!("{dir}/log.lammps")), "{dir}");
+            let patched = vfs.read(&format!("{dir}/in.lj.txt")).unwrap();
+            assert!(patched.contains("variable x index 8"), "sed applied");
+        }
+    }
+
+    #[test]
+    fn run_subset_only_runs_requested_ids() {
+        let config = UserConfig::example_lammps_small();
+        let (mut collector, mut scenarios) = setup(&config);
+        let ids: Vec<u32> = scenarios.iter().map(|s| s.id).take(1).collect();
+        let ds = collector.run_scenarios(&mut scenarios, &ids).unwrap();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(
+            scenarios.iter().filter(|s| s.status == ScenarioStatus::Completed).count(),
+            1
+        );
+    }
+}
+
+#[cfg(test)]
+mod option_tests {
+    use super::*;
+    use crate::deployment::DeploymentManager;
+    use crate::scenario::generate_scenarios;
+    use cloudsim::SkuCatalog;
+
+    fn setup_with(
+        config: &UserConfig,
+        options: CollectorOptions,
+    ) -> (Collector, Vec<Scenario>, batchsim::SharedProvider) {
+        let mut manager =
+            DeploymentManager::new(&config.subscription, &config.region, 7).unwrap();
+        let rg = manager.create(config).unwrap();
+        let provider = manager.provider();
+        let collector = Collector::new(provider.clone(), &rg, config.clone(), options).unwrap();
+        let scenarios = generate_scenarios(config, &SkuCatalog::azure_hpc()).unwrap();
+        (collector, scenarios, provider)
+    }
+
+    #[test]
+    fn delete_pools_option_tears_down_pools() {
+        let config = UserConfig::example_lammps_small();
+        let options = CollectorOptions {
+            delete_pools: true,
+            ..CollectorOptions::default()
+        };
+        let (mut collector, mut scenarios, _provider) = setup_with(&config, options);
+        collector.collect(&mut scenarios).unwrap();
+        let pool = collector.service.pool("pool-hb120rs_v3").unwrap();
+        assert_eq!(pool.state, batchsim::PoolState::Deleted);
+    }
+
+    #[test]
+    fn resize_to_zero_keeps_pool_by_default() {
+        let config = UserConfig::example_lammps_small();
+        let (mut collector, mut scenarios, _provider) =
+            setup_with(&config, CollectorOptions::default());
+        collector.collect(&mut scenarios).unwrap();
+        let pool = collector.service.pool("pool-hb120rs_v3").unwrap();
+        assert_eq!(pool.state, batchsim::PoolState::Active);
+        assert_eq!(pool.nodes, 0, "resized to zero, not deleted");
+    }
+
+    #[test]
+    fn rerun_failed_retries_failed_scenarios() {
+        use cloudsim::{FaultPlan, Operation};
+        let config = UserConfig::example_lammps_small();
+        let options = CollectorOptions {
+            rerun_failed: true,
+            ..CollectorOptions::default()
+        };
+        let (mut collector, mut scenarios, provider) = setup_with(&config, options);
+        // First pass: the second compute task (invocation 2: setup=0,
+        // compute=1,2,3) fails by injection.
+        provider
+            .lock()
+            .set_fault_plan(FaultPlan::none().fail_nth(Operation::RunTask, 2));
+        let first = collector.collect(&mut scenarios).unwrap();
+        assert_eq!(
+            first
+                .points
+                .iter()
+                .filter(|p| p.status == ScenarioStatus::Failed)
+                .count(),
+            1
+        );
+        // Second pass: only the failed scenario reruns, and succeeds.
+        let second = collector.collect(&mut scenarios).unwrap();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second.points[0].status, ScenarioStatus::Completed);
+        assert!(scenarios.iter().all(|s| s.status == ScenarioStatus::Completed));
+    }
+}

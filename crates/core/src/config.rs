@@ -1,0 +1,356 @@
+//! The main user configuration file (paper Listing 1).
+
+use crate::error::ToolError;
+use hpcadvisor_formats::{yaml, Value};
+
+/// Parsed main configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserConfig {
+    /// Cloud subscription ID or name.
+    pub subscription: String,
+    /// VM types (SKUs) to test.
+    pub skus: Vec<String>,
+    /// Prefix for resource-group names.
+    pub rgprefix: String,
+    /// URL of the application setup/run script.
+    pub appsetupurl: String,
+    /// Node counts to test.
+    pub nnodes: Vec<u32>,
+    /// Application name (selects the bundled script/model family).
+    pub appname: String,
+    /// Tags copied into every result row.
+    pub tags: Vec<(String, String)>,
+    /// Region to provision in.
+    pub region: String,
+    /// Whether to create a jumpbox VM.
+    pub createjumpbox: bool,
+    /// Percentage of each node's cores to use as processes-per-node.
+    pub ppr: u32,
+    /// Application input sweep: parameter → values.
+    pub appinputs: Vec<(String, Vec<String>)>,
+    /// Existing resource group containing a VPN (optional).
+    pub vpnrg: Option<String>,
+    /// Existing VNet name for the VPN (optional).
+    pub vpnvnet: Option<String>,
+    /// Whether to peer with the VPN VNet.
+    pub peervpn: bool,
+}
+
+fn req_str(doc: &Value, key: &str) -> Result<String, ToolError> {
+    match doc.get(key) {
+        Some(Value::Str(s)) => Ok(s.clone()),
+        Some(Value::Int(i)) => Ok(i.to_string()),
+        Some(other) => Err(ToolError::Config(format!(
+            "field '{key}' must be a string, got {other:?}"
+        ))),
+        None => Err(ToolError::Config(format!("missing required field '{key}'"))),
+    }
+}
+
+fn str_list(doc: &Value, key: &str) -> Result<Vec<String>, ToolError> {
+    match doc.get(key) {
+        Some(Value::Seq(items)) => items
+            .iter()
+            .map(|v| match v {
+                Value::Str(s) => Ok(s.clone()),
+                Value::Int(i) => Ok(i.to_string()),
+                other => Err(ToolError::Config(format!(
+                    "field '{key}' has non-string element {other:?}"
+                ))),
+            })
+            .collect(),
+        Some(Value::Str(s)) => Ok(vec![s.clone()]),
+        Some(other) => Err(ToolError::Config(format!(
+            "field '{key}' must be a list, got {other:?}"
+        ))),
+        None => Err(ToolError::Config(format!("missing required field '{key}'"))),
+    }
+}
+
+impl UserConfig {
+    /// Parses a Listing-1-style YAML document.
+    pub fn from_yaml(text: &str) -> Result<Self, ToolError> {
+        let doc = yaml::parse(text)?;
+        if doc.as_map().is_none() {
+            return Err(ToolError::Config("configuration must be a mapping".into()));
+        }
+
+        let nnodes: Vec<u32> = match doc.get("nnodes") {
+            Some(Value::Seq(items)) => items
+                .iter()
+                .map(|v| {
+                    v.as_int()
+                        .filter(|n| *n > 0 && *n <= 10_000)
+                        .map(|n| n as u32)
+                        .ok_or_else(|| {
+                            ToolError::Config(format!("nnodes element {v:?} must be 1..=10000"))
+                        })
+                })
+                .collect::<Result<_, _>>()?,
+            Some(Value::Int(n)) if *n > 0 => vec![*n as u32],
+            _ => return Err(ToolError::Config("missing or invalid 'nnodes' list".into())),
+        };
+        if nnodes.is_empty() {
+            return Err(ToolError::Config("'nnodes' list is empty".into()));
+        }
+
+        let skus = str_list(&doc, "skus")?;
+        if skus.is_empty() {
+            return Err(ToolError::Config("'skus' list is empty".into()));
+        }
+
+        let ppr = match doc.get("ppr") {
+            None => 100,
+            Some(v) => {
+                let p = v
+                    .as_int()
+                    .filter(|p| (1..=100).contains(p))
+                    .ok_or_else(|| ToolError::Config("'ppr' must be 1..=100".into()))?;
+                p as u32
+            }
+        };
+
+        let tags = match doc.get("tags") {
+            None => Vec::new(),
+            Some(Value::Map(m)) => m
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_plain_string()))
+                .collect(),
+            Some(other) => {
+                return Err(ToolError::Config(format!(
+                    "'tags' must be a mapping, got {other:?}"
+                )))
+            }
+        };
+
+        let appinputs = match doc.get("appinputs") {
+            None | Some(Value::Null) => Vec::new(),
+            Some(Value::Map(m)) => m
+                .iter()
+                .map(|(k, v)| {
+                    let values = match v {
+                        // Duplicate YAML keys coalesce to a Seq — the sweep.
+                        Value::Seq(items) => {
+                            items.iter().map(|i| i.to_plain_string()).collect()
+                        }
+                        scalar => vec![scalar.to_plain_string()],
+                    };
+                    (k.to_string(), values)
+                })
+                .collect(),
+            Some(Value::Seq(entries)) => {
+                // Alternative form: a list of single-key maps.
+                let mut out: Vec<(String, Vec<String>)> = Vec::new();
+                for e in entries {
+                    let m = e.as_map().ok_or_else(|| {
+                        ToolError::Config("'appinputs' list entries must be mappings".into())
+                    })?;
+                    for (k, v) in m.iter() {
+                        match out.iter_mut().find(|(name, _)| name == k) {
+                            Some((_, vals)) => vals.push(v.to_plain_string()),
+                            None => out.push((k.to_string(), vec![v.to_plain_string()])),
+                        }
+                    }
+                }
+                out
+            }
+            Some(other) => {
+                return Err(ToolError::Config(format!(
+                    "'appinputs' must be a mapping, got {other:?}"
+                )))
+            }
+        };
+
+        let get_opt_str = |key: &str| -> Option<String> {
+            doc.get(key).and_then(|v| v.as_str()).map(|s| s.to_string())
+        };
+        let get_bool = |key: &str| -> bool {
+            doc.get(key).and_then(|v| v.as_bool()).unwrap_or(false)
+        };
+
+        Ok(UserConfig {
+            subscription: req_str(&doc, "subscription")?,
+            skus,
+            rgprefix: req_str(&doc, "rgprefix")?,
+            appsetupurl: req_str(&doc, "appsetupurl")?,
+            nnodes,
+            appname: req_str(&doc, "appname")?,
+            tags,
+            region: req_str(&doc, "region")?,
+            createjumpbox: get_bool("createjumpbox"),
+            ppr,
+            appinputs,
+            vpnrg: get_opt_str("vpnrg"),
+            vpnvnet: get_opt_str("vpnvnet"),
+            peervpn: get_bool("peervpn"),
+        })
+    }
+
+    /// Total number of scenarios this configuration expands to.
+    pub fn scenario_count(&self) -> usize {
+        let input_combos: usize = self
+            .appinputs
+            .iter()
+            .map(|(_, vs)| vs.len().max(1))
+            .product();
+        self.skus.len() * self.nnodes.len() * input_combos.max(1)
+    }
+
+    /// The paper's OpenFOAM Listing 1 configuration (3 SKUs × 6 node counts
+    /// × 2 meshes = 36 scenarios).
+    pub fn example_openfoam() -> Self {
+        UserConfig::from_yaml(
+            r#"
+subscription: mysubscription
+skus:
+- Standard_HC44rs
+- Standard_HB120rs_v2
+- Standard_HB120rs_v3
+rgprefix: hpcadvisortest1
+appsetupurl: https://example.com/scripts/openfoam.sh
+nnodes: [1, 2, 3, 4, 8, 16]
+appname: openfoam
+tags:
+  version: v1
+region: southcentralus
+createjumpbox: true
+ppr: 100
+appinputs:
+  mesh: "80 24 24"
+  mesh: "60 16 16"
+"#,
+        )
+        .expect("bundled example config parses")
+    }
+
+    /// The paper's Listing 3 experiment: OpenFOAM motorBike at
+    /// BLOCKMESH_DIMENSIONS "40 16 16" (~8 M cells).
+    pub fn example_openfoam_motorbike() -> Self {
+        let mut c = Self::example_openfoam();
+        c.appinputs = vec![("mesh".into(), vec!["40 16 16".into()])];
+        c.nnodes = vec![1, 2, 3, 4, 8, 16];
+        c
+    }
+
+    /// The paper's Listing 4 / Figures 2–5 experiment: LAMMPS LJ with the
+    /// box multiplied ×30 (≈ 864 M atoms) on three InfiniBand SKUs up to
+    /// 1,920 cores.
+    pub fn example_lammps() -> Self {
+        UserConfig::from_yaml(
+            r#"
+subscription: mysubscription
+skus:
+- Standard_HC44rs
+- Standard_HB120rs_v2
+- Standard_HB120rs_v3
+rgprefix: hpcadvisorlammps
+appsetupurl: https://example.com/scripts/lammps.sh
+nnodes: [1, 2, 3, 4, 8, 16]
+appname: lammps
+tags:
+  version: v1
+region: southcentralus
+ppr: 100
+appinputs:
+  BOXFACTOR: "30"
+"#,
+        )
+        .expect("bundled example config parses")
+    }
+
+    /// A small LAMMPS sweep for doctests and quick starts (1 SKU × 3 node
+    /// counts × 1 input = 3 scenarios).
+    pub fn example_lammps_small() -> Self {
+        let mut c = Self::example_lammps();
+        c.skus = vec!["Standard_HB120rs_v3".into()];
+        c.nnodes = vec![1, 2, 4];
+        c.appinputs = vec![("BOXFACTOR".into(), vec!["8".into()])];
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_listing1_fields() {
+        let c = UserConfig::example_openfoam();
+        assert_eq!(c.subscription, "mysubscription");
+        assert_eq!(c.skus.len(), 3);
+        assert_eq!(c.nnodes, vec![1, 2, 3, 4, 8, 16]);
+        assert_eq!(c.appname, "openfoam");
+        assert_eq!(c.region, "southcentralus");
+        assert!(c.createjumpbox);
+        assert_eq!(c.ppr, 100);
+        assert_eq!(c.tags, vec![("version".to_string(), "v1".to_string())]);
+        // The duplicated `mesh:` keys become a 2-value sweep.
+        assert_eq!(
+            c.appinputs,
+            vec![("mesh".to_string(), vec!["80 24 24".to_string(), "60 16 16".to_string()])]
+        );
+        // 3 SKUs × 6 node counts × 2 meshes (the paper's 3x6x2).
+        assert_eq!(c.scenario_count(), 36);
+    }
+
+    #[test]
+    fn missing_fields_error() {
+        assert!(UserConfig::from_yaml("subscription: s\n").is_err());
+        let err = UserConfig::from_yaml("appname: x\nnnodes: [1]\nskus:\n- A\n").unwrap_err();
+        assert!(err.to_string().contains("missing required field"));
+    }
+
+    #[test]
+    fn invalid_values_error() {
+        let base = |extra: &str| {
+            format!(
+                "subscription: s\nrgprefix: r\nappsetupurl: u\nappname: a\nregion: southcentralus\nskus:\n- A\n{extra}"
+            )
+        };
+        assert!(UserConfig::from_yaml(&base("nnodes: [0]\n")).is_err());
+        assert!(UserConfig::from_yaml(&base("nnodes: [1]\nppr: 150\n")).is_err());
+        assert!(UserConfig::from_yaml(&base("nnodes: []\n")).is_err());
+        assert!(UserConfig::from_yaml(&base("nnodes: [1]\n")).is_ok());
+    }
+
+    #[test]
+    fn defaults() {
+        let c = UserConfig::from_yaml(
+            "subscription: s\nrgprefix: r\nappsetupurl: u\nappname: a\nregion: eastus\nskus:\n- A\nnnodes: [1]\n",
+        )
+        .unwrap();
+        assert_eq!(c.ppr, 100);
+        assert!(!c.createjumpbox);
+        assert!(!c.peervpn);
+        assert!(c.appinputs.is_empty());
+        assert!(c.tags.is_empty());
+        assert_eq!(c.scenario_count(), 1);
+    }
+
+    #[test]
+    fn appinputs_list_form() {
+        let c = UserConfig::from_yaml(
+            "subscription: s\nrgprefix: r\nappsetupurl: u\nappname: a\nregion: eastus\nskus:\n- A\nnnodes: [1]\nappinputs:\n- mesh: \"a\"\n- mesh: \"b\"\n- steps: 100\n",
+        )
+        .unwrap();
+        assert_eq!(
+            c.appinputs,
+            vec![
+                ("mesh".to_string(), vec!["a".to_string(), "b".to_string()]),
+                ("steps".to_string(), vec!["100".to_string()])
+            ]
+        );
+        assert_eq!(c.scenario_count(), 2);
+    }
+
+    #[test]
+    fn vpn_options() {
+        let c = UserConfig::from_yaml(
+            "subscription: s\nrgprefix: r\nappsetupurl: u\nappname: a\nregion: eastus\nskus:\n- A\nnnodes: [1]\nvpnrg: corp-vpn\nvpnvnet: corp-vnet\npeervpn: true\n",
+        )
+        .unwrap();
+        assert_eq!(c.vpnrg.as_deref(), Some("corp-vpn"));
+        assert_eq!(c.vpnvnet.as_deref(), Some("corp-vnet"));
+        assert!(c.peervpn);
+    }
+}

@@ -1,0 +1,538 @@
+//! The collected dataset and its filters.
+
+use crate::error::ToolError;
+use crate::scenario::ScenarioStatus;
+use hpcadvisor_formats::{json, OrderedMap, Value};
+
+/// One collected result row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataPoint {
+    /// Scenario id this row came from.
+    pub scenario_id: u32,
+    /// Application name.
+    pub appname: String,
+    /// VM type.
+    pub sku: String,
+    /// Nodes used.
+    pub nnodes: u32,
+    /// Processes per node.
+    pub ppn: u32,
+    /// Application inputs of the scenario.
+    pub appinputs: Vec<(String, String)>,
+    /// Application execution time in seconds (`APPEXECTIME` when the run
+    /// script exported it, otherwise the whole task duration).
+    pub exec_time_secs: f64,
+    /// Whole batch-task duration in seconds (setup + app + teardown).
+    pub task_secs: f64,
+    /// Cost in USD for the application execution (VM price × nodes × time —
+    /// the paper's cost column covers VMs only).
+    pub cost_dollars: f64,
+    /// Final status.
+    pub status: ScenarioStatus,
+    /// Extra `HPCADVISORVAR` metrics scraped from the task output.
+    pub metrics: Vec<(String, String)>,
+    /// Infrastructure utilizations scraped from monitoring
+    /// (`cpu`/`membw`/`net`/`bottleneck`).
+    pub infra: Vec<(String, String)>,
+    /// Tags from the configuration.
+    pub tags: Vec<(String, String)>,
+    /// Deployment (resource group) the row was collected in.
+    pub deployment: String,
+}
+
+impl DataPoint {
+    /// Looks up a scraped metric.
+    pub fn metric(&self, key: &str) -> Option<&str> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Looks up an infrastructure metric.
+    pub fn infra_metric(&self, key: &str) -> Option<&str> {
+        self.infra
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Short SKU spelling used in advice tables (`hb120rs_v3`).
+    pub fn sku_short(&self) -> String {
+        self.sku.to_ascii_lowercase().replace("standard_", "")
+    }
+
+    /// One-line id for the appinput combination (used to group series).
+    pub fn input_key(&self) -> String {
+        self.appinputs
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// A filter over data points ("plot" and "advice" take a data filter in the
+/// CLI — Table II).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DataFilter {
+    /// Restrict to an application.
+    pub appname: Option<String>,
+    /// Restrict to a SKU (full or short spelling).
+    pub sku: Option<String>,
+    /// Required appinput values.
+    pub appinputs: Vec<(String, String)>,
+    /// Required tags.
+    pub tags: Vec<(String, String)>,
+    /// Include failed rows too (default: completed only).
+    pub include_failed: bool,
+}
+
+impl DataFilter {
+    /// Matches everything completed.
+    pub fn all() -> Self {
+        DataFilter::default()
+    }
+
+    /// Parses the CLI filter syntax: comma-separated `key=value` pairs.
+    /// Keys `appname` and `sku` are recognized directly; everything else is
+    /// treated as an appinput requirement.
+    pub fn parse(spec: &str) -> Result<Self, ToolError> {
+        let mut f = DataFilter::default();
+        for part in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let Some((k, v)) = part.split_once('=') else {
+                return Err(ToolError::Config(format!(
+                    "bad filter term '{part}': expected key=value"
+                )));
+            };
+            let (k, v) = (k.trim(), v.trim());
+            match k {
+                "appname" => f.appname = Some(v.to_string()),
+                "sku" => f.sku = Some(v.to_string()),
+                "status" if v == "any" => f.include_failed = true,
+                "tag" => match v.split_once(':') {
+                    Some((tk, tv)) => f.tags.push((tk.to_string(), tv.to_string())),
+                    None => {
+                        return Err(ToolError::Config(
+                            "tag filter must be tag=key:value".into(),
+                        ))
+                    }
+                },
+                _ => f.appinputs.push((k.to_string(), v.to_string())),
+            }
+        }
+        Ok(f)
+    }
+
+    /// True if a point passes the filter.
+    pub fn matches(&self, p: &DataPoint) -> bool {
+        if !self.include_failed && p.status != ScenarioStatus::Completed {
+            return false;
+        }
+        if let Some(app) = &self.appname {
+            if !p.appname.eq_ignore_ascii_case(app) {
+                return false;
+            }
+        }
+        if let Some(sku) = &self.sku {
+            let want = sku.to_ascii_lowercase().replace("standard_", "");
+            if p.sku_short() != want {
+                return false;
+            }
+        }
+        for (k, v) in &self.appinputs {
+            if !p.appinputs.iter().any(|(pk, pv)| pk == k && pv == v) {
+                return false;
+            }
+        }
+        for (k, v) in &self.tags {
+            if !p.tags.iter().any(|(pk, pv)| pk == k && pv == v) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The dataset: every collected row, in collection order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dataset {
+    /// All rows.
+    pub points: Vec<DataPoint>,
+}
+
+impl Dataset {
+    /// An empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, point: DataPoint) {
+        self.points.push(point);
+    }
+
+    /// Merges another dataset in.
+    pub fn extend(&mut self, other: Dataset) {
+        self.points.extend(other.points);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Rows passing a filter.
+    pub fn filter(&self, f: &DataFilter) -> Vec<&DataPoint> {
+        self.points.iter().filter(|p| f.matches(p)).collect()
+    }
+
+    /// Completed rows.
+    pub fn completed(&self) -> Vec<&DataPoint> {
+        self.filter(&DataFilter::all())
+    }
+
+    /// Distinct SKUs (short form) in filter-matching rows, in first-seen
+    /// order.
+    pub fn skus(&self, f: &DataFilter) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for p in self.filter(f) {
+            let s = p.sku_short();
+            if !out.contains(&s) {
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    /// Distinct appinput combinations in filter-matching rows.
+    pub fn input_keys(&self, f: &DataFilter) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for p in self.filter(f) {
+            let s = p.input_key();
+            if !out.contains(&s) {
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    /// Serializes the dataset as pretty JSON.
+    pub fn to_json(&self) -> String {
+        let items: Vec<Value> = self.points.iter().map(point_to_value).collect();
+        json::to_string_pretty(&Value::Seq(items))
+    }
+
+    /// Parses a stored dataset.
+    pub fn from_json(text: &str) -> Result<Self, ToolError> {
+        let doc = json::parse(text)?;
+        let items = doc
+            .as_seq()
+            .ok_or_else(|| ToolError::Config("dataset must be a JSON array".into()))?;
+        let mut ds = Dataset::new();
+        for item in items {
+            ds.push(value_to_point(item)?);
+        }
+        Ok(ds)
+    }
+}
+
+fn pairs_to_value(pairs: &[(String, String)]) -> Value {
+    let mut m = OrderedMap::new();
+    for (k, v) in pairs {
+        m.insert(k.clone(), Value::str(v));
+    }
+    Value::Map(m)
+}
+
+fn value_to_pairs(v: Option<&Value>) -> Vec<(String, String)> {
+    v.and_then(|v| v.as_map())
+        .map(|m| {
+            m.iter()
+                .map(|(k, v)| (k.to_string(), v.to_plain_string()))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn point_to_value(p: &DataPoint) -> Value {
+    let mut m = OrderedMap::new();
+    m.insert("scenario_id", Value::Int(p.scenario_id as i64));
+    m.insert("appname", Value::str(&p.appname));
+    m.insert("sku", Value::str(&p.sku));
+    m.insert("nnodes", Value::Int(p.nnodes as i64));
+    m.insert("ppn", Value::Int(p.ppn as i64));
+    m.insert("appinputs", pairs_to_value(&p.appinputs));
+    m.insert("exec_time_secs", Value::Float(p.exec_time_secs));
+    m.insert("task_secs", Value::Float(p.task_secs));
+    m.insert("cost_dollars", Value::Float(p.cost_dollars));
+    m.insert("status", Value::str(p.status.as_str()));
+    m.insert("metrics", pairs_to_value(&p.metrics));
+    m.insert("infra", pairs_to_value(&p.infra));
+    m.insert("tags", pairs_to_value(&p.tags));
+    m.insert("deployment", Value::str(&p.deployment));
+    Value::Map(m)
+}
+
+fn value_to_point(v: &Value) -> Result<DataPoint, ToolError> {
+    let get_str = |k: &str| -> Result<String, ToolError> {
+        v.get(k)
+            .and_then(|x| x.as_str())
+            .map(|s| s.to_string())
+            .ok_or_else(|| ToolError::Config(format!("data point missing string '{k}'")))
+    };
+    let get_int = |k: &str| -> Result<i64, ToolError> {
+        v.get(k)
+            .and_then(|x| x.as_int())
+            .ok_or_else(|| ToolError::Config(format!("data point missing integer '{k}'")))
+    };
+    let get_f64 = |k: &str| -> Result<f64, ToolError> {
+        v.get(k)
+            .and_then(|x| x.as_f64())
+            .ok_or_else(|| ToolError::Config(format!("data point missing number '{k}'")))
+    };
+    let status_str = get_str("status")?;
+    Ok(DataPoint {
+        scenario_id: get_int("scenario_id")? as u32,
+        appname: get_str("appname")?,
+        sku: get_str("sku")?,
+        nnodes: get_int("nnodes")? as u32,
+        ppn: get_int("ppn")? as u32,
+        appinputs: value_to_pairs(v.get("appinputs")),
+        exec_time_secs: get_f64("exec_time_secs")?,
+        task_secs: get_f64("task_secs")?,
+        cost_dollars: get_f64("cost_dollars")?,
+        status: ScenarioStatus::parse(&status_str)
+            .ok_or_else(|| ToolError::Config(format!("bad status '{status_str}'")))?,
+        metrics: value_to_pairs(v.get("metrics")),
+        infra: value_to_pairs(v.get("infra")),
+        tags: value_to_pairs(v.get("tags")),
+        deployment: get_str("deployment")?,
+    })
+}
+
+/// Builds a test/example data point quickly.
+pub fn point(
+    scenario_id: u32,
+    appname: &str,
+    sku: &str,
+    nnodes: u32,
+    ppn: u32,
+    exec_time_secs: f64,
+    cost_dollars: f64,
+) -> DataPoint {
+    DataPoint {
+        scenario_id,
+        appname: appname.to_string(),
+        sku: sku.to_string(),
+        nnodes,
+        ppn,
+        appinputs: Vec::new(),
+        exec_time_secs,
+        task_secs: exec_time_secs + 10.0,
+        cost_dollars,
+        status: ScenarioStatus::Completed,
+        metrics: Vec::new(),
+        infra: Vec::new(),
+        tags: Vec::new(),
+        deployment: "test".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut ds = Dataset::new();
+        let mut p1 = point(1, "lammps", "Standard_HB120rs_v3", 16, 120, 36.0, 0.576);
+        p1.appinputs = vec![("BOXFACTOR".into(), "30".into())];
+        p1.tags = vec![("version".into(), "v1".into())];
+        ds.push(p1);
+        let mut p2 = point(2, "lammps", "Standard_HC44rs", 16, 44, 60.0, 0.84);
+        p2.appinputs = vec![("BOXFACTOR".into(), "30".into())];
+        ds.push(p2);
+        let mut p3 = point(3, "openfoam", "Standard_HB120rs_v3", 8, 120, 38.0, 0.304);
+        p3.status = ScenarioStatus::Failed;
+        ds.push(p3);
+        ds
+    }
+
+    #[test]
+    fn filter_by_app_sku_status() {
+        let ds = sample();
+        assert_eq!(ds.completed().len(), 2);
+        let f = DataFilter {
+            appname: Some("lammps".into()),
+            ..DataFilter::all()
+        };
+        assert_eq!(ds.filter(&f).len(), 2);
+        let f = DataFilter {
+            sku: Some("hb120rs_v3".into()),
+            ..DataFilter::all()
+        };
+        assert_eq!(ds.filter(&f).len(), 1);
+        let f = DataFilter {
+            include_failed: true,
+            ..DataFilter::all()
+        };
+        assert_eq!(ds.filter(&f).len(), 3);
+    }
+
+    #[test]
+    fn filter_parsing() {
+        let f = DataFilter::parse("appname=lammps, sku=HB120rs_v3, BOXFACTOR=30, tag=version:v1")
+            .unwrap();
+        assert_eq!(f.appname.as_deref(), Some("lammps"));
+        assert_eq!(f.sku.as_deref(), Some("HB120rs_v3"));
+        assert_eq!(f.appinputs, vec![("BOXFACTOR".to_string(), "30".to_string())]);
+        assert_eq!(f.tags, vec![("version".to_string(), "v1".to_string())]);
+        let ds = sample();
+        assert_eq!(ds.filter(&f).len(), 1);
+        assert!(DataFilter::parse("no-equals-here").is_err());
+        assert!(DataFilter::parse("tag=missingcolon").is_err());
+        assert_eq!(DataFilter::parse("").unwrap(), DataFilter::all());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let ds = sample();
+        let text = ds.to_json();
+        let back = Dataset::from_json(&text).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn distinct_skus_and_inputs() {
+        let ds = sample();
+        assert_eq!(ds.skus(&DataFilter::all()), vec!["hb120rs_v3", "hc44rs"]);
+        let f = DataFilter {
+            appname: Some("lammps".into()),
+            ..DataFilter::all()
+        };
+        assert_eq!(ds.input_keys(&f), vec!["BOXFACTOR=30"]);
+    }
+
+    #[test]
+    fn metric_lookup() {
+        let mut p = point(1, "a", "S", 1, 4, 1.0, 0.1);
+        p.metrics = vec![("LAMMPSATOMS".into(), "864000000".into())];
+        p.infra = vec![("bottleneck".into(), "compute".into())];
+        assert_eq!(p.metric("LAMMPSATOMS"), Some("864000000"));
+        assert_eq!(p.metric("NOPE"), None);
+        assert_eq!(p.infra_metric("bottleneck"), Some("compute"));
+        assert_eq!(p.sku_short(), "s");
+    }
+}
+
+impl Dataset {
+    /// Exports the dataset as CSV with one column per fixed field plus one
+    /// column per appinput/metric key seen anywhere in the data (sparse
+    /// cells stay empty) — the spreadsheet-friendly sibling of
+    /// [`Dataset::to_json`].
+    pub fn to_csv(&self) -> String {
+        let mut input_keys: Vec<String> = Vec::new();
+        let mut metric_keys: Vec<String> = Vec::new();
+        for p in &self.points {
+            for (k, _) in &p.appinputs {
+                if !input_keys.contains(k) {
+                    input_keys.push(k.clone());
+                }
+            }
+            for (k, _) in &p.metrics {
+                if !metric_keys.contains(k) {
+                    metric_keys.push(k.clone());
+                }
+            }
+        }
+        let mut header: Vec<String> = [
+            "scenario_id",
+            "appname",
+            "sku",
+            "nnodes",
+            "ppn",
+            "exec_time_secs",
+            "task_secs",
+            "cost_dollars",
+            "status",
+            "deployment",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        header.extend(input_keys.iter().cloned());
+        header.extend(metric_keys.iter().cloned());
+        let mut rows = vec![header];
+        for p in &self.points {
+            let mut row = vec![
+                p.scenario_id.to_string(),
+                p.appname.clone(),
+                p.sku.clone(),
+                p.nnodes.to_string(),
+                p.ppn.to_string(),
+                format!("{}", p.exec_time_secs),
+                format!("{}", p.task_secs),
+                format!("{}", p.cost_dollars),
+                p.status.as_str().to_string(),
+                p.deployment.clone(),
+            ];
+            for k in &input_keys {
+                row.push(
+                    p.appinputs
+                        .iter()
+                        .find(|(pk, _)| pk == k)
+                        .map(|(_, v)| v.clone())
+                        .unwrap_or_default(),
+                );
+            }
+            for k in &metric_keys {
+                row.push(p.metric(k).unwrap_or_default().to_string());
+            }
+            rows.push(row);
+        }
+        hpcadvisor_formats::csv::write(&rows)
+    }
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+
+    #[test]
+    fn csv_export_has_sparse_columns() {
+        let mut ds = Dataset::new();
+        let mut p1 = point(1, "lammps", "Standard_HB120rs_v3", 16, 120, 36.0, 0.576);
+        p1.appinputs = vec![("BOXFACTOR".into(), "30".into())];
+        p1.metrics = vec![("LAMMPSATOMS".into(), "864000000".into())];
+        ds.push(p1);
+        let mut p2 = point(2, "openfoam", "Standard_HB120rs_v2", 8, 120, 38.0, 0.304);
+        p2.appinputs = vec![("mesh".into(), "40 16 16".into())];
+        ds.push(p2);
+        let text = ds.to_csv();
+        let rows = hpcadvisor_formats::csv::read(&text).unwrap();
+        assert_eq!(rows.len(), 3);
+        let header = &rows[0];
+        assert!(header.contains(&"BOXFACTOR".to_string()));
+        assert!(header.contains(&"mesh".to_string()));
+        assert!(header.contains(&"LAMMPSATOMS".to_string()));
+        // Row 2 (openfoam) has an empty BOXFACTOR cell.
+        let bf_idx = header.iter().position(|h| h == "BOXFACTOR").unwrap();
+        assert_eq!(rows[1][bf_idx], "30");
+        assert_eq!(rows[2][bf_idx], "");
+        // The quoted mesh value survives the round trip.
+        let mesh_idx = header.iter().position(|h| h == "mesh").unwrap();
+        assert_eq!(rows[2][mesh_idx], "40 16 16");
+    }
+
+    #[test]
+    fn empty_dataset_csv_is_header_only() {
+        let text = Dataset::new().to_csv();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.starts_with("scenario_id,"));
+    }
+}

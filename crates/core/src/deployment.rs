@@ -1,0 +1,238 @@
+//! Environment deployment (paper Section III-B) and the deployment registry
+//! behind the CLI's `deploy create | list | shutdown` commands (Table II).
+
+use crate::config::UserConfig;
+use crate::error::ToolError;
+use batchsim::SharedProvider;
+use cloudsim::{CloudProvider, ProviderConfig};
+use simtime::SimInstant;
+
+/// Lifecycle of a deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeploymentState {
+    /// Ready for data collection.
+    Active,
+    /// Shut down; all cloud resources deleted.
+    Shutdown,
+}
+
+/// One deployment: a resource group with the landing zone, storage, batch
+/// account and optional jumpbox/peering.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// Resource-group name (`<rgprefix><seq>`).
+    pub name: String,
+    /// Region.
+    pub region: String,
+    /// Application this deployment was created for.
+    pub appname: String,
+    /// Whether a jumpbox was provisioned.
+    pub jumpbox: bool,
+    /// Whether VNet peering to a VPN was set up.
+    pub peered: bool,
+    /// Creation time.
+    pub created_at: SimInstant,
+    /// Current state.
+    pub state: DeploymentState,
+}
+
+/// Registry of deployments over one cloud provider.
+pub struct DeploymentManager {
+    provider: SharedProvider,
+    deployments: Vec<Deployment>,
+    counter: u32,
+}
+
+impl DeploymentManager {
+    /// Creates a manager with a fresh simulated provider for the given
+    /// subscription/region.
+    pub fn new(subscription: &str, region: &str, seed: u64) -> Result<Self, ToolError> {
+        let provider = CloudProvider::new(ProviderConfig {
+            subscription: subscription.to_string(),
+            region: region.to_string(),
+            seed,
+            ..ProviderConfig::default()
+        })?;
+        Ok(Self::with_provider(batchsim::share(provider)))
+    }
+
+    /// Wraps an existing shared provider.
+    pub fn with_provider(provider: SharedProvider) -> Self {
+        DeploymentManager {
+            provider,
+            deployments: Vec::new(),
+            counter: 0,
+        }
+    }
+
+    /// The shared provider handle.
+    pub fn provider(&self) -> SharedProvider {
+        self.provider.clone()
+    }
+
+    /// Creates a deployment for `config`, following the paper's sequence:
+    /// variables → landing zone (RG + VNet + subnet) → storage account →
+    /// batch service → optional jumpbox and network peering. Returns the
+    /// resource-group name.
+    pub fn create(&mut self, config: &UserConfig) -> Result<String, ToolError> {
+        // 1. Variables.
+        self.counter += 1;
+        let rg = format!("{}{:03}", config.rgprefix, self.counter);
+        let vnet = format!("{rg}-vnet");
+        let storage = format!("{rg}stor");
+        let batch = format!("{rg}batch");
+        let mut provider = self.provider.lock();
+        provider.check_subscription(&config.subscription)?;
+        // 2. Basic landing zone.
+        provider.create_resource_group(&rg)?;
+        provider.create_vnet(&rg, &vnet, "default")?;
+        // 3. Storage account.
+        provider.create_storage_account(&rg, &storage)?;
+        // 4. Batch service with no resources.
+        provider.create_batch_account(&rg, &batch)?;
+        // 5. Optional jumpbox and peering.
+        if config.createjumpbox {
+            provider.create_jumpbox(&rg, &format!("{rg}-jumpbox"))?;
+        }
+        let peered = if config.peervpn {
+            match (&config.vpnrg, &config.vpnvnet) {
+                (Some(vpnrg), Some(vpnvnet)) => {
+                    provider.peer_vnets(&rg, vpnrg, vpnvnet)?;
+                    true
+                }
+                _ => {
+                    return Err(ToolError::Config(
+                        "peervpn requires vpnrg and vpnvnet".into(),
+                    ))
+                }
+            }
+        } else {
+            false
+        };
+        let created_at = provider.clock().now();
+        drop(provider);
+        self.deployments.push(Deployment {
+            name: rg.clone(),
+            region: config.region.clone(),
+            appname: config.appname.clone(),
+            jumpbox: config.createjumpbox,
+            peered,
+            created_at,
+            state: DeploymentState::Active,
+        });
+        Ok(rg)
+    }
+
+    /// Lists all previous and current deployments (Table II: `deploy list`).
+    pub fn list(&self) -> &[Deployment] {
+        &self.deployments
+    }
+
+    /// Looks up one deployment.
+    pub fn get(&self, name: &str) -> Option<&Deployment> {
+        self.deployments.iter().find(|d| d.name == name)
+    }
+
+    /// Shuts a deployment down, deleting all its resources (Table II:
+    /// `deploy shutdown`).
+    pub fn shutdown(&mut self, name: &str) -> Result<(), ToolError> {
+        let dep = self
+            .deployments
+            .iter_mut()
+            .find(|d| d.name == name && d.state == DeploymentState::Active)
+            .ok_or_else(|| ToolError::UnknownDeployment(name.to_string()))?;
+        self.provider.lock().delete_resource_group(name)?;
+        dep.state = DeploymentState::Shutdown;
+        Ok(())
+    }
+
+    /// Renders the `deploy list` table.
+    pub fn render_list(&self) -> String {
+        let mut out = String::from("Deployment           Region           App        State     Jumpbox\n");
+        for d in &self.deployments {
+            out.push_str(&format!(
+                "{:<20}  {:<15}  {:<9}  {:<8}  {}\n",
+                d.name,
+                d.region,
+                d.appname,
+                match d.state {
+                    DeploymentState::Active => "active",
+                    DeploymentState::Shutdown => "shutdown",
+                },
+                if d.jumpbox { "yes" } else { "no" }
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager() -> DeploymentManager {
+        DeploymentManager::new("mysubscription", "southcentralus", 7).unwrap()
+    }
+
+    #[test]
+    fn create_provisions_landing_zone() {
+        let mut m = manager();
+        let config = UserConfig::example_openfoam();
+        let rg = m.create(&config).unwrap();
+        assert_eq!(rg, "hpcadvisortest1001");
+        let provider = m.provider();
+        let p = provider.lock();
+        let group = p.resource_group(&rg).unwrap();
+        assert!(group.has_ready("vnet"));
+        assert!(group.has_ready("storage"));
+        assert!(group.has_ready("batch"));
+        assert!(group.has_ready("jumpbox"), "config requests a jumpbox");
+    }
+
+    #[test]
+    fn sequence_numbers_increment() {
+        let mut m = manager();
+        let config = UserConfig::example_openfoam();
+        let a = m.create(&config).unwrap();
+        let b = m.create(&config).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(m.list().len(), 2);
+    }
+
+    #[test]
+    fn wrong_subscription_rejected() {
+        let mut m = DeploymentManager::new("other-sub", "southcentralus", 7).unwrap();
+        let config = UserConfig::example_openfoam();
+        assert!(matches!(
+            m.create(&config),
+            Err(ToolError::Cloud(cloudsim::CloudError::WrongSubscription { .. }))
+        ));
+    }
+
+    #[test]
+    fn shutdown_deletes_resources() {
+        let mut m = manager();
+        let config = UserConfig::example_openfoam();
+        let rg = m.create(&config).unwrap();
+        m.shutdown(&rg).unwrap();
+        assert_eq!(m.get(&rg).unwrap().state, DeploymentState::Shutdown);
+        assert!(matches!(
+            m.shutdown(&rg),
+            Err(ToolError::UnknownDeployment(_))
+        ));
+        let list = m.render_list();
+        assert!(list.contains("shutdown"));
+    }
+
+    #[test]
+    fn peering_requires_vpn_fields() {
+        let mut m = manager();
+        let mut config = UserConfig::example_openfoam();
+        config.peervpn = true;
+        assert!(m.create(&config).is_err());
+        config.vpnrg = Some("corp-vpn".into());
+        config.vpnvnet = Some("corp-vnet".into());
+        let rg = m.create(&config).unwrap();
+        assert!(m.get(&rg).unwrap().peered);
+    }
+}

@@ -1,0 +1,81 @@
+use std::fmt;
+
+/// Top-level tool error: wraps the substrate errors plus configuration
+/// problems of the tool itself.
+#[derive(Debug)]
+pub enum ToolError {
+    /// Configuration file problem (missing field, bad type, empty sweep).
+    Config(String),
+    /// Cloud control-plane error.
+    Cloud(cloudsim::CloudError),
+    /// Script interpreter error.
+    Shell(taskshell::ShellError),
+    /// File-format error (YAML/JSON).
+    Format(hpcadvisor_formats::FormatError),
+    /// Application model error.
+    Model(appmodel::ModelError),
+    /// Referenced deployment does not exist.
+    UnknownDeployment(String),
+    /// Dataset/advice asked for data that is not there.
+    NoData(String),
+    /// Filesystem I/O (CLI persistence).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ToolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToolError::Config(m) => write!(f, "configuration error: {m}"),
+            ToolError::Cloud(e) => write!(f, "cloud error: {e}"),
+            ToolError::Shell(e) => write!(f, "script error: {e}"),
+            ToolError::Format(e) => write!(f, "format error: {e}"),
+            ToolError::Model(e) => write!(f, "application model error: {e}"),
+            ToolError::UnknownDeployment(d) => write!(f, "deployment '{d}' not found"),
+            ToolError::NoData(m) => write!(f, "no data: {m}"),
+            ToolError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ToolError {}
+
+impl From<cloudsim::CloudError> for ToolError {
+    fn from(e: cloudsim::CloudError) -> Self {
+        ToolError::Cloud(e)
+    }
+}
+impl From<taskshell::ShellError> for ToolError {
+    fn from(e: taskshell::ShellError) -> Self {
+        ToolError::Shell(e)
+    }
+}
+impl From<hpcadvisor_formats::FormatError> for ToolError {
+    fn from(e: hpcadvisor_formats::FormatError) -> Self {
+        ToolError::Format(e)
+    }
+}
+impl From<appmodel::ModelError> for ToolError {
+    fn from(e: appmodel::ModelError) -> Self {
+        ToolError::Model(e)
+    }
+}
+impl From<std::io::Error> for ToolError {
+    fn from(e: std::io::Error) -> Self {
+        ToolError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_substrate_errors() {
+        let e: ToolError = cloudsim::CloudError::UnknownSku("x".into()).into();
+        assert!(e.to_string().contains("cloud error"));
+        let e: ToolError = taskshell::ShellError::UnknownCommand("c".into()).into();
+        assert!(e.to_string().contains("script error"));
+        let e = ToolError::Config("skus list is empty".into());
+        assert!(e.to_string().contains("skus"));
+    }
+}

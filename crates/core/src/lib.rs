@@ -1,0 +1,81 @@
+//! # hpcadvisor-core — the HPCAdvisor tool, reproduced in Rust
+//!
+//! This crate implements the paper's contribution: a tool that, given a
+//! user's application (a bash setup/run script) and a grid of candidate
+//! cloud configurations (VM types × node counts × application inputs),
+//! automatically
+//!
+//! 1. **deploys** a cloud environment (Section III-B: resource group, VNet,
+//!    storage, batch service, optional jumpbox/peering) — [`deployment`];
+//! 2. **collects data** by expanding the scenario grid and running every
+//!    scenario through the batch orchestrator with per-VM-type pool reuse
+//!    (the paper's Algorithm 1) — [`scenario`], [`collector`], [`dataset`];
+//! 3. **plots** execution time vs. nodes, execution time vs. cost, speed-up
+//!    and efficiency (Figures 2–5) — [`plot`], [`metrics`];
+//! 4. **advises** with the Pareto front over (execution time, cost)
+//!    (Figure 6, Listings 3–4), including Slurm-recipe generation from the
+//!    paper's "comprehensive advice" future work — [`pareto`], [`advice`];
+//! 5. **optimizes** the number of scenarios that must actually run (the
+//!    paper's Section III-F: aggressive SKU discarding, fixed-performance-
+//!    factor regression, infrastructure-bottleneck hints) — [`sampling`],
+//!    [`regress`].
+//!
+//! The cloud back-end is the `cloudsim`/`batchsim` simulator pair, the
+//! applications are `appmodel` performance models, and user scripts run in
+//! the `taskshell` interpreter — see DESIGN.md for the substitution map.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hpcadvisor_core::prelude::*;
+//!
+//! // Listing-1-style configuration (here built programmatically).
+//! let config = UserConfig::example_lammps_small();
+//! let mut session = Session::create(config, 42).unwrap();
+//! let dataset = session.collect().unwrap();
+//! let advice = Advice::from_dataset(&dataset, &DataFilter::all());
+//! assert!(!advice.rows.is_empty());
+//! println!("{}", advice.render_text());
+//! ```
+
+pub mod advice;
+pub mod appscript;
+pub mod collector;
+pub mod config;
+pub mod dataset;
+pub mod deployment;
+pub mod error;
+pub mod metrics;
+pub mod pareto;
+pub mod plot;
+pub mod predictor;
+pub mod regress;
+pub mod replicate;
+pub mod sampling;
+pub mod scenario;
+pub mod session;
+
+pub use advice::Advice;
+pub use collector::{Collector, CollectorOptions};
+pub use config::UserConfig;
+pub use dataset::{DataFilter, DataPoint, Dataset};
+pub use deployment::{Deployment, DeploymentManager};
+pub use error::ToolError;
+pub use scenario::{Scenario, ScenarioStatus};
+pub use session::Session;
+
+/// Common imports for tool users.
+pub mod prelude {
+    pub use crate::advice::Advice;
+    pub use crate::collector::{Collector, CollectorOptions};
+    pub use crate::config::UserConfig;
+    pub use crate::dataset::{DataFilter, DataPoint, Dataset};
+    pub use crate::deployment::DeploymentManager;
+    pub use crate::error::ToolError;
+    pub use crate::pareto::pareto_front;
+    pub use crate::predictor::{advise_from_history, HistoryPredictor};
+    pub use crate::replicate::{front_stability, render_stability, run_replicates};
+    pub use crate::sampling::partial::run_partial_execution;
+    pub use crate::scenario::{Scenario, ScenarioStatus};
+    pub use crate::session::Session;
+}

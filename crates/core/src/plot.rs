@@ -1,0 +1,168 @@
+//! Plot generation — the tool's four plot families (paper Figures 2–5) and
+//! the Pareto-front advice plot (Figure 6), rendered via `svgplot`.
+
+use crate::dataset::{DataFilter, Dataset};
+use crate::metrics;
+use crate::pareto::pareto_front;
+use svgplot::{Chart, Series};
+
+fn subtitle(ds: &Dataset, filter: &DataFilter) -> String {
+    let apps: Vec<String> = {
+        let mut out = Vec::new();
+        for p in ds.filter(filter) {
+            if !out.contains(&p.appname) {
+                out.push(p.appname.clone());
+            }
+        }
+        out
+    };
+    let inputs = ds.input_keys(filter);
+    format!("{} [{}]", apps.join(","), inputs.join(" | "))
+}
+
+/// Plot 1 — Execution Time vs. Number of Nodes (Fig. 2).
+pub fn time_vs_nodes_chart(ds: &Dataset, filter: &DataFilter) -> Chart {
+    let mut chart = Chart::new(
+        "Execution Time vs Number of Nodes",
+        "Number of nodes",
+        "Execution time (s)",
+    )
+    .with_subtitle(&subtitle(ds, filter));
+    for s in metrics::time_vs_nodes(ds, filter) {
+        chart.add_series(Series::line(&s.sku, s.points));
+    }
+    chart
+}
+
+/// Plot 2 — Execution Time vs. Cost (Fig. 3).
+pub fn time_vs_cost_chart(ds: &Dataset, filter: &DataFilter) -> Chart {
+    let mut chart = Chart::new("Execution Time vs Cost", "Cost ($)", "Execution time (s)")
+        .with_subtitle(&subtitle(ds, filter));
+    for s in metrics::time_vs_cost(ds, filter) {
+        chart.add_series(Series::scatter(&s.sku, s.points));
+    }
+    chart
+}
+
+/// Plot 3 — Speed-up (Fig. 4), with the ideal-linear reference diagonal.
+pub fn speedup_chart(ds: &Dataset, filter: &DataFilter) -> Chart {
+    let mut chart = Chart::new("Speedup", "Number of nodes", "Speedup")
+        .with_subtitle(&subtitle(ds, filter));
+    let series = metrics::speedup(ds, filter);
+    let max_nodes = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(n, _)| *n))
+        .fold(1.0f64, f64::max);
+    chart.add_series(Series::line("ideal", vec![(1.0, 1.0), (max_nodes, max_nodes)]));
+    for s in series {
+        chart.add_series(Series::line(&s.sku, s.points));
+    }
+    chart
+}
+
+/// Plot 4 — Efficiency (Fig. 5), with the efficiency = 1 reference line;
+/// points above it are superlinear.
+pub fn efficiency_chart(ds: &Dataset, filter: &DataFilter) -> Chart {
+    let mut chart = Chart::new("Efficiency", "Number of nodes", "Efficiency")
+        .with_subtitle(&subtitle(ds, filter));
+    for s in metrics::efficiency(ds, filter) {
+        chart.add_series(Series::line(&s.sku, s.points));
+    }
+    chart.with_href(1.0)
+}
+
+/// Advice plot (Fig. 6): every scenario as a scatter over (cost, time) with
+/// the Pareto front drawn as a step line.
+pub fn pareto_chart(ds: &Dataset, filter: &DataFilter) -> Chart {
+    let mut chart = Chart::new(
+        "Advice: Pareto front over cost and execution time",
+        "Cost ($)",
+        "Execution time (s)",
+    )
+    .with_subtitle(&subtitle(ds, filter));
+    let points = ds.filter(filter);
+    let objectives: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.cost_dollars, p.exec_time_secs))
+        .collect();
+    chart.add_series(Series::scatter("scenarios", objectives.clone()));
+    let mut front_points: Vec<(f64, f64)> = pareto_front(&objectives)
+        .into_iter()
+        .map(|i| objectives[i])
+        .collect();
+    front_points.sort_by(|a, b| a.0.total_cmp(&b.0));
+    chart.add_series(Series::step("pareto front", front_points));
+    chart
+}
+
+/// All five charts, keyed by the file stem the CLI writes them under.
+pub fn all_charts(ds: &Dataset, filter: &DataFilter) -> Vec<(&'static str, Chart)> {
+    vec![
+        ("exectime_vs_nodes", time_vs_nodes_chart(ds, filter)),
+        ("exectime_vs_cost", time_vs_cost_chart(ds, filter)),
+        ("speedup", speedup_chart(ds, filter)),
+        ("efficiency", efficiency_chart(ds, filter)),
+        ("pareto_front", pareto_chart(ds, filter)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::point;
+
+    fn ds() -> Dataset {
+        let mut ds = Dataset::new();
+        for (id, n, t, c) in [(1u32, 1u32, 400.0, 0.40), (2, 2, 210.0, 0.42), (3, 4, 110.0, 0.44)] {
+            ds.push(point(id, "lammps", "Standard_HB120rs_v3", n, 120, t, c));
+        }
+        for (id, n, t, c) in [(4u32, 1u32, 700.0, 0.62), (5, 2, 360.0, 0.63), (6, 4, 190.0, 0.67)] {
+            ds.push(point(id, "lammps", "Standard_HC44rs", n, 44, t, c));
+        }
+        ds
+    }
+
+    #[test]
+    fn all_five_charts_render() {
+        let ds = ds();
+        let charts = all_charts(&ds, &DataFilter::all());
+        assert_eq!(charts.len(), 5);
+        for (name, chart) in charts {
+            let svg = chart.to_svg(640, 480);
+            assert!(svg.contains("</svg>"), "{name} failed to render");
+            let ascii = chart.to_ascii(70, 18);
+            assert!(!ascii.is_empty(), "{name} ascii failed");
+            let csv = chart.to_csv();
+            assert!(csv.starts_with("series,x,y\n"), "{name} csv failed");
+        }
+    }
+
+    #[test]
+    fn speedup_chart_has_ideal_line() {
+        let chart = speedup_chart(&ds(), &DataFilter::all());
+        assert_eq!(chart.series[0].label, "ideal");
+        assert_eq!(chart.series.len(), 3, "ideal + 2 SKUs");
+    }
+
+    #[test]
+    fn efficiency_chart_has_reference_rule() {
+        let chart = efficiency_chart(&ds(), &DataFilter::all());
+        assert_eq!(chart.href, Some(1.0));
+    }
+
+    #[test]
+    fn pareto_chart_contains_front_series() {
+        let chart = pareto_chart(&ds(), &DataFilter::all());
+        let front = chart.series.iter().find(|s| s.label == "pareto front").unwrap();
+        assert!(!front.points.is_empty());
+        // The HC44rs 1-node point (0.62, 700) is dominated by HBv3 1-node
+        // (0.40, 400): it must not be on the front.
+        assert!(!front.points.iter().any(|(c, _)| (*c - 0.62).abs() < 1e-9));
+    }
+
+    #[test]
+    fn subtitles_name_the_workload() {
+        let chart = time_vs_nodes_chart(&ds(), &DataFilter::all());
+        assert!(chart.subtitle.as_deref().unwrap_or("").contains("lammps"));
+    }
+}

@@ -1,0 +1,283 @@
+//! Scenario generation and the persistent task list.
+//!
+//! "The first step is to create the list of scenarios (or tasks) to be
+//! executed based on the main configuration file. Here we take all the VM
+//! types, number of nodes, processes per node, and application input
+//! parameters to generate all combinations. This list is recorded and
+//! stored in a JSON file. The list also contains the status of the task,
+//! which can be pending, failed, or completed." — paper, Section III-C.
+
+use crate::config::UserConfig;
+use crate::error::ToolError;
+use cloudsim::SkuCatalog;
+use hpcadvisor_formats::{json, OrderedMap, Value};
+
+/// Task status as recorded in the scenario list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioStatus {
+    /// Not yet executed.
+    Pending,
+    /// Executed successfully.
+    Completed,
+    /// Executed and failed (or could not run).
+    Failed,
+}
+
+impl ScenarioStatus {
+    /// The status string stored in the JSON task list.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ScenarioStatus::Pending => "pending",
+            ScenarioStatus::Completed => "completed",
+            ScenarioStatus::Failed => "failed",
+        }
+    }
+
+    /// Parses a stored status string.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "pending" => Some(ScenarioStatus::Pending),
+            "completed" => Some(ScenarioStatus::Completed),
+            "failed" => Some(ScenarioStatus::Failed),
+            _ => None,
+        }
+    }
+}
+
+/// One point of the configuration grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Stable id (1-based position in the generated list).
+    pub id: u32,
+    /// VM type.
+    pub sku: String,
+    /// Number of nodes.
+    pub nnodes: u32,
+    /// Processes per node (from `ppr` % of the SKU's cores).
+    pub ppn: u32,
+    /// Application input assignment for this point.
+    pub appinputs: Vec<(String, String)>,
+    /// Execution status.
+    pub status: ScenarioStatus,
+}
+
+impl Scenario {
+    /// Human-readable label, used as the batch task name.
+    pub fn label(&self, appname: &str) -> String {
+        let mut s = format!(
+            "{appname}-{}-n{}-ppn{}",
+            self.sku.to_ascii_lowercase().replace("standard_", ""),
+            self.nnodes,
+            self.ppn
+        );
+        for (k, v) in &self.appinputs {
+            s.push_str(&format!("-{k}={}", v.replace(' ', "_")));
+        }
+        s
+    }
+
+    /// Total MPI ranks.
+    pub fn ranks(&self) -> u64 {
+        self.nnodes as u64 * self.ppn as u64
+    }
+}
+
+/// Expands the configuration into the full scenario list.
+///
+/// The list is ordered SKU-major so Algorithm 1's pool reuse kicks in (one
+/// pool per VM type), then by node count ascending (pool grows, never
+/// shrinks, within one SKU — "the number of nodes ... is then incremented
+/// in the pool").
+pub fn generate_scenarios(
+    config: &UserConfig,
+    catalog: &SkuCatalog,
+) -> Result<Vec<Scenario>, ToolError> {
+    let mut out = Vec::new();
+    let mut id = 1u32;
+    let combos = input_combinations(&config.appinputs);
+    for sku_name in &config.skus {
+        let sku = catalog
+            .get(sku_name)
+            .ok_or_else(|| ToolError::Cloud(cloudsim::CloudError::UnknownSku(sku_name.clone())))?;
+        let ppn = (sku.cores * config.ppr / 100).max(1);
+        let mut nnodes = config.nnodes.clone();
+        nnodes.sort_unstable();
+        for n in nnodes {
+            for combo in &combos {
+                out.push(Scenario {
+                    id,
+                    sku: sku.name.clone(),
+                    nnodes: n,
+                    ppn,
+                    appinputs: combo.clone(),
+                    status: ScenarioStatus::Pending,
+                });
+                id += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Cartesian product over the input sweep.
+fn input_combinations(appinputs: &[(String, Vec<String>)]) -> Vec<Vec<(String, String)>> {
+    let mut combos: Vec<Vec<(String, String)>> = vec![Vec::new()];
+    for (key, values) in appinputs {
+        if values.is_empty() {
+            continue;
+        }
+        let mut next = Vec::with_capacity(combos.len() * values.len());
+        for combo in &combos {
+            for v in values {
+                let mut c = combo.clone();
+                c.push((key.clone(), v.clone()));
+                next.push(c);
+            }
+        }
+        combos = next;
+    }
+    combos
+}
+
+/// Serializes the scenario list to the tool's JSON task-list format.
+pub fn to_json(scenarios: &[Scenario]) -> String {
+    let items: Vec<Value> = scenarios
+        .iter()
+        .map(|s| {
+            let mut m = OrderedMap::new();
+            m.insert("id", Value::Int(s.id as i64));
+            m.insert("sku", Value::str(&s.sku));
+            m.insert("nnodes", Value::Int(s.nnodes as i64));
+            m.insert("ppn", Value::Int(s.ppn as i64));
+            let mut inputs = OrderedMap::new();
+            for (k, v) in &s.appinputs {
+                inputs.insert(k.clone(), Value::str(v));
+            }
+            m.insert("appinputs", Value::Map(inputs));
+            m.insert("status", Value::str(s.status.as_str()));
+            Value::Map(m)
+        })
+        .collect();
+    json::to_string_pretty(&Value::Seq(items))
+}
+
+/// Parses a stored scenario list.
+pub fn from_json(text: &str) -> Result<Vec<Scenario>, ToolError> {
+    let doc = json::parse(text)?;
+    let items = doc
+        .as_seq()
+        .ok_or_else(|| ToolError::Config("scenario list must be a JSON array".into()))?;
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let get_int = |k: &str| -> Result<i64, ToolError> {
+            item.get(k)
+                .and_then(|v| v.as_int())
+                .ok_or_else(|| ToolError::Config(format!("scenario missing integer '{k}'")))
+        };
+        let get_str = |k: &str| -> Result<String, ToolError> {
+            item.get(k)
+                .and_then(|v| v.as_str())
+                .map(|s| s.to_string())
+                .ok_or_else(|| ToolError::Config(format!("scenario missing string '{k}'")))
+        };
+        let mut appinputs = Vec::new();
+        if let Some(m) = item.get("appinputs").and_then(|v| v.as_map()) {
+            for (k, v) in m.iter() {
+                appinputs.push((k.to_string(), v.to_plain_string()));
+            }
+        }
+        let status_str = get_str("status")?;
+        out.push(Scenario {
+            id: get_int("id")? as u32,
+            sku: get_str("sku")?,
+            nnodes: get_int("nnodes")? as u32,
+            ppn: get_int("ppn")? as u32,
+            appinputs,
+            status: ScenarioStatus::parse(&status_str)
+                .ok_or_else(|| ToolError::Config(format!("bad status '{status_str}'")))?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing1_expands_to_36_scenarios() {
+        let config = UserConfig::example_openfoam();
+        let catalog = SkuCatalog::azure_hpc();
+        let scenarios = generate_scenarios(&config, &catalog).unwrap();
+        assert_eq!(scenarios.len(), 36);
+        // SKU-major ordering with ascending node counts inside each SKU.
+        assert!(scenarios[..12].iter().all(|s| s.sku == "Standard_HC44rs"));
+        let nodes: Vec<u32> = scenarios[..12].iter().map(|s| s.nnodes).collect();
+        assert_eq!(nodes, vec![1, 1, 2, 2, 3, 3, 4, 4, 8, 8, 16, 16]);
+        // ppn = 100% of cores.
+        assert_eq!(scenarios[0].ppn, 44);
+        assert_eq!(scenarios[12].ppn, 120);
+        // Ids are stable 1..=36.
+        assert_eq!(scenarios.first().unwrap().id, 1);
+        assert_eq!(scenarios.last().unwrap().id, 36);
+        assert!(scenarios.iter().all(|s| s.status == ScenarioStatus::Pending));
+    }
+
+    #[test]
+    fn ppr_scales_ppn() {
+        let mut config = UserConfig::example_openfoam();
+        config.ppr = 50;
+        let catalog = SkuCatalog::azure_hpc();
+        let scenarios = generate_scenarios(&config, &catalog).unwrap();
+        assert_eq!(scenarios[0].ppn, 22, "50% of HC44rs' 44 cores");
+        assert_eq!(scenarios[12].ppn, 60, "50% of 120 cores");
+    }
+
+    #[test]
+    fn multi_parameter_cartesian_product() {
+        let combos = input_combinations(&[
+            ("a".into(), vec!["1".into(), "2".into()]),
+            ("b".into(), vec!["x".into(), "y".into(), "z".into()]),
+        ]);
+        assert_eq!(combos.len(), 6);
+        assert!(combos.contains(&vec![("a".into(), "2".into()), ("b".into(), "y".into())]));
+    }
+
+    #[test]
+    fn unknown_sku_rejected() {
+        let mut config = UserConfig::example_openfoam();
+        config.skus.push("Standard_Bogus".into());
+        let catalog = SkuCatalog::azure_hpc();
+        assert!(generate_scenarios(&config, &catalog).is_err());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let config = UserConfig::example_openfoam();
+        let catalog = SkuCatalog::azure_hpc();
+        let mut scenarios = generate_scenarios(&config, &catalog).unwrap();
+        scenarios[3].status = ScenarioStatus::Completed;
+        scenarios[5].status = ScenarioStatus::Failed;
+        let text = to_json(&scenarios);
+        let back = from_json(&text).unwrap();
+        assert_eq!(scenarios, back);
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        let config = UserConfig::example_lammps();
+        let catalog = SkuCatalog::azure_hpc();
+        let scenarios = generate_scenarios(&config, &catalog).unwrap();
+        let s = scenarios.iter().find(|s| s.nnodes == 16 && s.sku.contains("v3")).unwrap();
+        assert_eq!(s.label("lammps"), "lammps-hb120rs_v3-n16-ppn120-BOXFACTOR=30");
+        assert_eq!(s.ranks(), 1920);
+    }
+
+    #[test]
+    fn status_parse_roundtrip() {
+        for s in [ScenarioStatus::Pending, ScenarioStatus::Completed, ScenarioStatus::Failed] {
+            assert_eq!(ScenarioStatus::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(ScenarioStatus::parse("running"), None);
+    }
+}

@@ -1,0 +1,138 @@
+//! A convenience wrapper tying the whole pipeline together: provider →
+//! deployment → scenarios → collector. This is the programmatic equivalent
+//! of the CLI sequence `deploy create && collect`.
+
+use crate::collector::{Collector, CollectorOptions};
+use crate::config::UserConfig;
+use crate::dataset::Dataset;
+use crate::deployment::DeploymentManager;
+use crate::error::ToolError;
+use crate::scenario::{generate_scenarios, Scenario};
+use batchsim::SharedProvider;
+use cloudsim::SkuCatalog;
+
+/// One end-to-end advisory session over a single deployment.
+pub struct Session {
+    manager: DeploymentManager,
+    collector: Collector,
+    scenarios: Vec<Scenario>,
+    deployment: String,
+    config: UserConfig,
+}
+
+impl Session {
+    /// Creates the cloud environment and expands the scenario grid.
+    pub fn create(config: UserConfig, seed: u64) -> Result<Self, ToolError> {
+        let mut manager = DeploymentManager::new(&config.subscription, &config.region, seed)?;
+        let deployment = manager.create(&config)?;
+        let scenarios = generate_scenarios(&config, &SkuCatalog::azure_hpc())?;
+        let collector = Collector::new(
+            manager.provider(),
+            &deployment,
+            config.clone(),
+            CollectorOptions {
+                experiment_seed: seed,
+                ..CollectorOptions::default()
+            },
+        )?;
+        Ok(Session {
+            manager,
+            collector,
+            scenarios,
+            deployment,
+            config,
+        })
+    }
+
+    /// The deployment (resource-group) name.
+    pub fn deployment(&self) -> &str {
+        &self.deployment
+    }
+
+    /// The configuration this session runs.
+    pub fn config(&self) -> &UserConfig {
+        &self.config
+    }
+
+    /// The scenario list with statuses.
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// The shared cloud provider (billing, clock, quotas).
+    pub fn provider(&self) -> SharedProvider {
+        self.manager.provider()
+    }
+
+    /// Mutable access to the collector (to register custom scripts).
+    pub fn collector_mut(&mut self) -> &mut Collector {
+        &mut self.collector
+    }
+
+    /// Runs all pending scenarios and returns the collected dataset.
+    pub fn collect(&mut self) -> Result<Dataset, ToolError> {
+        self.collector.collect(&mut self.scenarios)
+    }
+
+    /// Runs a chosen subset of scenario ids (used by smart sampling).
+    pub fn collect_subset(&mut self, ids: &[u32]) -> Result<Dataset, ToolError> {
+        self.collector.run_scenarios(&mut self.scenarios, ids)
+    }
+
+    /// Total cloud spend of this session so far (all VM usage, including
+    /// idle pool time — a superset of the per-task cost column).
+    pub fn total_cloud_cost(&self) -> f64 {
+        self.provider().lock().billing().total_cost()
+    }
+
+    /// Shuts the deployment down, deleting its resources.
+    pub fn shutdown(&mut self) -> Result<(), ToolError> {
+        let name = self.deployment.clone();
+        self.manager.shutdown(&name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioStatus;
+
+    #[test]
+    fn end_to_end_session() {
+        let config = UserConfig::example_lammps_small();
+        let mut session = Session::create(config, 42).unwrap();
+        assert_eq!(session.scenarios().len(), 3);
+        let ds = session.collect().unwrap();
+        assert_eq!(ds.len(), 3);
+        assert!(session
+            .scenarios()
+            .iter()
+            .all(|s| s.status == ScenarioStatus::Completed));
+        // Data collection costs real (simulated) money.
+        assert!(session.total_cloud_cost() > 0.0);
+        session.shutdown().unwrap();
+    }
+
+    #[test]
+    fn deterministic_across_sessions() {
+        let run = || {
+            let mut s = Session::create(UserConfig::example_lammps_small(), 123).unwrap();
+            let ds = s.collect().unwrap();
+            ds.points
+                .iter()
+                .map(|p| (p.nnodes, p.exec_time_secs, p.cost_dollars))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            let mut s = Session::create(UserConfig::example_lammps_small(), seed).unwrap();
+            let ds = s.collect().unwrap();
+            ds.points[0].exec_time_secs
+        };
+        assert_ne!(run(1), run(2));
+    }
+}

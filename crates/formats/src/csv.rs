@@ -1,0 +1,171 @@
+//! Minimal RFC 4180 CSV writer/reader for exported result tables.
+//!
+//! Cells containing commas, quotes or newlines are quoted; embedded quotes
+//! are doubled. The reader accepts both `\n` and `\r\n` row terminators.
+
+use crate::error::FormatError;
+
+/// Writes rows as CSV text. Every row is terminated with `\n`.
+pub fn write(rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_cell(&mut out, cell);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn write_cell(out: &mut String, cell: &str) {
+    let needs_quote = cell.contains([',', '"', '\n', '\r']);
+    if needs_quote {
+        out.push('"');
+        for c in cell.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(cell);
+    }
+}
+
+/// Parses CSV text into rows of cells.
+pub fn read(text: &str) -> Result<Vec<Vec<String>>, FormatError> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut cell = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut any_content = false;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cell.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    cell.push(c);
+                }
+                _ => cell.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if cell.is_empty() {
+                    in_quotes = true;
+                    any_content = true;
+                } else {
+                    return Err(FormatError::on_line(line, "quote inside unquoted cell"));
+                }
+            }
+            ',' => {
+                row.push(std::mem::take(&mut cell));
+                any_content = true;
+            }
+            '\r' => {
+                // Consumed as part of \r\n; a bare \r is treated the same.
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                row.push(std::mem::take(&mut cell));
+                rows.push(std::mem::take(&mut row));
+                line += 1;
+                any_content = false;
+            }
+            '\n' => {
+                row.push(std::mem::take(&mut cell));
+                rows.push(std::mem::take(&mut row));
+                line += 1;
+                any_content = false;
+            }
+            _ => {
+                cell.push(c);
+                any_content = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(FormatError::on_line(line, "unterminated quoted cell"));
+    }
+    if any_content || !cell.is_empty() || !row.is_empty() {
+        row.push(cell);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(cells: &[&str]) -> Vec<String> {
+        cells.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn simple_roundtrip() {
+        let rows = vec![row(&["a", "b", "c"]), row(&["1", "2", "3"])];
+        let text = write(&rows);
+        assert_eq!(text, "a,b,c\n1,2,3\n");
+        assert_eq!(read(&text).unwrap(), rows);
+    }
+
+    #[test]
+    fn quoting_special_cells() {
+        let rows = vec![row(&["has,comma", "has\"quote", "has\nnewline", "plain"])];
+        let text = write(&rows);
+        assert_eq!(read(&text).unwrap(), rows);
+        assert!(text.starts_with("\"has,comma\",\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn reads_crlf() {
+        let rows = read("a,b\r\nc,d\r\n").unwrap();
+        assert_eq!(rows, vec![row(&["a", "b"]), row(&["c", "d"])]);
+    }
+
+    #[test]
+    fn empty_cells_preserved() {
+        let rows = vec![row(&["", "x", ""])];
+        let text = write(&rows);
+        assert_eq!(read(&text).unwrap(), rows);
+    }
+
+    #[test]
+    fn empty_input_is_no_rows() {
+        assert!(read("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn final_row_without_newline() {
+        let rows = read("a,b\nc,d").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], row(&["c", "d"]));
+    }
+
+    #[test]
+    fn rejects_unterminated_quote() {
+        assert!(read("\"abc").is_err());
+    }
+
+    #[test]
+    fn rejects_quote_mid_cell() {
+        assert!(read("ab\"c,d").is_err());
+    }
+}

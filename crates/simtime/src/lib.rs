@@ -1,0 +1,89 @@
+//! Deterministic virtual time for the HPCAdvisor simulation stack.
+//!
+//! Every simulator in this workspace (the cloud provider, the batch
+//! orchestrator, the application performance models) operates in *virtual*
+//! time so that multi-hour cloud experiments replay in milliseconds and are
+//! bit-for-bit reproducible. This crate provides the shared vocabulary:
+//!
+//! * [`SimDuration`] / [`SimInstant`] — nanosecond-resolution time types with
+//!   the arithmetic the simulators need (no reliance on `std::time`, which
+//!   would tie results to the host clock).
+//! * [`Clock`] — a monotonically advancing virtual clock.
+//! * [`EventQueue`] — a deterministic discrete-event queue: events scheduled
+//!   for the same instant pop in insertion order (FIFO tiebreak), which keeps
+//!   multi-component simulations reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use simtime::{Clock, EventQueue, SimDuration};
+//!
+//! let mut clock = Clock::new();
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.schedule(clock.now() + SimDuration::from_secs(30), "vm booted");
+//! q.schedule(clock.now() + SimDuration::from_secs(5), "disk attached");
+//!
+//! let (t, ev) = q.pop().unwrap();
+//! clock.advance_to(t);
+//! assert_eq!(ev, "disk attached");
+//! assert_eq!(clock.now().as_secs_f64(), 5.0);
+//! ```
+
+mod clock;
+mod duration;
+mod instant;
+mod queue;
+mod shared;
+
+pub use clock::Clock;
+pub use duration::SimDuration;
+pub use instant::SimInstant;
+pub use queue::EventQueue;
+pub use shared::SharedClock;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Popping an event queue always yields non-decreasing timestamps.
+        #[test]
+        fn queue_pops_in_time_order(times in proptest::collection::vec(0u64..1_000_000, 1..64)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.schedule(SimInstant::from_nanos(*t), i);
+            }
+            let mut last = SimInstant::EPOCH;
+            while let Some((t, _)) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+            }
+        }
+
+        /// Duration addition is commutative within u64 range.
+        #[test]
+        fn duration_add_commutes(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+            let (da, db) = (SimDuration::from_nanos(a), SimDuration::from_nanos(b));
+            prop_assert_eq!(da + db, db + da);
+        }
+
+        /// Instant minus instant round-trips through duration addition.
+        #[test]
+        fn instant_difference_roundtrip(a in 0u64..u32::MAX as u64, d in 0u64..u32::MAX as u64) {
+            let start = SimInstant::from_nanos(a);
+            let later = start + SimDuration::from_nanos(d);
+            prop_assert_eq!(later - start, SimDuration::from_nanos(d));
+        }
+
+        /// `as_secs_f64` and `from_secs_f64` agree to nanosecond precision.
+        #[test]
+        fn secs_f64_roundtrip(ns in 0u64..1_000_000_000_000u64) {
+            let d = SimDuration::from_nanos(ns);
+            let rt = SimDuration::from_secs_f64(d.as_secs_f64());
+            let err = rt.as_nanos().abs_diff(ns);
+            // f64 has 52 bits of mantissa; allow a few ns of rounding.
+            prop_assert!(err <= 256, "err {err} ns");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Abstract syntax for task scripts.
+
+use crate::lexer::Word;
+
+/// A simple command: words that expand to `argv` at run time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Command {
+    /// The command words (first = program name after expansion).
+    pub words: Vec<Word>,
+}
+
+/// A pipeline: `cmd₀ | cmd₁ | …` with stdout threaded to stdin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pipeline {
+    /// Commands in pipeline order (never empty).
+    pub commands: Vec<Command>,
+}
+
+/// Connector between pipelines in a list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListOp {
+    /// `&&` — run next only on success.
+    And,
+    /// `||` — run next only on failure.
+    Or,
+    /// `;` — run unconditionally.
+    Seq,
+}
+
+/// `p₀ op₁ p₁ op₂ p₂ …`
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommandList {
+    /// The first pipeline.
+    pub first: Pipeline,
+    /// Remaining pipelines with their connectors.
+    pub rest: Vec<(ListOp, Pipeline)>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// A command list.
+    List(CommandList),
+    /// `NAME=word` or `export NAME=word`.
+    Assign {
+        /// Whether the variable is exported (visible to `mpirun` inputs).
+        export: bool,
+        /// Variable name.
+        name: String,
+        /// Unexpanded value.
+        value: Word,
+    },
+    /// `if c₁; then b₁; elif c₂; then b₂; …; else e; fi`
+    If {
+        /// `(condition, body)` per `if`/`elif` arm.
+        arms: Vec<(CommandList, Vec<Stmt>)>,
+        /// `else` body (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `return [word]`
+    Return(Option<Word>),
+    /// `name() { body }`
+    FuncDef {
+        /// Function name.
+        name: String,
+        /// Body statements.
+        body: Vec<Stmt>,
+    },
+    /// `for NAME in words…; do body; done`
+    For {
+        /// Loop variable name.
+        var: String,
+        /// Unexpanded item words (expanded and field-split at run time).
+        items: Vec<Word>,
+        /// Body statements.
+        body: Vec<Stmt>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::Segment;
+
+    #[test]
+    fn ast_shapes_construct() {
+        let cmd = Command {
+            words: vec![vec![Segment::Lit("echo".into())]],
+        };
+        let pipe = Pipeline {
+            commands: vec![cmd.clone(), cmd.clone()],
+        };
+        let list = CommandList {
+            first: pipe,
+            rest: vec![],
+        };
+        let stmt = Stmt::List(list);
+        assert!(matches!(stmt, Stmt::List(_)));
+    }
+}

@@ -1,0 +1,176 @@
+//! A tiny virtual filesystem for task scripts.
+//!
+//! Each HPCAdvisor job gets its own directory on the cluster's shared NFS;
+//! the setup task downloads inputs into the app's parent directory and run
+//! scripts copy them into the per-task directory (`cp ../in.lj.txt .` in the
+//! paper's Listing 2). This VFS reproduces those semantics: absolute paths,
+//! `.`/`..` resolution against a current directory, and implicit parent
+//! directories.
+
+use crate::error::ShellError;
+use std::collections::BTreeMap;
+
+/// In-memory filesystem: path → content.
+#[derive(Debug, Clone, Default)]
+pub struct Vfs {
+    files: BTreeMap<String, String>,
+    dirs: std::collections::BTreeSet<String>,
+}
+
+/// Normalizes `path` relative to `cwd`, resolving `.` and `..`.
+pub fn resolve(cwd: &str, path: &str) -> String {
+    let joined = if path.starts_with('/') {
+        path.to_string()
+    } else {
+        format!("{}/{}", cwd.trim_end_matches('/'), path)
+    };
+    let mut parts: Vec<&str> = Vec::new();
+    for part in joined.split('/') {
+        match part {
+            "" | "." => {}
+            ".." => {
+                parts.pop();
+            }
+            p => parts.push(p),
+        }
+    }
+    format!("/{}", parts.join("/"))
+}
+
+impl Vfs {
+    /// Creates an empty filesystem.
+    pub fn new() -> Self {
+        Vfs::default()
+    }
+
+    /// Writes (creates or replaces) a file at an absolute path.
+    pub fn write(&mut self, path: &str, content: impl Into<String>) {
+        let path = resolve("/", path);
+        // Implicit parent directories.
+        let mut acc = String::new();
+        for part in path.trim_start_matches('/').split('/') {
+            acc.push('/');
+            acc.push_str(part);
+        }
+        if let Some(idx) = acc.rfind('/') {
+            let mut dir = String::new();
+            for part in acc[..idx].trim_start_matches('/').split('/') {
+                if part.is_empty() {
+                    continue;
+                }
+                dir.push('/');
+                dir.push_str(part);
+                self.dirs.insert(dir.clone());
+            }
+        }
+        self.files.insert(path, content.into());
+    }
+
+    /// Reads a file at an absolute path.
+    pub fn read(&self, path: &str) -> Result<&str, ShellError> {
+        let path = resolve("/", path);
+        self.files
+            .get(&path)
+            .map(|s| s.as_str())
+            .ok_or(ShellError::NoSuchFile(path))
+    }
+
+    /// True if a file exists at the absolute path.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(&resolve("/", path))
+    }
+
+    /// Removes a file.
+    pub fn remove(&mut self, path: &str) -> Result<(), ShellError> {
+        let path = resolve("/", path);
+        self.files
+            .remove(&path)
+            .map(|_| ())
+            .ok_or(ShellError::NoSuchFile(path))
+    }
+
+    /// Registers a directory (mkdir -p semantics).
+    pub fn mkdir(&mut self, path: &str) {
+        let path = resolve("/", path);
+        let mut dir = String::new();
+        for part in path.trim_start_matches('/').split('/') {
+            if part.is_empty() {
+                continue;
+            }
+            dir.push('/');
+            dir.push_str(part);
+            self.dirs.insert(dir.clone());
+        }
+    }
+
+    /// True if a directory was created (explicitly or implicitly).
+    pub fn dir_exists(&self, path: &str) -> bool {
+        let path = resolve("/", path);
+        path == "/" || self.dirs.contains(&path)
+    }
+
+    /// Lists file paths under a directory prefix.
+    pub fn list(&self, dir: &str) -> Vec<&str> {
+        let prefix = format!("{}/", resolve("/", dir).trim_end_matches('/'));
+        self.files
+            .keys()
+            .filter(|p| p.starts_with(&prefix))
+            .map(|p| p.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_relative_paths() {
+        assert_eq!(resolve("/a/b", "c.txt"), "/a/b/c.txt");
+        assert_eq!(resolve("/a/b", "../c.txt"), "/a/c.txt");
+        assert_eq!(resolve("/a/b", "./c.txt"), "/a/b/c.txt");
+        assert_eq!(resolve("/a/b", "/abs.txt"), "/abs.txt");
+        assert_eq!(resolve("/", "../../up.txt"), "/up.txt");
+        assert_eq!(resolve("/a", "."), "/a");
+    }
+
+    #[test]
+    fn write_read_cycle() {
+        let mut fs = Vfs::new();
+        fs.write("/share/app/in.lj.txt", "variable x index 1\n");
+        assert_eq!(fs.read("/share/app/in.lj.txt").unwrap(), "variable x index 1\n");
+        assert!(fs.exists("/share/app/in.lj.txt"));
+        assert!(!fs.exists("/share/app/other.txt"));
+        assert!(fs.read("/nope").is_err());
+    }
+
+    #[test]
+    fn implicit_parent_dirs() {
+        let mut fs = Vfs::new();
+        fs.write("/a/b/c.txt", "x");
+        assert!(fs.dir_exists("/a"));
+        assert!(fs.dir_exists("/a/b"));
+        assert!(!fs.dir_exists("/a/b/c.txt"));
+    }
+
+    #[test]
+    fn listing_and_removal() {
+        let mut fs = Vfs::new();
+        fs.write("/d/one", "1");
+        fs.write("/d/two", "2");
+        fs.write("/e/three", "3");
+        assert_eq!(fs.list("/d"), vec!["/d/one", "/d/two"]);
+        fs.remove("/d/one").unwrap();
+        assert_eq!(fs.list("/d"), vec!["/d/two"]);
+        assert!(fs.remove("/d/one").is_err());
+    }
+
+    #[test]
+    fn mkdir_p() {
+        let mut fs = Vfs::new();
+        fs.mkdir("/x/y/z");
+        assert!(fs.dir_exists("/x"));
+        assert!(fs.dir_exists("/x/y/z"));
+        assert!(fs.dir_exists("/"));
+    }
+}

@@ -1,0 +1,67 @@
+//! The paper's opening vision, implemented: "With a substantial database of
+//! historical executions … it may be possible to generate this list of
+//! resource options **without the need for additional testing or
+//! execution**."
+//!
+//! 1. Build a "historical database" by sweeping LAMMPS boxes 12/16/20 at
+//!    2–8 nodes (this is the data an organisation accumulates over time).
+//! 2. A user shows up with a *new* problem size (box 14) and wants advice
+//!    for node counts up to 16 — including configurations never measured.
+//! 3. Train the log-space regression predictor on the history and emit a
+//!    predicted Pareto front: **zero new cloud executions, zero dollars**.
+//! 4. (For honesty:) actually run the sweep too, and compare.
+//!
+//! Run with: `cargo run --example advice_from_history`
+
+use hpcadvisor::core::predictor::advise_from_history;
+use hpcadvisor::core::predictor::HistoryPredictor;
+use hpcadvisor::prelude::*;
+
+fn main() -> Result<(), ToolError> {
+    // 1. The historical database.
+    let mut history_config = UserConfig::example_lammps();
+    history_config.skus = vec!["Standard_HB120rs_v3".into(), "Standard_HC44rs".into()];
+    history_config.nnodes = vec![2, 4, 8];
+    history_config.appinputs = vec![(
+        "BOXFACTOR".into(),
+        vec!["12".into(), "16".into(), "20".into()],
+    )];
+    let mut history_session = Session::create(history_config, 7)?;
+    let history = history_session.collect()?;
+    let history_cost = history_session.total_cloud_cost();
+    println!(
+        "historical database: {} runs collected over time (cloud spend ${history_cost:.2})",
+        history.len()
+    );
+
+    let predictor = HistoryPredictor::train(&history, "lammps")?;
+    println!(
+        "trained log-space regression on {} rows (in-sample error {:.1}%)\n",
+        predictor.training_rows,
+        predictor.training_error * 100.0
+    );
+
+    // 2–3. Advice for a NEW input, with zero executions.
+    let mut target = UserConfig::example_lammps();
+    target.skus = vec!["Standard_HB120rs_v3".into(), "Standard_HC44rs".into()];
+    target.nnodes = vec![2, 4, 8, 16];
+    target.appinputs = vec![("BOXFACTOR".into(), vec!["14".into()])];
+    let (predicted, _) = advise_from_history(&target, &history)?;
+    println!("PREDICTED advice for box=14 (zero executions, $0.00):");
+    println!("{}", predicted.render_text());
+
+    // 4. Ground truth.
+    let mut session = Session::create(target, 7)?;
+    let measured_ds = session.collect()?;
+    let measured = Advice::from_dataset(&measured_ds, &DataFilter::all());
+    println!(
+        "MEASURED advice (running all 8 scenarios cost ${:.2}):",
+        session.total_cloud_cost()
+    );
+    println!("{}", measured.render_text());
+    println!(
+        "front regret of the free advice vs. measured: {:.1}%",
+        front_regret(&measured, &predicted) * 100.0
+    );
+    Ok(())
+}

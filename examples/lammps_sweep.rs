@@ -1,0 +1,65 @@
+//! Reproduces the paper's LAMMPS experiment (Figures 2–5 and Listing 4):
+//! the official Lennard-Jones benchmark with the box multiplied ×30
+//! (≈ 864 million atoms) on three InfiniBand SKUs — HC44rs (44 cores),
+//! HB120rs_v2 (120) and HB120rs_v3 (120) — at 1…16 nodes, up to 1,920
+//! cores.
+//!
+//! Writes the four figures as SVG/CSV into `target/paper-figures/` and
+//! prints the advice table next to the paper's published values.
+//!
+//! Run with: `cargo run --example lammps_sweep`
+
+use hpcadvisor::prelude::*;
+
+fn main() -> Result<(), ToolError> {
+    let config = UserConfig::example_lammps();
+    println!(
+        "LAMMPS LJ ×30 (≈864M atoms): {} scenarios, up to {} cores\n",
+        config.scenario_count(),
+        16 * 120
+    );
+
+    let mut session = Session::create(config, 7)?;
+    let dataset = session.collect()?;
+    let filter = DataFilter::all();
+
+    // Figures 2–5 plus the Fig. 6 Pareto plot.
+    let out_dir = std::path::Path::new("target/paper-figures");
+    std::fs::create_dir_all(out_dir)?;
+    for (name, chart) in plot::all_charts(&dataset, &filter) {
+        std::fs::write(out_dir.join(format!("lammps_{name}.svg")), chart.to_svg(800, 500))?;
+        std::fs::write(out_dir.join(format!("lammps_{name}.csv")), chart.to_csv())?;
+    }
+    println!("figures written to {}/lammps_*.svg\n", out_dir.display());
+
+    // The measured time-vs-nodes series (Fig. 2 data).
+    println!("Execution time vs nodes (Fig. 2 series):");
+    for series in metrics::time_vs_nodes(&dataset, &filter) {
+        let pts: Vec<String> = series
+            .points
+            .iter()
+            .map(|(n, t)| format!("{n:.0}n={t:.0}s"))
+            .collect();
+        println!("  {:<12} {}", series.sku, pts.join("  "));
+    }
+
+    // Superlinear check (Fig. 5): the paper observes efficiency > 1.
+    let superlinear = metrics::efficiency(&dataset, &filter)
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(_, e)| *e).collect::<Vec<_>>())
+        .any(|e| e > 1.0);
+    println!("\nefficiency > 1 observed somewhere: {superlinear}");
+
+    // Listing 4 comparison.
+    let advice = Advice::from_dataset(&dataset, &filter);
+    println!("\nAdvice (measured Pareto front):\n{}", advice.render_text());
+    println!("Paper Listing 4 (for comparison):");
+    println!("Exectime(s)  Cost($)  Nodes  SKU");
+    println!("36           0.5760   16     hb120rs_v3");
+    println!("69           0.5520   8      hb120rs_v3");
+    println!("132          0.5280   4      hb120rs_v3");
+    println!("173          0.5190   3      hb120rs_v3");
+
+    session.shutdown()?;
+    Ok(())
+}

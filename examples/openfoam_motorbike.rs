@@ -1,0 +1,47 @@
+//! Reproduces the paper's OpenFOAM experiment (Listing 3): the motorBike
+//! tutorial with `BLOCKMESH_DIMENSIONS = "40 16 16"` (≈ 8 million cells)
+//! swept over three SKUs and six node counts, advice sorted fastest-first.
+//!
+//! Also demonstrates the Slurm-recipe generation the paper lists as future
+//! work ("comprehensive advice").
+//!
+//! Run with: `cargo run --example openfoam_motorbike`
+
+use hpcadvisor::prelude::*;
+
+fn main() -> Result<(), ToolError> {
+    let config = UserConfig::example_openfoam_motorbike();
+    let mut session = Session::create(config, 7)?;
+    let dataset = session.collect()?;
+
+    let filter = DataFilter::parse("appname=openfoam,mesh=40 16 16")?;
+    let advice = Advice::from_dataset(&dataset, &filter);
+    println!("Advice for motorBike @ 8M cells (measured):\n{}", advice.render_text());
+    println!("Paper Listing 3 (for comparison):");
+    println!("Exectime(s)  Cost($)  Nodes  SKU");
+    println!("34           0.5440   16     hb120rs_v3");
+    println!("38           0.3040   8      hb120rs_v2");
+    println!("48           0.1920   4      hb120rs_v3");
+    println!("59           0.1770   3      hb120rs_v3\n");
+
+    // Cheapest-first view (the tool's --sort cost option).
+    let by_cost = Advice::from_dataset_sorted(&dataset, &filter, AdviceSort::ByCost);
+    if let Some(cheapest) = by_cost.rows.first() {
+        println!(
+            "cheapest Pareto-efficient option: {} nodes of {} at ${:.4} ({:.0}s)",
+            cheapest.nodes, cheapest.sku, cheapest.cost_dollars, cheapest.exec_time_secs
+        );
+    }
+
+    // Future-work feature: turn the fastest row into ready-to-use recipes —
+    // a Slurm job script and a cluster-creation script.
+    if let Some(fastest) = advice.rows.first() {
+        println!("\nGenerated Slurm recipe for the fastest option:\n");
+        println!("{}", advice.slurm_recipe(fastest, "openfoam"));
+        println!("Generated cluster-creation recipe:\n");
+        println!("{}", advice.cluster_recipe(fastest, "openfoam", "southcentralus"));
+    }
+
+    session.shutdown()?;
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Quickstart: the whole advisory pipeline in ~40 lines.
+//!
+//! Parses a Listing-1-style YAML configuration, deploys the (simulated)
+//! cloud environment, collects data for every scenario, and prints the
+//! Pareto-front advice table plus one ASCII plot.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use hpcadvisor::prelude::*;
+
+fn main() -> Result<(), ToolError> {
+    // The main user input: the paper's Listing 1 format.
+    let config = UserConfig::from_yaml(
+        r#"
+subscription: mysubscription
+skus:
+- Standard_HB120rs_v3
+- Standard_HC44rs
+rgprefix: quickstart
+appsetupurl: https://example.com/scripts/lammps.sh
+nnodes: [1, 2, 4, 8]
+appname: lammps
+region: southcentralus
+ppr: 100
+appinputs:
+  BOXFACTOR: "12"
+"#,
+    )?;
+    println!(
+        "configuration: {} scenarios ({} SKUs × {} node counts)",
+        config.scenario_count(),
+        config.skus.len(),
+        config.nnodes.len()
+    );
+
+    // Deploy the environment (resource group, VNet, storage, batch) and
+    // expand the scenario grid.
+    let mut session = Session::create(config, 42)?;
+    println!("deployment '{}' is up; collecting…\n", session.deployment());
+
+    // Algorithm 1: pools per VM type, one setup task per pool, one compute
+    // task per scenario, all in virtual time.
+    let dataset = session.collect()?;
+
+    // Advice: the Pareto front over (execution time, cost).
+    let advice = Advice::from_dataset(&dataset, &DataFilter::all());
+    println!("{}", advice.render_text());
+
+    // One of the four auto-generated plots, in terminal form.
+    let chart = plot::time_vs_nodes_chart(&dataset, &DataFilter::all());
+    println!("{}", chart.to_ascii(72, 18));
+
+    println!(
+        "total (simulated) cloud spend for the sweep: ${:.2}",
+        session.total_cloud_cost()
+    );
+    session.shutdown()?;
+    Ok(())
+}

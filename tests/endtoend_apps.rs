@@ -1,0 +1,114 @@
+//! End-to-end deploy → collect → advise for every modelled application,
+//! exercising each bundled script, each log-scraping pipeline and each
+//! performance model through the full stack.
+
+use hpcadvisor::prelude::*;
+
+fn config_for(app: &str, inputs: &[(&str, &str)]) -> UserConfig {
+    let mut input_yaml = String::new();
+    for (k, v) in inputs {
+        input_yaml.push_str(&format!("  {k}: \"{v}\"\n"));
+    }
+    UserConfig::from_yaml(&format!(
+        r#"
+subscription: mysubscription
+skus:
+- Standard_HB120rs_v3
+rgprefix: e2e{app}
+appsetupurl: https://example.com/scripts/{app}.sh
+nnodes: [1, 2, 4]
+appname: {app}
+region: southcentralus
+ppr: 100
+appinputs:
+{input_yaml}
+"#
+    ))
+    .unwrap()
+}
+
+fn run_app(app: &str, inputs: &[(&str, &str)]) -> (Dataset, Advice) {
+    let mut session = Session::create(config_for(app, inputs), 7).unwrap();
+    let ds = session.collect().unwrap();
+    let advice = Advice::from_dataset(&ds, &DataFilter::all());
+    (ds, advice)
+}
+
+#[test]
+fn lammps_end_to_end() {
+    let (ds, advice) = run_app("lammps", &[("BOXFACTOR", "8")]);
+    assert_eq!(ds.completed().len(), 3);
+    assert!(!advice.rows.is_empty());
+    assert!(ds.points[0].metric("LAMMPSATOMS").is_some());
+}
+
+#[test]
+fn openfoam_end_to_end() {
+    let (ds, advice) = run_app("openfoam", &[("mesh", "20 8 8")]);
+    assert_eq!(ds.completed().len(), 3);
+    assert!(!advice.rows.is_empty());
+    assert!(ds.points[0].metric("OFCELLS").is_some());
+}
+
+#[test]
+fn wrf_end_to_end() {
+    let (ds, advice) = run_app("wrf", &[("resolution_km", "12"), ("hours", "3")]);
+    assert_eq!(ds.completed().len(), 3);
+    assert!(!advice.rows.is_empty());
+    assert!(ds.points[0].metric("WRFSTEPS").is_some());
+}
+
+#[test]
+fn gromacs_end_to_end() {
+    let (ds, advice) = run_app("gromacs", &[("atoms", "1000000"), ("steps", "5000")]);
+    assert_eq!(ds.completed().len(), 3);
+    assert!(!advice.rows.is_empty());
+    assert!(ds.points[0].metric("GMXNSPERDAY").is_some());
+}
+
+#[test]
+fn namd_end_to_end() {
+    let (ds, advice) = run_app("namd", &[("atoms", "1066628"), ("steps", "500")]);
+    assert_eq!(ds.completed().len(), 3);
+    assert!(!advice.rows.is_empty());
+}
+
+#[test]
+fn matmul_end_to_end() {
+    let (ds, advice) = run_app("matmul", &[("n", "40000")]);
+    assert_eq!(ds.completed().len(), 3);
+    assert!(!advice.rows.is_empty());
+    assert!(ds.points[0].metric("GFLOPS").is_some());
+}
+
+#[test]
+fn every_completed_point_has_infra_metrics() {
+    for (app, inputs) in [
+        ("lammps", vec![("BOXFACTOR", "8")]),
+        ("gromacs", vec![("atoms", "500000")]),
+    ] {
+        let (ds, _) = run_app(app, &inputs);
+        for p in ds.completed() {
+            for key in ["cpu", "membw", "net", "bottleneck"] {
+                assert!(p.infra_metric(key).is_some(), "{app} missing infra '{key}'");
+            }
+            let cpu: f64 = p.infra_metric("cpu").unwrap().parse().unwrap();
+            assert!((0.0..=1.0).contains(&cpu));
+        }
+    }
+}
+
+#[test]
+fn multi_input_sweep_produces_distinct_series() {
+    let config = config_for("lammps", &[]);
+    let mut config = config;
+    config.appinputs = vec![("BOXFACTOR".into(), vec!["6".into(), "10".into()])];
+    let mut session = Session::create(config, 7).unwrap();
+    let ds = session.collect().unwrap();
+    assert_eq!(ds.completed().len(), 6);
+    let small = DataFilter::parse("BOXFACTOR=6").unwrap();
+    let large = DataFilter::parse("BOXFACTOR=10").unwrap();
+    let t_small = ds.filter(&small).iter().map(|p| p.exec_time_secs).sum::<f64>();
+    let t_large = ds.filter(&large).iter().map(|p| p.exec_time_secs).sum::<f64>();
+    assert!(t_large > 2.0 * t_small, "bigger input must cost more");
+}

@@ -1,0 +1,128 @@
+//! E9/E10: the paper's advice tables (Listings 3 and 4) reproduced
+//! end-to-end — config → deployment → Algorithm 1 → Pareto front.
+
+use hpcadvisor::prelude::*;
+
+/// Canonical experiment seed used across the repo's paper artifacts.
+const SEED: u64 = 7;
+
+#[test]
+fn listing4_lammps_front() {
+    // 3 SKUs × 6 node counts × LJ ×30 (E10).
+    let mut session = Session::create(UserConfig::example_lammps(), SEED).unwrap();
+    let ds = session.collect().unwrap();
+    let advice = Advice::from_dataset(&ds, &DataFilter::all());
+
+    // Paper Listing 4: four rows, all HB120rs_v3, at 16/8/4/3 nodes,
+    // fastest-first with cost decreasing down the table.
+    assert_eq!(advice.rows.len(), 4, "{}", advice.render_text());
+    assert!(advice.rows.iter().all(|r| r.sku == "hb120rs_v3"));
+    let nodes: Vec<u32> = advice.rows.iter().map(|r| r.nodes).collect();
+    assert_eq!(nodes, vec![16, 8, 4, 3]);
+    for w in advice.rows.windows(2) {
+        assert!(w[0].exec_time_secs < w[1].exec_time_secs);
+        assert!(w[0].cost_dollars > w[1].cost_dollars);
+    }
+    // Quantitative shape: paper 36/69/132/173 s and $0.576/0.552/0.528/0.519.
+    let paper = [(36.0, 0.576), (69.0, 0.552), (132.0, 0.528), (173.0, 0.519)];
+    for (row, (pt, pc)) in advice.rows.iter().zip(paper) {
+        let t_ratio = row.exec_time_secs / pt;
+        let c_ratio = row.cost_dollars / pc;
+        assert!((0.75..1.25).contains(&t_ratio), "time {} vs paper {pt}", row.exec_time_secs);
+        assert!((0.75..1.25).contains(&c_ratio), "cost {} vs paper {pc}", row.cost_dollars);
+    }
+}
+
+#[test]
+fn listing4_low_node_runs_fail_or_lose() {
+    // The paper's front starts at 3 nodes: 1 node cannot hold 864M atoms
+    // and 2 nodes is memory-pressured off the front.
+    let mut session = Session::create(UserConfig::example_lammps(), SEED).unwrap();
+    let ds = session.collect().unwrap();
+    let one_node_v3 = ds
+        .points
+        .iter()
+        .find(|p| p.nnodes == 1 && p.sku.contains("v3"))
+        .unwrap();
+    assert_eq!(one_node_v3.status, ScenarioStatus::Failed, "1 node must OOM");
+    let advice = Advice::from_dataset(&ds, &DataFilter::all());
+    assert!(!advice.rows.iter().any(|r| r.nodes < 3));
+}
+
+#[test]
+fn listing3_openfoam_front() {
+    // motorBike @ 8M cells (E9).
+    let mut session = Session::create(UserConfig::example_openfoam_motorbike(), SEED).unwrap();
+    let ds = session.collect().unwrap();
+    let advice = Advice::from_dataset(&ds, &DataFilter::all());
+    assert!(advice.rows.len() >= 4, "{}", advice.render_text());
+
+    // Paper's four rows (16/8/4/3 nodes at 34/38/48/59 s): our front must
+    // contain matching configurations at matching times/costs. The paper's
+    // 8-node row is HB120rs_v2 — a run-to-run-noise artifact the physical
+    // model resolves in favour of v3 (same price, bigger cache); accept
+    // either SKU at 8 nodes.
+    let paper = [
+        (16u32, 34.0, 0.544),
+        (8, 38.0, 0.304),
+        (4, 48.0, 0.192),
+        (3, 59.0, 0.177),
+    ];
+    for (nodes, pt, pc) in paper {
+        let row = advice
+            .rows
+            .iter()
+            .find(|r| r.nodes == nodes)
+            .unwrap_or_else(|| panic!("no {nodes}-node row in front:\n{}", advice.render_text()));
+        assert!(
+            row.sku == "hb120rs_v3" || row.sku == "hb120rs_v2",
+            "{nodes}-node row is {}",
+            row.sku
+        );
+        let t_ratio = row.exec_time_secs / pt;
+        let c_ratio = row.cost_dollars / pc;
+        assert!((0.7..1.3).contains(&t_ratio), "{nodes}n time {} vs {pt}", row.exec_time_secs);
+        assert!((0.7..1.3).contains(&c_ratio), "{nodes}n cost {} vs {pc}", row.cost_dollars);
+    }
+    // HC44rs never reaches the OpenFOAM front (memory-starved Xeon).
+    assert!(!advice.rows.iter().any(|r| r.sku == "hc44rs"));
+}
+
+#[test]
+fn openfoam_scaling_flatter_than_lammps() {
+    // The cross-application contrast that motivates per-app advice: from 3
+    // to 16 nodes LAMMPS gains ~4.3×, OpenFOAM only ~1.7× (paper numbers).
+    let speedup_3_to_16 = |config: UserConfig| {
+        let mut s = Session::create(config, SEED).unwrap();
+        let ds = s.collect().unwrap();
+        let t = |n: u32| {
+            ds.points
+                .iter()
+                .find(|p| p.nnodes == n && p.sku.contains("v3"))
+                .map(|p| p.exec_time_secs)
+                .unwrap()
+        };
+        t(3) / t(16)
+    };
+    let lammps = speedup_3_to_16(UserConfig::example_lammps());
+    let openfoam = speedup_3_to_16(UserConfig::example_openfoam_motorbike());
+    assert!(lammps > 3.5, "LAMMPS 3→16 speedup {lammps:.2}");
+    assert!(openfoam < 2.2, "OpenFOAM 3→16 speedup {openfoam:.2}");
+}
+
+#[test]
+fn sort_by_cost_option() {
+    // "the tool has the option to have the data sorted by cost as well".
+    use hpcadvisor::prelude::AdviceSort;
+    let mut session = Session::create(UserConfig::example_lammps(), SEED).unwrap();
+    let ds = session.collect().unwrap();
+    let by_cost = Advice::from_dataset_sorted(
+        &ds,
+        &DataFilter::all(),
+        AdviceSort::ByCost,
+    );
+    for w in by_cost.rows.windows(2) {
+        assert!(w[0].cost_dollars <= w[1].cost_dollars);
+    }
+    assert_eq!(by_cost.rows.last().unwrap().nodes, 16, "fastest is costliest");
+}

@@ -1,0 +1,95 @@
+//! Property tests over the full stack: random (small) configurations must
+//! collect cleanly, persist losslessly, and keep the Pareto-front
+//! invariants.
+
+use hpcadvisor::prelude::*;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = UserConfig> {
+    let sku = prop_oneof![
+        Just("Standard_HB120rs_v3"),
+        Just("Standard_HB120rs_v2"),
+        Just("Standard_HC44rs"),
+        Just("Standard_F72s_v2"),
+    ];
+    let app_inputs = prop_oneof![
+        (4u32..14).prop_map(|b| ("lammps", vec![("BOXFACTOR".to_string(), b.to_string())])),
+        (8u32..24).prop_map(|x| {
+            ("openfoam", vec![("mesh".to_string(), format!("{x} 8 8"))])
+        }),
+        (100_000u64..2_000_000)
+            .prop_map(|a| ("gromacs", vec![("atoms".to_string(), a.to_string())])),
+        (4_000u64..40_000).prop_map(|n| ("matmul", vec![("n".to_string(), n.to_string())])),
+    ];
+    (
+        proptest::collection::vec(sku, 1..3),
+        proptest::collection::vec(1u32..9, 1..3),
+        app_inputs,
+        1u64..1000,
+        prop_oneof![Just(50u32), Just(100u32)],
+    )
+        .prop_map(|(mut skus, mut nnodes, (app, inputs), seed, ppr)| {
+            skus.dedup();
+            nnodes.sort_unstable();
+            nnodes.dedup();
+            let mut c = UserConfig::from_yaml(&format!(
+                "subscription: mysubscription\nrgprefix: prop\nappsetupurl: https://example.com/scripts/{app}.sh\nappname: {app}\nregion: southcentralus\nskus:\n- placeholder\nnnodes: [1]\n",
+            ))
+            .unwrap();
+            c.skus = skus.iter().map(|s| s.to_string()).collect();
+            c.nnodes = nnodes;
+            c.ppr = ppr;
+            c.appinputs = inputs.into_iter().map(|(k, v)| (k, vec![v])).collect();
+            c.tags = vec![("seed".into(), seed.to_string())];
+            (c, seed)
+        })
+        .prop_map(|(c, _)| c)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any small configuration collects without panicking, every scenario
+    /// reaches a terminal state, and the dataset round-trips through JSON.
+    #[test]
+    fn random_configs_collect_cleanly(config in arb_config(), seed in 1u64..500) {
+        let mut session = Session::create(config.clone(), seed).unwrap();
+        let ds = session.collect().unwrap();
+        prop_assert_eq!(ds.len(), config.scenario_count());
+        for s in session.scenarios() {
+            prop_assert!(s.status != ScenarioStatus::Pending);
+        }
+        // Completed rows have positive time and cost consistent with the
+        // price × nodes × time formula.
+        for p in ds.completed() {
+            prop_assert!(p.exec_time_secs > 0.0);
+            prop_assert!(p.cost_dollars > 0.0);
+        }
+        // JSON round-trip.
+        let back = Dataset::from_json(&ds.to_json()).unwrap();
+        prop_assert_eq!(&back, &ds);
+        // Pareto-front invariants on whatever completed.
+        let advice = Advice::from_dataset(&ds, &DataFilter::all());
+        for a in &advice.rows {
+            for b in &advice.rows {
+                let dominates = a.cost_dollars <= b.cost_dollars
+                    && a.exec_time_secs <= b.exec_time_secs
+                    && (a.cost_dollars < b.cost_dollars || a.exec_time_secs < b.exec_time_secs);
+                prop_assert!(
+                    !dominates || std::ptr::eq(a, b),
+                    "front rows dominate each other"
+                );
+            }
+        }
+    }
+
+    /// Collection is a pure function of (config, seed).
+    #[test]
+    fn collection_is_deterministic(config in arb_config(), seed in 1u64..500) {
+        let run = || {
+            let mut s = Session::create(config.clone(), seed).unwrap();
+            s.collect().unwrap().to_json()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
