@@ -153,7 +153,10 @@ mod tests {
         let t1 = reg.run("gromacs", &m, 1, 120, &i, 0).unwrap().wall_secs;
         let t16 = reg.run("gromacs", &m, 16, 120, &i, 0).unwrap().wall_secs;
         let speedup = t1 / t16;
-        assert!(speedup < 12.0, "1M atoms over 1920 ranks cannot scale freely, got {speedup:.1}×");
+        assert!(
+            speedup < 12.0,
+            "1M atoms over 1920 ranks cannot scale freely, got {speedup:.1}×"
+        );
         assert!(speedup > 2.0, "some scaling must remain, got {speedup:.1}×");
     }
 

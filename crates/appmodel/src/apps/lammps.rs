@@ -216,7 +216,9 @@ mod tests {
     fn invalid_inputs_rejected() {
         assert!(Lammps.work(&inputs(&[("BOXFACTOR", "0")])).is_err());
         assert!(Lammps.work(&inputs(&[("BOXFACTOR", "abc")])).is_err());
-        assert!(Lammps.work(&inputs(&[("BOXFACTOR", "5"), ("steps", "0")])).is_err());
+        assert!(Lammps
+            .work(&inputs(&[("BOXFACTOR", "5"), ("steps", "0")]))
+            .is_err());
         // Missing BOXFACTOR defaults to the stock box.
         let w = Lammps.work(&inputs(&[])).unwrap();
         assert_eq!((w.working_set_bytes / BYTES_PER_ATOM) as u64, 32_000);

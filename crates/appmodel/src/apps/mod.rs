@@ -140,7 +140,14 @@ impl AppRegistry {
             });
         }
         let engine = execute_profile(&work, machine, nodes, ppn);
-        let seed = scenario_seed(model.name(), &machine.sku_name, nodes, ppn, inputs, experiment_seed);
+        let seed = scenario_seed(
+            model.name(),
+            &machine.sku_name,
+            nodes,
+            ppn,
+            inputs,
+            experiment_seed,
+        );
         let wall_secs = engine.wall_secs * noise_factor(seed);
         let ranks = nodes as u64 * ppn as u64;
         let log = model.render_log(&work, ranks, wall_secs);
@@ -186,7 +193,12 @@ pub(crate) fn lookup<'a>(inputs: &'a Inputs, key: &str) -> Option<&'a str> {
 /// Formats seconds as LAMMPS' `H:MM:SS` wall-time notation.
 pub(crate) fn hms(secs: f64) -> String {
     let total = secs.round().max(0.0) as u64;
-    format!("{}:{:02}:{:02}", total / 3600, (total % 3600) / 60, total % 60)
+    format!(
+        "{}:{:02}:{:02}",
+        total / 3600,
+        (total % 3600) / 60,
+        total % 60
+    )
 }
 
 #[cfg(test)]
@@ -286,7 +298,9 @@ mod tests {
             ("namd", inputs(&[])),
             ("matmul", inputs(&[("n", "20000")])),
         ] {
-            let run = reg.run(app, &m, 2, 120, &input, 5).unwrap_or_else(|e| panic!("{app}: {e}"));
+            let run = reg
+                .run(app, &m, 2, 120, &input, 5)
+                .unwrap_or_else(|e| panic!("{app}: {e}"));
             assert!(run.wall_secs > 0.0, "{app} produced zero time");
             assert!(!run.log.is_empty(), "{app} produced no log");
             assert!(

@@ -135,8 +135,15 @@ mod tests {
         // Compare per-step times: at 500–1000 steps both runs are dominated
         // by fixed startup, which would mask the scaling difference.
         let speedup = |app: &str| {
-            reg.run(app, &m, 1, 120, &i, 0).unwrap().engine.per_step_secs
-                / reg.run(app, &m, 8, 120, &i, 0).unwrap().engine.per_step_secs
+            reg.run(app, &m, 1, 120, &i, 0)
+                .unwrap()
+                .engine
+                .per_step_secs
+                / reg
+                    .run(app, &m, 8, 120, &i, 0)
+                    .unwrap()
+                    .engine
+                    .per_step_secs
         };
         let namd = speedup("namd");
         let gmx = speedup("gromacs");

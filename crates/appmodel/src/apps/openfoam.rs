@@ -15,8 +15,8 @@
 use super::{hms, lookup, parse_input_or, AppModel};
 use crate::error::ModelError;
 use crate::work::{CollectiveSpec, HaloSpec, WorkProfile};
-use cloudsim::CpuArch;
 use crate::Inputs;
+use cloudsim::CpuArch;
 
 /// snappyHexMesh refinement multiplier over the background block mesh.
 const CELLS_PER_BLOCK_CELL: f64 = 780.0;
@@ -204,8 +204,14 @@ mod tests {
         let m = v3();
         let of_in = inputs(&[("mesh", "40 16 16")]);
         let lj_in = inputs(&[("BOXFACTOR", "30")]);
-        let of = reg.run("openfoam", &m, 3, 120, &of_in, 0).unwrap().wall_secs
-            / reg.run("openfoam", &m, 16, 120, &of_in, 0).unwrap().wall_secs;
+        let of = reg
+            .run("openfoam", &m, 3, 120, &of_in, 0)
+            .unwrap()
+            .wall_secs
+            / reg
+                .run("openfoam", &m, 16, 120, &of_in, 0)
+                .unwrap()
+                .wall_secs;
         let lj = reg.run("lammps", &m, 3, 120, &lj_in, 0).unwrap().wall_secs
             / reg.run("lammps", &m, 16, 120, &lj_in, 0).unwrap().wall_secs;
         assert!(of < 0.75 * lj, "OpenFOAM speedup {of:.2} vs LAMMPS {lj:.2}");

@@ -153,7 +153,10 @@ mod tests {
         let reg = AppRegistry::standard();
         let m = v3();
         let i = inputs(&[("resolution_km", "1"), ("hours", "1")]);
-        assert!(reg.run("wrf", &m, 1, 120, &i, 0).is_err(), "1 node must OOM");
+        assert!(
+            reg.run("wrf", &m, 1, 120, &i, 0).is_err(),
+            "1 node must OOM"
+        );
         assert!(reg.run("wrf", &m, 16, 120, &i, 0).is_ok());
     }
 
@@ -174,7 +177,10 @@ mod tests {
         let t2 = reg.run("wrf", &m, 2, 120, &i, 0).unwrap().wall_secs;
         let t8 = reg.run("wrf", &m, 8, 120, &i, 0).unwrap().wall_secs;
         let speedup = t2 / t8;
-        assert!(speedup > 2.0 && speedup < 4.5, "2→8 nodes speedup {speedup}");
+        assert!(
+            speedup > 2.0 && speedup < 4.5,
+            "2→8 nodes speedup {speedup}"
+        );
     }
 
     #[test]

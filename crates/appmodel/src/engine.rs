@@ -117,7 +117,12 @@ pub fn cache_boost(working_set_per_node: f64, l3_bytes: f64) -> f64 {
 ///
 /// The caller is responsible for validating layout and memory (see
 /// [`crate::apps::AppRegistry::run`]); this function assumes a sane layout.
-pub fn execute_profile(work: &WorkProfile, machine: &MachineProfile, nodes: u32, ppn: u32) -> EngineOutput {
+pub fn execute_profile(
+    work: &WorkProfile,
+    machine: &MachineProfile,
+    nodes: u32,
+    ppn: u32,
+) -> EngineOutput {
     let ranks = (nodes as u64) * (ppn as u64);
     let eff = (work.arch_efficiency)(machine.arch) * machine.clock_factor();
     let core_rate = machine.flops_per_core * eff;
@@ -262,7 +267,10 @@ mod tests {
     #[test]
     fn cache_boost_shape() {
         let l3 = 1.5e9;
-        assert!((cache_boost(100.0e9, l3) - 1.0).abs() < 0.05, "far out of cache");
+        assert!(
+            (cache_boost(100.0e9, l3) - 1.0).abs() < 0.05,
+            "far out of cache"
+        );
         assert!(cache_boost(0.1e9, l3) > 2.5, "deep in cache");
         let mid = cache_boost(1.8e9, l3);
         assert!(mid > 1.0 && mid < 2.8, "transition {mid}");
@@ -281,7 +289,10 @@ mod tests {
         let t8 = execute_profile(&w, &m, 8, 120).wall_secs;
         let speedup = t1 / t8;
         let efficiency = speedup / 8.0;
-        assert!(efficiency > 1.0, "efficiency {efficiency} must be superlinear");
+        assert!(
+            efficiency > 1.0,
+            "efficiency {efficiency} must be superlinear"
+        );
     }
 
     #[test]
@@ -368,11 +379,17 @@ mod tests {
             count_per_step: 1000.0,
         });
         let eth = machine("F72s_v2");
-        assert_eq!(execute_profile(&w, &eth, 8, 36).bottleneck, Bottleneck::Network);
+        assert_eq!(
+            execute_profile(&w, &eth, 8, 36).bottleneck,
+            Bottleneck::Network
+        );
         // Serial-dominated.
         let mut w = WorkProfile::compute_only("toy", 1, 1e6);
         w.serial_secs = 100.0;
-        assert_eq!(execute_profile(&w, &m, 4, 120).bottleneck, Bottleneck::Serial);
+        assert_eq!(
+            execute_profile(&w, &m, 4, 120).bottleneck,
+            Bottleneck::Serial
+        );
     }
 
     #[test]
@@ -388,7 +405,11 @@ mod tests {
         });
         for nodes in [1, 2, 8] {
             let out = execute_profile(&w, &m, nodes, 60);
-            for u in [out.cpu_utilization, out.membw_utilization, out.network_utilization] {
+            for u in [
+                out.cpu_utilization,
+                out.membw_utilization,
+                out.network_utilization,
+            ] {
                 assert!((0.0..=1.0).contains(&u), "utilization {u}");
             }
         }

@@ -18,10 +18,12 @@
 //! wires that closure to the `taskshell` interpreter running the user's
 //! setup/run script against the application models.
 
+pub mod error;
 pub mod pool;
 pub mod service;
 pub mod task;
 
+pub use error::BatchError;
 pub use pool::{Pool, PoolState};
 pub use service::BatchService;
 pub use task::{TaskContext, TaskId, TaskKind, TaskRecord, TaskResult, TaskState};

@@ -1,5 +1,6 @@
 //! The batch service: pools + a discrete-event task scheduler.
 
+use crate::error::BatchError;
 use crate::pool::{Pool, PoolState};
 use crate::task::{TaskContext, TaskId, TaskKind, TaskRecord, TaskResult, TaskState};
 use crate::SharedProvider;
@@ -63,16 +64,16 @@ impl BatchService {
     }
 
     /// Creates an empty pool of `sku` nodes.
-    pub fn create_pool(&mut self, name: &str, sku: &str) -> Result<(), CloudError> {
+    pub fn create_pool(&mut self, name: &str, sku: &str) -> Result<(), BatchError> {
         if self
             .pools
             .get(name)
             .is_some_and(|p| p.state == PoolState::Active)
         {
-            return Err(CloudError::ResourceExists {
+            return Err(BatchError::Cloud(CloudError::ResourceExists {
                 group: self.resource_group.clone(),
                 name: name.to_string(),
-            });
+            }));
         }
         {
             let provider = self.provider.lock();
@@ -88,12 +89,11 @@ impl BatchService {
     /// Resizes a pool to `target` nodes. The pool must be idle: Algorithm 1
     /// only resizes between scenarios. Each resize closes the previous
     /// billing span and opens a new one.
-    pub fn resize_pool(&mut self, name: &str, target: u32) -> Result<(), CloudError> {
+    pub fn resize_pool(&mut self, name: &str, target: u32) -> Result<(), BatchError> {
         let pool = self.active_pool(name)?;
         if pool.idle_nodes() != pool.nodes {
-            return Err(CloudError::ProvisioningFailed {
-                operation: "resize pool".into(),
-                reason: format!("pool '{name}' has running tasks"),
+            return Err(BatchError::PoolBusy {
+                pool: name.to_string(),
             });
         }
         if pool.nodes == target {
@@ -110,10 +110,10 @@ impl BatchService {
         pool.nodes = 0;
         pool.busy.clear();
         if target > 0 {
-            let allocation = self
-                .provider
-                .lock()
-                .allocate_nodes(&self.resource_group, &sku, target)?;
+            let allocation =
+                self.provider
+                    .lock()
+                    .allocate_nodes(&self.resource_group, &sku, target)?;
             let pool = self.active_pool(name)?;
             pool.allocation = Some(allocation);
             pool.nodes = target;
@@ -123,7 +123,7 @@ impl BatchService {
     }
 
     /// Deletes a pool (resizing it to zero first).
-    pub fn delete_pool(&mut self, name: &str) -> Result<(), CloudError> {
+    pub fn delete_pool(&mut self, name: &str) -> Result<(), BatchError> {
         self.resize_pool(name, 0)?;
         let pool = self.active_pool(name)?;
         pool.state = PoolState::Deleted;
@@ -136,10 +136,12 @@ impl BatchService {
     }
 
     /// Active pool or error.
-    fn active_pool(&mut self, name: &str) -> Result<&mut Pool, CloudError> {
+    fn active_pool(&mut self, name: &str) -> Result<&mut Pool, BatchError> {
         match self.pools.get_mut(name) {
             Some(p) if p.state == PoolState::Active => Ok(p),
-            _ => Err(CloudError::UnknownResourceGroup(format!("pool '{name}'"))),
+            _ => Err(BatchError::PoolUnavailable {
+                pool: name.to_string(),
+            }),
         }
     }
 
@@ -153,7 +155,7 @@ impl BatchService {
         nodes_required: u32,
         ppn: u32,
         runner: Runner,
-    ) -> Result<TaskId, CloudError> {
+    ) -> Result<TaskId, BatchError> {
         let (sku_name, _) = {
             let p = self.active_pool(pool)?;
             (p.sku.clone(), p.nodes)
@@ -167,11 +169,10 @@ impl BatchService {
                 .ok_or_else(|| CloudError::UnknownSku(sku_name.clone()))?
         };
         if nodes_required == 0 || ppn == 0 || ppn > cores {
-            return Err(CloudError::ProvisioningFailed {
-                operation: "submit task".into(),
-                reason: format!(
-                    "invalid layout: nodes={nodes_required}, ppn={ppn} (sku has {cores} cores)"
-                ),
+            return Err(BatchError::InvalidLayout {
+                nodes: nodes_required,
+                ppn,
+                cores,
             });
         }
         let id = TaskId(self.next_task);
@@ -191,6 +192,7 @@ impl BatchService {
                 completed_at: None,
                 stdout: String::new(),
                 exit_code: None,
+                run_duration: None,
             },
         );
         self.runners.insert(id, runner);
@@ -307,6 +309,7 @@ impl BatchService {
         }
         let record = self.tasks.get_mut(&id).expect("record");
         record.completed_at = Some(at);
+        record.run_duration = Some(running.result.duration);
         record.stdout = running.result.stdout;
         record.exit_code = Some(running.result.exit_code);
         record.state = if running.result.exit_code == 0 {
@@ -351,7 +354,7 @@ impl BatchService {
         nodes_required: u32,
         ppn: u32,
         runner: Runner,
-    ) -> Result<TaskRecord, CloudError> {
+    ) -> Result<TaskRecord, BatchError> {
         let id = self.submit(pool, name, kind, nodes_required, ppn, runner)?;
         self.run_until_idle();
         Ok(self.task(id).expect("task just ran").clone())
@@ -407,7 +410,14 @@ mod tests {
         svc.resize_pool("p1", 2).unwrap();
         let before = svc.clock().now();
         let rec = svc
-            .run_task("p1", "scenario-1", TaskKind::Compute, 2, 44, quick_runner(120))
+            .run_task(
+                "p1",
+                "scenario-1",
+                TaskKind::Compute,
+                2,
+                44,
+                quick_runner(120),
+            )
             .unwrap();
         assert_eq!(rec.state, TaskState::Completed);
         assert_eq!(rec.exit_code, Some(0));
@@ -434,7 +444,8 @@ mod tests {
             .unwrap();
             TaskResult::ok(SimDuration::from_secs(1), "")
         });
-        svc.run_task("p1", "t", TaskKind::Compute, 3, 120, runner).unwrap();
+        svc.run_task("p1", "t", TaskKind::Compute, 3, 120, runner)
+            .unwrap();
         let (nnodes, ppn, hostlist, sku, dir) = rx.recv().unwrap();
         assert_eq!(nnodes, 3);
         assert_eq!(ppn, 120);
@@ -449,7 +460,11 @@ mod tests {
         svc.create_pool("p1", "HC44rs").unwrap();
         svc.resize_pool("p1", 1).unwrap();
         let runner: Runner = Box::new(|_| {
-            TaskResult::failed(SimDuration::from_secs(5), "Simulation did not complete\n", 1)
+            TaskResult::failed(
+                SimDuration::from_secs(5),
+                "Simulation did not complete\n",
+                1,
+            )
         });
         let rec = svc
             .run_task("p1", "bad", TaskKind::Compute, 1, 44, runner)
@@ -478,10 +493,14 @@ mod tests {
         svc.resize_pool("p1", 4).unwrap();
         let t0 = svc.clock().now();
         // Two 2-node tasks fit simultaneously on 4 nodes.
-        svc.submit("p1", "a", TaskKind::Compute, 2, 44, quick_runner(100)).unwrap();
-        svc.submit("p1", "b", TaskKind::Compute, 2, 44, quick_runner(100)).unwrap();
+        svc.submit("p1", "a", TaskKind::Compute, 2, 44, quick_runner(100))
+            .unwrap();
+        svc.submit("p1", "b", TaskKind::Compute, 2, 44, quick_runner(100))
+            .unwrap();
         // A third queues behind them.
-        let c = svc.submit("p1", "c", TaskKind::Compute, 2, 44, quick_runner(50)).unwrap();
+        let c = svc
+            .submit("p1", "c", TaskKind::Compute, 2, 44, quick_runner(50))
+            .unwrap();
         svc.run_until_idle();
         // a, b run in parallel (100 s), then c (50 s) ⇒ 150 s total.
         assert_eq!(svc.clock().now() - t0, SimDuration::from_secs(150));
@@ -495,7 +514,8 @@ mod tests {
         svc.create_pool("p1", "HC44rs").unwrap();
         svc.resize_pool("p1", 1).unwrap();
         assert!(!svc.pool("p1").unwrap().setup_done);
-        svc.run_task("p1", "setup", TaskKind::Setup, 1, 1, quick_runner(30)).unwrap();
+        svc.run_task("p1", "setup", TaskKind::Setup, 1, 1, quick_runner(30))
+            .unwrap();
         assert!(svc.pool("p1").unwrap().setup_done);
     }
 
@@ -541,7 +561,8 @@ mod tests {
         let mut svc = service();
         svc.create_pool("p1", "HC44rs").unwrap();
         svc.resize_pool("p1", 1).unwrap();
-        svc.submit("p1", "t", TaskKind::Compute, 1, 44, quick_runner(100)).unwrap();
+        svc.submit("p1", "t", TaskKind::Compute, 1, 44, quick_runner(100))
+            .unwrap();
         // Manually drive one scheduling pass without finishing the task.
         svc.schedule_ready();
         assert!(svc.resize_pool("p1", 2).is_err());

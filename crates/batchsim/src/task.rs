@@ -135,12 +135,23 @@ pub struct TaskRecord {
     pub stdout: String,
     /// Exit code, once finished (infrastructure failures use -1).
     pub exit_code: Option<i32>,
+    /// Time the task itself took, as reported by its runner. Unlike
+    /// [`TaskRecord::duration`] this does not depend on the shared clock,
+    /// which other pools may advance concurrently.
+    pub run_duration: Option<SimDuration>,
 }
 
 impl TaskRecord {
     /// Wall-clock duration, once finished.
     pub fn duration(&self) -> Option<SimDuration> {
         Some(self.completed_at? - self.started_at?)
+    }
+
+    /// The task's own execution time: the runner-reported duration when
+    /// available (always, for tasks that ran), else the wall-clock span.
+    /// Identical to [`TaskRecord::duration`] under serial execution.
+    pub fn execution_duration(&self) -> Option<SimDuration> {
+        self.run_duration.or_else(|| self.duration())
     }
 
     /// True once the task reached a terminal state.
@@ -201,6 +212,7 @@ mod tests {
             completed_at: None,
             stdout: String::new(),
             exit_code: None,
+            run_duration: None,
         };
         assert_eq!(rec.duration(), None);
         assert!(!rec.is_finished());
@@ -208,6 +220,10 @@ mod tests {
         rec.completed_at = Some(SimInstant::EPOCH + SimDuration::from_secs(25));
         rec.state = TaskState::Completed;
         assert_eq!(rec.duration(), Some(SimDuration::from_secs(15)));
+        // Without a runner report, execution time falls back to wall clock.
+        assert_eq!(rec.execution_duration(), Some(SimDuration::from_secs(15)));
+        rec.run_duration = Some(SimDuration::from_secs(12));
+        assert_eq!(rec.execution_duration(), Some(SimDuration::from_secs(12)));
         assert!(rec.is_finished());
     }
 }

@@ -18,12 +18,18 @@ fn figures(c: &mut Criterion) {
     println!("\n=== E4 / Fig. 2: Execution Time vs Number of Nodes (LAMMPS LJ ×30) ===");
     println!(
         "{}",
-        render_series("time(s) per (nodes):", &metrics::time_vs_nodes(&dataset, &filter))
+        render_series(
+            "time(s) per (nodes):",
+            &metrics::time_vs_nodes(&dataset, &filter)
+        )
     );
     println!("=== E5 / Fig. 3: Execution Time vs Cost ===");
     println!(
         "{}",
-        render_series("time(s) per (cost $):", &metrics::time_vs_cost(&dataset, &filter))
+        render_series(
+            "time(s) per (cost $):",
+            &metrics::time_vs_cost(&dataset, &filter)
+        )
     );
     println!("=== E6 / Fig. 4: Speedup ===");
     println!(
@@ -33,7 +39,10 @@ fn figures(c: &mut Criterion) {
     println!("=== E7 / Fig. 5: Efficiency ===");
     println!(
         "{}",
-        render_series("efficiency per (nodes):", &metrics::efficiency(&dataset, &filter))
+        render_series(
+            "efficiency per (nodes):",
+            &metrics::efficiency(&dataset, &filter)
+        )
     );
     println!("=== E8 / Fig. 6: Pareto-front advice plot ===");
     let pareto = plot::pareto_chart(&dataset, &filter);
@@ -54,9 +63,7 @@ fn figures(c: &mut Criterion) {
         b.iter(|| metrics::efficiency(black_box(&dataset), black_box(&filter)))
     });
     group.bench_function("fig6_pareto_chart_svg", |b| {
-        b.iter(|| {
-            plot::pareto_chart(black_box(&dataset), black_box(&filter)).to_svg(800, 500)
-        })
+        b.iter(|| plot::pareto_chart(black_box(&dataset), black_box(&filter)).to_svg(800, 500))
     });
     group.bench_function("all_five_charts_svg", |b| {
         b.iter(|| {

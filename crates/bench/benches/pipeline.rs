@@ -41,10 +41,7 @@ fn pipeline(c: &mut Criterion) {
             interp.set_var("BOXFACTOR", "12");
             interp.set_var("NNODES", "4");
             interp.set_var("PPN", "120");
-            interp.set_var(
-                "HOSTLIST_PPN",
-                "n0:120,n1:120,n2:120,n3:120",
-            );
+            interp.set_var("HOSTLIST_PPN", "n0:120,n1:120,n2:120,n3:120");
             interp.call_function("hpcadvisor_run").unwrap().exit_code
         })
     });
@@ -58,6 +55,29 @@ fn pipeline(c: &mut Criterion) {
         })
     });
 
+    // Tentpole comparison: the Listing-1 grid (3 SKUs × 6 node counts × 2
+    // inputs = 36 scenarios) through the serial executor vs. the per-SKU
+    // sharded executor on 4 workers. Deployment creation is inside the
+    // closure for both, so the delta is the executor wall-clock. The
+    // speedup tracks available cores (three ~equal shards); on a 1-core
+    // runner the two converge.
+    group.bench_function("collect_listing1_36_scenarios_serial", |b| {
+        b.iter(|| {
+            let mut session = Session::create(UserConfig::example_openfoam(), SEED).unwrap();
+            session.collect().unwrap().len()
+        })
+    });
+    group.bench_function("collect_listing1_36_scenarios_4_workers", |b| {
+        b.iter(|| {
+            let mut session = Session::create(UserConfig::example_openfoam(), SEED).unwrap();
+            session
+                .collect_with(&CollectPlan::new().workers(4))
+                .unwrap()
+                .into_dataset()
+                .len()
+        })
+    });
+
     // Application model kernel: one performance-model evaluation.
     group.sample_size(100);
     let machine = appmodel::MachineProfile::from_sku(&sku);
@@ -65,7 +85,14 @@ fn pipeline(c: &mut Criterion) {
     group.bench_function("appmodel_single_run", |b| {
         b.iter(|| {
             registry
-                .run("lammps", black_box(&machine), 16, 120, black_box(&inputs), SEED)
+                .run(
+                    "lammps",
+                    black_box(&machine),
+                    16,
+                    120,
+                    black_box(&inputs),
+                    SEED,
+                )
                 .unwrap()
                 .wall_secs
         })
@@ -77,7 +104,9 @@ fn pipeline(c: &mut Criterion) {
         session.collect().unwrap()
     };
     let json = dataset.to_json();
-    group.bench_function("dataset_to_json", |b| b.iter(|| black_box(&dataset).to_json().len()));
+    group.bench_function("dataset_to_json", |b| {
+        b.iter(|| black_box(&dataset).to_json().len())
+    });
     group.bench_function("dataset_from_json", |b| {
         b.iter(|| Dataset::from_json(black_box(&json)).unwrap().len())
     });

@@ -53,11 +53,19 @@ fn e1_listing1(out: &Path) {
     let config = UserConfig::example_openfoam();
     let scenarios =
         scenario::generate_scenarios(&config, &cloudsim::SkuCatalog::azure_hpc()).unwrap();
-    std::fs::write(out.join("listing1_scenarios.json"), scenario::to_json(&scenarios)).unwrap();
+    std::fs::write(
+        out.join("listing1_scenarios.json"),
+        scenario::to_json(&scenarios),
+    )
+    .unwrap();
     println!(
         "E1  Listing 1: parsed; expands to {} scenarios (paper: 3x6x2 = 36)  [{}]",
         scenarios.len(),
-        if scenarios.len() == 36 { "match" } else { "MISMATCH" }
+        if scenarios.len() == 36 {
+            "match"
+        } else {
+            "MISMATCH"
+        }
     );
 }
 
@@ -94,8 +102,16 @@ fn e2_listing2(out: &Path) {
     interp.set_var("HOSTLIST_PPN", &hosts.join(","));
     let run = interp.call_function("hpcadvisor_run").unwrap();
     let mut transcript = String::new();
-    let _ = writeln!(transcript, "--- hpcadvisor_setup (exit {}) ---\n{}", setup.exit_code, setup.stdout);
-    let _ = writeln!(transcript, "--- hpcadvisor_run (exit {}) ---\n{}", run.exit_code, run.stdout);
+    let _ = writeln!(
+        transcript,
+        "--- hpcadvisor_setup (exit {}) ---\n{}",
+        setup.exit_code, setup.stdout
+    );
+    let _ = writeln!(
+        transcript,
+        "--- hpcadvisor_run (exit {}) ---\n{}",
+        run.exit_code, run.stdout
+    );
     std::fs::write(out.join("listing2_transcript.txt"), &transcript).unwrap();
     let exectime = run
         .stdout
@@ -161,8 +177,15 @@ fn e4_to_e8_figures(out: &Path) -> Dataset {
 
     let series = metrics::time_vs_nodes(&dataset, &filter);
     let v3 = series.iter().find(|s| s.sku == "hb120rs_v3").unwrap();
-    let fmt: Vec<String> = v3.points.iter().map(|(n, t)| format!("{t:.0}s@{n:.0}")).collect();
-    println!("E4  Fig 2: v3 series {} (paper: 173@3 132@4 69@8 36@16)", fmt.join(" "));
+    let fmt: Vec<String> = v3
+        .points
+        .iter()
+        .map(|(n, t)| format!("{t:.0}s@{n:.0}"))
+        .collect();
+    println!(
+        "E4  Fig 2: v3 series {} (paper: 173@3 132@4 69@8 36@16)",
+        fmt.join(" ")
+    );
     println!("E5  Fig 3: written (time-vs-cost scatter per SKU)");
     let su = metrics::speedup(&dataset, &filter);
     let v3s = su.iter().find(|s| s.sku == "hb120rs_v3").unwrap();
@@ -184,9 +207,18 @@ fn e10_listing4(out: &Path, dataset: &Dataset) {
     let rows: Vec<String> = advice
         .rows
         .iter()
-        .map(|r| format!("{:.0}s/${:.3}@{}", r.exec_time_secs, r.cost_dollars, r.nodes))
+        .map(|r| {
+            format!(
+                "{:.0}s/${:.3}@{}",
+                r.exec_time_secs, r.cost_dollars, r.nodes
+            )
+        })
         .collect();
-    println!("E10 Listing 4: front = {} (all {})", rows.join(" "), advice.rows[0].sku);
+    println!(
+        "E10 Listing 4: front = {} (all {})",
+        rows.join(" "),
+        advice.rows[0].sku
+    );
 }
 
 /// E9: Listing 3.
@@ -200,7 +232,15 @@ fn e9_listing3(out: &Path) {
     let rows: Vec<String> = advice
         .rows
         .iter()
-        .map(|r| format!("{:.0}s/${:.3}@{}{}", r.exec_time_secs, r.cost_dollars, r.nodes, &r.sku[r.sku.len() - 2..]))
+        .map(|r| {
+            format!(
+                "{:.0}s/${:.3}@{}{}",
+                r.exec_time_secs,
+                r.cost_dollars,
+                r.nodes,
+                &r.sku[r.sku.len() - 2..]
+            )
+        })
         .collect();
     println!("E9  Listing 3: front = {}", rows.join(" "));
 }
@@ -218,7 +258,12 @@ fn e11_table2(out: &Path) {
     .unwrap();
     let mut transcript = String::new();
     let commands: Vec<Vec<String>> = vec![
-        vec!["deploy".into(), "create".into(), "-c".into(), config_path.display().to_string()],
+        vec![
+            "deploy".into(),
+            "create".into(),
+            "-c".into(),
+            config_path.display().to_string(),
+        ],
         vec!["deploy".into(), "list".into()],
         vec!["collect".into()],
         vec!["plot".into(), "--ascii".into()],
@@ -256,9 +301,8 @@ fn e12_sampling(out: &Path) {
         let (ds, _) = run_sampled(&mut session, &mut FullGrid::new()).unwrap();
         Advice::from_dataset(&ds, &DataFilter::all())
     };
-    let mut text = String::from(
-        "strategy               executed  saved%  front-similarity  regret%\n",
-    );
+    let mut text =
+        String::from("strategy               executed  saved%  front-similarity  regret%\n");
     let samplers: Vec<Box<dyn Sampler>> = vec![
         Box::new(FullGrid::new()),
         Box::new(AggressiveDiscard::new(0.15)),
@@ -280,7 +324,10 @@ fn e12_sampling(out: &Path) {
             front_similarity(&reference, &advice),
             front_regret(&reference, &advice) * 100.0,
         );
-        summary.push(format!("{}:{}/{}", report.strategy, report.executed, report.total));
+        summary.push(format!(
+            "{}:{}/{}",
+            report.strategy, report.executed, report.total
+        ));
     }
     std::fs::write(out.join("sampling_ablation.txt"), &text).unwrap();
     println!("E12 Sampling: {}", summary.join("  "));

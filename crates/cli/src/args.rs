@@ -13,7 +13,7 @@ pub struct Args {
 
 /// Option names that take a value; everything else is a boolean switch.
 const VALUED: &[&str] = &[
-    "workdir", "config", "filter", "seed", "sampler", "sort", "out",
+    "workdir", "config", "filter", "seed", "sampler", "sort", "out", "workers",
 ];
 
 /// Short-option aliases.
@@ -89,7 +89,15 @@ mod tests {
 
     #[test]
     fn positional_and_options() {
-        let a = parse(&["deploy", "create", "-c", "config.yaml", "--seed", "7", "--ascii"]);
+        let a = parse(&[
+            "deploy",
+            "create",
+            "-c",
+            "config.yaml",
+            "--seed",
+            "7",
+            "--ascii",
+        ]);
         assert_eq!(a.positional, vec!["deploy", "create"]);
         assert_eq!(a.option("config"), Some("config.yaml"));
         assert_eq!(a.seed().unwrap(), 7);
@@ -102,6 +110,13 @@ mod tests {
         let a = parse(&["plot", "-f", "appname=lammps", "-w", "/tmp/x"]);
         assert_eq!(a.option("filter"), Some("appname=lammps"));
         assert_eq!(a.option("workdir"), Some("/tmp/x"));
+    }
+
+    #[test]
+    fn workers_takes_a_value() {
+        let a = parse(&["collect", "--workers", "4"]);
+        assert_eq!(a.positional, vec!["collect"]);
+        assert_eq!(a.option("workers"), Some("4"));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::args::Args;
 use crate::state::{DeploymentRecord, WorkDir};
 use hpcadvisor_core::advice::{Advice, AdviceSort};
+use hpcadvisor_core::collect::CollectPlan;
 use hpcadvisor_core::collector::{Collector, CollectorOptions};
 use hpcadvisor_core::deployment::DeploymentManager;
 use hpcadvisor_core::plot;
@@ -70,15 +71,24 @@ fn deploy(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
                 state: "active".into(),
             });
             workdir.save_deployments(&records)?;
-            wline(out, &format!("deployment '{name}' created in {}", config.region))?;
             wline(
                 out,
-                &format!("{} scenarios pending; run 'hpcadvisor collect'", scenarios.len()),
+                &format!("deployment '{name}' created in {}", config.region),
+            )?;
+            wline(
+                out,
+                &format!(
+                    "{} scenarios pending; run 'hpcadvisor collect'",
+                    scenarios.len()
+                ),
             )
         }
         Some("list") => {
             let records = workdir.load_deployments()?;
-            wline(out, "NAME                    REGION           APP        SEED  STATE")?;
+            wline(
+                out,
+                "NAME                    REGION           APP        SEED  STATE",
+            )?;
             for r in records {
                 wline(
                     out,
@@ -102,7 +112,10 @@ fn deploy(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
                 .ok_or_else(|| ToolError::UnknownDeployment(name.clone()))?;
             record.state = "shutdown".into();
             workdir.save_deployments(&records)?;
-            wline(out, &format!("deployment '{name}' shut down; resources deleted"))
+            wline(
+                out,
+                &format!("deployment '{name}' shut down; resources deleted"),
+            )
         }
         other => Err(ToolError::Config(format!(
             "deploy needs a subcommand (create|list|shutdown), got {other:?}"
@@ -124,9 +137,9 @@ fn make_sampler(name: &str) -> Result<Box<dyn Sampler>, ToolError> {
 
 fn collect(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
     let config = workdir.load_config()?;
-    let record = workdir
-        .active_deployment()?
-        .ok_or_else(|| ToolError::Config("no active deployment; run 'deploy create' first".into()))?;
+    let record = workdir.active_deployment()?.ok_or_else(|| {
+        ToolError::Config("no active deployment; run 'deploy create' first".into())
+    })?;
     let mut scenarios = workdir.load_scenarios()?;
     if scenarios.is_empty() {
         scenarios = generate_scenarios(&config, &cloudsim::SkuCatalog::azure_hpc())?;
@@ -140,14 +153,34 @@ fn collect(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
         manager.provider(),
         &name,
         config.clone(),
-        CollectorOptions {
-            experiment_seed: record.seed,
-            ..CollectorOptions::default()
-        },
+        CollectorOptions::builder()
+            .experiment_seed(record.seed)
+            .build(),
     )?;
+    let workers: usize = match args.option("workers") {
+        None => 1,
+        Some(n) => n
+            .parse()
+            .map_err(|_| ToolError::Config(format!("--workers must be a number, got '{n}'")))?,
+    };
 
     let increment = match args.option("sampler") {
-        None | Some("full") => collector.collect(&mut scenarios)?,
+        None | Some("full") => {
+            if workers > 1 {
+                let plan = CollectPlan::new().workers(workers);
+                let report = collector.collect_with_plan(&mut scenarios, &plan)?;
+                wline(
+                    out,
+                    &format!(
+                        "parallel collect: {} workers over {} shards in {:.2}s",
+                        report.stats.workers, report.stats.shards, report.stats.wall_secs
+                    ),
+                )?;
+                report.into_dataset()
+            } else {
+                collector.collect(&mut scenarios)?
+            }
+        }
         Some("partial") => {
             // Partial-execution prediction (cited technique): probe every
             // scenario at 10% of its steps, verify the predicted front.
@@ -217,7 +250,10 @@ fn collect(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
             dataset.len()
         ),
     )?;
-    wline(out, &format!("cloud spend this collection: ${total_cost:.2}"))
+    wline(
+        out,
+        &format!("cloud spend this collection: ${total_cost:.2}"),
+    )
 }
 
 fn parse_filter(args: &Args) -> Result<DataFilter, ToolError> {
@@ -230,7 +266,9 @@ fn parse_filter(args: &Args) -> Result<DataFilter, ToolError> {
 fn plot_cmd(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
     let dataset = workdir.load_dataset()?;
     if dataset.is_empty() {
-        return Err(ToolError::NoData("dataset is empty; run 'collect' first".into()));
+        return Err(ToolError::NoData(
+            "dataset is empty; run 'collect' first".into(),
+        ));
     }
     let filter = parse_filter(args)?;
     let charts = plot::all_charts(&dataset, &filter);
@@ -253,7 +291,9 @@ fn plot_cmd(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
 fn advice_cmd(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
     let dataset = workdir.load_dataset()?;
     if dataset.is_empty() {
-        return Err(ToolError::NoData("dataset is empty; run 'collect' first".into()));
+        return Err(ToolError::NoData(
+            "dataset is empty; run 'collect' first".into(),
+        ));
     }
     let filter = parse_filter(args)?;
     let sort = match args.option("sort") {
@@ -267,7 +307,9 @@ fn advice_cmd(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError>
     };
     let advice = Advice::from_dataset_sorted(&dataset, &filter, sort);
     if advice.rows.is_empty() {
-        return Err(ToolError::NoData("no completed rows match the filter".into()));
+        return Err(ToolError::NoData(
+            "no completed rows match the filter".into(),
+        ));
     }
     wline(out, advice.render_text().trim_end())?;
     if args.has("slurm") {
@@ -276,7 +318,10 @@ fn advice_cmd(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError>
             .first()
             .map(|p| p.appname.clone())
             .unwrap_or_else(|| "app".into());
-        wline(out, "\n# Slurm recipe for the fastest Pareto-efficient row:")?;
+        wline(
+            out,
+            "\n# Slurm recipe for the fastest Pareto-efficient row:",
+        )?;
         wline(out, &advice.slurm_recipe(&advice.rows[0], &appname))?;
     }
     Ok(())
@@ -286,7 +331,9 @@ fn advice_cmd(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError>
 fn export_cmd(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
     let dataset = workdir.load_dataset()?;
     if dataset.is_empty() {
-        return Err(ToolError::NoData("dataset is empty; run 'collect' first".into()));
+        return Err(ToolError::NoData(
+            "dataset is empty; run 'collect' first".into(),
+        ));
     }
     let filter = parse_filter(args)?;
     let mut filtered = hpcadvisor_core::Dataset::new();
@@ -302,7 +349,10 @@ fn export_cmd(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError>
         None => {
             let path = workdir.root().join("dataset.csv");
             std::fs::write(&path, csv)?;
-            wline(out, &format!("wrote {} rows to {}", filtered.len(), path.display()))
+            wline(
+                out,
+                &format!("wrote {} rows to {}", filtered.len(), path.display()),
+            )
         }
     }
 }
@@ -318,7 +368,10 @@ fn gui(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
     for r in &records {
         wline(
             out,
-            &format!("{} [{}] app={} region={}", r.name, r.state, r.appname, r.region),
+            &format!(
+                "{} [{}] app={} region={}",
+                r.name, r.state, r.appname, r.region
+            ),
         )?;
     }
     let scenarios = workdir.load_scenarios()?;
@@ -508,7 +561,13 @@ mod export_tests {
         let target = dir.join("v3only.csv");
         let (_, ok) = run_in(
             &dir,
-            &["export", "-f", "sku=hb120rs_v3", "-o", target.to_str().unwrap()],
+            &[
+                "export",
+                "-f",
+                "sku=hb120rs_v3",
+                "-o",
+                target.to_str().unwrap(),
+            ],
         );
         assert!(ok);
         assert!(target.exists());

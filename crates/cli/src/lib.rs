@@ -63,6 +63,7 @@ OPTIONS:
     -f, --filter <spec>    data filter, e.g. 'appname=lammps,BOXFACTOR=30'
     --seed <n>             experiment seed (default 42)
     --sampler <name>       full | aggressive | perf-factor | bottleneck | partial
+    --workers <n>          run the full-grid collect on n parallel workers
     --ascii                print plots to the terminal instead of SVG files
     --sort <key>           advice sort order: time (default) or cost
     --slurm                also print a Slurm recipe for the fastest row

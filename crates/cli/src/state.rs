@@ -1,9 +1,9 @@
 //! Work-directory persistence: the CLI's equivalent of the Python tool's
 //! JSON state files.
 
-use hpcadvisor_formats::{json, OrderedMap, Value};
 use hpcadvisor_core::scenario::{self, Scenario};
 use hpcadvisor_core::{Dataset, ToolError, UserConfig};
+use hpcadvisor_formats::{json, OrderedMap, Value};
 use std::path::{Path, PathBuf};
 
 /// A recorded deployment (enough to re-provision it deterministically).
@@ -163,10 +163,8 @@ mod tests {
     use super::*;
 
     fn tempdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "hpcadvisor-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("hpcadvisor-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -193,7 +191,13 @@ mod tests {
         // Dataset.
         let mut ds = Dataset::new();
         ds.push(hpcadvisor_core::dataset::point(
-            1, "lammps", "Standard_HB120rs_v3", 1, 120, 10.0, 0.01,
+            1,
+            "lammps",
+            "Standard_HB120rs_v3",
+            1,
+            120,
+            10.0,
+            0.01,
         ));
         wd.save_dataset(&ds).unwrap();
         assert_eq!(wd.load_dataset().unwrap(), ds);

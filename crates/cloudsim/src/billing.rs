@@ -89,6 +89,49 @@ impl BillingMeter {
             .map(|r| r.nodes as f64 * r.duration().as_hours_f64())
             .sum()
     }
+
+    /// Aggregates usage per SKU, optionally restricted to one resource
+    /// group. Summaries come back sorted by SKU name, so output built from
+    /// them is deterministic regardless of metering order — which matters
+    /// when parallel collection interleaves spans from several pools.
+    pub fn summarize_by_sku(&self, resource_group: Option<&str>) -> Vec<BillingSummary> {
+        let mut by_sku: std::collections::BTreeMap<String, BillingSummary> =
+            std::collections::BTreeMap::new();
+        for r in &self.records {
+            if resource_group.is_some_and(|g| r.resource_group != g) {
+                continue;
+            }
+            let key = r.sku.to_ascii_lowercase();
+            let entry = by_sku.entry(key).or_insert_with(|| BillingSummary {
+                sku: r.sku.clone(),
+                spans: 0,
+                peak_nodes: 0,
+                node_hours: 0.0,
+                cost: 0.0,
+            });
+            entry.spans += 1;
+            entry.peak_nodes = entry.peak_nodes.max(r.nodes);
+            entry.node_hours += r.nodes as f64 * r.duration().as_hours_f64();
+            entry.cost += r.cost;
+        }
+        by_sku.into_values().collect()
+    }
+}
+
+/// Aggregate usage for one SKU (≈ one pool in Algorithm 1, which keeps a
+/// single pool per VM type).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BillingSummary {
+    /// SKU name as metered.
+    pub sku: String,
+    /// Number of usage spans (pool resizes).
+    pub spans: usize,
+    /// Largest node count across spans.
+    pub peak_nodes: u32,
+    /// Total metered node-hours.
+    pub node_hours: f64,
+    /// Total cost in USD.
+    pub cost: f64,
 }
 
 #[cfg(test)]
@@ -133,6 +176,34 @@ mod tests {
         assert!((meter.cost_for_sku("standard_hb120rs_v3") - 7.2).abs() < 1e-9);
         assert!((meter.cost_for_group("rg2") - 3.168).abs() < 1e-9);
         assert!((meter.total_node_hours() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_groups_by_sku_and_filters_group() {
+        let catalog = SkuCatalog::azure_hpc();
+        let v3 = catalog.get("HB120rs_v3").unwrap();
+        let mut meter = BillingMeter::new();
+        let t0 = SimInstant::EPOCH;
+        let one_hour = SimDuration::from_hours(1);
+        for (nodes, group) in [(2u32, "rg1"), (4, "rg1"), (8, "rg2")] {
+            meter.record(UsageRecord {
+                sku: v3.name.clone(),
+                nodes,
+                start: t0,
+                end: t0 + one_hour,
+                cost: cost_for(v3, 1.0, nodes, one_hour),
+                resource_group: group.into(),
+            });
+        }
+        let all = meter.summarize_by_sku(None);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].spans, 3);
+        assert_eq!(all[0].peak_nodes, 8);
+        assert!((all[0].node_hours - 14.0).abs() < 1e-9);
+        assert!((all[0].cost - meter.total_cost()).abs() < 1e-9);
+        let rg1 = meter.summarize_by_sku(Some("rg1"));
+        assert_eq!(rg1[0].spans, 2);
+        assert_eq!(rg1[0].peak_nodes, 4);
     }
 
     #[test]

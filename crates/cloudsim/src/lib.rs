@@ -32,7 +32,7 @@ pub mod region;
 pub mod resources;
 pub mod sku;
 
-pub use billing::{BillingMeter, UsageRecord};
+pub use billing::{BillingMeter, BillingSummary, UsageRecord};
 pub use error::CloudError;
 pub use fault::{FaultPlan, Operation};
 pub use provider::{AllocationId, CloudProvider, ProviderConfig};

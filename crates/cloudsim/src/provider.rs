@@ -243,12 +243,7 @@ impl CloudProvider {
     }
 
     /// Creates a VNet with one subnet (~12 s) — the "basic landing zone".
-    pub fn create_vnet(
-        &mut self,
-        group: &str,
-        name: &str,
-        subnet: &str,
-    ) -> Result<(), CloudError> {
+    pub fn create_vnet(&mut self, group: &str, name: &str, subnet: &str) -> Result<(), CloudError> {
         self.add_resource(
             group,
             name,

@@ -34,7 +34,10 @@ impl QuotaTracker {
 
     /// The configured limit for a family.
     pub fn limit(&self, family: &str) -> u32 {
-        self.limits.get(family).copied().unwrap_or(self.default_limit)
+        self.limits
+            .get(family)
+            .copied()
+            .unwrap_or(self.default_limit)
     }
 
     /// Cores currently in use for a family.

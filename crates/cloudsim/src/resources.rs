@@ -33,7 +33,10 @@ pub enum ResourceKind {
     /// Jumpbox VM for user inspection of the shared filesystem.
     Jumpbox,
     /// Peering from a local VNet to another group's VNet.
-    VnetPeering { remote_group: String, remote_vnet: String },
+    VnetPeering {
+        remote_group: String,
+        remote_vnet: String,
+    },
 }
 
 impl ResourceKind {

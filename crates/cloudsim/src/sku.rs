@@ -119,7 +119,10 @@ impl fmt::Display for VmSku {
 /// Normalizes a SKU name for case/prefix-insensitive lookup.
 fn normalize(name: &str) -> String {
     let lower = name.to_ascii_lowercase();
-    lower.strip_prefix("standard_").unwrap_or(&lower).to_string()
+    lower
+        .strip_prefix("standard_")
+        .unwrap_or(&lower)
+        .to_string()
 }
 
 /// An immutable catalog of SKUs with tolerant lookup.
@@ -292,8 +295,15 @@ mod tests {
     #[test]
     fn lookup_is_prefix_and_case_insensitive() {
         let c = SkuCatalog::azure_hpc();
-        for name in ["Standard_HB120rs_v3", "HB120rs_v3", "hb120rs_v3", "STANDARD_hb120rs_V3"] {
-            let sku = c.get(name).unwrap_or_else(|| panic!("lookup failed: {name}"));
+        for name in [
+            "Standard_HB120rs_v3",
+            "HB120rs_v3",
+            "hb120rs_v3",
+            "STANDARD_hb120rs_V3",
+        ] {
+            let sku = c
+                .get(name)
+                .unwrap_or_else(|| panic!("lookup failed: {name}"));
             assert_eq!(sku.cores, 120);
         }
         assert!(c.get("Standard_Nonexistent").is_none());
@@ -311,7 +321,10 @@ mod tests {
     #[test]
     fn short_names_match_advice_table_format() {
         let c = SkuCatalog::azure_hpc();
-        assert_eq!(c.get("Standard_HB120rs_v3").unwrap().short_name(), "hb120rs_v3");
+        assert_eq!(
+            c.get("Standard_HB120rs_v3").unwrap().short_name(),
+            "hb120rs_v3"
+        );
         assert_eq!(c.get("Standard_HC44rs").unwrap().short_name(), "hc44rs");
     }
 

@@ -256,7 +256,9 @@ mod tests {
     fn urlstore_seeding_respects_existing_content() {
         let mut store = UrlStore::with_known_inputs();
         seed_urlstore(&mut store, "https://x/lammps.sh", "lammps");
-        assert!(fetch_script(&store, "https://x/lammps.sh").unwrap().contains("hpcadvisor_run"));
+        assert!(fetch_script(&store, "https://x/lammps.sh")
+            .unwrap()
+            .contains("hpcadvisor_run"));
         // A pre-registered custom script is not overwritten.
         store.put("https://x/custom.sh", "custom-content");
         seed_urlstore(&mut store, "https://x/custom.sh", "lammps");

@@ -1,0 +1,452 @@
+//! The redesigned collection API: [`CollectPlan`] → [`CollectReport`].
+//!
+//! The paper's Algorithm 1 keeps one pool per VM type and walks the scenario
+//! grid serially. Because each SKU owns an independent pool (and an
+//! independent quota family on Azure's H-series), the per-SKU slices of the
+//! grid are embarrassingly parallel: this module shards the scenario list by
+//! VM type and runs the shards on scoped worker threads, each against its
+//! own [`BatchService`] and a clone of the deployment's shared filesystem.
+//!
+//! Determinism: a scenario's data point depends only on the scenario itself,
+//! the experiment seed, and the setup artifacts on the filesystem — not on
+//! wall-clock interleaving — so the merged, id-ordered [`Dataset`] is
+//! byte-identical to what the serial path produces on the generated grid
+//! (where ids ascend SKU-major). Shard filesystems are merged back into the
+//! deployment's shared filesystem when all shards finish.
+//!
+//! ```no_run
+//! use hpcadvisor_core::prelude::*;
+//!
+//! let mut session = Session::create(UserConfig::example_openfoam(), 42).unwrap();
+//! let report = session.collect_with(&CollectPlan::new().workers(4)).unwrap();
+//! println!("{}", report.render_text());
+//! let dataset = report.into_dataset();
+//! # let _ = dataset;
+//! ```
+
+use crate::collector::{index_by_id, resolve_ids, Collector, ExecContext, ShardOutput, ShardRun};
+use crate::dataset::Dataset;
+use crate::error::ToolError;
+use crate::scenario::{Scenario, ScenarioStatus};
+use batchsim::BatchService;
+use cloudsim::BillingSummary;
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use taskshell::Vfs;
+
+/// How the scenario list is split into independently-runnable shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardPolicy {
+    /// One shard per VM type (the paper's one-pool-per-SKU structure).
+    #[default]
+    PerSku,
+    /// Everything in one shard (serial semantics regardless of workers).
+    SingleShard,
+}
+
+/// A declarative description of one collection run.
+///
+/// Built fluently and handed to [`Session::collect_with`] or
+/// [`Collector::collect_with_plan`]; the legacy [`Session::collect`] is a
+/// thin wrapper equivalent to the default plan.
+///
+/// [`Session::collect_with`]: crate::session::Session::collect_with
+/// [`Session::collect`]: crate::session::Session::collect
+#[derive(Debug, Clone, Default)]
+pub struct CollectPlan {
+    workers: usize,
+    shard_policy: ShardPolicy,
+    rerun_failed: Option<bool>,
+    experiment_seed: Option<u64>,
+    subset: Option<Vec<u32>>,
+}
+
+impl CollectPlan {
+    /// A serial, per-SKU-sharded plan with the collector's own options.
+    pub fn new() -> Self {
+        CollectPlan::default()
+    }
+
+    /// Number of worker threads (0 and 1 both mean serial). Workers beyond
+    /// the shard count are not spawned.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Sets the shard policy.
+    pub fn shard_policy(mut self, policy: ShardPolicy) -> Self {
+        self.shard_policy = policy;
+        self
+    }
+
+    /// Overrides the collector's rerun-failed option for this run.
+    pub fn rerun_failed(mut self, yes: bool) -> Self {
+        self.rerun_failed = Some(yes);
+        self
+    }
+
+    /// Overrides the collector's experiment noise seed for this run.
+    pub fn experiment_seed(mut self, seed: u64) -> Self {
+        self.experiment_seed = Some(seed);
+        self
+    }
+
+    /// Restricts the run to the given scenario ids (smart-sampling drivers).
+    pub fn subset(mut self, ids: impl Into<Vec<u32>>) -> Self {
+        self.subset = Some(ids.into());
+        self
+    }
+}
+
+/// What happened to one executed scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Scenario id in the session's grid.
+    pub scenario_id: u32,
+    /// VM type the scenario ran on.
+    pub sku: String,
+    /// Node count of the scenario.
+    pub nnodes: u32,
+    /// Final status after the run.
+    pub status: ScenarioStatus,
+    /// Index of the shard that executed it.
+    pub shard: usize,
+    /// Failure reason (quota, setup, task failure) when `status` is failed.
+    pub fail_reason: Option<String>,
+}
+
+/// Aggregate statistics for one collection run.
+#[derive(Debug, Clone)]
+pub struct CollectStats {
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Number of shards the scenario list was split into.
+    pub shards: usize,
+    /// Scenarios executed (pending/rerun ones; skipped ones not counted).
+    pub executed: usize,
+    /// Scenarios that completed.
+    pub completed: usize,
+    /// Scenarios that failed.
+    pub failed: usize,
+    /// Wall-clock time of the executor, in seconds.
+    pub wall_secs: f64,
+}
+
+/// Everything a collection run produced: the dataset, per-scenario
+/// outcomes, per-pool billing and executor statistics.
+#[derive(Debug)]
+pub struct CollectReport {
+    /// Collected data points, ordered by scenario id.
+    pub dataset: Dataset,
+    /// Per-scenario outcomes, ordered by scenario id.
+    pub outcomes: Vec<ScenarioOutcome>,
+    /// Cumulative per-SKU billing for the deployment (one entry ≈ one pool).
+    pub billing: Vec<BillingSummary>,
+    /// Executor statistics.
+    pub stats: CollectStats,
+}
+
+impl CollectReport {
+    /// Extracts just the dataset (what the legacy `collect()` returned).
+    pub fn into_dataset(self) -> Dataset {
+        self.dataset
+    }
+
+    /// Human-readable summary: stats line, per-pool billing, failures.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "collected {} scenarios: {} completed, {} failed ({} worker{}, {} shard{}, {:.2}s)",
+            self.stats.executed,
+            self.stats.completed,
+            self.stats.failed,
+            self.stats.workers,
+            if self.stats.workers == 1 { "" } else { "s" },
+            self.stats.shards,
+            if self.stats.shards == 1 { "" } else { "s" },
+            self.stats.wall_secs,
+        );
+        for b in &self.billing {
+            let _ = writeln!(
+                out,
+                "  pool {}: peak {} nodes, {} spans, {:.3} node-h, ${:.2}",
+                b.sku, b.peak_nodes, b.spans, b.node_hours, b.cost
+            );
+        }
+        for o in &self.outcomes {
+            if let Some(reason) = &o.fail_reason {
+                let _ = writeln!(
+                    out,
+                    "  failed scenario {} ({} x {}): {}",
+                    o.scenario_id, o.sku, o.nnodes, reason
+                );
+            }
+        }
+        out
+    }
+}
+
+/// One shard's hand-back: its output plus, for parallel shards, the
+/// filesystem clone it worked on (None when it ran on the shared one).
+type ShardResult = Result<(ShardOutput, Option<Vfs>), ToolError>;
+
+/// Splits ordered scenarios into shards under `policy`. Per-SKU sharding
+/// groups all scenarios of a VM type into one shard, in first-appearance
+/// order of the SKU.
+fn split_shards(ordered: Vec<Scenario>, policy: ShardPolicy) -> Vec<Vec<Scenario>> {
+    match policy {
+        ShardPolicy::SingleShard => {
+            if ordered.is_empty() {
+                Vec::new()
+            } else {
+                vec![ordered]
+            }
+        }
+        ShardPolicy::PerSku => {
+            let mut shards: Vec<Vec<Scenario>> = Vec::new();
+            for scenario in ordered {
+                match shards.iter_mut().find(|sh| sh[0].sku == scenario.sku) {
+                    Some(shard) => shard.push(scenario),
+                    None => shards.push(vec![scenario]),
+                }
+            }
+            shards
+        }
+    }
+}
+
+impl Collector {
+    /// Runs a collection under `plan` and returns a full [`CollectReport`].
+    ///
+    /// With one worker, shards run back to back on the collector's own
+    /// batch service — exactly the legacy serial path. With more, each
+    /// shard gets a fresh batch service and a clone of the shared
+    /// filesystem, workers drain a shard queue, and the results are merged
+    /// in scenario-id order; filesystem changes are merged back at the end.
+    ///
+    /// A shard-level error (systemic, not per-scenario) marks that shard's
+    /// scenarios failed instead of aborting sibling shards.
+    pub fn collect_with_plan(
+        &mut self,
+        scenarios: &mut [Scenario],
+        plan: &CollectPlan,
+    ) -> Result<CollectReport, ToolError> {
+        let started = std::time::Instant::now();
+        let mut ctx = self.ctx.clone();
+        if let Some(seed) = plan.experiment_seed {
+            ctx.options.experiment_seed = seed;
+        }
+        if let Some(rerun) = plan.rerun_failed {
+            ctx.options.rerun_failed = rerun;
+        }
+
+        let index = index_by_id(scenarios);
+        let ordered: Vec<Scenario> = match &plan.subset {
+            Some(ids) => resolve_ids(scenarios, &index, ids)?,
+            None => scenarios
+                .iter()
+                .filter(|s| ctx.should_run(s))
+                .cloned()
+                .collect(),
+        };
+        let shards = split_shards(ordered, plan.shard_policy);
+        let workers = plan.workers.max(1).min(shards.len().max(1));
+
+        let mut results: Vec<ShardResult> = Vec::with_capacity(shards.len());
+        if workers <= 1 {
+            for shard in &shards {
+                let out = ShardRun {
+                    ctx: &ctx,
+                    service: &mut self.service,
+                    vfs: self.shared_vfs.clone(),
+                }
+                .run(shard);
+                results.push(out.map(|o| (o, None)));
+            }
+        } else {
+            results = run_parallel(&ctx, &shards, workers, &self.shared_vfs.lock().clone());
+        }
+
+        let mut points = Vec::new();
+        let mut outcomes: Vec<ScenarioOutcome> = Vec::new();
+        for (shard_idx, result) in results.into_iter().enumerate() {
+            match result {
+                Ok((out, vfs)) => {
+                    if let Some(vfs) = vfs {
+                        self.shared_vfs.lock().merge_from(&vfs);
+                    }
+                    for oc in out.outcomes {
+                        let scenario = &scenarios[index[&oc.scenario_id]];
+                        outcomes.push(ScenarioOutcome {
+                            scenario_id: oc.scenario_id,
+                            sku: scenario.sku.clone(),
+                            nnodes: scenario.nnodes,
+                            status: oc.status,
+                            shard: shard_idx,
+                            fail_reason: oc.fail_reason,
+                        });
+                    }
+                    points.extend(out.points);
+                }
+                Err(e) => {
+                    // Systemic shard failure: fail the shard's runnable
+                    // scenarios, leave sibling shards untouched.
+                    let reason = format!("shard error: {e}");
+                    for scenario in shards[shard_idx].iter().filter(|s| ctx.should_run(s)) {
+                        points.push(ctx.failed_point(scenario, &reason));
+                        outcomes.push(ScenarioOutcome {
+                            scenario_id: scenario.id,
+                            sku: scenario.sku.clone(),
+                            nnodes: scenario.nnodes,
+                            status: ScenarioStatus::Failed,
+                            shard: shard_idx,
+                            fail_reason: Some(reason.clone()),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Deterministic id order, independent of shard completion order.
+        points.sort_by_key(|p| p.scenario_id);
+        outcomes.sort_by_key(|o| o.scenario_id);
+        for oc in &outcomes {
+            scenarios[index[&oc.scenario_id]].status = oc.status;
+        }
+
+        let mut dataset = Dataset::new();
+        let executed = outcomes.len();
+        let completed = outcomes
+            .iter()
+            .filter(|o| o.status == ScenarioStatus::Completed)
+            .count();
+        for p in points {
+            dataset.push(p);
+        }
+        let billing = ctx
+            .provider
+            .lock()
+            .billing()
+            .summarize_by_sku(Some(&ctx.deployment));
+        Ok(CollectReport {
+            dataset,
+            outcomes,
+            billing,
+            stats: CollectStats {
+                workers,
+                shards: shards.len(),
+                executed,
+                completed,
+                failed: executed - completed,
+                wall_secs: started.elapsed().as_secs_f64(),
+            },
+        })
+    }
+}
+
+/// Runs shards on `workers` scoped threads draining a work-stealing queue.
+/// Each shard executes against a fresh [`BatchService`] (same provider, so
+/// billing/quota stay global) and its own clone of the shared filesystem.
+fn run_parallel(
+    ctx: &ExecContext,
+    shards: &[Vec<Scenario>],
+    workers: usize,
+    initial_vfs: &Vfs,
+) -> Vec<ShardResult> {
+    let slots: Vec<Mutex<Option<ShardResult>>> = shards.iter().map(|_| Mutex::new(None)).collect();
+    let queue = crossbeam::deque::Injector::new();
+    for i in 0..shards.len() {
+        queue.push(i);
+    }
+    let slots_ref = &slots;
+    let queue_ref = &queue;
+    let scope_result = crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(move |_| loop {
+                let i = match queue_ref.steal() {
+                    crossbeam::deque::Steal::Success(i) => i,
+                    crossbeam::deque::Steal::Empty => break,
+                    crossbeam::deque::Steal::Retry => continue,
+                };
+                let mut service = BatchService::new(ctx.provider.clone(), &ctx.deployment);
+                let vfs = Arc::new(Mutex::new(initial_vfs.clone()));
+                let result = ShardRun {
+                    ctx,
+                    service: &mut service,
+                    vfs: vfs.clone(),
+                }
+                .run(&shards[i]);
+                // All runner closures are gone once the shard finishes, so
+                // the Arc is unique and the filesystem moves out copy-free.
+                let result = result.map(|out| {
+                    let vfs = Arc::try_unwrap(vfs)
+                        .map(Mutex::into_inner)
+                        .unwrap_or_else(|arc| arc.lock().clone());
+                    (out, Some(vfs))
+                });
+                *slots_ref[i].lock() = Some(result);
+            });
+        }
+    });
+    if let Err(payload) = scope_result {
+        std::panic::resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every shard slot is filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::UserConfig;
+    use crate::session::Session;
+
+    #[test]
+    fn default_plan_matches_legacy_collect() {
+        let serial = {
+            let mut s = Session::create(UserConfig::example_lammps_small(), 42).unwrap();
+            s.collect().unwrap().to_json()
+        };
+        let mut s = Session::create(UserConfig::example_lammps_small(), 42).unwrap();
+        let report = s.collect_with(&CollectPlan::new()).unwrap();
+        assert_eq!(report.stats.workers, 1);
+        assert_eq!(report.stats.executed, 3);
+        assert_eq!(report.stats.failed, 0);
+        assert_eq!(report.into_dataset().to_json(), serial);
+    }
+
+    #[test]
+    fn per_sku_sharding_groups_scenarios() {
+        let mut s = Session::create(UserConfig::example_openfoam(), 42).unwrap();
+        let shards = split_shards(s.scenarios().to_vec(), ShardPolicy::PerSku);
+        assert_eq!(shards.len(), 3, "one shard per SKU");
+        for shard in &shards {
+            assert!(shard.windows(2).all(|w| w[0].sku == w[1].sku));
+            assert!(shard.windows(2).all(|w| w[0].id < w[1].id), "order kept");
+        }
+        let report = s.collect_with(&CollectPlan::new().workers(2)).unwrap();
+        assert_eq!(report.stats.shards, 3);
+        assert_eq!(report.stats.workers, 2);
+        // Outcomes cover the whole grid and carry shard attribution.
+        assert_eq!(report.outcomes.len(), 36);
+        assert!(report.outcomes.iter().any(|o| o.shard == 2));
+        assert!(!report.billing.is_empty());
+        assert!(report.render_text().contains("completed"));
+    }
+
+    #[test]
+    fn subset_plans_run_only_requested_ids() {
+        let mut s = Session::create(UserConfig::example_lammps_small(), 42).unwrap();
+        let first_id = s.scenarios()[0].id;
+        let report = s
+            .collect_with(&CollectPlan::new().subset(vec![first_id]))
+            .unwrap();
+        assert_eq!(report.stats.executed, 1);
+        assert_eq!(report.outcomes[0].scenario_id, first_id);
+    }
+}

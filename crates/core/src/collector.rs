@@ -18,21 +18,32 @@
 //! Table I environment variables injected. `HPCADVISORVAR key=value` lines
 //! printed by the script are scraped into the dataset, exactly as the paper
 //! describes.
+//!
+//! The loop itself lives in [`ShardRun`], which executes one ordered slice of
+//! scenarios against one [`BatchService`]. The serial [`Collector::collect`]
+//! path runs a single shard over the collector's own service; the parallel
+//! path ([`crate::collect::CollectPlan`]) runs one shard per VM type, each on
+//! its own service, and merges the outputs in scenario order.
 
 use crate::appscript;
 use crate::config::UserConfig;
 use crate::dataset::{DataPoint, Dataset};
 use crate::error::ToolError;
 use crate::scenario::{Scenario, ScenarioStatus};
+use appmodel::AppRegistry;
 use batchsim::{BatchService, SharedProvider, TaskContext, TaskKind, TaskResult, TaskState};
 use parking_lot::Mutex;
-use appmodel::AppRegistry;
 use simtime::SimDuration;
+use std::collections::HashMap;
 use std::sync::Arc;
 use taskshell::{ExecutionEnv, Interpreter, UrlStore, Vfs};
 
 /// Options for a collection run.
+///
+/// Construct with [`CollectorOptions::builder`]; the struct is
+/// `#[non_exhaustive]` so new knobs can be added without breaking callers.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct CollectorOptions {
     /// Seed for the deterministic run-to-run noise.
     pub experiment_seed: u64,
@@ -53,72 +64,62 @@ impl Default for CollectorOptions {
     }
 }
 
-/// The collector for one deployment.
-pub struct Collector {
-    provider: SharedProvider,
-    service: BatchService,
-    config: UserConfig,
-    script: String,
-    urls: UrlStore,
-    deployment: String,
-    shared_vfs: Arc<Mutex<Vfs>>,
-    registry: Arc<AppRegistry>,
+impl CollectorOptions {
+    /// Starts a builder with the default options.
+    pub fn builder() -> CollectorOptionsBuilder {
+        CollectorOptionsBuilder {
+            options: CollectorOptions::default(),
+        }
+    }
+}
+
+/// Builder for [`CollectorOptions`].
+#[derive(Debug, Clone)]
+pub struct CollectorOptionsBuilder {
     options: CollectorOptions,
 }
 
-impl Collector {
-    /// Creates a collector bound to an existing deployment. Resolves the
-    /// application script from `appsetupurl` (bundled scripts are
-    /// registered automatically for known app names).
-    pub fn new(
-        provider: SharedProvider,
-        deployment: &str,
-        config: UserConfig,
-        options: CollectorOptions,
-    ) -> Result<Self, ToolError> {
-        let mut urls = UrlStore::with_known_inputs();
-        appscript::seed_urlstore(&mut urls, &config.appsetupurl, &config.appname);
-        let script = appscript::fetch_script(&urls, &config.appsetupurl)?;
-        let service = BatchService::new(provider.clone(), deployment);
-        Ok(Collector {
-            provider,
-            service,
-            config,
-            script,
-            urls,
-            deployment: deployment.to_string(),
-            shared_vfs: Arc::new(Mutex::new(Vfs::new())),
-            registry: Arc::new(AppRegistry::standard()),
-            options,
-        })
+impl CollectorOptionsBuilder {
+    /// Sets the experiment noise seed.
+    pub fn experiment_seed(mut self, seed: u64) -> Self {
+        self.options.experiment_seed = seed;
+        self
     }
 
-    /// Registers custom script content for a URL (user-provided scripts).
-    pub fn register_script(&mut self, url: &str, content: &str) -> Result<(), ToolError> {
-        self.urls.put(url, content);
-        if url == self.config.appsetupurl {
-            self.script = content.to_string();
-        }
-        Ok(())
+    /// Deletes pools after use instead of resizing them to zero.
+    pub fn delete_pools(mut self, yes: bool) -> Self {
+        self.options.delete_pools = yes;
+        self
     }
 
-    /// The deployment's shared filesystem (inspectable, like the paper's
-    /// jumpbox lets users do).
-    pub fn shared_vfs(&self) -> Arc<Mutex<Vfs>> {
-        self.shared_vfs.clone()
+    /// Re-runs scenarios already marked failed.
+    pub fn rerun_failed(mut self, yes: bool) -> Self {
+        self.options.rerun_failed = yes;
+        self
     }
 
-    /// Runs every pending scenario (Algorithm 1 over the whole list).
-    pub fn collect(&mut self, scenarios: &mut [Scenario]) -> Result<Dataset, ToolError> {
-        let ids: Vec<u32> = scenarios
-            .iter()
-            .filter(|s| self.should_run(s))
-            .map(|s| s.id)
-            .collect();
-        self.run_scenarios(scenarios, &ids)
+    /// Finishes the builder.
+    pub fn build(self) -> CollectorOptions {
+        self.options
     }
+}
 
-    fn should_run(&self, s: &Scenario) -> bool {
+/// Everything a scenario executor needs that is independent of which
+/// [`BatchService`] and filesystem it runs against. Shared by reference
+/// across parallel shard workers, so it holds no mutable state.
+#[derive(Clone)]
+pub(crate) struct ExecContext {
+    pub(crate) provider: SharedProvider,
+    pub(crate) config: UserConfig,
+    pub(crate) script: String,
+    pub(crate) urls: UrlStore,
+    pub(crate) deployment: String,
+    pub(crate) registry: Arc<AppRegistry>,
+    pub(crate) options: CollectorOptions,
+}
+
+impl ExecContext {
+    pub(crate) fn should_run(&self, s: &Scenario) -> bool {
         match s.status {
             ScenarioStatus::Pending => true,
             ScenarioStatus::Failed => self.options.rerun_failed,
@@ -126,24 +127,85 @@ impl Collector {
         }
     }
 
-    /// Runs a chosen subset of scenarios (the smart-sampling drivers use
-    /// this), preserving Algorithm 1's pool-reuse structure.
-    pub fn run_scenarios(
-        &mut self,
-        scenarios: &mut [Scenario],
-        ids: &[u32],
-    ) -> Result<Dataset, ToolError> {
-        let mut dataset = Dataset::new();
+    fn app_dir(&self) -> String {
+        format!("/share/{}/apps/{}", self.deployment, self.config.appname)
+    }
+
+    pub(crate) fn failed_point(&self, scenario: &Scenario, reason: &str) -> DataPoint {
+        DataPoint {
+            scenario_id: scenario.id,
+            appname: self.config.appname.clone(),
+            sku: scenario.sku.clone(),
+            nnodes: scenario.nnodes,
+            ppn: scenario.ppn,
+            appinputs: scenario.appinputs.clone(),
+            exec_time_secs: 0.0,
+            task_secs: 0.0,
+            cost_dollars: 0.0,
+            status: ScenarioStatus::Failed,
+            metrics: vec![("FAILREASON".into(), reason.to_string())],
+            infra: Vec::new(),
+            tags: self.config.tags.clone(),
+            deployment: self.deployment.clone(),
+        }
+    }
+
+    /// Builds the task runner closure for the batch service, bound to the
+    /// given shared filesystem (the deployment's, or a shard's clone).
+    fn make_runner(&self, vfs: &Arc<Mutex<Vfs>>, spec: RunnerSpec) -> batchsim::service::Runner {
+        let shared_vfs = vfs.clone();
+        let urls = self.urls.clone();
+        let registry = self.registry.clone();
+        let script = self.script.clone();
+        let seed = self.options.experiment_seed;
+        Box::new(move |ctx: &TaskContext| -> TaskResult {
+            run_script_task(ctx, &spec, shared_vfs, urls, registry, &script, seed)
+        })
+    }
+}
+
+/// Result of one executed scenario, independent of the scenario array it
+/// came from (shards return these so the caller can write statuses back).
+#[derive(Debug, Clone)]
+pub(crate) struct ShardOutcome {
+    pub(crate) scenario_id: u32,
+    pub(crate) status: ScenarioStatus,
+    pub(crate) fail_reason: Option<String>,
+}
+
+/// Everything one shard produced: data points and per-scenario outcomes, in
+/// execution order.
+#[derive(Debug, Default)]
+pub(crate) struct ShardOutput {
+    pub(crate) points: Vec<DataPoint>,
+    pub(crate) outcomes: Vec<ShardOutcome>,
+}
+
+/// Executes an ordered slice of scenarios against one batch service —
+/// Algorithm 1 over one shard. The serial path uses a single shard holding
+/// every scenario; the parallel path runs one `ShardRun` per VM type.
+pub(crate) struct ShardRun<'a> {
+    pub(crate) ctx: &'a ExecContext,
+    pub(crate) service: &'a mut BatchService,
+    pub(crate) vfs: Arc<Mutex<Vfs>>,
+}
+
+impl ShardRun<'_> {
+    pub(crate) fn run(&mut self, scenarios: &[Scenario]) -> Result<ShardOutput, ToolError> {
+        let mut out = ShardOutput::default();
+        // Status updates made during this run, so a scenario id appearing
+        // twice in the slice sees its first outcome (completed ⇒ skipped).
+        let mut updated: HashMap<u32, ScenarioStatus> = HashMap::new();
         let mut previous_vmtype: Option<String> = None;
         let mut pool_name = String::new();
         let mut setup_ok = true;
 
-        for &id in ids {
-            let Some(idx) = scenarios.iter().position(|s| s.id == id) else {
-                return Err(ToolError::NoData(format!("scenario id {id} not found")));
-            };
-            let scenario = scenarios[idx].clone();
-            if !self.should_run(&scenario) {
+        for scenario in scenarios {
+            let mut scenario = scenario.clone();
+            if let Some(status) = updated.get(&scenario.id) {
+                scenario.status = *status;
+            }
+            if !self.ctx.should_run(&scenario) {
                 continue;
             }
 
@@ -165,7 +227,7 @@ impl Collector {
                     // Deleted pools cannot be recreated under the same name;
                     // uniquify defensively.
                     if self.service.pool(&pool_name).is_some() {
-                        pool_name = format!("{pool_name}-{id}");
+                        pool_name = format!("{pool_name}-{}", scenario.id);
                     }
                     self.service.create_pool(&pool_name, &scenario.sku)?;
                 }
@@ -176,8 +238,12 @@ impl Collector {
                     Err(e) => {
                         // Quota/capacity failure: this scenario fails, the
                         // sweep continues.
-                        scenarios[idx].status = ScenarioStatus::Failed;
-                        dataset.push(self.failed_point(&scenario, &format!("pool resize: {e}")));
+                        self.record_failure(
+                            &mut out,
+                            &mut updated,
+                            &scenario,
+                            &format!("pool resize: {e}"),
+                        );
                         previous_vmtype = Some(scenario.sku.clone());
                         setup_ok = false;
                         continue;
@@ -192,35 +258,72 @@ impl Collector {
                 // "The number of nodes that the user requested for testing
                 // is then incremented in the pool."
                 if let Err(e) = self.service.resize_pool(&pool_name, scenario.nnodes) {
-                    scenarios[idx].status = ScenarioStatus::Failed;
-                    dataset.push(self.failed_point(&scenario, &format!("pool resize: {e}")));
+                    self.record_failure(
+                        &mut out,
+                        &mut updated,
+                        &scenario,
+                        &format!("pool resize: {e}"),
+                    );
                     continue;
                 }
             }
             previous_vmtype = Some(scenario.sku.clone());
 
             if !setup_ok {
-                scenarios[idx].status = ScenarioStatus::Failed;
-                dataset.push(self.failed_point(&scenario, "application setup failed on this pool"));
+                self.record_failure(
+                    &mut out,
+                    &mut updated,
+                    &scenario,
+                    "application setup failed on this pool",
+                );
                 continue;
             }
 
             // Compute task.
             let point = self.run_compute_task(&pool_name, &scenario)?;
-            scenarios[idx].status = point.status;
-            dataset.push(point);
+            updated.insert(scenario.id, point.status);
+            out.outcomes.push(ShardOutcome {
+                scenario_id: scenario.id,
+                status: point.status,
+                fail_reason: match point.status {
+                    ScenarioStatus::Failed => Some(
+                        point
+                            .metric("FAILREASON")
+                            .map(str::to_string)
+                            .unwrap_or_else(|| "compute task failed".into()),
+                    ),
+                    _ => None,
+                },
+            });
+            out.points.push(point);
         }
         if previous_vmtype.is_some() {
             self.teardown_pool(&pool_name)?;
         }
-        Ok(dataset)
+        Ok(out)
+    }
+
+    fn record_failure(
+        &self,
+        out: &mut ShardOutput,
+        updated: &mut HashMap<u32, ScenarioStatus>,
+        scenario: &Scenario,
+        reason: &str,
+    ) {
+        updated.insert(scenario.id, ScenarioStatus::Failed);
+        out.points.push(self.ctx.failed_point(scenario, reason));
+        out.outcomes.push(ShardOutcome {
+            scenario_id: scenario.id,
+            status: ScenarioStatus::Failed,
+            fail_reason: Some(reason.to_string()),
+        });
     }
 
     fn teardown_pool(&mut self, pool: &str) -> Result<(), ToolError> {
         if self.service.pool(pool).is_none() {
             return Ok(());
         }
-        if self.options.delete_pools {
+        if self.ctx.options.delete_pools {
             self.service.delete_pool(pool)?;
         } else {
             self.service.resize_pool(pool, 0)?;
@@ -228,22 +331,21 @@ impl Collector {
         Ok(())
     }
 
-    fn app_dir(&self) -> String {
-        format!("/share/{}/apps/{}", self.deployment, self.config.appname)
-    }
-
     /// Runs the pool's setup task (`hpcadvisor_setup` in the app directory).
     /// Returns whether setup succeeded.
     fn run_setup_task(&mut self, pool: &str) -> Result<bool, ToolError> {
-        let runner = self.make_runner(RunnerSpec {
-            function: "hpcadvisor_setup".into(),
-            cwd: self.app_dir(),
-            env: Vec::new(),
-            write_hostfile: false,
-        });
+        let runner = self.ctx.make_runner(
+            &self.vfs,
+            RunnerSpec {
+                function: "hpcadvisor_setup".into(),
+                cwd: self.ctx.app_dir(),
+                env: Vec::new(),
+                write_hostfile: false,
+            },
+        );
         let record = self.service.run_task(
             pool,
-            &format!("setup-{}", self.config.appname),
+            &format!("setup-{}", self.ctx.config.appname),
             TaskKind::Setup,
             1,
             1,
@@ -258,7 +360,7 @@ impl Collector {
         pool: &str,
         scenario: &Scenario,
     ) -> Result<DataPoint, ToolError> {
-        let task_dir = format!("{}/task-{}", self.app_dir(), scenario.id);
+        let task_dir = format!("{}/task-{}", self.ctx.app_dir(), scenario.id);
         let mut env: Vec<(String, String)> = vec![
             ("NNODES".into(), scenario.nnodes.to_string()),
             ("PPN".into(), scenario.ppn.to_string()),
@@ -269,15 +371,18 @@ impl Collector {
         for (k, v) in &scenario.appinputs {
             env.push((k.clone(), v.clone()));
         }
-        let runner = self.make_runner(RunnerSpec {
-            function: "hpcadvisor_run".into(),
-            cwd: task_dir,
-            env,
-            write_hostfile: true,
-        });
+        let runner = self.ctx.make_runner(
+            &self.vfs,
+            RunnerSpec {
+                function: "hpcadvisor_run".into(),
+                cwd: task_dir,
+                env,
+                write_hostfile: true,
+            },
+        );
         let record = self.service.run_task(
             pool,
-            &scenario.label(&self.config.appname),
+            &scenario.label(&self.ctx.config.appname),
             TaskKind::Compute,
             scenario.nnodes,
             scenario.ppn,
@@ -301,8 +406,11 @@ impl Collector {
             }
         }
 
+        // Runner-reported execution time: identical to the wall-clock span
+        // under serial execution, but immune to sibling shards advancing the
+        // shared virtual clock while this task runs.
         let task_secs = record
-            .duration()
+            .execution_duration()
             .unwrap_or(SimDuration::ZERO)
             .as_secs_f64();
         let exec_time_secs = metrics
@@ -310,7 +418,7 @@ impl Collector {
             .find(|(k, _)| k == "APPEXECTIME")
             .and_then(|(_, v)| v.parse::<f64>().ok())
             .unwrap_or(task_secs);
-        let price = self.provider.lock().price_per_hour(&scenario.sku)?;
+        let price = self.ctx.provider.lock().price_per_hour(&scenario.sku)?;
         let cost_dollars = price * scenario.nnodes as f64 * exec_time_secs / 3600.0;
         let status = match record.state {
             TaskState::Completed => ScenarioStatus::Completed,
@@ -318,7 +426,7 @@ impl Collector {
         };
         Ok(DataPoint {
             scenario_id: scenario.id,
-            appname: self.config.appname.clone(),
+            appname: self.ctx.config.appname.clone(),
             sku: scenario.sku.clone(),
             nnodes: scenario.nnodes,
             ppn: scenario.ppn,
@@ -329,40 +437,133 @@ impl Collector {
             status,
             metrics,
             infra,
-            tags: self.config.tags.clone(),
-            deployment: self.deployment.clone(),
+            tags: self.ctx.config.tags.clone(),
+            deployment: self.ctx.deployment.clone(),
+        })
+    }
+}
+
+/// Maps scenario id → index in the array, built once per call instead of a
+/// linear scan per id.
+pub(crate) fn index_by_id(scenarios: &[Scenario]) -> HashMap<u32, usize> {
+    scenarios
+        .iter()
+        .enumerate()
+        .map(|(idx, s)| (s.id, idx))
+        .collect()
+}
+
+/// Resolves requested ids into scenario clones in request order, failing on
+/// unknown ids before anything runs.
+pub(crate) fn resolve_ids(
+    scenarios: &[Scenario],
+    index: &HashMap<u32, usize>,
+    ids: &[u32],
+) -> Result<Vec<Scenario>, ToolError> {
+    let mut ordered = Vec::with_capacity(ids.len());
+    for &id in ids {
+        let &idx = index
+            .get(&id)
+            .ok_or_else(|| ToolError::NoData(format!("scenario id {id} not found")))?;
+        ordered.push(scenarios[idx].clone());
+    }
+    Ok(ordered)
+}
+
+/// The collector for one deployment.
+pub struct Collector {
+    pub(crate) ctx: ExecContext,
+    pub(crate) service: BatchService,
+    pub(crate) shared_vfs: Arc<Mutex<Vfs>>,
+}
+
+impl Collector {
+    /// Creates a collector bound to an existing deployment. Resolves the
+    /// application script from `appsetupurl` (bundled scripts are
+    /// registered automatically for known app names).
+    pub fn new(
+        provider: SharedProvider,
+        deployment: &str,
+        config: UserConfig,
+        options: CollectorOptions,
+    ) -> Result<Self, ToolError> {
+        let mut urls = UrlStore::with_known_inputs();
+        appscript::seed_urlstore(&mut urls, &config.appsetupurl, &config.appname);
+        let script = appscript::fetch_script(&urls, &config.appsetupurl)?;
+        let service = BatchService::new(provider.clone(), deployment);
+        Ok(Collector {
+            ctx: ExecContext {
+                provider,
+                config,
+                script,
+                urls,
+                deployment: deployment.to_string(),
+                registry: Arc::new(AppRegistry::standard()),
+                options,
+            },
+            service,
+            shared_vfs: Arc::new(Mutex::new(Vfs::new())),
         })
     }
 
-    fn failed_point(&self, scenario: &Scenario, reason: &str) -> DataPoint {
-        DataPoint {
-            scenario_id: scenario.id,
-            appname: self.config.appname.clone(),
-            sku: scenario.sku.clone(),
-            nnodes: scenario.nnodes,
-            ppn: scenario.ppn,
-            appinputs: scenario.appinputs.clone(),
-            exec_time_secs: 0.0,
-            task_secs: 0.0,
-            cost_dollars: 0.0,
-            status: ScenarioStatus::Failed,
-            metrics: vec![("FAILREASON".into(), reason.to_string())],
-            infra: Vec::new(),
-            tags: self.config.tags.clone(),
-            deployment: self.deployment.clone(),
+    /// Registers custom script content for a URL (user-provided scripts).
+    pub fn register_script(&mut self, url: &str, content: &str) -> Result<(), ToolError> {
+        self.ctx.urls.put(url, content);
+        if url == self.ctx.config.appsetupurl {
+            self.ctx.script = content.to_string();
         }
+        Ok(())
     }
 
-    /// Builds the task runner closure for the batch service.
-    fn make_runner(&self, spec: RunnerSpec) -> batchsim::service::Runner {
-        let shared_vfs = self.shared_vfs.clone();
-        let urls = self.urls.clone();
-        let registry = self.registry.clone();
-        let script = self.script.clone();
-        let seed = self.options.experiment_seed;
-        Box::new(move |ctx: &TaskContext| -> TaskResult {
-            run_script_task(ctx, &spec, shared_vfs, urls, registry, &script, seed)
-        })
+    /// The cloud provider this collector bills against.
+    pub fn provider(&self) -> SharedProvider {
+        self.ctx.provider.clone()
+    }
+
+    /// The options the collector was created with.
+    pub fn options(&self) -> &CollectorOptions {
+        &self.ctx.options
+    }
+
+    /// The deployment's shared filesystem (inspectable, like the paper's
+    /// jumpbox lets users do).
+    pub fn shared_vfs(&self) -> Arc<Mutex<Vfs>> {
+        self.shared_vfs.clone()
+    }
+
+    /// Runs every pending scenario (Algorithm 1 over the whole list).
+    pub fn collect(&mut self, scenarios: &mut [Scenario]) -> Result<Dataset, ToolError> {
+        let ids: Vec<u32> = scenarios
+            .iter()
+            .filter(|s| self.ctx.should_run(s))
+            .map(|s| s.id)
+            .collect();
+        self.run_scenarios(scenarios, &ids)
+    }
+
+    /// Runs a chosen subset of scenarios (the smart-sampling drivers use
+    /// this), preserving Algorithm 1's pool-reuse structure.
+    pub fn run_scenarios(
+        &mut self,
+        scenarios: &mut [Scenario],
+        ids: &[u32],
+    ) -> Result<Dataset, ToolError> {
+        let index = index_by_id(scenarios);
+        let ordered = resolve_ids(scenarios, &index, ids)?;
+        let mut shard = ShardRun {
+            ctx: &self.ctx,
+            service: &mut self.service,
+            vfs: self.shared_vfs.clone(),
+        };
+        let out = shard.run(&ordered)?;
+        let mut dataset = Dataset::new();
+        for outcome in &out.outcomes {
+            scenarios[index[&outcome.scenario_id]].status = outcome.status;
+        }
+        for point in out.points {
+            dataset.push(point);
+        }
+        Ok(dataset)
     }
 }
 
@@ -413,9 +614,7 @@ fn run_script_task(
     let overhead = SimDuration::from_secs(5);
     let load = match interp.load_script(script) {
         Ok(outcome) => outcome,
-        Err(e) => {
-            return TaskResult::failed(overhead, format!("script parse error: {e}\n"), 127)
-        }
+        Err(e) => return TaskResult::failed(overhead, format!("script parse error: {e}\n"), 127),
     };
     if load.exit_code != 0 {
         return TaskResult::failed(
@@ -450,8 +649,7 @@ mod tests {
     use cloudsim::SkuCatalog;
 
     fn setup(config: &UserConfig) -> (Collector, Vec<Scenario>) {
-        let mut manager =
-            DeploymentManager::new(&config.subscription, &config.region, 7).unwrap();
+        let mut manager = DeploymentManager::new(&config.subscription, &config.region, 7).unwrap();
         let rg = manager.create(config).unwrap();
         let collector = Collector::new(
             manager.provider(),
@@ -470,7 +668,9 @@ mod tests {
         let (mut collector, mut scenarios) = setup(&config);
         let ds = collector.collect(&mut scenarios).unwrap();
         assert_eq!(ds.len(), 3);
-        assert!(scenarios.iter().all(|s| s.status == ScenarioStatus::Completed));
+        assert!(scenarios
+            .iter()
+            .all(|s| s.status == ScenarioStatus::Completed));
         for p in &ds.points {
             assert!(p.exec_time_secs > 0.0, "{p:?}");
             assert!(p.cost_dollars > 0.0);
@@ -480,8 +680,18 @@ mod tests {
             assert_eq!(p.tags, vec![("version".to_string(), "v1".to_string())]);
         }
         // More nodes ⇒ faster for this compute-bound input.
-        let t1 = ds.points.iter().find(|p| p.nnodes == 1).unwrap().exec_time_secs;
-        let t4 = ds.points.iter().find(|p| p.nnodes == 4).unwrap().exec_time_secs;
+        let t1 = ds
+            .points
+            .iter()
+            .find(|p| p.nnodes == 1)
+            .unwrap()
+            .exec_time_secs;
+        let t4 = ds
+            .points
+            .iter()
+            .find(|p| p.nnodes == 4)
+            .unwrap()
+            .exec_time_secs;
         assert!(t4 < t1);
     }
 
@@ -514,7 +724,7 @@ mod tests {
         let config = UserConfig::example_lammps_small();
         let (mut collector, mut scenarios) = setup(&config);
         collector.collect(&mut scenarios).unwrap();
-        let provider = collector.provider.clone();
+        let provider = collector.provider();
         let p = provider.lock();
         let spans = p.billing().records();
         // Three resizes (1→2→4 nodes) plus the final resize-to-zero closes
@@ -544,7 +754,10 @@ mod tests {
         let ok = ds.points.iter().find(|p| p.nnodes == 16).unwrap();
         assert_eq!(ok.status, ScenarioStatus::Completed);
         assert_eq!(
-            scenarios.iter().filter(|s| s.status == ScenarioStatus::Failed).count(),
+            scenarios
+                .iter()
+                .filter(|s| s.status == ScenarioStatus::Failed)
+                .count(),
             1
         );
     }
@@ -591,8 +804,27 @@ mod tests {
         let ds = collector.run_scenarios(&mut scenarios, &ids).unwrap();
         assert_eq!(ds.len(), 1);
         assert_eq!(
-            scenarios.iter().filter(|s| s.status == ScenarioStatus::Completed).count(),
+            scenarios
+                .iter()
+                .filter(|s| s.status == ScenarioStatus::Completed)
+                .count(),
             1
+        );
+    }
+
+    #[test]
+    fn unknown_id_fails_before_running_anything() {
+        let config = UserConfig::example_lammps_small();
+        let (mut collector, mut scenarios) = setup(&config);
+        let mut ids: Vec<u32> = scenarios.iter().map(|s| s.id).collect();
+        ids.push(9999);
+        let err = collector.run_scenarios(&mut scenarios, &ids).unwrap_err();
+        assert!(matches!(err, ToolError::NoData(_)), "{err}");
+        assert!(
+            scenarios
+                .iter()
+                .all(|s| s.status == ScenarioStatus::Pending),
+            "id validation happens before execution"
         );
     }
 }
@@ -608,8 +840,7 @@ mod option_tests {
         config: &UserConfig,
         options: CollectorOptions,
     ) -> (Collector, Vec<Scenario>, batchsim::SharedProvider) {
-        let mut manager =
-            DeploymentManager::new(&config.subscription, &config.region, 7).unwrap();
+        let mut manager = DeploymentManager::new(&config.subscription, &config.region, 7).unwrap();
         let rg = manager.create(config).unwrap();
         let provider = manager.provider();
         let collector = Collector::new(provider.clone(), &rg, config.clone(), options).unwrap();
@@ -620,10 +851,7 @@ mod option_tests {
     #[test]
     fn delete_pools_option_tears_down_pools() {
         let config = UserConfig::example_lammps_small();
-        let options = CollectorOptions {
-            delete_pools: true,
-            ..CollectorOptions::default()
-        };
+        let options = CollectorOptions::builder().delete_pools(true).build();
         let (mut collector, mut scenarios, _provider) = setup_with(&config, options);
         collector.collect(&mut scenarios).unwrap();
         let pool = collector.service.pool("pool-hb120rs_v3").unwrap();
@@ -645,10 +873,7 @@ mod option_tests {
     fn rerun_failed_retries_failed_scenarios() {
         use cloudsim::{FaultPlan, Operation};
         let config = UserConfig::example_lammps_small();
-        let options = CollectorOptions {
-            rerun_failed: true,
-            ..CollectorOptions::default()
-        };
+        let options = CollectorOptions::builder().rerun_failed(true).build();
         let (mut collector, mut scenarios, provider) = setup_with(&config, options);
         // First pass: the second compute task (invocation 2: setup=0,
         // compute=1,2,3) fails by injection.
@@ -668,6 +893,8 @@ mod option_tests {
         let second = collector.collect(&mut scenarios).unwrap();
         assert_eq!(second.len(), 1);
         assert_eq!(second.points[0].status, ScenarioStatus::Completed);
-        assert!(scenarios.iter().all(|s| s.status == ScenarioStatus::Completed));
+        assert!(scenarios
+            .iter()
+            .all(|s| s.status == ScenarioStatus::Completed));
     }
 }

@@ -130,9 +130,7 @@ impl UserConfig {
                 .map(|(k, v)| {
                     let values = match v {
                         // Duplicate YAML keys coalesce to a Seq — the sweep.
-                        Value::Seq(items) => {
-                            items.iter().map(|i| i.to_plain_string()).collect()
-                        }
+                        Value::Seq(items) => items.iter().map(|i| i.to_plain_string()).collect(),
                         scalar => vec![scalar.to_plain_string()],
                     };
                     (k.to_string(), values)
@@ -164,9 +162,8 @@ impl UserConfig {
         let get_opt_str = |key: &str| -> Option<String> {
             doc.get(key).and_then(|v| v.as_str()).map(|s| s.to_string())
         };
-        let get_bool = |key: &str| -> bool {
-            doc.get(key).and_then(|v| v.as_bool()).unwrap_or(false)
-        };
+        let get_bool =
+            |key: &str| -> bool { doc.get(key).and_then(|v| v.as_bool()).unwrap_or(false) };
 
         Ok(UserConfig {
             subscription: req_str(&doc, "subscription")?,
@@ -287,7 +284,10 @@ mod tests {
         // The duplicated `mesh:` keys become a 2-value sweep.
         assert_eq!(
             c.appinputs,
-            vec![("mesh".to_string(), vec!["80 24 24".to_string(), "60 16 16".to_string()])]
+            vec![(
+                "mesh".to_string(),
+                vec!["80 24 24".to_string(), "60 16 16".to_string()]
+            )]
         );
         // 3 SKUs × 6 node counts × 2 meshes (the paper's 3x6x2).
         assert_eq!(c.scenario_count(), 36);

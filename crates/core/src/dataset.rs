@@ -113,9 +113,7 @@ impl DataFilter {
                 "tag" => match v.split_once(':') {
                     Some((tk, tv)) => f.tags.push((tk.to_string(), tv.to_string())),
                     None => {
-                        return Err(ToolError::Config(
-                            "tag filter must be tag=key:value".into(),
-                        ))
+                        return Err(ToolError::Config("tag filter must be tag=key:value".into()))
                     }
                 },
                 _ => f.appinputs.push((k.to_string(), v.to_string())),
@@ -390,7 +388,10 @@ mod tests {
             .unwrap();
         assert_eq!(f.appname.as_deref(), Some("lammps"));
         assert_eq!(f.sku.as_deref(), Some("HB120rs_v3"));
-        assert_eq!(f.appinputs, vec![("BOXFACTOR".to_string(), "30".to_string())]);
+        assert_eq!(
+            f.appinputs,
+            vec![("BOXFACTOR".to_string(), "30".to_string())]
+        );
         assert_eq!(f.tags, vec![("version".to_string(), "v1".to_string())]);
         let ds = sample();
         assert_eq!(ds.filter(&f).len(), 1);

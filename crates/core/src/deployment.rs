@@ -148,7 +148,8 @@ impl DeploymentManager {
 
     /// Renders the `deploy list` table.
     pub fn render_list(&self) -> String {
-        let mut out = String::from("Deployment           Region           App        State     Jumpbox\n");
+        let mut out =
+            String::from("Deployment           Region           App        State     Jumpbox\n");
         for d in &self.deployments {
             out.push_str(&format!(
                 "{:<20}  {:<15}  {:<9}  {:<8}  {}\n",
@@ -205,7 +206,9 @@ mod tests {
         let config = UserConfig::example_openfoam();
         assert!(matches!(
             m.create(&config),
-            Err(ToolError::Cloud(cloudsim::CloudError::WrongSubscription { .. }))
+            Err(ToolError::Cloud(
+                cloudsim::CloudError::WrongSubscription { .. }
+            ))
         ));
     }
 

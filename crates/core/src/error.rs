@@ -8,6 +8,8 @@ pub enum ToolError {
     Config(String),
     /// Cloud control-plane error.
     Cloud(cloudsim::CloudError),
+    /// Batch-orchestrator error (pools, task layouts).
+    Batch(batchsim::BatchError),
     /// Script interpreter error.
     Shell(taskshell::ShellError),
     /// File-format error (YAML/JSON).
@@ -27,6 +29,7 @@ impl fmt::Display for ToolError {
         match self {
             ToolError::Config(m) => write!(f, "configuration error: {m}"),
             ToolError::Cloud(e) => write!(f, "cloud error: {e}"),
+            ToolError::Batch(e) => write!(f, "batch error: {e}"),
             ToolError::Shell(e) => write!(f, "script error: {e}"),
             ToolError::Format(e) => write!(f, "format error: {e}"),
             ToolError::Model(e) => write!(f, "application model error: {e}"),
@@ -37,11 +40,33 @@ impl fmt::Display for ToolError {
     }
 }
 
-impl std::error::Error for ToolError {}
+impl std::error::Error for ToolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ToolError::Cloud(e) => Some(e),
+            ToolError::Batch(e) => Some(e),
+            ToolError::Shell(e) => Some(e),
+            ToolError::Format(e) => Some(e),
+            ToolError::Model(e) => Some(e),
+            ToolError::Io(e) => Some(e),
+            ToolError::Config(_) | ToolError::UnknownDeployment(_) | ToolError::NoData(_) => None,
+        }
+    }
+}
 
 impl From<cloudsim::CloudError> for ToolError {
     fn from(e: cloudsim::CloudError) -> Self {
         ToolError::Cloud(e)
+    }
+}
+impl From<batchsim::BatchError> for ToolError {
+    fn from(e: batchsim::BatchError) -> Self {
+        // Unwrap pure cloud errors so callers keep matching `ToolError::Cloud`
+        // for quota/capacity conditions, as they did before `BatchError`.
+        match e {
+            batchsim::BatchError::Cloud(c) => ToolError::Cloud(c),
+            other => ToolError::Batch(other),
+        }
     }
 }
 impl From<taskshell::ShellError> for ToolError {
@@ -77,5 +102,19 @@ mod tests {
         assert!(e.to_string().contains("script error"));
         let e = ToolError::Config("skus list is empty".into());
         assert!(e.to_string().contains("skus"));
+    }
+
+    #[test]
+    fn batch_errors_flatten_cloud_and_keep_sources() {
+        use std::error::Error;
+        // A cloud error inside a batch error surfaces as ToolError::Cloud…
+        let e: ToolError =
+            batchsim::BatchError::from(cloudsim::CloudError::UnknownSku("x".into())).into();
+        assert!(matches!(e, ToolError::Cloud(_)), "{e}");
+        // …while batch-layer failures keep their own variant and source chain.
+        let e: ToolError = batchsim::BatchError::PoolBusy { pool: "p".into() }.into();
+        assert!(matches!(e, ToolError::Batch(_)));
+        assert!(e.to_string().contains("batch error"));
+        assert!(e.source().is_some());
     }
 }

@@ -26,20 +26,35 @@
 //!
 //! ## Quick start
 //!
+//! Collection is described by a [`collect::CollectPlan`] (worker count,
+//! shard policy, seed/rerun overrides) and returns a
+//! [`collect::CollectReport`] with the dataset, per-scenario outcomes,
+//! per-pool billing and executor stats:
+//!
 //! ```
 //! use hpcadvisor_core::prelude::*;
 //!
 //! // Listing-1-style configuration (here built programmatically).
 //! let config = UserConfig::example_lammps_small();
 //! let mut session = Session::create(config, 42).unwrap();
-//! let dataset = session.collect().unwrap();
-//! let advice = Advice::from_dataset(&dataset, &DataFilter::all());
+//! // Shard the grid by VM type and run shards on 4 worker threads; the
+//! // merged dataset is byte-identical to a serial run.
+//! let report = session.collect_with(&CollectPlan::new().workers(4)).unwrap();
+//! let advice = Advice::from_dataset(&report.dataset, &DataFilter::all());
 //! assert!(!advice.rows.is_empty());
 //! println!("{}", advice.render_text());
 //! ```
+//!
+//! Migration note: the pre-plan API remains as thin wrappers —
+//! [`session::Session::collect`] is equivalent to the default plan and
+//! still returns a bare [`dataset::Dataset`], and
+//! [`collector::CollectorOptions`] is now built with
+//! [`collector::CollectorOptions::builder`] (the struct is
+//! `#[non_exhaustive]`).
 
 pub mod advice;
 pub mod appscript;
+pub mod collect;
 pub mod collector;
 pub mod config;
 pub mod dataset;
@@ -56,7 +71,8 @@ pub mod scenario;
 pub mod session;
 
 pub use advice::Advice;
-pub use collector::{Collector, CollectorOptions};
+pub use collect::{CollectPlan, CollectReport, CollectStats, ScenarioOutcome, ShardPolicy};
+pub use collector::{Collector, CollectorOptions, CollectorOptionsBuilder};
 pub use config::UserConfig;
 pub use dataset::{DataFilter, DataPoint, Dataset};
 pub use deployment::{Deployment, DeploymentManager};
@@ -67,6 +83,7 @@ pub use session::Session;
 /// Common imports for tool users.
 pub mod prelude {
     pub use crate::advice::Advice;
+    pub use crate::collect::{CollectPlan, CollectReport, ShardPolicy};
     pub use crate::collector::{Collector, CollectorOptions};
     pub use crate::config::UserConfig;
     pub use crate::dataset::{DataFilter, DataPoint, Dataset};

@@ -99,11 +99,7 @@ pub fn efficiency(ds: &Dataset, filter: &DataFilter) -> Vec<SkuSeries> {
     speedup(ds, filter)
         .into_iter()
         .map(|s| SkuSeries {
-            points: s
-                .points
-                .iter()
-                .map(|(n, su)| (*n, su / n))
-                .collect(),
+            points: s.points.iter().map(|(n, su)| (*n, su / n)).collect(),
             sku: s.sku,
         })
         .collect()
@@ -122,10 +118,20 @@ mod tests {
     /// A dataset shaped like the paper's Listing 4 LAMMPS table.
     fn listing4_dataset() -> Dataset {
         let mut ds = Dataset::new();
-        for (n, t, c) in [(3u32, 173.0, 0.519), (4, 132.0, 0.528), (8, 69.0, 0.552), (16, 36.0, 0.576)] {
+        for (n, t, c) in [
+            (3u32, 173.0, 0.519),
+            (4, 132.0, 0.528),
+            (8, 69.0, 0.552),
+            (16, 36.0, 0.576),
+        ] {
             ds.push(point(n, "lammps", "Standard_HB120rs_v3", n, 120, t, c));
         }
-        for (n, t, c) in [(3u32, 260.0, 0.68), (4, 200.0, 0.70), (8, 105.0, 0.74), (16, 55.0, 0.77)] {
+        for (n, t, c) in [
+            (3u32, 260.0, 0.68),
+            (4, 200.0, 0.70),
+            (8, 105.0, 0.74),
+            (16, 55.0, 0.77),
+        ] {
             ds.push(point(100 + n, "lammps", "Standard_HC44rs", n, 44, t, c));
         }
         ds
@@ -137,7 +143,10 @@ mod tests {
         let series = time_vs_nodes(&ds, &DataFilter::all());
         assert_eq!(series.len(), 2);
         let v3 = series.iter().find(|s| s.sku == "hb120rs_v3").unwrap();
-        assert_eq!(v3.points, vec![(3.0, 173.0), (4.0, 132.0), (8.0, 69.0), (16.0, 36.0)]);
+        assert_eq!(
+            v3.points,
+            vec![(3.0, 173.0), (4.0, 132.0), (8.0, 69.0), (16.0, 36.0)]
+        );
     }
 
     #[test]
@@ -166,7 +175,10 @@ mod tests {
         let ds = listing4_dataset();
         let series = efficiency(&ds, &DataFilter::all());
         let v3 = series.iter().find(|s| s.sku == "hb120rs_v3").unwrap();
-        assert!((v3.points[0].1 - 1.0).abs() < 1e-9, "baseline efficiency is 1");
+        assert!(
+            (v3.points[0].1 - 1.0).abs() < 1e-9,
+            "baseline efficiency is 1"
+        );
         let e16 = v3.points.last().unwrap().1;
         assert!((e16 - (3.0 * 173.0 / 36.0) / 16.0).abs() < 1e-9);
         assert!(e16 < 1.0, "sublinear here");

@@ -47,8 +47,14 @@ mod tests {
     fn dominance_relation() {
         assert!(dominates((1.0, 1.0), (2.0, 2.0)));
         assert!(dominates((1.0, 2.0), (1.0, 3.0)));
-        assert!(!dominates((1.0, 2.0), (2.0, 1.0)), "trade-off: no dominance");
-        assert!(!dominates((1.0, 1.0), (1.0, 1.0)), "equal points don't dominate");
+        assert!(
+            !dominates((1.0, 2.0), (2.0, 1.0)),
+            "trade-off: no dominance"
+        );
+        assert!(
+            !dominates((1.0, 1.0), (1.0, 1.0)),
+            "equal points don't dominate"
+        );
     }
 
     #[test]
@@ -86,9 +92,13 @@ mod tests {
         let mut pts = Vec::new();
         let mut x = 123456789u64;
         for _ in 0..200 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = (x >> 33) as f64 / 2.0f64.powi(31);
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = (x >> 33) as f64 / 2.0f64.powi(31);
             pts.push((a, b));
         }

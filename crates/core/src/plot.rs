@@ -46,14 +46,17 @@ pub fn time_vs_cost_chart(ds: &Dataset, filter: &DataFilter) -> Chart {
 
 /// Plot 3 — Speed-up (Fig. 4), with the ideal-linear reference diagonal.
 pub fn speedup_chart(ds: &Dataset, filter: &DataFilter) -> Chart {
-    let mut chart = Chart::new("Speedup", "Number of nodes", "Speedup")
-        .with_subtitle(&subtitle(ds, filter));
+    let mut chart =
+        Chart::new("Speedup", "Number of nodes", "Speedup").with_subtitle(&subtitle(ds, filter));
     let series = metrics::speedup(ds, filter);
     let max_nodes = series
         .iter()
         .flat_map(|s| s.points.iter().map(|(n, _)| *n))
         .fold(1.0f64, f64::max);
-    chart.add_series(Series::line("ideal", vec![(1.0, 1.0), (max_nodes, max_nodes)]));
+    chart.add_series(Series::line(
+        "ideal",
+        vec![(1.0, 1.0), (max_nodes, max_nodes)],
+    ));
     for s in series {
         chart.add_series(Series::line(&s.sku, s.points));
     }
@@ -113,10 +116,18 @@ mod tests {
 
     fn ds() -> Dataset {
         let mut ds = Dataset::new();
-        for (id, n, t, c) in [(1u32, 1u32, 400.0, 0.40), (2, 2, 210.0, 0.42), (3, 4, 110.0, 0.44)] {
+        for (id, n, t, c) in [
+            (1u32, 1u32, 400.0, 0.40),
+            (2, 2, 210.0, 0.42),
+            (3, 4, 110.0, 0.44),
+        ] {
             ds.push(point(id, "lammps", "Standard_HB120rs_v3", n, 120, t, c));
         }
-        for (id, n, t, c) in [(4u32, 1u32, 700.0, 0.62), (5, 2, 360.0, 0.63), (6, 4, 190.0, 0.67)] {
+        for (id, n, t, c) in [
+            (4u32, 1u32, 700.0, 0.62),
+            (5, 2, 360.0, 0.63),
+            (6, 4, 190.0, 0.67),
+        ] {
             ds.push(point(id, "lammps", "Standard_HC44rs", n, 44, t, c));
         }
         ds
@@ -153,7 +164,11 @@ mod tests {
     #[test]
     fn pareto_chart_contains_front_series() {
         let chart = pareto_chart(&ds(), &DataFilter::all());
-        let front = chart.series.iter().find(|s| s.label == "pareto front").unwrap();
+        let front = chart
+            .series
+            .iter()
+            .find(|s| s.label == "pareto front")
+            .unwrap();
         assert!(!front.points.is_empty());
         // The HC44rs 1-node point (0.62, 700) is dominated by HBv3 1-node
         // (0.40, 400): it must not be on the front.

@@ -72,11 +72,7 @@ fn features_for(
 ) -> Option<Vec<f64>> {
     let sku = catalog.get(sku)?;
     let ranks = nnodes as f64 * ppn as f64;
-    let mut features = vec![
-        ranks.ln(),
-        sku.gflops_per_core.ln(),
-        sku.mem_bw_gbs.ln(),
-    ];
+    let mut features = vec![ranks.ln(), sku.gflops_per_core.ln(), sku.mem_bw_gbs.ln()];
     for key in input_keys {
         let value = appinputs
             .iter()
@@ -125,7 +121,8 @@ impl HistoryPredictor {
             if p.exec_time_secs <= 0.0 {
                 continue;
             }
-            if let Some(f) = features_for(&input_keys, &catalog, &p.sku, p.nnodes, p.ppn, &p.appinputs)
+            if let Some(f) =
+                features_for(&input_keys, &catalog, &p.sku, p.nnodes, p.ppn, &p.appinputs)
             {
                 rows.push((f, p.exec_time_secs.ln()));
             }
@@ -174,13 +171,16 @@ impl HistoryPredictor {
     }
 }
 
+/// A scenario with its predicted execution time (s) and cost ($).
+pub type ScenarioPrediction = (Scenario, f64, f64);
+
 /// Predicted advice for a configuration grid using only historical data —
 /// zero cloud executions. Returns the predicted Pareto front and the
 /// per-scenario predictions it was computed from.
 pub fn advise_from_history(
     config: &UserConfig,
     history: &Dataset,
-) -> Result<(Advice, Vec<(Scenario, f64, f64)>), ToolError> {
+) -> Result<(Advice, Vec<ScenarioPrediction>), ToolError> {
     let predictor = HistoryPredictor::train(history, &config.appname)?;
     let catalog = SkuCatalog::azure_hpc();
     let scenarios = generate_scenarios(config, &catalog)?;
@@ -189,7 +189,9 @@ pub fn advise_from_history(
         let Some(time) = predictor.predict(&s.sku, s.nnodes, s.ppn, &s.appinputs) else {
             continue;
         };
-        let Some(sku) = catalog.get(&s.sku) else { continue };
+        let Some(sku) = catalog.get(&s.sku) else {
+            continue;
+        };
         let cost = sku.price_per_hour * s.nnodes as f64 * time / 3600.0;
         predictions.push((s, time, cost));
     }
@@ -313,7 +315,15 @@ mod tests {
         assert!(HistoryPredictor::train(&Dataset::new(), "lammps").is_err());
         // History from a different app doesn't train a lammps model.
         let mut other = Dataset::new();
-        other.push(crate::dataset::point(1, "wrf", "Standard_HB120rs_v3", 2, 120, 10.0, 0.1));
+        other.push(crate::dataset::point(
+            1,
+            "wrf",
+            "Standard_HB120rs_v3",
+            2,
+            120,
+            10.0,
+            0.1,
+        ));
         assert!(HistoryPredictor::train(&other, "lammps").is_err());
     }
 

@@ -136,7 +136,13 @@ mod tests {
 
     #[test]
     fn power_ignores_nonpositive_points() {
-        let pts = vec![(0.0, 5.0), (-1.0, 3.0), (1.0, 2.0), (2.0, 16.0), (4.0, 128.0)];
+        let pts = vec![
+            (0.0, 5.0),
+            (-1.0, 3.0),
+            (1.0, 2.0),
+            (2.0, 16.0),
+            (4.0, 128.0),
+        ];
         let f = power_fit(&pts).unwrap();
         assert!((f.b - 3.0).abs() < 1e-9);
     }
@@ -170,9 +176,17 @@ mod tests {
 
     #[test]
     fn serial_fraction_clamped() {
-        let f = Fit { a: -5.0, b: 10.0, r2: 1.0 };
+        let f = Fit {
+            a: -5.0,
+            b: 10.0,
+            r2: 1.0,
+        };
         assert_eq!(amdahl_serial_fraction(&f), 0.0);
-        let f = Fit { a: 10.0, b: -5.0, r2: 1.0 };
+        let f = Fit {
+            a: 10.0,
+            b: -5.0,
+            r2: 1.0,
+        };
         assert_eq!(amdahl_serial_fraction(&f), 1.0);
     }
 }
@@ -227,9 +241,11 @@ pub fn multilinear_fit_ridge(rows: &[(Vec<f64>, f64)], lambda: f64) -> Option<Ve
         a.swap(col, pivot);
         b.swap(col, pivot);
         for row in col + 1..dim {
-            let factor = a[row][col] / a[col][col];
-            for j in col..dim {
-                a[row][j] -= factor * a[col][j];
+            let (head, tail) = a.split_at_mut(row);
+            let (src, dst) = (&head[col], &mut tail[0]);
+            let factor = dst[col] / src[col];
+            for (d, s) in dst[col..].iter_mut().zip(&src[col..]) {
+                *d -= factor * s;
             }
             b[row] -= factor * b[col];
         }
@@ -296,11 +312,7 @@ mod multilinear_tests {
 
     #[test]
     fn mismatched_feature_lengths_rejected() {
-        let rows = vec![
-            (vec![1.0], 1.0),
-            (vec![1.0, 2.0], 2.0),
-            (vec![2.0], 3.0),
-        ];
+        let rows = vec![(vec![1.0], 1.0), (vec![1.0, 2.0], 2.0), (vec![2.0], 3.0)];
         assert!(multilinear_fit(&rows).is_none());
     }
 

@@ -51,10 +51,7 @@ pub fn run_replicates(config: &UserConfig, seeds: &[u64]) -> Result<Vec<Replicat
     .expect("replicate thread panicked");
     slots
         .into_iter()
-        .map(|slot| {
-            slot.expect("every slot filled")
-                .map_err(ToolError::Config)
-        })
+        .map(|slot| slot.expect("every slot filled").map_err(ToolError::Config))
         .collect()
 }
 
@@ -82,8 +79,11 @@ pub fn front_stability(replicates: &[Replicate], filter: &DataFilter) -> Vec<Fro
     let mut stats: Vec<(String, u32, usize, f64, f64, usize)> = Vec::new();
     for rep in replicates {
         let advice = Advice::from_dataset(&rep.dataset, filter);
-        let on_front: Vec<(String, u32)> =
-            advice.rows.iter().map(|r| (r.sku.clone(), r.nodes)).collect();
+        let on_front: Vec<(String, u32)> = advice
+            .rows
+            .iter()
+            .map(|r| (r.sku.clone(), r.nodes))
+            .collect();
         // Accumulate times/costs for every measured configuration.
         for p in rep.dataset.filter(filter) {
             let key = (p.sku_short(), p.nnodes);

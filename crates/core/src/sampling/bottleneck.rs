@@ -144,7 +144,9 @@ appinputs:
         assert!(!sampler.stopped.is_empty(), "a stop must be recorded");
         assert!(sampler.stopped[0].2.contains("network-bound"));
         // The observed data still yields a usable front.
-        assert!(!Advice::from_dataset(&ds, &DataFilter::all()).rows.is_empty());
+        assert!(!Advice::from_dataset(&ds, &DataFilter::all())
+            .rows
+            .is_empty());
     }
 
     #[test]

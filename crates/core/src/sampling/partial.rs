@@ -122,15 +122,17 @@ pub fn run_partial_execution(
         else {
             continue;
         };
-        let rate = (pb.exec_time_secs - pa.exec_time_secs)
-            / (probe_steps_2 as f64 - probe_steps as f64);
+        let rate =
+            (pb.exec_time_secs - pa.exec_time_secs) / (probe_steps_2 as f64 - probe_steps as f64);
         let startup = (pa.exec_time_secs - rate * probe_steps as f64).max(0.0);
         let t_full = startup + rate * full_steps as f64;
         let mut q = pa.clone();
         q.cost_dollars = price_of(pa) * t_full;
         q.exec_time_secs = t_full;
-        q.metrics
-            .push(("PREDICTED_FROM_STEPS".into(), format!("{probe_steps}+{probe_steps_2}")));
+        q.metrics.push((
+            "PREDICTED_FROM_STEPS".into(),
+            format!("{probe_steps}+{probe_steps_2}"),
+        ));
         predicted.push(q);
     }
 
@@ -176,7 +178,11 @@ pub fn run_partial_execution(
         probe_runs: probe_a.len() + probe_b.len(),
         predicted,
         verified,
-        mean_relative_error: if err_n > 0 { err_sum / err_n as f64 } else { f64::NAN },
+        mean_relative_error: if err_n > 0 {
+            err_sum / err_n as f64
+        } else {
+            f64::NAN
+        },
     })
 }
 
@@ -236,7 +242,11 @@ mod tests {
                 "prediction must record its probe lengths: {p:?}"
             );
         }
-        assert_eq!(report.probe_runs, 2 * report.total, "two probes per scenario");
+        assert_eq!(
+            report.probe_runs,
+            2 * report.total,
+            "two probes per scenario"
+        );
     }
 
     #[test]

@@ -118,7 +118,9 @@ impl Sampler for FixedPerfFactor {
                     };
                     // Ratio between this input and the reference at the
                     // smallest node count.
-                    let Some(anchor) = group.first() else { continue };
+                    let Some(anchor) = group.first() else {
+                        continue;
+                    };
                     let Some(anchor_time) = measured_time(anchor.id) else {
                         continue;
                     };
@@ -217,16 +219,19 @@ mod tests {
         assert!(front_regret(&reference, &sampled) < 0.10, "regret too high");
         // Predictions exist for skipped scenarios.
         let predicted = sampler.predicted();
-        assert_eq!(predicted.len() + report.executed, report.total + {
-            // scenarios both predicted and then executed appear in both
-            // sets; count the overlap.
-            let exec_ids: Vec<u32> = ds.points.iter().map(|p| p.scenario_id).collect();
-            predicted
-                .points
-                .iter()
-                .filter(|p| exec_ids.contains(&p.scenario_id))
-                .count()
-        });
+        assert_eq!(
+            predicted.len() + report.executed,
+            report.total + {
+                // scenarios both predicted and then executed appear in both
+                // sets; count the overlap.
+                let exec_ids: Vec<u32> = ds.points.iter().map(|p| p.scenario_id).collect();
+                predicted
+                    .points
+                    .iter()
+                    .filter(|p| exec_ids.contains(&p.scenario_id))
+                    .count()
+            }
+        );
     }
 
     #[test]

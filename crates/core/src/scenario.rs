@@ -220,7 +220,9 @@ mod tests {
         // Ids are stable 1..=36.
         assert_eq!(scenarios.first().unwrap().id, 1);
         assert_eq!(scenarios.last().unwrap().id, 36);
-        assert!(scenarios.iter().all(|s| s.status == ScenarioStatus::Pending));
+        assert!(scenarios
+            .iter()
+            .all(|s| s.status == ScenarioStatus::Pending));
     }
 
     #[test]
@@ -268,14 +270,24 @@ mod tests {
         let config = UserConfig::example_lammps();
         let catalog = SkuCatalog::azure_hpc();
         let scenarios = generate_scenarios(&config, &catalog).unwrap();
-        let s = scenarios.iter().find(|s| s.nnodes == 16 && s.sku.contains("v3")).unwrap();
-        assert_eq!(s.label("lammps"), "lammps-hb120rs_v3-n16-ppn120-BOXFACTOR=30");
+        let s = scenarios
+            .iter()
+            .find(|s| s.nnodes == 16 && s.sku.contains("v3"))
+            .unwrap();
+        assert_eq!(
+            s.label("lammps"),
+            "lammps-hb120rs_v3-n16-ppn120-BOXFACTOR=30"
+        );
         assert_eq!(s.ranks(), 1920);
     }
 
     #[test]
     fn status_parse_roundtrip() {
-        for s in [ScenarioStatus::Pending, ScenarioStatus::Completed, ScenarioStatus::Failed] {
+        for s in [
+            ScenarioStatus::Pending,
+            ScenarioStatus::Completed,
+            ScenarioStatus::Failed,
+        ] {
             assert_eq!(ScenarioStatus::parse(s.as_str()), Some(s));
         }
         assert_eq!(ScenarioStatus::parse("running"), None);

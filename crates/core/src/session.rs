@@ -2,6 +2,7 @@
 //! deployment → scenarios → collector. This is the programmatic equivalent
 //! of the CLI sequence `deploy create && collect`.
 
+use crate::collect::{CollectPlan, CollectReport};
 use crate::collector::{Collector, CollectorOptions};
 use crate::config::UserConfig;
 use crate::dataset::Dataset;
@@ -30,10 +31,7 @@ impl Session {
             manager.provider(),
             &deployment,
             config.clone(),
-            CollectorOptions {
-                experiment_seed: seed,
-                ..CollectorOptions::default()
-            },
+            CollectorOptions::builder().experiment_seed(seed).build(),
         )?;
         Ok(Session {
             manager,
@@ -70,8 +68,19 @@ impl Session {
     }
 
     /// Runs all pending scenarios and returns the collected dataset.
+    ///
+    /// Thin compatibility wrapper over the plan-based API: equivalent to
+    /// `collect_with(&CollectPlan::new())` followed by
+    /// [`CollectReport::into_dataset`], with legacy strict error semantics.
     pub fn collect(&mut self) -> Result<Dataset, ToolError> {
         self.collector.collect(&mut self.scenarios)
+    }
+
+    /// Runs a collection under `plan` (worker count, shard policy, seed and
+    /// rerun overrides, optional subset) and returns a [`CollectReport`]
+    /// with the dataset, per-scenario outcomes, billing and stats.
+    pub fn collect_with(&mut self, plan: &CollectPlan) -> Result<CollectReport, ToolError> {
+        self.collector.collect_with_plan(&mut self.scenarios, plan)
     }
 
     /// Runs a chosen subset of scenario ids (used by smart sampling).

@@ -291,8 +291,7 @@ impl<'a> Parser<'a> {
                             if !(0xDC00..0xE000).contains(&low) {
                                 return Err(self.err("invalid low surrogate"));
                             }
-                            let combined =
-                                0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                            let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
                             char::from_u32(combined)
                         } else {
                             char::from_u32(cp)
@@ -323,7 +322,9 @@ impl<'a> Parser<'a> {
     fn parse_hex4(&mut self) -> Result<u32, FormatError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
@@ -431,7 +432,10 @@ mod tests {
         assert!(parse("tru").is_err());
         assert!(parse("\"unterminated").is_err());
         assert!(parse("1 2").is_err());
-        assert!(parse(r#""\ud83d""#).is_err(), "unpaired surrogate must fail");
+        assert!(
+            parse(r#""\ud83d""#).is_err(),
+            "unpaired surrogate must fail"
+        );
     }
 
     #[test]

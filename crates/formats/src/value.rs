@@ -302,7 +302,9 @@ mod tests {
         outer.insert("appinputs", Value::Map(inner));
         let doc = Value::Map(outer);
         assert_eq!(
-            doc.get("appinputs").and_then(|v| v.get("mesh")).and_then(|v| v.as_str()),
+            doc.get("appinputs")
+                .and_then(|v| v.get("mesh"))
+                .and_then(|v| v.as_str()),
             Some("80 24 24")
         );
     }

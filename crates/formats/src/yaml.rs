@@ -93,9 +93,10 @@ fn strip_comment(line: &str) -> &str {
             b'\\' if in_double => i += 1,
             b'#' if !in_single && !in_double
                 // YAML requires a space (or line start) before the '#'.
-                && (i == 0 || bytes[i - 1] == b' ' || bytes[i - 1] == b'\t') => {
-                    return &line[..i];
-                }
+                && (i == 0 || bytes[i - 1] == b' ' || bytes[i - 1] == b'\t') =>
+            {
+                return &line[..i];
+            }
             _ => {}
         }
         i += 1;
@@ -170,7 +171,16 @@ fn parse_sequence(
                 let child_indent = child.indent;
                 let child_number = child.number;
                 *pos += 1;
-                insert_pair(&mut map, k, v, lines, pos, child_indent, child_number, depth)?;
+                insert_pair(
+                    &mut map,
+                    k,
+                    v,
+                    lines,
+                    pos,
+                    child_indent,
+                    child_number,
+                    depth,
+                )?;
             }
             items.push(Value::Map(map));
         } else {
@@ -282,8 +292,7 @@ fn split_key_value(text: &str) -> Option<(String, String)> {
 fn unquote(s: &str) -> String {
     let b = s.as_bytes();
     if b.len() >= 2
-        && ((b[0] == b'"' && b[b.len() - 1] == b'"')
-            || (b[0] == b'\'' && b[b.len() - 1] == b'\''))
+        && ((b[0] == b'"' && b[b.len() - 1] == b'"') || (b[0] == b'\'' && b[b.len() - 1] == b'\''))
     {
         s[1..s.len() - 1].to_string()
     } else {
@@ -427,13 +436,19 @@ appinputs:
     #[test]
     fn parses_listing1() {
         let doc = parse(LISTING1).unwrap();
-        assert_eq!(doc.get("subscription").unwrap().as_str(), Some("mysubscription"));
+        assert_eq!(
+            doc.get("subscription").unwrap().as_str(),
+            Some("mysubscription")
+        );
         let skus = doc.get("skus").unwrap().as_seq().unwrap();
         assert_eq!(skus.len(), 3);
         assert_eq!(skus[0].as_str(), Some("Standard_HC44rs"));
         let nnodes = doc.get("nnodes").unwrap().as_seq().unwrap();
         assert_eq!(
-            nnodes.iter().map(|v| v.as_int().unwrap()).collect::<Vec<_>>(),
+            nnodes
+                .iter()
+                .map(|v| v.as_int().unwrap())
+                .collect::<Vec<_>>(),
             vec![1, 2, 3, 4, 8, 16]
         );
         assert_eq!(doc.get("ppr").unwrap().as_int(), Some(100));
@@ -444,7 +459,12 @@ appinputs:
         );
         // Duplicate `mesh:` keys coalesce into the sweep list.
         let mesh = doc.get("appinputs").unwrap().get("mesh").unwrap();
-        let values: Vec<_> = mesh.as_seq().unwrap().iter().map(|v| v.as_str().unwrap()).collect();
+        let values: Vec<_> = mesh
+            .as_seq()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap())
+            .collect();
         assert_eq!(values, vec!["80 24 24", "60 16 16"]);
     }
 
@@ -485,7 +505,13 @@ appinputs:
     fn nested_mappings() {
         let doc = parse("outer:\n  inner:\n    leaf: 7\n").unwrap();
         assert_eq!(
-            doc.get("outer").unwrap().get("inner").unwrap().get("leaf").unwrap().as_int(),
+            doc.get("outer")
+                .unwrap()
+                .get("inner")
+                .unwrap()
+                .get("leaf")
+                .unwrap()
+                .as_int(),
             Some(7)
         );
     }

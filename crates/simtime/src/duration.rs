@@ -184,7 +184,10 @@ mod tests {
 
     #[test]
     fn saturating_arithmetic() {
-        assert_eq!(SimDuration::MAX + SimDuration::from_secs(1), SimDuration::MAX);
+        assert_eq!(
+            SimDuration::MAX + SimDuration::from_secs(1),
+            SimDuration::MAX
+        );
         assert_eq!(
             SimDuration::from_secs(1) - SimDuration::from_secs(5),
             SimDuration::ZERO
@@ -216,7 +219,10 @@ mod tests {
     #[test]
     fn scalar_ops() {
         assert_eq!(SimDuration::from_secs(10) * 3, SimDuration::from_secs(30));
-        assert_eq!(SimDuration::from_secs(10) / 4, SimDuration::from_millis(2500));
+        assert_eq!(
+            SimDuration::from_secs(10) / 4,
+            SimDuration::from_millis(2500)
+        );
         // Division by zero is clamped to division by one rather than panicking.
         assert_eq!(SimDuration::from_secs(10) / 0, SimDuration::from_secs(10));
         assert_eq!(

@@ -14,7 +14,9 @@ const MARGIN_TOP: f64 = 40.0;
 const MARGIN_BOTTOM: f64 = 48.0;
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Renders a chart to SVG text.
@@ -189,7 +191,11 @@ mod tests {
 
     #[test]
     fn renders_basic_structure() {
-        let mut c = Chart::new("Execution Time vs Number of Nodes", "Number of nodes", "Seconds");
+        let mut c = Chart::new(
+            "Execution Time vs Number of Nodes",
+            "Number of nodes",
+            "Seconds",
+        );
         c.add_series(Series::line(
             "hb120rs_v3",
             vec![(3.0, 173.0), (4.0, 132.0), (8.0, 69.0), (16.0, 36.0)],

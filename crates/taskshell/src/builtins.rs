@@ -126,7 +126,10 @@ fn mv(interp: &mut Interpreter, args: &[String]) -> Result<(String, i32), ShellE
 fn destination_path(interp: &Interpreter, src: &str, dst: &str) -> String {
     let base = src.rsplit('/').next().unwrap_or(src);
     if dst == "." || dst.ends_with('/') || interp.vfs().dir_exists(&resolve(interp.cwd(), dst)) {
-        resolve(interp.cwd(), &format!("{}/{}", dst.trim_end_matches('/'), base))
+        resolve(
+            interp.cwd(),
+            &format!("{}/{}", dst.trim_end_matches('/'), base),
+        )
     } else {
         resolve(interp.cwd(), dst)
     }
@@ -247,7 +250,11 @@ fn grep(
                 // the application never wrote its log).
                 Err(_) => {
                     return Ok((
-                        if quiet { String::new() } else { format!("grep: {f}: No such file or directory\n") },
+                        if quiet {
+                            String::new()
+                        } else {
+                            format!("grep: {f}: No such file or directory\n")
+                        },
                         2,
                     ))
                 }
@@ -273,9 +280,14 @@ fn grep(
 }
 
 fn awk(args: &[String], stdin: &str) -> Result<(String, i32), ShellError> {
-    let program = args.first().ok_or_else(|| usage("awk", "missing program"))?;
+    let program = args
+        .first()
+        .ok_or_else(|| usage("awk", "missing program"))?;
     if args.len() > 1 {
-        return Err(usage("awk", "file arguments unsupported; pipe input instead"));
+        return Err(usage(
+            "awk",
+            "file arguments unsupported; pipe input instead",
+        ));
     }
     // Supported program shape: { print $N[, $M ...] }
     let inner = program
@@ -353,7 +365,12 @@ fn sed(
         let content = match interp.vfs().read(&path) {
             Ok(c) => c.to_string(),
             // Like real sed: status 2 on a missing file.
-            Err(_) => return Ok((format!("sed: can't read {f}: No such file or directory\n"), 2)),
+            Err(_) => {
+                return Ok((
+                    format!("sed: can't read {f}: No such file or directory\n"),
+                    2,
+                ))
+            }
         };
         let updated = apply(&content);
         interp.vfs_mut().write(&path, updated);
@@ -521,14 +538,12 @@ fn test_cmd(
     // Strip the closing bracket of `[ … ]` / `[[ … ]]`.
     let mut args: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
     match name {
-        "["
-            if args.pop() != Some("]") => {
-                return Err(usage("[", "missing closing ']'"));
-            }
-        "[["
-            if args.pop() != Some("]]") => {
-                return Err(usage("[[", "missing closing ']]'"));
-            }
+        "[" if args.pop() != Some("]") => {
+            return Err(usage("[", "missing closing ']'"));
+        }
+        "[[" if args.pop() != Some("]]") => {
+            return Err(usage("[[", "missing closing ']]'"));
+        }
         _ => {}
     }
     let mut negate = false;
@@ -552,12 +567,12 @@ fn eval_test(interp: &Interpreter, args: &[&str]) -> Result<bool, ShellError> {
         [a, "=", b] | [a, "==", b] => Ok(a == b),
         [a, "!=", b] => Ok(a != b),
         [a, op, b] => {
-            let (x, y) = (
-                a.trim().parse::<i64>().ok(),
-                b.trim().parse::<i64>().ok(),
-            );
+            let (x, y) = (a.trim().parse::<i64>().ok(), b.trim().parse::<i64>().ok());
             let (Some(x), Some(y)) = (x, y) else {
-                return Err(usage("test", format!("non-numeric comparison '{a} {op} {b}'")));
+                return Err(usage(
+                    "test",
+                    format!("non-numeric comparison '{a} {op} {b}'"),
+                ));
             };
             match *op {
                 "-eq" => Ok(x == y),
@@ -747,7 +762,9 @@ mod tests {
         let mut i = Interpreter::for_tests();
         i.vfs_mut().write("/app/in.lj.txt", "content-123\n");
         i.set_cwd("/app/tasks/7");
-        let out = i.run_script("cp ../../in.lj.txt .\ncat in.lj.txt\n").unwrap();
+        let out = i
+            .run_script("cp ../../in.lj.txt .\ncat in.lj.txt\n")
+            .unwrap();
         assert_eq!(out.stdout, "content-123\n");
     }
 
@@ -769,7 +786,8 @@ mod tests {
     #[test]
     fn awk_field_extraction() {
         let mut i = Interpreter::for_tests();
-        i.vfs_mut().write("/log", "Loop time of 36.2 on 1920 procs\n");
+        i.vfs_mut()
+            .write("/log", "Loop time of 36.2 on 1920 procs\n");
         i.set_cwd("/");
         let out = i.run_script("cat /log | awk '{print $4}'\n").unwrap();
         assert_eq!(out.stdout, "36.2\n");
@@ -780,7 +798,8 @@ mod tests {
     #[test]
     fn sed_in_place_listing2_style() {
         let mut i = Interpreter::for_tests();
-        i.vfs_mut().write("/w/in.lj.txt", "variable x index 1\nvariable y index 1\n");
+        i.vfs_mut()
+            .write("/w/in.lj.txt", "variable x index 1\nvariable y index 1\n");
         i.set_cwd("/w");
         i.set_var("BOXFACTOR", "30");
         i.run_script(
@@ -794,7 +813,9 @@ mod tests {
     #[test]
     fn sed_stream_mode() {
         let mut i = Interpreter::for_tests();
-        let out = i.run_script("echo aaa | sed 's/a/b/'\necho aaa | sed 's/a/b/g'\n").unwrap();
+        let out = i
+            .run_script("echo aaa | sed 's/a/b/'\necho aaa | sed 's/a/b/g'\n")
+            .unwrap();
         assert_eq!(out.stdout, "baa\nbbb\n");
     }
 
@@ -808,7 +829,9 @@ mod tests {
         assert_eq!(out.exit_code, 0);
         assert!(i.vfs().exists("/dl/in.lj.txt"));
         assert!(out.elapsed >= SimDuration::from_secs(2));
-        let out = i.run_script("wget https://unknown.example/x\necho $?\n").unwrap();
+        let out = i
+            .run_script("wget https://unknown.example/x\necho $?\n")
+            .unwrap();
         assert!(out.stdout.contains("8"));
     }
 
@@ -854,7 +877,8 @@ mod tests {
         i.set_var("PPN", "120");
         let hosts: Vec<String> = (0..16).map(|n| format!("h{n}:120")).collect();
         i.set_var("HOSTLIST_PPN", &hosts.join(","));
-        let script = "NP=$(($NNODES * $PPN))\nmpirun -np $NP --host \"$HOSTLIST_PPN\" lmp -i in.lj.txt\n";
+        let script =
+            "NP=$(($NNODES * $PPN))\nmpirun -np $NP --host \"$HOSTLIST_PPN\" lmp -i in.lj.txt\n";
         let out = i.run_script(script).unwrap();
         assert_eq!(out.exit_code, 0, "{}", out.stdout);
         assert!(i.vfs().exists("/job/log.lammps"));
@@ -883,7 +907,9 @@ mod tests {
         i.set_var("resolution_km", "1");
         i.set_var("NNODES", "1");
         i.set_var("PPN", "120");
-        let out = i.run_script("mpirun --host h0:120 wrf.exe\necho code=$?\n").unwrap();
+        let out = i
+            .run_script("mpirun --host h0:120 wrf.exe\necho code=$?\n")
+            .unwrap();
         assert!(out.stdout.contains("out of memory"), "{}", out.stdout);
         assert!(out.stdout.contains("code=1"));
         assert!(!i.vfs().exists("/job/rsl.out.0000"));
@@ -893,7 +919,9 @@ mod tests {
     fn mpirun_missing_input_file_errors() {
         let mut i = Interpreter::for_tests();
         i.set_cwd("/job");
-        let err = i.run_script("mpirun --host h0:4 lmp -i missing.txt\n").unwrap_err();
+        let err = i
+            .run_script("mpirun --host h0:4 lmp -i missing.txt\n")
+            .unwrap_err();
         assert!(matches!(err, ShellError::NoSuchFile(_)));
     }
 
@@ -902,13 +930,13 @@ mod tests {
         let (out, _) = outcome("echo a; echo b; echo c\n");
         assert_eq!(out, "a\nb\nc\n");
         let mut i = Interpreter::for_tests();
-        let out = i
-            .run_script("echo 1; echo 2; echo 3\n")
-            .unwrap();
+        let out = i.run_script("echo 1; echo 2; echo 3\n").unwrap();
         assert_eq!(out.stdout.lines().count(), 3);
         let mut i = Interpreter::for_tests();
         i.vfs_mut().write("/f", "l1\nl2\nl3\nl4\n");
-        let out = i.run_script("cat /f | head -n 2\ncat /f | tail -n 1\ncat /f | wc -l\n").unwrap();
+        let out = i
+            .run_script("cat /f | head -n 2\ncat /f | tail -n 1\ncat /f | wc -l\n")
+            .unwrap();
         assert_eq!(out.stdout, "l1\nl2\nl4\n4\n");
     }
 }

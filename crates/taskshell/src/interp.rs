@@ -163,7 +163,13 @@ impl Interpreter {
         let mut status = 0;
         match self.exec_stmts(&stmts)? {
             Flow::Return(code) => status = code,
-            Flow::Normal => status = if status == 0 { self.last_status } else { status },
+            Flow::Normal => {
+                status = if status == 0 {
+                    self.last_status
+                } else {
+                    status
+                }
+            }
         }
         Ok(ScriptOutcome {
             exit_code: status,
@@ -657,7 +663,9 @@ mod tests {
     #[test]
     fn and_or_lists() {
         let mut i = Interpreter::for_tests();
-        let out = i.run_script("true && echo A\nfalse && echo B\nfalse || echo C\n").unwrap();
+        let out = i
+            .run_script("true && echo A\nfalse && echo B\nfalse || echo C\n")
+            .unwrap();
         assert_eq!(out.stdout, "A\nC\n");
     }
 
@@ -673,16 +681,18 @@ mod tests {
         let mut i = Interpreter::for_tests();
         i.set_var("ARGS", "a b c");
         // Unquoted $ARGS splits into three arguments; quoted stays one.
-        let out = i
-            .run_script("echo $ARGS\necho \"$ARGS\"\n")
-            .unwrap();
+        let out = i.run_script("echo $ARGS\necho \"$ARGS\"\n").unwrap();
         assert_eq!(out.stdout, "a b c\na b c\n");
         // Distinguish via a command that counts args: use test -n.
         let mut i2 = Interpreter::for_tests();
         i2.set_var("TWO", "x y");
         i2.vfs_mut().write("/x", "1");
         // `[[ -f $TWO ]]` splits and is bad usage; quoted form is a clean miss.
-        assert!(i2.run_script("[[ -f \"$TWO\" ]] || echo missing\n").unwrap().stdout.contains("missing"));
+        assert!(i2
+            .run_script("[[ -f \"$TWO\" ]] || echo missing\n")
+            .unwrap()
+            .stdout
+            .contains("missing"));
     }
 
     #[test]
@@ -710,7 +720,9 @@ mod for_loop_tests {
     #[test]
     fn iterates_literal_items() {
         let mut i = Interpreter::for_tests();
-        let out = i.run_script("for x in a b c; do\necho item=$x\ndone\n").unwrap();
+        let out = i
+            .run_script("for x in a b c; do\necho item=$x\ndone\n")
+            .unwrap();
         assert_eq!(out.stdout, "item=a\nitem=b\nitem=c\n");
     }
 
@@ -721,7 +733,9 @@ mod for_loop_tests {
         let out = i.run_script("for d in $DIMS; do\necho $d\ndone\n").unwrap();
         assert_eq!(out.stdout, "x\ny\nz\n");
         // Quoted: a single iteration.
-        let out = i.run_script("for d in \"$DIMS\"; do\necho [$d]\ndone\n").unwrap();
+        let out = i
+            .run_script("for d in \"$DIMS\"; do\necho [$d]\ndone\n")
+            .unwrap();
         assert_eq!(out.stdout, "[x y z]\n");
     }
 
@@ -739,7 +753,9 @@ mod for_loop_tests {
     fn empty_item_list_runs_zero_times() {
         let mut i = Interpreter::for_tests();
         i.set_var("EMPTY", "");
-        let out = i.run_script("for x in $EMPTY; do\necho never\ndone\necho done\n").unwrap();
+        let out = i
+            .run_script("for x in $EMPTY; do\necho never\ndone\necho done\n")
+            .unwrap();
         assert_eq!(out.stdout, "done\n");
     }
 
@@ -748,8 +764,10 @@ mod for_loop_tests {
         // The Listing 2 sed triple, rewritten as the loop a bash author
         // would actually use — exercises for + command substitution + sed.
         let mut i = Interpreter::for_tests();
-        i.vfs_mut()
-            .write("/w/in.lj.txt", "variable x index 1\nvariable y index 1\nvariable z index 1\n");
+        i.vfs_mut().write(
+            "/w/in.lj.txt",
+            "variable x index 1\nvariable y index 1\nvariable z index 1\n",
+        );
         i.set_cwd("/w");
         i.set_var("BOXFACTOR", "30");
         let script = r#"
@@ -768,9 +786,18 @@ done
     #[test]
     fn parse_errors_for_malformed_loops() {
         let mut i = Interpreter::for_tests();
-        assert!(i.run_script("for x a b; do echo; done\n").is_err(), "missing in");
-        assert!(i.run_script("for x in a b\necho x\ndone\n").is_err(), "missing do");
-        assert!(i.run_script("for x in a; do\necho y\n").is_err(), "missing done");
+        assert!(
+            i.run_script("for x a b; do echo; done\n").is_err(),
+            "missing in"
+        );
+        assert!(
+            i.run_script("for x in a b\necho x\ndone\n").is_err(),
+            "missing do"
+        );
+        assert!(
+            i.run_script("for x in a; do\necho y\n").is_err(),
+            "missing done"
+        );
         assert!(i.run_script("done\n").is_err(), "stray done");
     }
 

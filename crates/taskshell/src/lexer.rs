@@ -337,11 +337,11 @@ mod tests {
     #[test]
     fn operators() {
         let t = words_of("a | b && c || d; e");
-        let ops: Vec<&Token> = t
-            .iter()
-            .filter(|t| !matches!(t, Token::Word(_)))
-            .collect();
-        assert_eq!(ops, vec![&Token::Pipe, &Token::And, &Token::Or, &Token::Semi]);
+        let ops: Vec<&Token> = t.iter().filter(|t| !matches!(t, Token::Word(_))).collect();
+        assert_eq!(
+            ops,
+            vec![&Token::Pipe, &Token::And, &Token::Or, &Token::Semi]
+        );
     }
 
     #[test]
@@ -412,13 +412,17 @@ mod tests {
 
     #[test]
     fn sed_style_argument_survives() {
-        let t = words_of(r#"sed -i "s/variable\s\+x\s\+index\s\+[0-9]\+/variable x index $BOXFACTOR/" in.lj.txt"#);
+        let t = words_of(
+            r#"sed -i "s/variable\s\+x\s\+index\s\+[0-9]\+/variable x index $BOXFACTOR/" in.lj.txt"#,
+        );
         assert_eq!(t.len(), 4);
         match &t[2] {
             Token::Word(w) => {
                 // Pattern literal + the $BOXFACTOR var + trailing '/'.
                 assert!(matches!(&w[0], Segment::Lit(s) if s.starts_with("s/variable")));
-                assert!(w.iter().any(|s| matches!(s, Segment::Var(v, true) if v == "BOXFACTOR")));
+                assert!(w
+                    .iter()
+                    .any(|s| matches!(s, Segment::Var(v, true) if v == "BOXFACTOR")));
             }
             other => panic!("{other:?}"),
         }

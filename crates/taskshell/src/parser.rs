@@ -115,8 +115,9 @@ fn split_assignment(word: &Word) -> Option<(String, Word)> {
     Some((name.to_string(), value))
 }
 
-const STMT_KEYWORDS: &[&str] =
-    &["if", "then", "elif", "else", "fi", "return", "function", "for", "in", "do", "done"];
+const STMT_KEYWORDS: &[&str] = &[
+    "if", "then", "elif", "else", "fi", "return", "function", "for", "in", "do", "done",
+];
 
 fn parse_stmts(stream: &mut Stream, terminators: &[&str]) -> Result<Vec<Stmt>, ShellError> {
     let mut stmts = Vec::new();
@@ -398,7 +399,8 @@ mod tests {
 
     #[test]
     fn if_with_elif_else() {
-        let script = "if grep -q a f; then\necho A\nelif grep -q b f; then\necho B\nelse\necho C\nfi\n";
+        let script =
+            "if grep -q a f; then\necho A\nelif grep -q b f; then\necho B\nelse\necho C\nfi\n";
         let stmts = parse(script).unwrap();
         let Stmt::If { arms, else_body } = &stmts[0] else {
             panic!("expected if")
@@ -409,8 +411,11 @@ mod tests {
 
     #[test]
     fn function_definition_both_styles() {
-        let stmts = parse("hpcadvisor_setup() {\necho setup\n}\nfunction other {\necho x\n}\n").unwrap();
-        assert!(matches!(&stmts[0], Stmt::FuncDef { name, body } if name == "hpcadvisor_setup" && body.len() == 1));
+        let stmts =
+            parse("hpcadvisor_setup() {\necho setup\n}\nfunction other {\necho x\n}\n").unwrap();
+        assert!(
+            matches!(&stmts[0], Stmt::FuncDef { name, body } if name == "hpcadvisor_setup" && body.len() == 1)
+        );
         assert!(matches!(&stmts[1], Stmt::FuncDef { name, .. } if name == "other"));
     }
 

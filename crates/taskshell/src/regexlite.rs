@@ -31,7 +31,10 @@ enum Atom {
     Any,
     Space,
     Digit,
-    Class { negated: bool, items: Vec<ClassItem> },
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
     StartAnchor,
     EndAnchor,
 }

@@ -92,7 +92,9 @@ mod tests {
     #[test]
     fn known_inputs_present() {
         let store = UrlStore::with_known_inputs();
-        let lj = store.get("https://www.lammps.org/inputs/in.lj.txt").unwrap();
+        let lj = store
+            .get("https://www.lammps.org/inputs/in.lj.txt")
+            .unwrap();
         assert!(lj.contains("variable\tx index 1"));
         assert!(lj.contains("pair_style"));
         assert!(store.get("https://nope.example/x").is_none());

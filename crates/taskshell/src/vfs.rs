@@ -109,6 +109,23 @@ impl Vfs {
         path == "/" || self.dirs.contains(&path)
     }
 
+    /// Merges another filesystem into this one: files and directories from
+    /// `other` are added, with `other`'s content winning on path conflicts.
+    ///
+    /// Parallel scenario shards each work on a clone of the shared
+    /// filesystem; merging the shard filesystems back reproduces what a
+    /// shared NFS mount would hold after all shards finish (shards write
+    /// disjoint per-task directories, so "last writer wins" only applies to
+    /// identical setup artifacts).
+    pub fn merge_from(&mut self, other: &Vfs) {
+        for (path, content) in &other.files {
+            self.files.insert(path.clone(), content.clone());
+        }
+        for dir in &other.dirs {
+            self.dirs.insert(dir.clone());
+        }
+    }
+
     /// Lists file paths under a directory prefix.
     pub fn list(&self, dir: &str) -> Vec<&str> {
         let prefix = format!("{}/", resolve("/", dir).trim_end_matches('/'));
@@ -138,10 +155,28 @@ mod tests {
     fn write_read_cycle() {
         let mut fs = Vfs::new();
         fs.write("/share/app/in.lj.txt", "variable x index 1\n");
-        assert_eq!(fs.read("/share/app/in.lj.txt").unwrap(), "variable x index 1\n");
+        assert_eq!(
+            fs.read("/share/app/in.lj.txt").unwrap(),
+            "variable x index 1\n"
+        );
         assert!(fs.exists("/share/app/in.lj.txt"));
         assert!(!fs.exists("/share/app/other.txt"));
         assert!(fs.read("/nope").is_err());
+    }
+
+    #[test]
+    fn merge_unions_files_and_dirs() {
+        let mut a = Vfs::new();
+        a.write("/share/app/in.txt", "original");
+        a.mkdir("/share/app/task-1");
+        let mut b = Vfs::new();
+        b.write("/share/app/in.txt", "updated");
+        b.write("/share/app/task-2/out.log", "done");
+        a.merge_from(&b);
+        assert_eq!(a.read("/share/app/in.txt").unwrap(), "updated");
+        assert!(a.exists("/share/app/task-2/out.log"));
+        assert!(a.dir_exists("/share/app/task-1"), "own dirs kept");
+        assert!(a.dir_exists("/share/app/task-2"), "merged dirs present");
     }
 
     #[test]

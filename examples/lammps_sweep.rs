@@ -27,7 +27,10 @@ fn main() -> Result<(), ToolError> {
     let out_dir = std::path::Path::new("target/paper-figures");
     std::fs::create_dir_all(out_dir)?;
     for (name, chart) in plot::all_charts(&dataset, &filter) {
-        std::fs::write(out_dir.join(format!("lammps_{name}.svg")), chart.to_svg(800, 500))?;
+        std::fs::write(
+            out_dir.join(format!("lammps_{name}.svg")),
+            chart.to_svg(800, 500),
+        )?;
         std::fs::write(out_dir.join(format!("lammps_{name}.csv")), chart.to_csv())?;
     }
     println!("figures written to {}/lammps_*.svg\n", out_dir.display());
@@ -52,7 +55,10 @@ fn main() -> Result<(), ToolError> {
 
     // Listing 4 comparison.
     let advice = Advice::from_dataset(&dataset, &filter);
-    println!("\nAdvice (measured Pareto front):\n{}", advice.render_text());
+    println!(
+        "\nAdvice (measured Pareto front):\n{}",
+        advice.render_text()
+    );
     println!("Paper Listing 4 (for comparison):");
     println!("Exectime(s)  Cost($)  Nodes  SKU");
     println!("36           0.5760   16     hb120rs_v3");

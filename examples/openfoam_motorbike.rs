@@ -16,7 +16,10 @@ fn main() -> Result<(), ToolError> {
 
     let filter = DataFilter::parse("appname=openfoam,mesh=40 16 16")?;
     let advice = Advice::from_dataset(&dataset, &filter);
-    println!("Advice for motorBike @ 8M cells (measured):\n{}", advice.render_text());
+    println!(
+        "Advice for motorBike @ 8M cells (measured):\n{}",
+        advice.render_text()
+    );
     println!("Paper Listing 3 (for comparison):");
     println!("Exectime(s)  Cost($)  Nodes  SKU");
     println!("34           0.5440   16     hb120rs_v3");
@@ -39,7 +42,10 @@ fn main() -> Result<(), ToolError> {
         println!("\nGenerated Slurm recipe for the fastest option:\n");
         println!("{}", advice.slurm_recipe(fastest, "openfoam"));
         println!("Generated cluster-creation recipe:\n");
-        println!("{}", advice.cluster_recipe(fastest, "openfoam", "southcentralus"));
+        println!(
+            "{}",
+            advice.cluster_recipe(fastest, "openfoam", "southcentralus")
+        );
     }
 
     session.shutdown()?;

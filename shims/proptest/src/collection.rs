@@ -1,0 +1,28 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Vec`s with lengths drawn from `sizes`.
+pub struct VecStrategy<S> {
+    element: S,
+    sizes: Range<usize>,
+}
+
+/// `proptest::collection::vec(element, 1..8)`.
+pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+    assert!(sizes.start < sizes.end, "empty size range for vec strategy");
+    VecStrategy { element, sizes }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.sizes.end - self.sizes.start) as u64;
+        let len = self.sizes.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

@@ -1,0 +1,112 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so the workspace patches
+//! `proptest` to this shim. It implements the subset the workspace's property
+//! tests use — the [`strategy::Strategy`] trait with `prop_map` /
+//! `prop_recursive` / `boxed`, range and string-pattern strategies, tuples,
+//! `Just`, `any`, `proptest::collection::vec`, and the `proptest!` /
+//! `prop_oneof!` / `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via the assert
+//!   message) but is not minimized.
+//! * **Deterministic RNG.** Each test function derives its RNG seed from the
+//!   strategy inputs' textual position, so runs are reproducible; there is no
+//!   persistence file.
+//! * String strategies accept the small regex subset the workspace uses:
+//!   concatenations of `[...]` character classes (ranges, literals, common
+//!   escapes) each optionally followed by a `{m,n}` repetition.
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything the workspace imports via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Run one strategy-driven test body over `cases` sampled inputs.
+///
+/// This is the engine behind the [`proptest!`] macro; it is public so the
+/// macro expansion can reach it from other crates.
+pub fn run_cases<F: FnMut(&mut test_runner::TestRng)>(
+    config: &test_runner::ProptestConfig,
+    seed: u64,
+    mut body: F,
+) {
+    for case in 0..config.cases {
+        let mut rng = test_runner::TestRng::from_seed(
+            seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        body(&mut rng);
+    }
+}
+
+/// Define property tests: `proptest! { #[test] fn f(x in strategy) { .. } }`.
+///
+/// Supports an optional leading `#![proptest_config(expr)]` and any number of
+/// test functions whose arguments use `name in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (@funcs ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            // Derive a per-test seed from the test name so different tests
+            // explore different sequences but each run is reproducible.
+            let seed = stringify!($name)
+                .bytes()
+                .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                    (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+                });
+            $crate::run_cases(&config, seed, |rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), rng);)+
+                $body
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @funcs ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assertion inside a `proptest!` body (maps to `assert!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a `proptest!` body (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a `proptest!` body (maps to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

@@ -1,0 +1,199 @@
+//! Regex-subset string generation.
+//!
+//! Supports the patterns the workspace's tests use: a concatenation of units,
+//! where each unit is a `[...]` character class (literals, `a-z` ranges, and
+//! `\n` / `\t` / `\\` / `\"` escapes) or a literal character, optionally
+//! followed by `{m,n}` / `{n}` repetition. Anything outside this subset
+//! panics with a clear message rather than silently producing wrong data.
+
+use crate::test_runner::TestRng;
+
+/// One parsed unit: a set of candidate characters plus a repetition range.
+#[derive(Debug, Clone)]
+struct Unit {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// A parsed pattern ready for sampling.
+#[derive(Debug, Clone)]
+pub struct StringPattern {
+    units: Vec<Unit>,
+}
+
+impl StringPattern {
+    pub fn parse(pattern: &str) -> Self {
+        let mut units = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let set = match c {
+                '[' => parse_class(&mut chars, pattern),
+                '\\' => {
+                    vec![unescape(chars.next().unwrap_or_else(|| {
+                        panic!("dangling escape in pattern {pattern:?}")
+                    }))]
+                }
+                '{' | '}' | ']' => {
+                    panic!("unsupported pattern syntax {c:?} in {pattern:?}")
+                }
+                literal => vec![literal],
+            };
+            let (min, max) = parse_repeat(&mut chars, pattern);
+            units.push(Unit {
+                chars: set,
+                min,
+                max,
+            });
+        }
+        StringPattern { units }
+    }
+
+    pub fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for unit in &self.units {
+            let count = if unit.max > unit.min {
+                unit.min + rng.below((unit.max - unit.min + 1) as u64) as usize
+            } else {
+                unit.min
+            };
+            for _ in 0..count {
+                let idx = rng.below(unit.chars.len() as u64) as usize;
+                out.push(unit.chars[idx]);
+            }
+        }
+        out
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other, // \\, \", \-, \] …
+    }
+}
+
+/// Parse the interior of a `[...]` class; the leading `[` is consumed.
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Vec<char> {
+    let mut pending: Vec<char> = Vec::new();
+    let mut set: Vec<char> = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+        match c {
+            ']' => break,
+            '\\' => pending.push(unescape(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+            )),
+            '-' => {
+                // A range needs a preceding char and a following non-`]` char;
+                // otherwise `-` is a literal.
+                match (pending.pop(), chars.peek()) {
+                    (Some(lo), Some(&hi)) if hi != ']' => {
+                        chars.next();
+                        let hi = if hi == '\\' {
+                            unescape(chars.next().unwrap_or_else(|| {
+                                panic!("dangling escape in pattern {pattern:?}")
+                            }))
+                        } else {
+                            hi
+                        };
+                        assert!(
+                            lo <= hi,
+                            "inverted range {lo:?}-{hi:?} in pattern {pattern:?}"
+                        );
+                        set.extend((lo..=hi).filter(|c| c.is_ascii() || lo > '\u{7f}'));
+                    }
+                    (prev, _) => {
+                        set.extend(prev);
+                        pending.push('-');
+                    }
+                }
+            }
+            literal => pending.push(literal),
+        }
+    }
+    set.extend(pending);
+    assert!(
+        !set.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    set
+}
+
+/// Parse an optional `{m,n}` / `{n}` suffix; defaults to exactly one.
+fn parse_repeat(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    loop {
+        match chars.next() {
+            Some('}') => break,
+            Some(c) => spec.push(c),
+            None => panic!("unterminated repetition in pattern {pattern:?}"),
+        }
+    }
+    let parse = |s: &str| -> usize {
+        s.trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("bad repetition {spec:?} in pattern {pattern:?}"))
+    };
+    match spec.split_once(',') {
+        Some((m, n)) => (parse(m), parse(n)),
+        None => {
+            let n = parse(&spec);
+            (n, n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::StringPattern;
+    use crate::test_runner::TestRng;
+
+    fn samples(pattern: &str, n: usize) -> Vec<String> {
+        let p = StringPattern::parse(pattern);
+        let mut rng = TestRng::from_seed(99);
+        (0..n).map(|_| p.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_ranges_and_trailing_dash() {
+        for s in samples("[a-zA-Z0-9 _./:-]{0,20}", 200) {
+            assert!(s.len() <= 20);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _./:-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn leading_unit_then_repeated_class() {
+        let mut lens = std::collections::BTreeSet::new();
+        for s in samples("[a-z][a-z0-9_]{0,10}", 300) {
+            assert!((1..=11).contains(&s.len()));
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            lens.insert(s.len());
+        }
+        assert!(lens.len() > 5, "lengths should vary: {lens:?}");
+    }
+
+    #[test]
+    fn escapes_inside_class() {
+        let all: String = samples("[ -~\n\"]{0,12}", 500).concat();
+        assert!(all.contains('\n'), "newline escape should be generated");
+        assert!(all.contains('"'), "quote should be generated");
+        assert!(all.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+    }
+}

@@ -1,0 +1,266 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no network access, so the
+//! workspace patches `rand` to this shim (see `[patch.crates-io]` in the root
+//! manifest). It implements only the surface the workspace uses: a seedable
+//! `StdRng` plus `Rng::gen_range` over primitive half-open ranges.
+//!
+//! `StdRng` is written to be **bit-compatible with rand 0.8**: the same
+//! ChaCha12 generator, the same PCG32-based `seed_from_u64` seed expansion,
+//! and the same `[1, 2)`-mantissa uniform-float sampling — so noise and
+//! jitter sequences match what the workspace's paper-replication tests were
+//! calibrated against. Integer `gen_range` uses plain rejection-free modulo
+//! (the workspace only draws floats from seeded generators).
+
+use std::ops::Range;
+
+/// Seedable generator trait (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core entropy source (subset of `rand::RngCore`).
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Uniform sampling over a half-open range, for the primitive types the
+/// workspace draws (subset of `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Convenience sampling methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Sample uniformly from `range` (half-open, `lo..hi`).
+    ///
+    /// # Panics
+    /// Panics when the range is empty, matching `rand`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Sample a value of type `T` (subset: `bool`, `u64`, `f64`).
+    fn gen<T: Generatable>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::generate(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types `Rng::gen` can produce in this shim.
+pub trait Generatable {
+    fn generate(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Generatable for bool {
+    fn generate(rng: &mut dyn RngCore) -> Self {
+        // rand's Standard bool uses one bit of a u32 draw; any bit works for
+        // the workspace (no seeded bool draws exist outside tests).
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Generatable for u64 {
+    fn generate(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Generatable for f64 {
+    fn generate(rng: &mut dyn RngCore) -> Self {
+        // rand's Standard f64: 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+macro_rules! int_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Modulo bias is < 2^-64 per draw for the spans used here.
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $ty
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // rand 0.8 UniformFloat::sample_single: put 52 random bits in the
+        // mantissa of a float in [1, 2), subtract 1, scale into the range.
+        let scale = self.end - self.start;
+        loop {
+            let bits = rng.next_u64() >> 12;
+            let value1_2 = f64::from_bits((1023u64 << 52) | bits);
+            let res = (value1_2 - 1.0) * scale + self.start;
+            if res < self.end {
+                return res;
+            }
+        }
+    }
+}
+
+/// Generator namespace mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard seedable generator: ChaCha12, bit-compatible with
+    /// rand 0.8's `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        /// ChaCha state: 4 constants, 8 key words, 2 counter words,
+        /// 2 stream words.
+        state: [u32; 16],
+        /// Current 16-word output block.
+        block: [u32; 16],
+        /// Next unread word index in `block`; 16 means exhausted.
+        index: usize,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // rand_core 0.6 SeedableRng::seed_from_u64: expand the u64 into
+            // the 32-byte seed with PCG32 (XSH-RR output function).
+            const MUL: u64 = 6364136223846793005;
+            const INC: u64 = 11634580027462260723;
+            let mut state = seed;
+            let mut key = [0u32; 8];
+            for word in &mut key {
+                state = state.wrapping_mul(MUL).wrapping_add(INC);
+                let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+                let rot = (state >> 59) as u32;
+                *word = xorshifted.rotate_right(rot);
+            }
+            let mut chacha_state = [0u32; 16];
+            chacha_state[..4].copy_from_slice(&[
+                0x6170_7865,
+                0x3320_646e,
+                0x7962_2d32,
+                0x6b20_6574,
+            ]);
+            chacha_state[4..12].copy_from_slice(&key);
+            // Words 12–13: 64-bit block counter; 14–15: stream id. All zero.
+            StdRng {
+                state: chacha_state,
+                block: [0; 16],
+                index: 16,
+            }
+        }
+    }
+
+    impl StdRng {
+        fn refill(&mut self) {
+            self.block = chacha12_block(&self.state);
+            // 64-bit counter across words 12 (low) and 13 (high).
+            let (low, carry) = self.state[12].overflowing_add(1);
+            self.state[12] = low;
+            if carry {
+                self.state[13] = self.state[13].wrapping_add(1);
+            }
+            self.index = 0;
+        }
+
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= 16 {
+                self.refill();
+            }
+            let word = self.block[self.index];
+            self.index += 1;
+            word
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // BlockRng::next_u64: two consecutive u32 words, low first.
+            let lo = self.next_u32() as u64;
+            let hi = self.next_u32() as u64;
+            lo | (hi << 32)
+        }
+    }
+
+    #[inline]
+    fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(16);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(12);
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(8);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(7);
+    }
+
+    /// One ChaCha block with 12 rounds (6 double rounds).
+    fn chacha12_block(input: &[u32; 16]) -> [u32; 16] {
+        let mut s = *input;
+        for _ in 0..6 {
+            // Column round.
+            quarter_round(&mut s, 0, 4, 8, 12);
+            quarter_round(&mut s, 1, 5, 9, 13);
+            quarter_round(&mut s, 2, 6, 10, 14);
+            quarter_round(&mut s, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut s, 0, 5, 10, 15);
+            quarter_round(&mut s, 1, 6, 11, 12);
+            quarter_round(&mut s, 2, 7, 8, 13);
+            quarter_round(&mut s, 3, 4, 9, 14);
+        }
+        for (word, init) in s.iter_mut().zip(input.iter()) {
+            *word = word.wrapping_add(*init);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.gen_range(0.0f64..1.0), b.gen_range(0.0f64..1.0));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen_range(0u64..u64::MAX), c.gen_range(0u64..u64::MAX));
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(0.85f64..1.30);
+            assert!((0.85..1.30).contains(&f));
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+            let u = rng.gen_range(3u32..4);
+            assert_eq!(u, 3);
+        }
+    }
+
+    #[test]
+    fn f64_draws_are_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+}

@@ -28,7 +28,10 @@ fn one_pool_per_vm_type_grown_not_recreated() {
     let mut session = Session::create(two_sku_config(), 7).unwrap();
     let ds = session.collect().unwrap();
     assert_eq!(ds.len(), 6);
-    assert!(ds.points.iter().all(|p| p.status == ScenarioStatus::Completed));
+    assert!(ds
+        .points
+        .iter()
+        .all(|p| p.status == ScenarioStatus::Completed));
 
     let provider = session.provider();
     let provider = provider.lock();

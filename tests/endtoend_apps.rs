@@ -108,7 +108,15 @@ fn multi_input_sweep_produces_distinct_series() {
     assert_eq!(ds.completed().len(), 6);
     let small = DataFilter::parse("BOXFACTOR=6").unwrap();
     let large = DataFilter::parse("BOXFACTOR=10").unwrap();
-    let t_small = ds.filter(&small).iter().map(|p| p.exec_time_secs).sum::<f64>();
-    let t_large = ds.filter(&large).iter().map(|p| p.exec_time_secs).sum::<f64>();
+    let t_small = ds
+        .filter(&small)
+        .iter()
+        .map(|p| p.exec_time_secs)
+        .sum::<f64>();
+    let t_large = ds
+        .filter(&large)
+        .iter()
+        .map(|p| p.exec_time_secs)
+        .sum::<f64>();
     assert!(t_large > 2.0 * t_small, "bigger input must cost more");
 }

@@ -41,7 +41,10 @@ fn fig3_time_vs_cost_tradeoff() {
     // advisor exists for).
     let fastest = v3.points.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
     let cheapest = v3.points.iter().min_by(|a, b| a.0.total_cmp(&b.0)).unwrap();
-    assert!(fastest.0 > cheapest.0, "fastest {fastest:?} vs cheapest {cheapest:?}");
+    assert!(
+        fastest.0 > cheapest.0,
+        "fastest {fastest:?} vs cheapest {cheapest:?}"
+    );
     assert!(fastest.1 < cheapest.1);
 }
 
@@ -77,7 +80,11 @@ fn fig5_superlinear_efficiency_region() {
     let series = metrics::efficiency(&ds, &DataFilter::all());
     let v3 = series.iter().find(|s| s.sku == "hb120rs_v3").unwrap();
     let max_eff = v3.points.iter().map(|(_, e)| *e).fold(0.0, f64::max);
-    assert!(max_eff > 1.0, "HBv3 efficiency never exceeded 1: {:?}", v3.points);
+    assert!(
+        max_eff > 1.0,
+        "HBv3 efficiency never exceeded 1: {:?}",
+        v3.points
+    );
     // Efficiency at the baseline is exactly 1.
     assert!((v3.points[0].1 - 1.0).abs() < 1e-9);
 }

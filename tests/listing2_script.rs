@@ -107,6 +107,8 @@ fn failed_simulation_takes_error_branch() {
     interp.set_var("HOSTLIST_PPN", "node-0000:120");
     let out = interp.call_function("hpcadvisor_run").unwrap();
     assert_eq!(out.exit_code, 1, "{}", out.stdout);
-    assert!(out.stdout.contains("Simulation did not complete successfully."));
+    assert!(out
+        .stdout
+        .contains("Simulation did not complete successfully."));
     assert!(!out.stdout.contains("HPCADVISORVAR"));
 }

@@ -28,8 +28,16 @@ fn listing4_lammps_front() {
     for (row, (pt, pc)) in advice.rows.iter().zip(paper) {
         let t_ratio = row.exec_time_secs / pt;
         let c_ratio = row.cost_dollars / pc;
-        assert!((0.75..1.25).contains(&t_ratio), "time {} vs paper {pt}", row.exec_time_secs);
-        assert!((0.75..1.25).contains(&c_ratio), "cost {} vs paper {pc}", row.cost_dollars);
+        assert!(
+            (0.75..1.25).contains(&t_ratio),
+            "time {} vs paper {pt}",
+            row.exec_time_secs
+        );
+        assert!(
+            (0.75..1.25).contains(&c_ratio),
+            "cost {} vs paper {pc}",
+            row.cost_dollars
+        );
     }
 }
 
@@ -44,7 +52,11 @@ fn listing4_low_node_runs_fail_or_lose() {
         .iter()
         .find(|p| p.nnodes == 1 && p.sku.contains("v3"))
         .unwrap();
-    assert_eq!(one_node_v3.status, ScenarioStatus::Failed, "1 node must OOM");
+    assert_eq!(
+        one_node_v3.status,
+        ScenarioStatus::Failed,
+        "1 node must OOM"
+    );
     let advice = Advice::from_dataset(&ds, &DataFilter::all());
     assert!(!advice.rows.iter().any(|r| r.nodes < 3));
 }
@@ -81,8 +93,16 @@ fn listing3_openfoam_front() {
         );
         let t_ratio = row.exec_time_secs / pt;
         let c_ratio = row.cost_dollars / pc;
-        assert!((0.7..1.3).contains(&t_ratio), "{nodes}n time {} vs {pt}", row.exec_time_secs);
-        assert!((0.7..1.3).contains(&c_ratio), "{nodes}n cost {} vs {pc}", row.cost_dollars);
+        assert!(
+            (0.7..1.3).contains(&t_ratio),
+            "{nodes}n time {} vs {pt}",
+            row.exec_time_secs
+        );
+        assert!(
+            (0.7..1.3).contains(&c_ratio),
+            "{nodes}n cost {} vs {pc}",
+            row.cost_dollars
+        );
     }
     // HC44rs never reaches the OpenFOAM front (memory-starved Xeon).
     assert!(!advice.rows.iter().any(|r| r.sku == "hc44rs"));
@@ -116,13 +136,13 @@ fn sort_by_cost_option() {
     use hpcadvisor::prelude::AdviceSort;
     let mut session = Session::create(UserConfig::example_lammps(), SEED).unwrap();
     let ds = session.collect().unwrap();
-    let by_cost = Advice::from_dataset_sorted(
-        &ds,
-        &DataFilter::all(),
-        AdviceSort::ByCost,
-    );
+    let by_cost = Advice::from_dataset_sorted(&ds, &DataFilter::all(), AdviceSort::ByCost);
     for w in by_cost.rows.windows(2) {
         assert!(w[0].cost_dollars <= w[1].cost_dollars);
     }
-    assert_eq!(by_cost.rows.last().unwrap().nodes, 16, "fastest is costliest");
+    assert_eq!(
+        by_cost.rows.last().unwrap().nodes,
+        16,
+        "fastest is costliest"
+    );
 }

@@ -14,9 +14,7 @@ fn arb_config() -> impl Strategy<Value = UserConfig> {
     ];
     let app_inputs = prop_oneof![
         (4u32..14).prop_map(|b| ("lammps", vec![("BOXFACTOR".to_string(), b.to_string())])),
-        (8u32..24).prop_map(|x| {
-            ("openfoam", vec![("mesh".to_string(), format!("{x} 8 8"))])
-        }),
+        (8u32..24).prop_map(|x| { ("openfoam", vec![("mesh".to_string(), format!("{x} 8 8"))]) }),
         (100_000u64..2_000_000)
             .prop_map(|a| ("gromacs", vec![("atoms".to_string(), a.to_string())])),
         (4_000u64..40_000).prop_map(|n| ("matmul", vec![("n".to_string(), n.to_string())])),
