@@ -42,6 +42,12 @@ pub mod machine;
 pub mod noise;
 pub mod work;
 
+/// Version of the analytic application models. Bump this whenever a change
+/// to the engine or a per-application model alters the numbers a scenario
+/// produces for the same inputs — downstream result caches fold it into
+/// their fingerprints, so stale cached data points invalidate automatically.
+pub const MODEL_VERSION: u32 = 1;
+
 pub use apps::{AppModel, AppRegistry, AppRun};
 pub use engine::{execute_profile, Bottleneck, EngineOutput};
 pub use error::ModelError;

@@ -324,8 +324,17 @@ impl BatchService {
     pub fn run_until_idle(&mut self) {
         loop {
             self.schedule_ready();
-            match self.events.pop() {
-                Some((at, ev)) => self.finish(ev.task, at),
+            match self.events.peek_time() {
+                Some(next_at) => {
+                    // Deliver every completion sharing the earliest
+                    // timestamp before rescheduling, so nodes freed at the
+                    // same instant are claimed in one pass. The queue is
+                    // taken out of `self` for the duration of the callback
+                    // (finish never touches it).
+                    let mut events = std::mem::take(&mut self.events);
+                    events.pop_until(next_at, |at, ev| self.finish(ev.task, at));
+                    self.events = events;
+                }
                 None => {
                     if self.queue.is_empty() {
                         break;

@@ -1,0 +1,90 @@
+//! Warm vs. cold collection through the content-addressed scenario cache.
+//!
+//! The cold benchmark runs the Listing-1 grid (36 scenarios) end to end:
+//! deploy, provision pools, simulate every task. The warm benchmark runs
+//! the identical grid against a pre-populated cache — the acceptance
+//! criterion for incremental collection is warm ≥ 10× faster than cold,
+//! since a hit skips the batch and cloud simulators entirely. A third
+//! benchmark isolates the fingerprint+lookup overhead a cold run pays on
+//! top of execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcadvisor_bench::SEED;
+use hpcadvisor_core::cache::ScenarioCache;
+use hpcadvisor_core::prelude::*;
+use std::path::PathBuf;
+
+fn grid_config() -> UserConfig {
+    UserConfig::example_openfoam()
+}
+
+fn cache_file(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "hpcadvisor-bench-cache-{tag}-{}.json",
+        std::process::id()
+    ))
+}
+
+fn cache_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_warm");
+    group.sample_size(10);
+
+    // Cold: in-memory empty cache, everything executes.
+    group.bench_function("collect_listing1_36_scenarios_cold", |b| {
+        b.iter(|| {
+            let mut session = Session::create(grid_config(), SEED).unwrap();
+            let report = session.collect_with(&CollectPlan::new()).unwrap();
+            assert_eq!(report.stats.cache_hits, 0);
+            report.dataset.len()
+        })
+    });
+
+    // Warm: one cold run fills a file-backed store; each sample then
+    // deploys a fresh session and serves the whole grid from cache.
+    let path = cache_file("warm");
+    let _ = std::fs::remove_file(&path);
+    {
+        let mut session = Session::create(grid_config(), SEED).unwrap();
+        session.set_cache(ScenarioCache::open(&path));
+        let report = session.collect_with(&CollectPlan::new()).unwrap();
+        assert_eq!(report.stats.cache_misses, 36);
+    }
+    group.bench_function("collect_listing1_36_scenarios_warm", |b| {
+        b.iter(|| {
+            let mut session = Session::create(grid_config(), SEED).unwrap();
+            session.set_cache(ScenarioCache::open(&path));
+            let report = session.collect_with(&CollectPlan::new()).unwrap();
+            assert_eq!(report.stats.cache_hits, 36);
+            report.dataset.len()
+        })
+    });
+
+    // Consult overhead alone: fingerprint the whole grid against the warm
+    // store, without deploy/collect around it (the per-run cost a cold
+    // sweep pays for cache support).
+    let cache = ScenarioCache::open(&path);
+    let scenarios = {
+        let session = Session::create(grid_config(), SEED).unwrap();
+        session.scenarios().to_vec()
+    };
+    group.bench_function("fingerprint_and_lookup_36_scenarios", |b| {
+        use hpcadvisor_core::cache::Fingerprinter;
+        b.iter(|| {
+            let fpr = Fingerprinter::new("openfoam", "script body", SEED, 0x1234);
+            scenarios
+                .iter()
+                .filter(|s| cache.lookup(fpr.scenario(s)).is_some())
+                .count()
+        })
+    });
+
+    group.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = cache_warm
+}
+criterion_main!(benches);

@@ -13,7 +13,15 @@ pub struct Args {
 
 /// Option names that take a value; everything else is a boolean switch.
 const VALUED: &[&str] = &[
-    "workdir", "config", "filter", "seed", "sampler", "sort", "out", "workers",
+    "workdir",
+    "config",
+    "filter",
+    "seed",
+    "sampler",
+    "sort",
+    "out",
+    "workers",
+    "cache-dir",
 ];
 
 /// Short-option aliases.

@@ -3,6 +3,7 @@
 use crate::args::Args;
 use crate::state::{DeploymentRecord, WorkDir};
 use hpcadvisor_core::advice::{Advice, AdviceSort};
+use hpcadvisor_core::cache::{CachePolicy, ScenarioCache};
 use hpcadvisor_core::collect::CollectPlan;
 use hpcadvisor_core::collector::{Collector, CollectorOptions};
 use hpcadvisor_core::deployment::DeploymentManager;
@@ -36,6 +37,7 @@ pub fn dispatch(argv: &[String], out: Out) -> Result<(), ToolError> {
     match command {
         "deploy" => deploy(&args, &workdir, out),
         "collect" => collect(&args, &workdir, out),
+        "cache" => cache_cmd(&args, &workdir, out),
         "plot" => plot_cmd(&args, &workdir, out),
         "advice" => advice_cmd(&args, &workdir, out),
         "export" => export_cmd(&args, &workdir, out),
@@ -135,6 +137,47 @@ fn make_sampler(name: &str) -> Result<Box<dyn Sampler>, ToolError> {
     }
 }
 
+/// Resolves the scenario-cache file for this invocation: `--cache-dir`
+/// overrides the default `<workdir>/cache/scenario-cache.json`.
+fn cache_file(args: &Args, workdir: &WorkDir) -> std::path::PathBuf {
+    match args.option("cache-dir") {
+        Some(dir) => std::path::Path::new(dir).join("scenario-cache.json"),
+        None => workdir.cache_file(),
+    }
+}
+
+fn cache_cmd(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
+    let path = cache_file(args, workdir);
+    match args.positional.get(1).map(|s| s.as_str()) {
+        None | Some("stats") => {
+            let cache = ScenarioCache::open(&path);
+            wline(out, &format!("cache file: {}", path.display()))?;
+            let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            wline(
+                out,
+                &format!("cached results: {} ({size} bytes on disk)", cache.len()),
+            )?;
+            if cache.recovered() {
+                wline(
+                    out,
+                    "warning: cache file was unreadable; it will be rebuilt on the next collect",
+                )?;
+            }
+            Ok(())
+        }
+        Some("clear") => {
+            let mut cache = ScenarioCache::open(&path);
+            let n = cache.len();
+            cache.clear();
+            cache.save()?;
+            wline(out, &format!("cleared {n} cached results"))
+        }
+        other => Err(ToolError::Config(format!(
+            "cache needs a subcommand (stats|clear), got {other:?}"
+        ))),
+    }
+}
+
 fn collect(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
     let config = workdir.load_config()?;
     let record = workdir.active_deployment()?.ok_or_else(|| {
@@ -163,12 +206,20 @@ fn collect(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
             .parse()
             .map_err(|_| ToolError::Config(format!("--workers must be a number, got '{n}'")))?,
     };
+    // Incremental collection: reuse finished results from the work
+    // directory's scenario cache unless --no-cache was given.
+    let cache_path = cache_file(args, workdir);
+    if args.has("no-cache") {
+        collector.set_cache_policy(CachePolicy::Off);
+    } else {
+        collector.set_cache(ScenarioCache::open(&cache_path));
+    }
 
     let increment = match args.option("sampler") {
         None | Some("full") => {
+            let plan = CollectPlan::new().workers(workers);
+            let report = collector.collect_with_plan(&mut scenarios, &plan)?;
             if workers > 1 {
-                let plan = CollectPlan::new().workers(workers);
-                let report = collector.collect_with_plan(&mut scenarios, &plan)?;
                 wline(
                     out,
                     &format!(
@@ -176,10 +227,19 @@ fn collect(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
                         report.stats.workers, report.stats.shards, report.stats.wall_secs
                     ),
                 )?;
-                report.into_dataset()
-            } else {
-                collector.collect(&mut scenarios)?
             }
+            if report.stats.cache_hits > 0 {
+                wline(
+                    out,
+                    &format!(
+                        "cache: reused {} of {} scenarios from {}",
+                        report.stats.cache_hits,
+                        report.stats.cache_hits + report.stats.executed,
+                        cache_path.display()
+                    ),
+                )?;
+            }
+            report.into_dataset()
         }
         Some("partial") => {
             // Partial-execution prediction (cited technique): probe every
@@ -210,6 +270,11 @@ fn collect(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
         Some(sampler_name) => {
             // Sampling needs the Session wrapper for iterative batches.
             let mut session = Session::create(config.clone(), record.seed)?;
+            if args.has("no-cache") {
+                session.set_cache_policy(CachePolicy::Off);
+            } else {
+                session.set_cache(ScenarioCache::open(&cache_path));
+            }
             let mut sampler = make_sampler(sampler_name)?;
             let (ds, report) = run_sampled(&mut session, sampler.as_mut())?;
             for s in session.scenarios() {
@@ -242,7 +307,9 @@ fn collect(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
     dataset.extend(increment);
     workdir.save_dataset(&dataset)?;
     workdir.save_scenarios(&scenarios)?;
-    let total_cost = manager.provider().lock().billing().total_cost();
+    // `+ 0.0` normalizes the negative zero an empty billing ledger sums to,
+    // so a fully-cached collection prints $0.00 rather than $-0.00.
+    let total_cost = manager.provider().lock().billing().total_cost() + 0.0;
     wline(
         out,
         &format!(
@@ -505,6 +572,78 @@ mod tests {
         assert!(out.contains("shutdown"));
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_collect_reuses_cache_and_cache_subcommands_work() {
+        let dir = tempdir("cache");
+        let config = write_config(&dir);
+        let (_, ok) = run_in(&dir, &["deploy", "create", "-c", config.to_str().unwrap()]);
+        assert!(ok);
+
+        // Empty cache reports zero entries.
+        let (out, ok) = run_in(&dir, &["cache", "stats"]);
+        assert!(ok, "{out}");
+        assert!(out.contains("cached results: 0"), "{out}");
+
+        // Cold collect populates the cache silently.
+        let (out, ok) = run_in(&dir, &["collect"]);
+        assert!(ok, "{out}");
+        assert!(!out.contains("cache: reused"), "cold run: {out}");
+        assert!(dir.join("cache/scenario-cache.json").exists());
+        let (out, _) = run_in(&dir, &["cache", "stats"]);
+        assert!(out.contains("cached results: 2"), "{out}");
+
+        // Reset scenario statuses so the grid is pending again, then a warm
+        // collect serves everything from the cache.
+        let scenarios_json = dir.join("scenarios.json");
+        let text = std::fs::read_to_string(&scenarios_json).unwrap();
+        std::fs::write(&scenarios_json, text.replace("completed", "pending")).unwrap();
+        let (out, ok) = run_in(&dir, &["collect"]);
+        assert!(ok, "{out}");
+        assert!(out.contains("cache: reused 2 of 2 scenarios"), "{out}");
+        assert!(out.contains("cloud spend this collection: $0.00"), "{out}");
+
+        // --no-cache forces a cold run.
+        let text = std::fs::read_to_string(&scenarios_json).unwrap();
+        std::fs::write(&scenarios_json, text.replace("completed", "pending")).unwrap();
+        let (out, ok) = run_in(&dir, &["collect", "--no-cache"]);
+        assert!(ok, "{out}");
+        assert!(!out.contains("cache: reused"), "{out}");
+        assert!(!out.contains("$0.00"), "cold run costs money: {out}");
+
+        // cache clear empties the store.
+        let (out, ok) = run_in(&dir, &["cache", "clear"]);
+        assert!(ok, "{out}");
+        assert!(out.contains("cleared 2 cached results"), "{out}");
+        let (out, _) = run_in(&dir, &["cache", "stats"]);
+        assert!(out.contains("cached results: 0"), "{out}");
+
+        // Unknown subcommand errors.
+        let (_, ok) = run_in(&dir, &["cache", "bogus"]);
+        assert!(!ok);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_dir_option_relocates_the_store() {
+        let dir = tempdir("cachedir");
+        let alt = tempdir("cachedir-alt");
+        std::fs::create_dir_all(&alt).unwrap();
+        let config = write_config(&dir);
+        let (_, ok) = run_in(&dir, &["deploy", "create", "-c", config.to_str().unwrap()]);
+        assert!(ok);
+        let (out, ok) = run_in(&dir, &["collect", "--cache-dir", alt.to_str().unwrap()]);
+        assert!(ok, "{out}");
+        assert!(alt.join("scenario-cache.json").exists());
+        assert!(!dir.join("cache/scenario-cache.json").exists());
+        let (out, _) = run_in(
+            &dir,
+            &["cache", "stats", "--cache-dir", alt.to_str().unwrap()],
+        );
+        assert!(out.contains("cached results: 2"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&alt);
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! | `deploy` | `list` | Lists all previous and current cloud deployments |
 //! | `deploy` | `shutdown` | Shuts down a deployment, deleting its resources |
 //! | `collect` | — | Runs all scenarios on a given deployment |
+//! | `cache` | `stats` | Shows the scenario-result cache (entries, location) |
+//! | `cache` | `clear` | Drops all cached scenario results |
 //! | `plot` | — | Generates plots using a given data filter |
 //! | `advice` | — | Generates advice (Pareto front) using a data filter |
 //! | `gui` | — | Starts the GUI mode |
@@ -50,7 +52,10 @@ COMMANDS:
     deploy create -c <config.yaml>   create a cloud deployment
     deploy list                      list all deployments
     deploy shutdown <name>           delete a deployment's resources
-    collect                          run all pending scenarios
+    collect                          run all pending scenarios (warm ones
+                                     are served from the scenario cache)
+    cache stats                      show the scenario-result cache
+    cache clear                      drop all cached scenario results
     plot [-f <filter>] [--ascii]     generate the four plots (+ Pareto)
     advice [-f <filter>] [--sort time|cost] [--slurm]
                                      print the Pareto-front advice table
@@ -64,6 +69,8 @@ OPTIONS:
     --seed <n>             experiment seed (default 42)
     --sampler <name>       full | aggressive | perf-factor | bottleneck | partial
     --workers <n>          run the full-grid collect on n parallel workers
+    --no-cache             collect cold: skip the scenario-result cache
+    --cache-dir <dir>      cache directory (default <workdir>/cache)
     --ascii                print plots to the terminal instead of SVG files
     --sort <key>           advice sort order: time (default) or cost
     --slurm                also print a Slurm recipe for the fastest row

@@ -47,6 +47,12 @@ impl WorkDir {
         Ok(dir)
     }
 
+    /// Default path of the scenario-result cache file. The parent directory
+    /// is created lazily by [`hpcadvisor_core::cache::ScenarioCache::save`].
+    pub fn cache_file(&self) -> PathBuf {
+        self.root.join("cache").join("scenario-cache.json")
+    }
+
     fn file(&self, name: &str) -> PathBuf {
         self.root.join(name)
     }

@@ -286,11 +286,43 @@ impl SkuCatalog {
             self.skus.push(sku);
         }
     }
+
+    /// A content-derived revision of the catalog: a stable 64-bit FNV-1a
+    /// hash over every SKU's hardware characteristics and price, in catalog
+    /// order. Any change to an entry (a price update, a new SKU, an edited
+    /// interconnect) yields a different revision, which downstream caches
+    /// use to invalidate results computed against older catalogs.
+    pub fn revision(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+        const FNV_PRIME: u64 = 0x100000001b3;
+        let mut h = FNV_OFFSET;
+        for sku in &self.skus {
+            // Debug formatting covers every field (including float values
+            // exactly, via their shortest round-trippable representation)
+            // and is stable for a given catalog content.
+            for b in format!("{sku:?}\x1f").bytes() {
+                h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn revision_is_stable_and_content_sensitive() {
+        let a = SkuCatalog::azure_hpc();
+        let b = SkuCatalog::azure_hpc();
+        assert_eq!(a.revision(), b.revision(), "same content, same revision");
+        let mut c = SkuCatalog::azure_hpc();
+        let mut sku = c.get("Standard_HB120rs_v3").unwrap().clone();
+        sku.price_per_hour += 0.01;
+        c.upsert(sku);
+        assert_ne!(a.revision(), c.revision(), "price change moves revision");
+    }
 
     #[test]
     fn lookup_is_prefix_and_case_insensitive() {

@@ -1,0 +1,491 @@
+//! Content-addressed scenario-result cache for incremental collection.
+//!
+//! The paper's Algorithm 1 re-executes the full VM-type × node-count ×
+//! input grid on every invocation. The companion tool paper motivates
+//! *appending to and reusing* prior data points instead of re-running
+//! multi-hour cloud jobs; this module is that layer. Every scenario gets a
+//! deterministic **fingerprint** — a stable hash over everything that can
+//! change its simulated result:
+//!
+//! * the scenario itself (SKU, node count, processes per node, app inputs)
+//!   and the application name,
+//! * the experiment noise seed,
+//! * the SKU-catalog/pricing revision ([`cloudsim::SkuCatalog::revision`]),
+//! * the application setup/run script content,
+//! * the app-model version constant ([`appmodel::MODEL_VERSION`]).
+//!
+//! The cache maps fingerprints to finished [`DataPoint`]s. A warm
+//! collection consults it before provisioning anything: hits bypass the
+//! batch/cloud simulators entirely and are merged id-ordered, so a warm
+//! run's dataset is byte-identical to a cold run's. Whenever a fingerprint
+//! input changes (a new seed, a price update, a model bump, an edited
+//! script), the key changes and the stale entry is simply never found —
+//! invalidation is automatic and needs no bookkeeping.
+//!
+//! Identity-only fields of a data point — its scenario id, tags, and
+//! deployment name — are **not** fingerprinted: they do not influence the
+//! simulation, and a cached point is re-stamped with the current values on
+//! hit (see [`rehydrate_point`]). This is what lets a widened grid (which
+//! shifts scenario ids) still reuse every already-known point.
+//!
+//! Persistence is a single pretty-printed JSON file (the same
+//! `hpcadvisor-formats` store the dataset uses) under the CLI work
+//! directory's `cache/` folder. A corrupted or truncated file is treated as
+//! an empty cache — a warm run silently degrades to a cold one instead of
+//! erroring.
+//!
+//! Concurrency: fingerprinting and lookup happen once, up front, on the
+//! coordinating thread; shard workers only ever see the miss list and
+//! accumulate their results into per-shard output buffers. New entries are
+//! inserted after the merge barrier, so the hot path takes no lock.
+
+use crate::dataset::{point_to_value, value_to_point, DataPoint};
+use crate::error::ToolError;
+use crate::scenario::{Scenario, ScenarioStatus};
+use hpcadvisor_formats::{json, OrderedMap, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Version of the on-disk cache schema. Files written by a different
+/// schema are discarded wholesale (treated as a cold cache).
+const STORE_VERSION: i64 = 1;
+
+/// How a collection run uses the scenario cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// Consult the cache before running and store new results (default).
+    #[default]
+    ReadWrite,
+    /// Consult the cache but never store anything new.
+    ReadOnly,
+    /// Ignore the cache entirely: every scenario runs cold.
+    Off,
+}
+
+impl CachePolicy {
+    /// True if lookups are allowed.
+    pub fn reads(&self) -> bool {
+        !matches!(self, CachePolicy::Off)
+    }
+
+    /// True if new results should be stored.
+    pub fn writes(&self) -> bool {
+        matches!(self, CachePolicy::ReadWrite)
+    }
+
+    /// Short human-readable name (`read-write`, `read-only`, `off`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CachePolicy::ReadWrite => "read-write",
+            CachePolicy::ReadOnly => "read-only",
+            CachePolicy::Off => "off",
+        }
+    }
+}
+
+/// A 128-bit content fingerprint of one scenario execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(u128);
+
+impl Fingerprint {
+    /// Hex spelling used as the JSON store key (32 lowercase digits).
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses the hex spelling.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(Fingerprint)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Incremental 128-bit FNV-1a hasher. FNV is not cryptographic, but the
+/// cache only needs collision resistance across at most a few million
+/// honest keys, where 128 bits is far beyond sufficient — and the hash is
+/// bit-stable across platforms and Rust versions, unlike `DefaultHasher`.
+#[derive(Debug, Clone)]
+struct Fnv128 {
+    state: u128,
+}
+
+impl Fnv128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+
+    fn new() -> Self {
+        Fnv128 {
+            state: Self::OFFSET,
+        }
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state ^ b as u128).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Writes a field followed by a separator byte, so adjacent fields
+    /// cannot alias (`"ab" + "c"` vs `"a" + "bc"`).
+    fn field(&mut self, bytes: &[u8]) {
+        self.write(bytes);
+        self.write(&[0x1f]);
+    }
+
+    fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+/// Computes scenario fingerprints for one collection run. Construct once
+/// per run (the collection-level inputs are folded in eagerly), then call
+/// [`Fingerprinter::scenario`] per grid point.
+#[derive(Debug, Clone)]
+pub struct Fingerprinter {
+    base: Fnv128,
+}
+
+impl Fingerprinter {
+    /// Folds in every collection-level fingerprint input.
+    pub fn new(appname: &str, script: &str, experiment_seed: u64, catalog_revision: u64) -> Self {
+        let mut base = Fnv128::new();
+        base.field(&appmodel::MODEL_VERSION.to_le_bytes());
+        base.field(appname.as_bytes());
+        base.field(script.as_bytes());
+        base.field(&experiment_seed.to_le_bytes());
+        base.field(&catalog_revision.to_le_bytes());
+        Fingerprinter { base }
+    }
+
+    /// Fingerprints one scenario under this run's collection inputs.
+    pub fn scenario(&self, s: &Scenario) -> Fingerprint {
+        let mut h = self.base.clone();
+        h.field(s.sku.as_bytes());
+        h.field(&s.nnodes.to_le_bytes());
+        h.field(&s.ppn.to_le_bytes());
+        for (k, v) in &s.appinputs {
+            h.field(k.as_bytes());
+            h.field(v.as_bytes());
+        }
+        Fingerprint(h.finish())
+    }
+}
+
+/// Re-stamps a cached point with the identity-only fields of the current
+/// run: scenario id, tags, and deployment. These are exactly the
+/// [`DataPoint`] fields excluded from the fingerprint, so after this call
+/// the point is byte-for-byte what a cold run of `scenario` would produce.
+pub fn rehydrate_point(
+    mut point: DataPoint,
+    scenario: &Scenario,
+    tags: &[(String, String)],
+    deployment: &str,
+) -> DataPoint {
+    point.scenario_id = scenario.id;
+    point.tags = tags.to_vec();
+    point.deployment = deployment.to_string();
+    point
+}
+
+/// Summary counters of a cache store (the CLI's `cache stats`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheStoreStats {
+    /// Entries currently held.
+    pub entries: usize,
+    /// Backing file, if the cache is persistent.
+    pub path: Option<PathBuf>,
+    /// True if the backing file existed but could not be parsed and the
+    /// cache recovered by starting cold.
+    pub recovered: bool,
+}
+
+/// The content-addressed scenario-result store.
+///
+/// In-memory by default; [`ScenarioCache::open`] binds it to a JSON file
+/// that [`ScenarioCache::save`] rewrites atomically (write-then-rename).
+#[derive(Debug, Default)]
+pub struct ScenarioCache {
+    entries: HashMap<u128, DataPoint>,
+    path: Option<PathBuf>,
+    recovered: bool,
+}
+
+impl ScenarioCache {
+    /// An empty, purely in-memory cache (results live for the collector's
+    /// lifetime only).
+    pub fn in_memory() -> Self {
+        ScenarioCache::default()
+    }
+
+    /// Opens a file-backed cache. A missing file starts empty; a corrupted
+    /// or truncated file also starts empty (cold) with the `recovered` flag
+    /// set, never an error — a damaged cache must cost a re-run, not a
+    /// failure.
+    pub fn open(path: impl AsRef<Path>) -> Self {
+        let path = path.as_ref().to_path_buf();
+        let (entries, recovered) = match std::fs::read_to_string(&path) {
+            Err(_) => (HashMap::new(), false),
+            Ok(text) => match parse_store(&text) {
+                Ok(entries) => (entries, false),
+                Err(_) => (HashMap::new(), true),
+            },
+        };
+        ScenarioCache {
+            entries,
+            path: Some(path),
+            recovered,
+        }
+    }
+
+    /// Number of cached points.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The backing file, if any.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// True if a damaged backing file was discarded on open.
+    pub fn recovered(&self) -> bool {
+        self.recovered
+    }
+
+    /// Store summary for status displays.
+    pub fn stats(&self) -> CacheStoreStats {
+        CacheStoreStats {
+            entries: self.entries.len(),
+            path: self.path.clone(),
+            recovered: self.recovered,
+        }
+    }
+
+    /// Looks a fingerprint up, returning a clone of the stored point.
+    pub fn lookup(&self, fp: Fingerprint) -> Option<DataPoint> {
+        self.entries.get(&fp.0).cloned()
+    }
+
+    /// Stores a finished point. Only completed points are cacheable —
+    /// failures may be transient (injected faults, quota) and must re-run.
+    /// Returns whether the point was stored.
+    pub fn insert(&mut self, fp: Fingerprint, point: &DataPoint) -> bool {
+        if point.status != ScenarioStatus::Completed {
+            return false;
+        }
+        self.entries.insert(fp.0, point.clone());
+        true
+    }
+
+    /// Drops every entry (the CLI's `cache clear`). The backing file is
+    /// rewritten empty on the next [`ScenarioCache::save`].
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Writes the store to its backing file (no-op for in-memory caches).
+    /// The write goes to a sibling temp file first and renames into place,
+    /// so a crash mid-save leaves the old cache intact.
+    pub fn save(&self) -> Result<(), ToolError> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut keys: Vec<&u128> = self.entries.keys().collect();
+        keys.sort_unstable();
+        let mut entries = OrderedMap::new();
+        for k in keys {
+            entries.insert(Fingerprint(*k).to_hex(), point_to_value(&self.entries[k]));
+        }
+        let mut doc = OrderedMap::new();
+        doc.insert("version", Value::Int(STORE_VERSION));
+        doc.insert("entries", Value::Map(entries));
+        let text = json::to_string_pretty(&Value::Map(doc));
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+}
+
+fn parse_store(text: &str) -> Result<HashMap<u128, DataPoint>, ToolError> {
+    let doc = json::parse(text)?;
+    let version = doc
+        .get("version")
+        .and_then(|v| v.as_int())
+        .ok_or_else(|| ToolError::Config("cache store missing version".into()))?;
+    if version != STORE_VERSION {
+        return Err(ToolError::Config(format!(
+            "cache store version {version} != {STORE_VERSION}"
+        )));
+    }
+    let entries = doc
+        .get("entries")
+        .and_then(|v| v.as_map())
+        .ok_or_else(|| ToolError::Config("cache store missing entries".into()))?;
+    let mut out = HashMap::with_capacity(entries.len());
+    for (key, value) in entries.iter() {
+        let fp = Fingerprint::from_hex(key)
+            .ok_or_else(|| ToolError::Config(format!("bad cache key '{key}'")))?;
+        out.insert(fp.0, value_to_point(value)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::point;
+
+    fn scenario(id: u32, sku: &str, nnodes: u32) -> Scenario {
+        Scenario {
+            id,
+            sku: sku.into(),
+            nnodes,
+            ppn: 120,
+            appinputs: vec![("BOXFACTOR".into(), "8".into())],
+            status: ScenarioStatus::Pending,
+        }
+    }
+
+    fn tempfile(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "hpcadvisor-cache-test-{tag}-{}.json",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_sensitive() {
+        let fpr = Fingerprinter::new("lammps", "script", 42, 7);
+        let s = scenario(1, "Standard_HB120rs_v3", 4);
+        assert_eq!(fpr.scenario(&s), fpr.scenario(&s), "deterministic");
+        // Identity-only fields do not move the fingerprint...
+        let mut renumbered = s.clone();
+        renumbered.id = 99;
+        assert_eq!(fpr.scenario(&s), fpr.scenario(&renumbered));
+        // ...but every simulation input does.
+        let mut other = s.clone();
+        other.nnodes = 8;
+        assert_ne!(fpr.scenario(&s), fpr.scenario(&other));
+        let mut other = s.clone();
+        other.appinputs[0].1 = "9".into();
+        assert_ne!(fpr.scenario(&s), fpr.scenario(&other));
+        for different in [
+            Fingerprinter::new("wrf", "script", 42, 7),
+            Fingerprinter::new("lammps", "other script", 42, 7),
+            Fingerprinter::new("lammps", "script", 43, 7),
+            Fingerprinter::new("lammps", "script", 42, 8),
+        ] {
+            assert_ne!(fpr.scenario(&s), different.scenario(&s));
+        }
+    }
+
+    #[test]
+    fn adjacent_fields_do_not_alias() {
+        let a = Fingerprinter::new("ab", "c", 1, 1);
+        let b = Fingerprinter::new("a", "bc", 1, 1);
+        let s = scenario(1, "Standard_HB120rs_v3", 1);
+        assert_ne!(a.scenario(&s), b.scenario(&s));
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let fpr = Fingerprinter::new("lammps", "s", 1, 2);
+        let fp = fpr.scenario(&scenario(1, "Standard_HC44rs", 2));
+        assert_eq!(Fingerprint::from_hex(&fp.to_hex()), Some(fp));
+        assert_eq!(fp.to_hex().len(), 32);
+        assert_eq!(Fingerprint::from_hex("xyz"), None);
+        assert_eq!(Fingerprint::from_hex(""), None);
+    }
+
+    #[test]
+    fn store_roundtrip_and_policy_gates() {
+        let path = tempfile("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let fpr = Fingerprinter::new("lammps", "s", 42, 1);
+        let s = scenario(3, "Standard_HB120rs_v3", 4);
+        let fp = fpr.scenario(&s);
+        let mut cache = ScenarioCache::open(&path);
+        assert!(cache.is_empty() && !cache.recovered());
+        let p = point(3, "lammps", "Standard_HB120rs_v3", 4, 120, 12.5, 0.05);
+        assert!(cache.insert(fp, &p));
+        cache.save().unwrap();
+
+        let warm = ScenarioCache::open(&path);
+        assert_eq!(warm.len(), 1);
+        assert_eq!(warm.lookup(fp), Some(p.clone()));
+        assert_eq!(
+            warm.lookup(fpr.scenario(&scenario(3, "Standard_HC44rs", 4))),
+            None
+        );
+
+        // Failed points never enter the cache.
+        let mut failed = p;
+        failed.status = ScenarioStatus::Failed;
+        let mut cache = ScenarioCache::in_memory();
+        assert!(!cache.insert(fp, &failed));
+        assert!(cache.is_empty());
+        assert!(cache.save().is_ok(), "in-memory save is a no-op");
+
+        assert!(CachePolicy::ReadWrite.reads() && CachePolicy::ReadWrite.writes());
+        assert!(CachePolicy::ReadOnly.reads() && !CachePolicy::ReadOnly.writes());
+        assert!(!CachePolicy::Off.reads() && !CachePolicy::Off.writes());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupted_or_truncated_store_recovers_cold() {
+        for (tag, garbage) in [
+            ("garbage", "this is not json"),
+            ("truncated", "{\"version\": 1, \"entries\": {\"00"),
+            ("wrong-version", "{\"version\": 999, \"entries\": {}}"),
+            ("wrong-shape", "[1, 2, 3]"),
+            (
+                "bad-point",
+                "{\"version\": 1, \"entries\": {\"0123456789abcdef0123456789abcdef\": {\"nope\": 1}}}",
+            ),
+        ] {
+            let path = tempfile(tag);
+            std::fs::write(&path, garbage).unwrap();
+            let cache = ScenarioCache::open(&path);
+            assert!(cache.is_empty(), "{tag}: damaged store starts cold");
+            assert!(cache.recovered(), "{tag}: recovery is flagged");
+            // And saving over the damage produces a loadable store again.
+            cache.save().unwrap();
+            assert!(!ScenarioCache::open(&path).recovered(), "{tag}");
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn rehydrate_restamps_identity_fields_only() {
+        let mut stored = point(1, "lammps", "Standard_HB120rs_v3", 4, 120, 9.0, 0.04);
+        stored.tags = vec![("version".into(), "old".into())];
+        stored.deployment = "oldrg001".into();
+        let s = scenario(42, "Standard_HB120rs_v3", 4);
+        let tags = vec![("version".into(), "v2".into())];
+        let out = rehydrate_point(stored.clone(), &s, &tags, "newrg001");
+        assert_eq!(out.scenario_id, 42);
+        assert_eq!(out.tags, tags);
+        assert_eq!(out.deployment, "newrg001");
+        assert_eq!(out.exec_time_secs, stored.exec_time_secs);
+        assert_eq!(out.metrics, stored.metrics);
+    }
+}

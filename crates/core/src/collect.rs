@@ -14,6 +14,14 @@
 //! (where ids ascend SKU-major). Shard filesystems are merged back into the
 //! deployment's shared filesystem when all shards finish.
 //!
+//! Incremental collection: before sharding, the run consults the
+//! collector's [`crate::cache::ScenarioCache`] — scenarios whose
+//! fingerprint is already known are answered without touching a pool, and
+//! only the misses are split into shards. New results are buffered in each
+//! shard's [`ShardOutput`] and inserted into the cache after the merge
+//! barrier on the coordinating thread, so shard workers never contend on a
+//! cache lock. [`CollectPlan::cache`] overrides the policy per run.
+//!
 //! ```no_run
 //! use hpcadvisor_core::prelude::*;
 //!
@@ -24,7 +32,11 @@
 //! # let _ = dataset;
 //! ```
 
-use crate::collector::{index_by_id, resolve_ids, Collector, ExecContext, ShardOutput, ShardRun};
+use crate::cache::CachePolicy;
+use crate::collector::{
+    consult_cache, index_by_id, resolve_ids, store_new_points, Collector, ExecContext, ShardOutput,
+    ShardRun,
+};
 use crate::dataset::Dataset;
 use crate::error::ToolError;
 use crate::scenario::{Scenario, ScenarioStatus};
@@ -60,6 +72,7 @@ pub struct CollectPlan {
     rerun_failed: Option<bool>,
     experiment_seed: Option<u64>,
     subset: Option<Vec<u32>>,
+    cache: Option<CachePolicy>,
 }
 
 impl CollectPlan {
@@ -98,6 +111,14 @@ impl CollectPlan {
         self.subset = Some(ids.into());
         self
     }
+
+    /// Overrides the collector's scenario-cache policy for this run
+    /// (`Off` forces every scenario cold; `ReadOnly` reuses but never
+    /// stores).
+    pub fn cache(mut self, policy: CachePolicy) -> Self {
+        self.cache = Some(policy);
+        self
+    }
 }
 
 /// What happened to one executed scenario.
@@ -111,8 +132,11 @@ pub struct ScenarioOutcome {
     pub nnodes: u32,
     /// Final status after the run.
     pub status: ScenarioStatus,
-    /// Index of the shard that executed it.
-    pub shard: usize,
+    /// Index of the shard that executed it; `None` for cache hits, which
+    /// never reach a shard.
+    pub shard: Option<usize>,
+    /// True if the result was served from the scenario cache.
+    pub cached: bool,
     /// Failure reason (quota, setup, task failure) when `status` is failed.
     pub fail_reason: Option<String>,
 }
@@ -124,12 +148,18 @@ pub struct CollectStats {
     pub workers: usize,
     /// Number of shards the scenario list was split into.
     pub shards: usize,
-    /// Scenarios executed (pending/rerun ones; skipped ones not counted).
+    /// Scenarios actually executed by the simulators (cache hits and
+    /// skipped scenarios not counted).
     pub executed: usize,
-    /// Scenarios that completed.
+    /// Scenarios that completed (executed or cached).
     pub completed: usize,
     /// Scenarios that failed.
     pub failed: usize,
+    /// Scenarios answered from the result cache without running.
+    pub cache_hits: usize,
+    /// Scenarios consulted but not found in the cache (0 when the cache is
+    /// off).
+    pub cache_misses: usize,
     /// Wall-clock time of the executor, in seconds.
     pub wall_secs: f64,
 }
@@ -160,7 +190,7 @@ impl CollectReport {
         let _ = writeln!(
             out,
             "collected {} scenarios: {} completed, {} failed ({} worker{}, {} shard{}, {:.2}s)",
-            self.stats.executed,
+            self.stats.executed + self.stats.cache_hits,
             self.stats.completed,
             self.stats.failed,
             self.stats.workers,
@@ -169,6 +199,20 @@ impl CollectReport {
             if self.stats.shards == 1 { "" } else { "s" },
             self.stats.wall_secs,
         );
+        if self.stats.cache_hits > 0 || self.stats.cache_misses > 0 {
+            let _ = writeln!(
+                out,
+                "  cache: {} hit{}, {} miss{}",
+                self.stats.cache_hits,
+                if self.stats.cache_hits == 1 { "" } else { "s" },
+                self.stats.cache_misses,
+                if self.stats.cache_misses == 1 {
+                    ""
+                } else {
+                    "es"
+                },
+            );
+        }
         for b in &self.billing {
             let _ = writeln!(
                 out,
@@ -252,7 +296,13 @@ impl Collector {
                 .cloned()
                 .collect(),
         };
-        let shards = split_shards(ordered, plan.shard_policy);
+        // Consult the result cache up front, on this thread: hits never
+        // reach a shard (or a pool), and only the misses are split below.
+        let policy = plan.cache.unwrap_or(self.cache_policy);
+        let consult = consult_cache(&ctx, &self.cache, policy, &ordered);
+        let cache_hits = consult.hits.len();
+        let cache_misses = consult.fingerprints.len();
+        let shards = split_shards(consult.misses, plan.shard_policy);
         let workers = plan.workers.max(1).min(shards.len().max(1));
 
         let mut results: Vec<ShardResult> = Vec::with_capacity(shards.len());
@@ -285,7 +335,8 @@ impl Collector {
                             sku: scenario.sku.clone(),
                             nnodes: scenario.nnodes,
                             status: oc.status,
-                            shard: shard_idx,
+                            shard: Some(shard_idx),
+                            cached: false,
                             fail_reason: oc.fail_reason,
                         });
                     }
@@ -302,12 +353,27 @@ impl Collector {
                             sku: scenario.sku.clone(),
                             nnodes: scenario.nnodes,
                             status: ScenarioStatus::Failed,
-                            shard: shard_idx,
+                            shard: Some(shard_idx),
+                            cached: false,
                             fail_reason: Some(reason.clone()),
                         });
                     }
                 }
             }
+        }
+
+        // Splice cache hits back in as already-completed outcomes.
+        for hit in consult.hits {
+            outcomes.push(ScenarioOutcome {
+                scenario_id: hit.scenario.id,
+                sku: hit.scenario.sku.clone(),
+                nnodes: hit.scenario.nnodes,
+                status: ScenarioStatus::Completed,
+                shard: None,
+                cached: true,
+                fail_reason: None,
+            });
+            points.push(hit.point);
         }
 
         // Deterministic id order, independent of shard completion order.
@@ -316,9 +382,13 @@ impl Collector {
         for oc in &outcomes {
             scenarios[index[&oc.scenario_id]].status = oc.status;
         }
+        if policy.writes() {
+            store_new_points(&mut self.cache, &consult.fingerprints, &points)?;
+        }
 
         let mut dataset = Dataset::new();
-        let executed = outcomes.len();
+        let outcomes_total = outcomes.len();
+        let executed = outcomes_total - cache_hits;
         let completed = outcomes
             .iter()
             .filter(|o| o.status == ScenarioStatus::Completed)
@@ -340,7 +410,9 @@ impl Collector {
                 shards: shards.len(),
                 executed,
                 completed,
-                failed: executed - completed,
+                failed: outcomes_total - completed,
+                cache_hits,
+                cache_misses,
                 wall_secs: started.elapsed().as_secs_f64(),
             },
         })
@@ -434,7 +506,8 @@ mod tests {
         assert_eq!(report.stats.workers, 2);
         // Outcomes cover the whole grid and carry shard attribution.
         assert_eq!(report.outcomes.len(), 36);
-        assert!(report.outcomes.iter().any(|o| o.shard == 2));
+        assert!(report.outcomes.iter().any(|o| o.shard == Some(2)));
+        assert!(report.outcomes.iter().all(|o| !o.cached), "cold run");
         assert!(!report.billing.is_empty());
         assert!(report.render_text().contains("completed"));
     }

@@ -26,6 +26,7 @@
 //! its own service, and merges the outputs in scenario order.
 
 use crate::appscript;
+use crate::cache::{rehydrate_point, CachePolicy, Fingerprint, Fingerprinter, ScenarioCache};
 use crate::config::UserConfig;
 use crate::dataset::{DataPoint, Dataset};
 use crate::error::ToolError;
@@ -443,6 +444,109 @@ impl ShardRun<'_> {
     }
 }
 
+/// One scenario answered from the result cache instead of the simulator.
+#[derive(Debug, Clone)]
+pub(crate) struct CacheHit {
+    /// Position of the scenario's first occurrence in the requested order
+    /// (used to splice cached points back where a cold run would emit them).
+    pub(crate) pos: usize,
+    pub(crate) scenario: Scenario,
+    pub(crate) point: DataPoint,
+}
+
+/// The cache's answer for one ordered scenario list: which scenarios are
+/// already known (hits, rehydrated and ready to emit) and which must run
+/// (misses, with their fingerprints kept so fresh results can be stored
+/// after the run).
+#[derive(Debug, Default)]
+pub(crate) struct CacheConsult {
+    pub(crate) hits: Vec<CacheHit>,
+    pub(crate) misses: Vec<Scenario>,
+    pub(crate) fingerprints: HashMap<u32, Fingerprint>,
+}
+
+/// Consults the scenario cache for an ordered run list.
+///
+/// Only scenarios the context would actually run are looked up; skipped ones
+/// (already completed, or failed without rerun) pass through as misses so
+/// the shard loop applies exactly the cold-path skip logic. A repeated id
+/// whose first occurrence hit is suppressed outright — a cold run would have
+/// completed the first occurrence and skipped the rest.
+pub(crate) fn consult_cache(
+    ctx: &ExecContext,
+    cache: &ScenarioCache,
+    policy: CachePolicy,
+    ordered: &[Scenario],
+) -> CacheConsult {
+    let mut out = CacheConsult::default();
+    if !policy.reads() {
+        out.misses = ordered.to_vec();
+        return out;
+    }
+    let revision = ctx.provider.lock().catalog().revision();
+    let fpr = Fingerprinter::new(
+        &ctx.config.appname,
+        &ctx.script,
+        ctx.options.experiment_seed,
+        revision,
+    );
+    // id → whether its first occurrence hit.
+    let mut first: HashMap<u32, bool> = HashMap::new();
+    for (pos, s) in ordered.iter().enumerate() {
+        if !ctx.should_run(s) {
+            out.misses.push(s.clone());
+            continue;
+        }
+        match first.get(&s.id) {
+            Some(true) => continue,
+            Some(false) => {
+                out.misses.push(s.clone());
+                continue;
+            }
+            None => {}
+        }
+        let fp = fpr.scenario(s);
+        match cache.lookup(fp) {
+            Some(point) => {
+                let point = rehydrate_point(point, s, &ctx.config.tags, &ctx.deployment);
+                out.hits.push(CacheHit {
+                    pos,
+                    scenario: s.clone(),
+                    point,
+                });
+                first.insert(s.id, true);
+            }
+            None => {
+                out.fingerprints.insert(s.id, fp);
+                out.misses.push(s.clone());
+                first.insert(s.id, false);
+            }
+        }
+    }
+    out
+}
+
+/// Stores freshly-executed completed points under the fingerprints recorded
+/// at consult time, persisting the cache if anything changed. Runs on the
+/// coordinating thread after all shards have merged — shard workers never
+/// touch the cache.
+pub(crate) fn store_new_points(
+    cache: &mut ScenarioCache,
+    fingerprints: &HashMap<u32, Fingerprint>,
+    points: &[DataPoint],
+) -> Result<(), ToolError> {
+    let mut inserted = false;
+    for p in points {
+        if let Some(&fp) = fingerprints.get(&p.scenario_id) {
+            inserted |= cache.insert(fp, p);
+        }
+    }
+    if inserted {
+        cache.save()?;
+    }
+    Ok(())
+}
+
 /// Maps scenario id → index in the array, built once per call instead of a
 /// linear scan per id.
 pub(crate) fn index_by_id(scenarios: &[Scenario]) -> HashMap<u32, usize> {
@@ -475,6 +579,8 @@ pub struct Collector {
     pub(crate) ctx: ExecContext,
     pub(crate) service: BatchService,
     pub(crate) shared_vfs: Arc<Mutex<Vfs>>,
+    pub(crate) cache: ScenarioCache,
+    pub(crate) cache_policy: CachePolicy,
 }
 
 impl Collector {
@@ -503,7 +609,32 @@ impl Collector {
             },
             service,
             shared_vfs: Arc::new(Mutex::new(Vfs::new())),
+            cache: ScenarioCache::in_memory(),
+            cache_policy: CachePolicy::default(),
         })
+    }
+
+    /// Replaces the scenario-result cache (e.g. with a file-backed store
+    /// opened via [`ScenarioCache::open`]). The default is an empty
+    /// in-memory cache, which memoizes results for this collector's
+    /// lifetime only.
+    pub fn set_cache(&mut self, cache: ScenarioCache) {
+        self.cache = cache;
+    }
+
+    /// Sets the cache policy used when a run has no plan-level override.
+    pub fn set_cache_policy(&mut self, policy: CachePolicy) {
+        self.cache_policy = policy;
+    }
+
+    /// The scenario-result cache.
+    pub fn cache(&self) -> &ScenarioCache {
+        &self.cache
+    }
+
+    /// Mutable access to the scenario-result cache (`cache clear` et al.).
+    pub fn cache_mut(&mut self) -> &mut ScenarioCache {
+        &mut self.cache
     }
 
     /// Registers custom script content for a URL (user-provided scripts).
@@ -550,17 +681,38 @@ impl Collector {
     ) -> Result<Dataset, ToolError> {
         let index = index_by_id(scenarios);
         let ordered = resolve_ids(scenarios, &index, ids)?;
-        let mut shard = ShardRun {
+        let policy = self.cache_policy;
+        let consult = consult_cache(&self.ctx, &self.cache, policy, &ordered);
+        let out = ShardRun {
             ctx: &self.ctx,
             service: &mut self.service,
             vfs: self.shared_vfs.clone(),
-        };
-        let out = shard.run(&ordered)?;
-        let mut dataset = Dataset::new();
+        }
+        .run(&consult.misses)?;
         for outcome in &out.outcomes {
             scenarios[index[&outcome.scenario_id]].status = outcome.status;
         }
+        if policy.writes() {
+            store_new_points(&mut self.cache, &consult.fingerprints, &out.points)?;
+        }
+        // Splice executed and cached points back into the requested order —
+        // exactly where a cold run would have emitted them.
+        let mut pos: HashMap<u32, usize> = HashMap::new();
+        for (i, s) in ordered.iter().enumerate() {
+            pos.entry(s.id).or_insert(i);
+        }
+        let mut tagged: Vec<(usize, DataPoint)> =
+            Vec::with_capacity(out.points.len() + consult.hits.len());
         for point in out.points {
+            tagged.push((pos[&point.scenario_id], point));
+        }
+        for hit in consult.hits {
+            scenarios[index[&hit.scenario.id]].status = ScenarioStatus::Completed;
+            tagged.push((hit.pos, hit.point));
+        }
+        tagged.sort_by_key(|(p, _)| *p);
+        let mut dataset = Dataset::new();
+        for (_, point) in tagged {
             dataset.push(point);
         }
         Ok(dataset)

@@ -3,6 +3,7 @@
 use crate::error::ToolError;
 use crate::scenario::ScenarioStatus;
 use hpcadvisor_formats::{json, OrderedMap, Value};
+use std::collections::HashSet;
 
 /// One collected result row.
 #[derive(Debug, Clone, PartialEq)]
@@ -170,9 +171,26 @@ impl Dataset {
         self.points.push(point);
     }
 
-    /// Merges another dataset in.
+    /// Merges another dataset in, deduplicating by scenario id: an incoming
+    /// row whose scenario id is already present *replaces* the existing row
+    /// in place (fresher data wins, order is preserved). Cache-merge paths
+    /// rely on this so a point can never be double-inserted.
     pub fn extend(&mut self, other: Dataset) {
-        self.points.extend(other.points);
+        let mut by_id: std::collections::HashMap<u32, usize> = self
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.scenario_id, i))
+            .collect();
+        for point in other.points {
+            match by_id.get(&point.scenario_id) {
+                Some(&i) => self.points[i] = point,
+                None => {
+                    by_id.insert(point.scenario_id, self.points.len());
+                    self.points.push(point);
+                }
+            }
+        }
     }
 
     /// Number of rows.
@@ -198,10 +216,11 @@ impl Dataset {
     /// Distinct SKUs (short form) in filter-matching rows, in first-seen
     /// order.
     pub fn skus(&self, f: &DataFilter) -> Vec<String> {
+        let mut seen = HashSet::new();
         let mut out: Vec<String> = Vec::new();
         for p in self.filter(f) {
             let s = p.sku_short();
-            if !out.contains(&s) {
+            if seen.insert(s.clone()) {
                 out.push(s);
             }
         }
@@ -210,10 +229,11 @@ impl Dataset {
 
     /// Distinct appinput combinations in filter-matching rows.
     pub fn input_keys(&self, f: &DataFilter) -> Vec<String> {
+        let mut seen = HashSet::new();
         let mut out: Vec<String> = Vec::new();
         for p in self.filter(f) {
             let s = p.input_key();
-            if !out.contains(&s) {
+            if seen.insert(s.clone()) {
                 out.push(s);
             }
         }
@@ -258,7 +278,7 @@ fn value_to_pairs(v: Option<&Value>) -> Vec<(String, String)> {
         .unwrap_or_default()
 }
 
-fn point_to_value(p: &DataPoint) -> Value {
+pub(crate) fn point_to_value(p: &DataPoint) -> Value {
     let mut m = OrderedMap::new();
     m.insert("scenario_id", Value::Int(p.scenario_id as i64));
     m.insert("appname", Value::str(&p.appname));
@@ -277,7 +297,7 @@ fn point_to_value(p: &DataPoint) -> Value {
     Value::Map(m)
 }
 
-fn value_to_point(v: &Value) -> Result<DataPoint, ToolError> {
+pub(crate) fn value_to_point(v: &Value) -> Result<DataPoint, ToolError> {
     let get_str = |k: &str| -> Result<String, ToolError> {
         v.get(k)
             .and_then(|x| x.as_str())
@@ -406,6 +426,75 @@ mod tests {
         let text = ds.to_json();
         let back = Dataset::from_json(&text).unwrap();
         assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn json_roundtrip_covers_failed_and_partial_points() {
+        let mut ds = Dataset::new();
+        // A failed point with a failure metric but no infra data.
+        let mut failed = point(7, "wrf", "Standard_HC44rs", 4, 44, 0.0, 0.0);
+        failed.status = ScenarioStatus::Failed;
+        failed.metrics = vec![("FAILREASON".into(), "node fault".into())];
+        ds.push(failed);
+        // A rich completed point exercising every optional field at once.
+        let mut full = point(8, "lammps", "Standard_HB120rs_v3", 2, 120, 21.5, 0.11);
+        full.appinputs = vec![("BOXFACTOR".into(), "12".into())];
+        full.metrics = vec![("LAMMPSATOMS".into(), "1000".into())];
+        full.infra = vec![
+            ("cpu".into(), "0.93".into()),
+            ("bottleneck".into(), "compute".into()),
+        ];
+        full.tags = vec![("team".into(), "hpc".into())];
+        ds.push(full);
+        let back = Dataset::from_json(&ds.to_json()).unwrap();
+        assert_eq!(ds, back);
+        // Serialization is deterministic: re-serializing is byte-identical.
+        assert_eq!(ds.to_json(), back.to_json());
+        // A point with optional maps entirely absent still parses (empty).
+        let sparse = "[{\"scenario_id\": 1, \"appname\": \"a\", \"sku\": \"S\", \
+             \"nnodes\": 1, \"ppn\": 4, \"exec_time_secs\": 1.5, \"task_secs\": 2.0, \
+             \"cost_dollars\": 0.1, \"status\": \"completed\", \"deployment\": \"d\"}]";
+        let ds = Dataset::from_json(sparse).unwrap();
+        assert!(ds.points[0].appinputs.is_empty());
+        assert!(ds.points[0].metrics.is_empty());
+        assert!(ds.points[0].tags.is_empty());
+    }
+
+    #[test]
+    fn extend_replaces_rows_sharing_a_scenario_id() {
+        let mut ds = sample();
+        let mut incoming = Dataset::new();
+        // Same id as sample's failed row 3, now completed: must replace.
+        incoming.push(point(
+            3,
+            "openfoam",
+            "Standard_HB120rs_v3",
+            8,
+            120,
+            39.0,
+            0.31,
+        ));
+        incoming.push(point(
+            9,
+            "openfoam",
+            "Standard_HB120rs_v3",
+            16,
+            120,
+            25.0,
+            0.4,
+        ));
+        ds.extend(incoming);
+        assert_eq!(ds.len(), 4, "replacement does not grow the dataset");
+        let ids: Vec<u32> = ds.points.iter().map(|p| p.scenario_id).collect();
+        assert_eq!(ids, vec![1, 2, 3, 9], "order is preserved");
+        let row3 = ds.points.iter().find(|p| p.scenario_id == 3).unwrap();
+        assert_eq!(row3.status, ScenarioStatus::Completed, "fresher row wins");
+        // Extending with the same rows again is idempotent.
+        let again: Dataset = Dataset {
+            points: ds.points.clone(),
+        };
+        ds.extend(again);
+        assert_eq!(ds.len(), 4);
     }
 
     #[test]

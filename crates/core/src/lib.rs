@@ -54,6 +54,7 @@
 
 pub mod advice;
 pub mod appscript;
+pub mod cache;
 pub mod collect;
 pub mod collector;
 pub mod config;
@@ -71,6 +72,7 @@ pub mod scenario;
 pub mod session;
 
 pub use advice::Advice;
+pub use cache::{CachePolicy, Fingerprint, Fingerprinter, ScenarioCache};
 pub use collect::{CollectPlan, CollectReport, CollectStats, ScenarioOutcome, ShardPolicy};
 pub use collector::{Collector, CollectorOptions, CollectorOptionsBuilder};
 pub use config::UserConfig;
@@ -83,6 +85,7 @@ pub use session::Session;
 /// Common imports for tool users.
 pub mod prelude {
     pub use crate::advice::Advice;
+    pub use crate::cache::{CachePolicy, ScenarioCache};
     pub use crate::collect::{CollectPlan, CollectReport, ShardPolicy};
     pub use crate::collector::{Collector, CollectorOptions};
     pub use crate::config::UserConfig;

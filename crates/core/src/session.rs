@@ -2,6 +2,7 @@
 //! deployment → scenarios → collector. This is the programmatic equivalent
 //! of the CLI sequence `deploy create && collect`.
 
+use crate::cache::{CachePolicy, ScenarioCache};
 use crate::collect::{CollectPlan, CollectReport};
 use crate::collector::{Collector, CollectorOptions};
 use crate::config::UserConfig;
@@ -65,6 +66,23 @@ impl Session {
     /// Mutable access to the collector (to register custom scripts).
     pub fn collector_mut(&mut self) -> &mut Collector {
         &mut self.collector
+    }
+
+    /// Attaches a scenario-result cache (e.g. a file-backed store opened
+    /// via [`ScenarioCache::open`]) so repeat collections reuse finished
+    /// data points instead of re-provisioning pools.
+    pub fn set_cache(&mut self, cache: ScenarioCache) {
+        self.collector.set_cache(cache);
+    }
+
+    /// Sets the default cache policy for runs without a plan override.
+    pub fn set_cache_policy(&mut self, policy: CachePolicy) {
+        self.collector.set_cache_policy(policy);
+    }
+
+    /// The collector's scenario-result cache.
+    pub fn cache(&self) -> &ScenarioCache {
+        self.collector.cache()
     }
 
     /// Runs all pending scenarios and returns the collected dataset.

@@ -74,12 +74,29 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Pops every event scheduled at or before `t`, in order.
+    /// Pops every event scheduled at or before `t`, in order, handing each
+    /// to `f` — the allocation-free sibling of [`EventQueue::drain_until`].
+    /// Returns how many events were delivered.
+    ///
+    /// This is the hot-path entry point: simulation drivers call it once per
+    /// tick, and a `Vec` per call would dominate the event loop's allocation
+    /// profile on dense timelines.
+    pub fn pop_until(&mut self, t: SimInstant, mut f: impl FnMut(SimInstant, E)) -> usize {
+        let mut delivered = 0;
+        while self.peek_time().is_some_and(|at| at <= t) {
+            let (at, event) = self.pop().expect("peeked event must pop");
+            f(at, event);
+            delivered += 1;
+        }
+        delivered
+    }
+
+    /// Pops every event scheduled at or before `t`, in order. Thin
+    /// allocating wrapper over [`EventQueue::pop_until`]; prefer that in
+    /// per-tick loops.
     pub fn drain_until(&mut self, t: SimInstant) -> Vec<(SimInstant, E)> {
         let mut out = Vec::new();
-        while self.peek_time().is_some_and(|at| at <= t) {
-            out.push(self.pop().expect("peeked event must pop"));
-        }
+        self.pop_until(t, |at, event| out.push((at, event)));
         out
     }
 }
@@ -129,6 +146,21 @@ mod tests {
         assert_eq!(drained.len(), 2);
         assert_eq!(q.len(), 1);
         assert_eq!(q.peek_time(), Some(at(3)));
+    }
+
+    #[test]
+    fn pop_until_delivers_in_order_without_allocating_output() {
+        let mut q = EventQueue::new();
+        q.schedule(at(3), "c");
+        q.schedule(at(1), "a");
+        q.schedule(at(2), "b");
+        q.schedule(at(9), "later");
+        let mut seen = Vec::new();
+        let n = q.pop_until(at(3), |t, e| seen.push((t, e)));
+        assert_eq!(n, 3);
+        assert_eq!(seen, vec![(at(1), "a"), (at(2), "b"), (at(3), "c")]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_until(at(3), |_, _| unreachable!()), 0);
     }
 
     #[test]

@@ -71,7 +71,23 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// True when the bench binary was invoked with `--test` (as `cargo bench --
+/// --test` does): each benchmark body runs exactly once, untimed, as a
+/// compile-and-smoke gate — mirroring criterion's test mode.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    if test_mode() {
+        let mut bencher = Bencher {
+            sample_size: 0,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        println!("  {name:<40} ok (--test)");
+        return;
+    }
     let mut bencher = Bencher {
         sample_size,
         samples: Vec::new(),

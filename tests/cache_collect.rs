@@ -1,0 +1,205 @@
+//! Incremental collection through the content-addressed scenario cache:
+//! a warm run must be byte-identical to a cold run, provision nothing,
+//! and survive cache-file damage by degrading to a cold run.
+
+use hpcadvisor::core::cache::{CachePolicy, ScenarioCache};
+use hpcadvisor::prelude::*;
+use std::path::PathBuf;
+
+fn config() -> UserConfig {
+    UserConfig::from_yaml(
+        r#"
+subscription: mysubscription
+skus:
+- Standard_HC44rs
+- Standard_HB120rs_v3
+rgprefix: cachetest
+appsetupurl: https://example.com/scripts/lammps.sh
+nnodes: [1, 2, 4]
+appname: lammps
+region: southcentralus
+ppr: 100
+appinputs:
+  BOXFACTOR: "8"
+"#,
+    )
+    .unwrap()
+}
+
+fn cache_path(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "hpcadvisor-itest-{tag}-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn session_with_cache(config: UserConfig, path: &PathBuf) -> Session {
+    let mut s = Session::create(config, 42).unwrap();
+    s.set_cache(ScenarioCache::open(path));
+    s
+}
+
+#[test]
+fn warm_rerun_is_byte_identical_and_provisions_nothing() {
+    let path = cache_path("warm");
+
+    // Cold run: populates the cache file.
+    let mut cold = session_with_cache(config(), &path);
+    let cold_report = cold.collect_with(&CollectPlan::new()).unwrap();
+    assert_eq!(cold_report.stats.executed, 6);
+    assert_eq!(cold_report.stats.cache_hits, 0);
+    assert_eq!(cold_report.stats.cache_misses, 6);
+    assert!(cold.total_cloud_cost() > 0.0, "cold run provisions pools");
+    let cold_json = cold_report.dataset.to_json();
+    assert!(path.exists(), "cache persisted");
+
+    // Warm run in a brand new session/deployment over the same cache file.
+    let mut warm = session_with_cache(config(), &path);
+    let warm_report = warm.collect_with(&CollectPlan::new()).unwrap();
+    assert_eq!(warm_report.stats.cache_hits, 6);
+    assert_eq!(warm_report.stats.cache_misses, 0);
+    assert_eq!(warm_report.stats.executed, 0);
+    assert_eq!(warm_report.stats.completed, 6);
+    assert!(warm_report.outcomes.iter().all(|o| o.cached));
+    assert!(warm_report.outcomes.iter().all(|o| o.shard.is_none()));
+
+    // Zero provisioning: no pool was ever created, so nothing was billed.
+    assert!(warm_report.billing.is_empty(), "no pools on a warm run");
+    assert_eq!(warm.total_cloud_cost(), 0.0, "warm run costs nothing");
+
+    // Byte-identical dataset, and statuses written back.
+    assert_eq!(warm_report.dataset.to_json(), cold_json);
+    assert!(warm
+        .scenarios()
+        .iter()
+        .all(|s| s.status == ScenarioStatus::Completed));
+    assert!(warm_report.render_text().contains("6 hits"));
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn parallel_warm_run_matches_serial_cold_run() {
+    let path = cache_path("parallel");
+    let serial_cold = {
+        let mut s = Session::create(config(), 42).unwrap();
+        s.collect().unwrap().to_json()
+    };
+    // Populate the cache with a parallel cold run...
+    let mut s = session_with_cache(config(), &path);
+    let report = s.collect_with(&CollectPlan::new().workers(4)).unwrap();
+    assert_eq!(report.dataset.to_json(), serial_cold);
+    // ...then a parallel warm run serves everything id-ordered from cache.
+    let mut warm = session_with_cache(config(), &path);
+    let report = warm.collect_with(&CollectPlan::new().workers(4)).unwrap();
+    assert_eq!(report.stats.cache_hits, 6);
+    assert_eq!(report.dataset.to_json(), serial_cold);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupted_cache_file_degrades_to_a_cold_run() {
+    let path = cache_path("corrupt");
+    std::fs::write(&path, "{\"version\": 1, \"entries\": {\"tru").unwrap();
+    let cold_json = {
+        let mut s = Session::create(config(), 42).unwrap();
+        s.collect().unwrap().to_json()
+    };
+    let mut s = session_with_cache(config(), &path);
+    assert!(s.cache().recovered(), "damage detected, not fatal");
+    let report = s.collect_with(&CollectPlan::new()).unwrap();
+    assert_eq!(report.stats.cache_hits, 0);
+    assert_eq!(report.stats.executed, 6);
+    assert_eq!(report.dataset.to_json(), cold_json);
+    // The rewritten cache file is healthy again and serves a warm run.
+    let mut warm = session_with_cache(config(), &path);
+    assert!(!warm.cache().recovered());
+    let report = warm.collect_with(&CollectPlan::new()).unwrap();
+    assert_eq!(report.stats.cache_hits, 6);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn changed_fingerprint_inputs_invalidate_automatically() {
+    let path = cache_path("invalidate");
+    let mut s = session_with_cache(config(), &path);
+    s.collect_with(&CollectPlan::new()).unwrap();
+
+    // Same config, different experiment seed: every fingerprint moves.
+    let mut other_seed = session_with_cache(config(), &path);
+    let report = other_seed
+        .collect_with(&CollectPlan::new().experiment_seed(43))
+        .unwrap();
+    assert_eq!(report.stats.cache_hits, 0, "seed is fingerprinted");
+    assert_eq!(report.stats.executed, 6);
+
+    // A widened node grid keeps the overlapping points warm even though
+    // scenario ids shift: only the new node counts run.
+    let mut wide_config = config();
+    wide_config.nnodes = vec![1, 2, 4, 8];
+    let mut widened = session_with_cache(wide_config, &path);
+    let report = widened.collect_with(&CollectPlan::new()).unwrap();
+    assert_eq!(report.stats.cache_hits, 6, "old grid points reused");
+    assert_eq!(report.stats.executed, 2, "only the two new 8-node points");
+    let ids: Vec<u32> = report
+        .dataset
+        .points
+        .iter()
+        .map(|p| p.scenario_id)
+        .collect();
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    assert_eq!(ids, sorted, "merged id-ordered");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn read_only_and_off_policies() {
+    let path = cache_path("policies");
+
+    // ReadOnly on an empty cache: runs cold, writes nothing.
+    let mut s = session_with_cache(config(), &path);
+    let report = s
+        .collect_with(&CollectPlan::new().cache(CachePolicy::ReadOnly))
+        .unwrap();
+    assert_eq!(report.stats.executed, 6);
+    assert!(!path.exists(), "read-only never persists");
+
+    // Populate, then Off: the warm file is ignored entirely.
+    let mut s = session_with_cache(config(), &path);
+    s.collect_with(&CollectPlan::new()).unwrap();
+    assert!(path.exists());
+    let mut off = session_with_cache(config(), &path);
+    let report = off
+        .collect_with(&CollectPlan::new().cache(CachePolicy::Off))
+        .unwrap();
+    assert_eq!(report.stats.cache_hits, 0);
+    assert_eq!(report.stats.cache_misses, 0);
+    assert_eq!(report.stats.executed, 6);
+
+    // ReadOnly on the warm file: full hits, and the file is untouched.
+    let before = std::fs::read_to_string(&path).unwrap();
+    let mut ro = session_with_cache(config(), &path);
+    let report = ro
+        .collect_with(&CollectPlan::new().cache(CachePolicy::ReadOnly))
+        .unwrap();
+    assert_eq!(report.stats.cache_hits, 6);
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), before);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn serial_collect_consults_the_cache_too() {
+    let path = cache_path("serial");
+    let mut s = session_with_cache(config(), &path);
+    let cold = s.collect().unwrap();
+    assert_eq!(cold.len(), 6);
+
+    let mut warm = session_with_cache(config(), &path);
+    let ds = warm.collect().unwrap();
+    assert_eq!(ds.to_json(), cold.to_json());
+    assert_eq!(warm.total_cloud_cost(), 0.0, "legacy path also warm");
+    let _ = std::fs::remove_file(&path);
+}
