@@ -81,6 +81,19 @@ impl BatchError {
                 | BatchError::Cloud(CloudError::ProvisioningFailed { .. })
         )
     }
+
+    /// Whether the underlying cloud failure is marked transient — an
+    /// injected fault a retry can be expected to clear. Quota exhaustion
+    /// and hard provider rejections return `false`.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            BatchError::Cloud(CloudError::ProvisioningFailed {
+                transient: true,
+                ..
+            })
+        )
+    }
 }
 
 #[cfg(test)]

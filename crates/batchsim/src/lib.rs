@@ -23,6 +23,7 @@ pub mod pool;
 pub mod service;
 pub mod task;
 
+pub use cloudsim::FaultKind;
 pub use error::BatchError;
 pub use pool::{Pool, PoolState};
 pub use service::BatchService;

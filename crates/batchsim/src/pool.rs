@@ -49,6 +49,11 @@ impl Pool {
         self.busy.iter().filter(|b| !**b).count() as u32
     }
 
+    /// Whether no task occupies any node (a zero-node pool is idle).
+    pub fn is_idle(&self) -> bool {
+        self.idle_nodes() == self.nodes
+    }
+
     /// Claims `count` idle nodes, returning their indices, or `None` if not
     /// enough are idle.
     pub fn claim(&mut self, count: u32) -> Option<Vec<u32>> {

@@ -91,7 +91,7 @@ impl BatchService {
     /// billing span and opens a new one.
     pub fn resize_pool(&mut self, name: &str, target: u32) -> Result<(), BatchError> {
         let pool = self.active_pool(name)?;
-        if pool.idle_nodes() != pool.nodes {
+        if !pool.is_idle() {
             return Err(BatchError::PoolBusy {
                 pool: name.to_string(),
             });
@@ -193,6 +193,7 @@ impl BatchService {
                 stdout: String::new(),
                 exit_code: None,
                 run_duration: None,
+                fault: None,
             },
         );
         self.runners.insert(id, runner);
@@ -235,15 +236,17 @@ impl BatchService {
                 requeue.push_back(id);
                 continue;
             };
-            // Injected task failures (capacity loss, node crash, …).
-            let fault = self
+            // Injected task-start failures (capacity loss, node crash, …),
+            // counted per pool so parallel shards replay like a serial run.
+            let start_fault = self
                 .provider
                 .lock()
-                .check_operation(Operation::RunTask, "run task");
-            if let Err(e) = fault {
+                .inject_fault(Operation::RunTask, &pool_name);
+            if let Err(fault) = start_fault {
                 let pool = self.pools.get_mut(&pool_name).expect("pool exists");
                 pool.release(&indices);
-                self.fail_now(id, &e.to_string());
+                self.fail_now(id, &fault.to_string());
+                self.tasks.get_mut(&id).expect("record").fault = Some(fault.kind);
                 continue;
             }
             let pool = self.pools.get(&pool_name).expect("pool exists");
@@ -267,7 +270,22 @@ impl BatchService {
                 pool: pool_name.clone(),
             };
             let runner = self.runners.remove(&id).expect("runner for queued task");
-            let result = runner(&ctx);
+            let mut result = runner(&ctx);
+            // A node can die while the task runs: the task still consumes
+            // its duration (the paper's failed tasks are billed too) but
+            // finishes failed, tagged as an injected transient fault.
+            let death = self
+                .provider
+                .lock()
+                .inject_fault(Operation::NodeDeath, &pool_name);
+            if let Err(fault) = death {
+                result = TaskResult::failed(
+                    result.duration,
+                    format!("{}node died mid-task: {fault}\n", result.stdout),
+                    -1,
+                );
+                self.tasks.get_mut(&id).expect("record").fault = Some(fault.kind);
+            }
             let finish_at = self.clock.now() + result.duration;
             self.running.insert(
                 id,
@@ -543,8 +561,36 @@ mod tests {
             .run_task("p1", "t", TaskKind::Compute, 1, 44, quick_runner(10))
             .unwrap();
         assert_eq!(rec.state, TaskState::Failed);
-        assert!(rec.stdout.contains("injected failure"));
+        assert!(rec.stdout.contains("injected transient failure"));
+        assert_eq!(rec.fault, Some(cloudsim::FaultKind::Transient));
         // Nodes are back; the next task succeeds.
+        let rec2 = svc
+            .run_task("p1", "t2", TaskKind::Compute, 1, 44, quick_runner(10))
+            .unwrap();
+        assert_eq!(rec2.state, TaskState::Completed);
+    }
+
+    #[test]
+    fn node_death_fails_task_after_it_consumed_time() {
+        let mut provider = CloudProvider::new(ProviderConfig::default()).unwrap();
+        provider.create_resource_group("rg").unwrap();
+        provider.create_vnet("rg", "vnet", "default").unwrap();
+        provider.create_storage_account("rg", "stor").unwrap();
+        provider.create_batch_account("rg", "batch").unwrap();
+        provider.set_fault_plan(FaultPlan::none().fail_nth(Operation::NodeDeath, 0));
+        let mut svc = BatchService::new(share(provider), "rg");
+        svc.create_pool("p1", "HC44rs").unwrap();
+        svc.resize_pool("p1", 1).unwrap();
+        let before = svc.clock().now();
+        let rec = svc
+            .run_task("p1", "t", TaskKind::Compute, 1, 44, quick_runner(60))
+            .unwrap();
+        assert_eq!(rec.state, TaskState::Failed);
+        assert_eq!(rec.fault, Some(cloudsim::FaultKind::Transient));
+        assert!(rec.stdout.contains("node died mid-task"));
+        // The doomed task still consumed its runtime before dying.
+        assert_eq!(svc.clock().now() - before, SimDuration::from_secs(60));
+        // Nodes freed; the next task is unaffected.
         let rec2 = svc
             .run_task("p1", "t2", TaskKind::Compute, 1, 44, quick_runner(10))
             .unwrap();

@@ -1,6 +1,6 @@
 //! Task records and the execution context handed to task runners.
 
-use cloudsim::VmSku;
+use cloudsim::{FaultKind, VmSku};
 use simtime::{SimDuration, SimInstant};
 
 /// Unique task identifier within one batch service.
@@ -139,6 +139,11 @@ pub struct TaskRecord {
     /// [`TaskRecord::duration`] this does not depend on the shared clock,
     /// which other pools may advance concurrently.
     pub run_duration: Option<SimDuration>,
+    /// Set when the failure was injected by the fault plan (task-start fault
+    /// or mid-task node death); `None` for genuine application failures.
+    /// Retry logic uses this to tell transient infrastructure loss apart
+    /// from deterministic application errors.
+    pub fault: Option<FaultKind>,
 }
 
 impl TaskRecord {
@@ -213,6 +218,7 @@ mod tests {
             stdout: String::new(),
             exit_code: None,
             run_duration: None,
+            fault: None,
         };
         assert_eq!(rec.duration(), None);
         assert!(!rec.is_finished());

@@ -1,0 +1,77 @@
+//! What fault tolerance costs when nothing goes wrong — and what it buys
+//! when things do.
+//!
+//! The baseline runs the Listing-1 grid (36 scenarios) with retries
+//! disabled and no fault plan: pure Algorithm 1. The second benchmark runs
+//! the same grid with the default retry policy still armed but no faults —
+//! the retry/journal bookkeeping must be in the noise. The remaining
+//! benchmarks inject transient faults and measure the recovery path
+//! (classification, backoff accounting, re-execution) end to end.
+
+use cloudsim::{FaultPlan, Operation};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcadvisor_bench::SEED;
+use hpcadvisor_core::prelude::*;
+
+fn grid_config() -> UserConfig {
+    UserConfig::example_openfoam()
+}
+
+fn run_grid(plan: &CollectPlan, faults: Option<FaultPlan>) -> usize {
+    let mut session = Session::create(grid_config(), SEED).unwrap();
+    if let Some(f) = faults {
+        session.provider().lock().set_fault_plan(f);
+    }
+    let report = session.collect_with(plan).unwrap();
+    assert_eq!(report.stats.failed, 0, "benchmarks run to completion");
+    report.dataset.len()
+}
+
+fn retry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("retry_overhead");
+    group.sample_size(10);
+
+    // Retries off, no faults: the pre-fault-tolerance fast path.
+    group.bench_function("faultfree_grid_no_retry", |b| {
+        b.iter(|| run_grid(&CollectPlan::new().retry(RetryPolicy::none()), None))
+    });
+
+    // Default policy armed, no faults: the price every healthy run pays.
+    group.bench_function("faultfree_grid_default_retry", |b| {
+        b.iter(|| run_grid(&CollectPlan::new(), None))
+    });
+
+    // One transient allocation fault per SKU pool, absorbed by retries.
+    group.bench_function("grid_with_allocation_faults_retried", |b| {
+        b.iter(|| {
+            run_grid(
+                &CollectPlan::new(),
+                Some(FaultPlan::none().fail_nth(Operation::AllocateNodes, 0)),
+            )
+        })
+    });
+
+    // 10% of task launches fail transiently (seeded, deterministic); the
+    // recovery path re-runs them.
+    group.bench_function("grid_with_10pct_task_faults_retried", |b| {
+        b.iter(|| {
+            run_grid(
+                &CollectPlan::new(),
+                Some(
+                    FaultPlan::none()
+                        .seed(SEED)
+                        .fail_probabilistic(Operation::RunTask, 0.10),
+                ),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = retry_overhead
+}
+criterion_main!(benches);

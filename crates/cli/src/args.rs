@@ -22,6 +22,7 @@ const VALUED: &[&str] = &[
     "out",
     "workers",
     "cache-dir",
+    "max-attempts",
 ];
 
 /// Short-option aliases.
@@ -125,6 +126,14 @@ mod tests {
         let a = parse(&["collect", "--workers", "4"]);
         assert_eq!(a.positional, vec!["collect"]);
         assert_eq!(a.option("workers"), Some("4"));
+    }
+
+    #[test]
+    fn fault_tolerance_flags() {
+        let a = parse(&["collect", "--max-attempts", "5", "--no-retry", "--resume"]);
+        assert_eq!(a.option("max-attempts"), Some("5"));
+        assert!(a.has("no-retry"));
+        assert!(a.has("resume"));
     }
 
     #[test]

@@ -13,7 +13,7 @@ use hpcadvisor_core::sampling::{
 };
 use hpcadvisor_core::scenario::generate_scenarios;
 use hpcadvisor_core::session::Session;
-use hpcadvisor_core::{DataFilter, ToolError, UserConfig};
+use hpcadvisor_core::{DataFilter, RetryPolicy, RunJournal, ToolError, UserConfig};
 use std::io::Write;
 
 type Out<'a> = &'a mut dyn Write;
@@ -214,10 +214,34 @@ fn collect(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
     } else {
         collector.set_cache(ScenarioCache::open(&cache_path));
     }
+    // Crash-safe run journal: every finished outcome is appended as it
+    // lands. `--resume` replays a previous (interrupted) run's journal so
+    // only the remainder executes; without it the journal starts fresh.
+    let journal_path = workdir.journal_file();
+    let journal = if args.has("resume") {
+        RunJournal::open(&journal_path)
+    } else {
+        RunJournal::open_fresh(&journal_path)
+    };
+    if journal.recovered() {
+        wline(
+            out,
+            "warning: run journal was damaged; salvaged the readable prefix",
+        )?;
+    }
+    collector.set_journal(journal);
 
     let increment = match args.option("sampler") {
         None | Some("full") => {
-            let plan = CollectPlan::new().workers(workers);
+            let mut plan = CollectPlan::new().workers(workers);
+            if args.has("no-retry") {
+                plan = plan.retry(RetryPolicy::none());
+            } else if let Some(n) = args.option("max-attempts") {
+                let n: u32 = n.parse().map_err(|_| {
+                    ToolError::Config(format!("--max-attempts must be a number, got '{n}'"))
+                })?;
+                plan = plan.max_attempts(n);
+            }
             let report = collector.collect_with_plan(&mut scenarios, &plan)?;
             if workers > 1 {
                 wline(
@@ -236,6 +260,34 @@ fn collect(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
                         report.stats.cache_hits,
                         report.stats.cache_hits + report.stats.executed,
                         cache_path.display()
+                    ),
+                )?;
+            }
+            if report.stats.journal_replayed > 0 {
+                wline(
+                    out,
+                    &format!(
+                        "journal: replayed {} finished scenarios from {}",
+                        report.stats.journal_replayed,
+                        journal_path.display()
+                    ),
+                )?;
+            }
+            if report.stats.retried > 0 {
+                wline(
+                    out,
+                    &format!(
+                        "retries: {} scenarios needed more than one attempt ({:.1}s simulated backoff)",
+                        report.stats.retried, report.stats.backoff_secs
+                    ),
+                )?;
+            }
+            if report.stats.skipped > 0 {
+                wline(
+                    out,
+                    &format!(
+                        "skipped: {} scenarios degraded gracefully (e.g. quota); rerun collect to retry",
+                        report.stats.skipped
                     ),
                 )?;
             }
@@ -302,7 +354,12 @@ fn collect(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
         .iter()
         .filter(|p| p.status == hpcadvisor_core::ScenarioStatus::Completed)
         .count();
-    let failed = increment.len() - completed;
+    let skipped = increment
+        .points
+        .iter()
+        .filter(|p| p.status == hpcadvisor_core::ScenarioStatus::Skipped)
+        .count();
+    let failed = increment.len() - completed - skipped;
     let mut dataset = workdir.load_dataset()?;
     dataset.extend(increment);
     workdir.save_dataset(&dataset)?;
@@ -310,10 +367,15 @@ fn collect(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
     // `+ 0.0` normalizes the negative zero an empty billing ledger sums to,
     // so a fully-cached collection prints $0.00 rather than $-0.00.
     let total_cost = manager.provider().lock().billing().total_cost() + 0.0;
+    let skipnote = if skipped > 0 {
+        format!(", {skipped} skipped")
+    } else {
+        String::new()
+    };
     wline(
         out,
         &format!(
-            "collected {completed} completed, {failed} failed; dataset now has {} rows",
+            "collected {completed} completed, {failed} failed{skipnote}; dataset now has {} rows",
             dataset.len()
         ),
     )?;
@@ -644,6 +706,54 @@ mod tests {
         assert!(out.contains("cached results: 2"), "{out}");
         let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_dir_all(&alt);
+    }
+
+    #[test]
+    fn collect_resume_replays_the_run_journal() {
+        let dir = tempdir("resume");
+        let config = write_config(&dir);
+        let (_, ok) = run_in(&dir, &["deploy", "create", "-c", config.to_str().unwrap()]);
+        assert!(ok);
+        let (out, ok) = run_in(&dir, &["collect", "--no-cache"]);
+        assert!(ok, "{out}");
+        assert!(dir.join("run-journal.jsonl").exists());
+
+        // Pretend the run was interrupted: statuses back to pending, then
+        // resume — both scenarios replay from the journal for free.
+        let scenarios_json = dir.join("scenarios.json");
+        let text = std::fs::read_to_string(&scenarios_json).unwrap();
+        std::fs::write(&scenarios_json, text.replace("completed", "pending")).unwrap();
+        let (out, ok) = run_in(&dir, &["collect", "--resume", "--no-cache"]);
+        assert!(ok, "{out}");
+        assert!(
+            out.contains("journal: replayed 2 finished scenarios"),
+            "{out}"
+        );
+        assert!(out.contains("cloud spend this collection: $0.00"), "{out}");
+
+        // A plain collect starts a fresh journal and re-executes.
+        let text = std::fs::read_to_string(&scenarios_json).unwrap();
+        std::fs::write(&scenarios_json, text.replace("completed", "pending")).unwrap();
+        let (out, ok) = run_in(&dir, &["collect", "--no-cache"]);
+        assert!(ok, "{out}");
+        assert!(!out.contains("journal: replayed"), "{out}");
+        assert!(!out.contains("$0.00"), "fresh run costs money: {out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn collect_retry_flags() {
+        let dir = tempdir("retryflags");
+        let config = write_config(&dir);
+        let (_, ok) = run_in(&dir, &["deploy", "create", "-c", config.to_str().unwrap()]);
+        assert!(ok);
+        let (out, ok) = run_in(&dir, &["collect", "--no-retry"]);
+        assert!(ok, "{out}");
+        let (out, ok) = run_in(&dir, &["collect", "--max-attempts", "5", "--no-cache"]);
+        assert!(ok, "{out}");
+        let (_, ok) = run_in(&dir, &["collect", "--max-attempts", "lots"]);
+        assert!(!ok, "non-numeric --max-attempts must error");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

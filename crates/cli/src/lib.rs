@@ -71,6 +71,11 @@ OPTIONS:
     --workers <n>          run the full-grid collect on n parallel workers
     --no-cache             collect cold: skip the scenario-result cache
     --cache-dir <dir>      cache directory (default <workdir>/cache)
+    --resume               replay the run journal of an interrupted collect
+                           and execute only the remainder
+    --max-attempts <n>     attempts per operation for transient faults
+                           (default 3)
+    --no-retry             fail fast: a single attempt per operation
     --ascii                print plots to the terminal instead of SVG files
     --sort <key>           advice sort order: time (default) or cost
     --slurm                also print a Slurm recipe for the fastest row

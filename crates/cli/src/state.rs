@@ -53,6 +53,12 @@ impl WorkDir {
         self.root.join("cache").join("scenario-cache.json")
     }
 
+    /// Path of the crash-safe run journal `collect` writes as it goes and
+    /// `collect --resume` replays after an interrupted run.
+    pub fn journal_file(&self) -> PathBuf {
+        self.root.join("run-journal.jsonl")
+    }
+
     fn file(&self, name: &str) -> PathBuf {
         self.root.join(name)
     }

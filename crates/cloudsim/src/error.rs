@@ -24,7 +24,12 @@ pub enum CloudError {
         available: u32,
     },
     /// An injected (or capacity) failure occurred during the operation.
-    ProvisioningFailed { operation: String, reason: String },
+    /// `transient` marks faults a retry can be expected to clear.
+    ProvisioningFailed {
+        operation: String,
+        reason: String,
+        transient: bool,
+    },
     /// Referenced allocation does not exist or was already released.
     UnknownAllocation(u64),
     /// Subscription name does not match the provider's subscription.
@@ -59,7 +64,9 @@ impl fmt::Display for CloudError {
                 f,
                 "quota exceeded for family '{family}': requested {requested} cores, {available} available"
             ),
-            CloudError::ProvisioningFailed { operation, reason } => {
+            CloudError::ProvisioningFailed {
+                operation, reason, ..
+            } => {
                 write!(f, "provisioning failed during {operation}: {reason}")
             }
             CloudError::UnknownAllocation(id) => write!(f, "unknown allocation #{id}"),

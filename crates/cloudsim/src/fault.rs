@@ -5,8 +5,16 @@
 //! status precisely because of this. A [`FaultPlan`] lets tests and
 //! experiments inject failures at exact points — deterministically, so a
 //! failing sweep replays identically.
+//!
+//! The plan itself is immutable: it describes *which* invocations fail.
+//! Attempt counting lives in a separate [`FaultTracker`], keyed by
+//! `(operation, scope)` — scope being the SKU, pool, or resource-group the
+//! operation targets — so parallel shard workers sharing one provider see
+//! the same fault sequence a serial run would, and cloning a plan never
+//! forks invocation history.
 
 use std::collections::HashMap;
+use std::fmt;
 
 /// Control-plane operations that can be made to fail.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,18 +33,78 @@ pub enum Operation {
     PeerVnets,
     /// Allocating compute nodes into a pool.
     AllocateNodes,
+    /// A node failing to boot after its capacity was granted.
+    BootNode,
     /// Running a task on the pool (checked by the orchestrator).
     RunTask,
+    /// A node dying while a task is running on it.
+    NodeDeath,
 }
 
-/// A deterministic plan of which invocations of each operation fail.
+/// How an injected fault should be treated by retry logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Worth retrying: capacity blips, unhealthy boots, node loss.
+    Transient,
+    /// Retrying cannot help: malformed requests, hard provider rejections.
+    Permanent,
+}
+
+/// A structured injected fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// Whether a retry can be expected to succeed.
+    pub kind: FaultKind,
+    /// The operation that failed.
+    pub op: Operation,
+    /// 0-based invocation index within the operation's scope.
+    pub attempt: u64,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            FaultKind::Transient => "transient",
+            FaultKind::Permanent => "permanent",
+        };
+        write!(
+            f,
+            "injected {kind} failure on {:?} invocation #{}",
+            self.op, self.attempt
+        )
+    }
+}
+
+/// When a registered fault fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultMode {
+    /// Exactly the `n`-th invocation (0-based) fails.
+    Nth(u64),
+    /// Every invocation fails.
+    Always,
+    /// Each invocation fails independently with this probability, decided
+    /// by a stateless hash of `(seed, op, scope, attempt)` so the outcome
+    /// is identical under any thread interleaving.
+    Probability(f64),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct FaultRule {
+    mode: FaultMode,
+    kind: FaultKind,
+}
+
+/// An immutable, deterministic plan of which invocations of each operation
+/// fail.
 ///
-/// Failures are specified by *invocation index* (0-based, per operation):
-/// `fail_nth(AllocateNodes, 2)` makes the third allocation attempt fail.
+/// Failures are specified by *invocation index* (0-based, per operation and
+/// scope): `fail_nth(AllocateNodes, 2)` makes the third allocation attempt
+/// on each SKU fail. The plan never mutates; pair it with a [`FaultTracker`]
+/// to count invocations.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
-    fail_on: HashMap<Operation, Vec<u64>>,
-    counters: HashMap<Operation, u64>,
+    rules: HashMap<Operation, Vec<FaultRule>>,
+    seed: u64,
 }
 
 impl FaultPlan {
@@ -45,34 +113,136 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
-    /// Registers the `n`-th invocation (0-based) of `op` to fail.
-    pub fn fail_nth(mut self, op: Operation, n: u64) -> Self {
-        self.fail_on.entry(op).or_default().push(n);
+    /// Sets the seed used by probabilistic rules.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 
-    /// Registers every invocation of `op` to fail.
-    pub fn fail_always(mut self, op: Operation) -> Self {
-        self.fail_on.entry(op).or_default().push(u64::MAX);
+    /// Registers a rule with an explicit mode and kind.
+    pub fn fail_with(mut self, op: Operation, mode: FaultMode, kind: FaultKind) -> Self {
+        self.rules
+            .entry(op)
+            .or_default()
+            .push(FaultRule { mode, kind });
         self
     }
 
-    /// Records one invocation of `op` and reports whether it should fail.
-    pub fn check(&mut self, op: Operation) -> Result<(), String> {
-        let count = self.counters.entry(op).or_insert(0);
-        let n = *count;
-        *count += 1;
-        if let Some(ns) = self.fail_on.get(&op) {
-            if ns.contains(&n) || ns.contains(&u64::MAX) {
-                return Err(format!("injected failure on {op:?} invocation #{n}"));
+    /// Registers the `n`-th invocation (0-based) of `op` to fail
+    /// transiently.
+    pub fn fail_nth(self, op: Operation, n: u64) -> Self {
+        self.fail_with(op, FaultMode::Nth(n), FaultKind::Transient)
+    }
+
+    /// Registers every invocation of `op` to fail transiently.
+    pub fn fail_always(self, op: Operation) -> Self {
+        self.fail_with(op, FaultMode::Always, FaultKind::Transient)
+    }
+
+    /// Registers each invocation of `op` to fail transiently with
+    /// probability `p`.
+    pub fn fail_probabilistic(self, op: Operation, p: f64) -> Self {
+        self.fail_with(op, FaultMode::Probability(p), FaultKind::Transient)
+    }
+
+    /// Whether the plan injects any faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Decides whether invocation `attempt` of `op` in `scope` fails.
+    /// The first matching rule wins. Pure: never mutates the plan.
+    pub fn decide(&self, op: Operation, scope: &str, attempt: u64) -> Option<Fault> {
+        let rules = self.rules.get(&op)?;
+        for rule in rules {
+            let fires = match rule.mode {
+                FaultMode::Nth(n) => attempt == n,
+                FaultMode::Always => true,
+                FaultMode::Probability(p) => fault_roll(self.seed, op, scope, attempt) < p,
+            };
+            if fires {
+                return Some(Fault {
+                    kind: rule.kind,
+                    op,
+                    attempt,
+                });
             }
         }
-        Ok(())
+        None
+    }
+}
+
+/// Stateless uniform roll in `[0, 1)` from `(seed, op, scope, attempt)`
+/// via 64-bit FNV-1a — no RNG state, so any interleaving replays alike.
+fn fault_roll(seed: u64, op: Operation, scope: &str, attempt: u64) -> f64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        h ^= 0x1f;
+        h = h.wrapping_mul(PRIME);
+    };
+    eat(&seed.to_le_bytes());
+    eat(format!("{op:?}").as_bytes());
+    eat(scope.as_bytes());
+    eat(&attempt.to_le_bytes());
+    // Map the top 53 bits onto [0, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Mutable invocation counters paired with an immutable [`FaultPlan`].
+///
+/// Counters are keyed `(operation, scope)`; the scope is whatever entity
+/// the operation targets (SKU name for allocations, pool name for tasks,
+/// resource-group name for deployments), so per-scope fault sequences are
+/// independent of how work is interleaved across threads.
+#[derive(Debug, Clone, Default)]
+pub struct FaultTracker {
+    counters: HashMap<(Operation, String), u64>,
+}
+
+impl FaultTracker {
+    /// A tracker with no recorded invocations.
+    pub fn new() -> Self {
+        FaultTracker::default()
     }
 
-    /// Number of times `op` has been attempted so far.
-    pub fn attempts(&self, op: Operation) -> u64 {
-        self.counters.get(&op).copied().unwrap_or(0)
+    /// Records one invocation of `op` in `scope` and reports the injected
+    /// fault, if the plan has one for this invocation.
+    pub fn check(&mut self, plan: &FaultPlan, op: Operation, scope: &str) -> Result<(), Fault> {
+        let count = self.counters.entry((op, scope.to_string())).or_insert(0);
+        let attempt = *count;
+        *count += 1;
+        match plan.decide(op, scope, attempt) {
+            Some(fault) => Err(fault),
+            None => Ok(()),
+        }
+    }
+
+    /// Number of times `op` has been attempted in `scope` so far.
+    pub fn attempts(&self, op: Operation, scope: &str) -> u64 {
+        self.counters
+            .get(&(op, scope.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total invocations of `op` across all scopes.
+    pub fn total_attempts(&self, op: Operation) -> u64 {
+        self.counters
+            .iter()
+            .filter(|((o, _), _)| *o == op)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Forgets all invocation history.
+    pub fn reset(&mut self) {
+        self.counters.clear();
     }
 }
 
@@ -82,36 +252,119 @@ mod tests {
 
     #[test]
     fn no_failures_by_default() {
-        let mut plan = FaultPlan::none();
+        let plan = FaultPlan::none();
+        let mut tracker = FaultTracker::new();
         for _ in 0..100 {
-            assert!(plan.check(Operation::AllocateNodes).is_ok());
+            assert!(tracker
+                .check(&plan, Operation::AllocateNodes, "sku")
+                .is_ok());
         }
     }
 
     #[test]
     fn fails_exactly_nth_invocation() {
-        let mut plan = FaultPlan::none().fail_nth(Operation::AllocateNodes, 1);
-        assert!(plan.check(Operation::AllocateNodes).is_ok());
-        assert!(plan.check(Operation::AllocateNodes).is_err());
-        assert!(plan.check(Operation::AllocateNodes).is_ok());
-        assert_eq!(plan.attempts(Operation::AllocateNodes), 3);
+        let plan = FaultPlan::none().fail_nth(Operation::AllocateNodes, 1);
+        let mut tracker = FaultTracker::new();
+        assert!(tracker.check(&plan, Operation::AllocateNodes, "s").is_ok());
+        let fault = tracker
+            .check(&plan, Operation::AllocateNodes, "s")
+            .unwrap_err();
+        assert_eq!(fault.kind, FaultKind::Transient);
+        assert_eq!(fault.attempt, 1);
+        assert!(fault.to_string().contains("injected transient failure"));
+        assert!(tracker.check(&plan, Operation::AllocateNodes, "s").is_ok());
+        assert_eq!(tracker.attempts(Operation::AllocateNodes, "s"), 3);
     }
 
     #[test]
-    fn fail_always() {
-        let mut plan = FaultPlan::none().fail_always(Operation::CreateStorage);
+    fn fail_always_has_no_sentinel_index() {
+        let plan = FaultPlan::none().fail_always(Operation::CreateStorage);
+        let mut tracker = FaultTracker::new();
         for _ in 0..3 {
-            assert!(plan.check(Operation::CreateStorage).is_err());
+            assert!(tracker.check(&plan, Operation::CreateStorage, "g").is_err());
         }
+        // u64::MAX is a legitimate invocation index, not "always".
+        let nth = FaultPlan::none().fail_nth(Operation::CreateStorage, u64::MAX);
+        assert!(nth.decide(Operation::CreateStorage, "g", 0).is_none());
+        assert!(nth
+            .decide(Operation::CreateStorage, "g", u64::MAX)
+            .is_some());
         // Other operations are unaffected.
-        assert!(plan.check(Operation::CreateBatch).is_ok());
+        assert!(tracker.check(&plan, Operation::CreateBatch, "g").is_ok());
     }
 
     #[test]
-    fn operations_count_independently() {
-        let mut plan = FaultPlan::none().fail_nth(Operation::RunTask, 0);
-        assert!(plan.check(Operation::AllocateNodes).is_ok());
-        assert!(plan.check(Operation::RunTask).is_err());
-        assert!(plan.check(Operation::RunTask).is_ok());
+    fn operations_and_scopes_count_independently() {
+        let plan = FaultPlan::none().fail_nth(Operation::RunTask, 0);
+        let mut tracker = FaultTracker::new();
+        assert!(tracker.check(&plan, Operation::AllocateNodes, "a").is_ok());
+        assert!(tracker.check(&plan, Operation::RunTask, "pool-a").is_err());
+        assert!(tracker.check(&plan, Operation::RunTask, "pool-a").is_ok());
+        // A different scope restarts the per-scope count.
+        assert!(tracker.check(&plan, Operation::RunTask, "pool-b").is_err());
+        assert_eq!(tracker.total_attempts(Operation::RunTask), 3);
+    }
+
+    #[test]
+    fn cloning_plan_does_not_fork_history() {
+        let plan = FaultPlan::none().fail_nth(Operation::AllocateNodes, 1);
+        let clone = plan.clone();
+        let mut tracker = FaultTracker::new();
+        assert!(tracker.check(&plan, Operation::AllocateNodes, "s").is_ok());
+        // Same tracker, either plan copy: second invocation fails.
+        assert!(tracker
+            .check(&clone, Operation::AllocateNodes, "s")
+            .is_err());
+    }
+
+    #[test]
+    fn probabilistic_faults_are_stateless_and_seeded() {
+        let plan = FaultPlan::none()
+            .seed(7)
+            .fail_probabilistic(Operation::RunTask, 0.5);
+        let a: Vec<bool> = (0..64)
+            .map(|i| plan.decide(Operation::RunTask, "pool", i).is_some())
+            .collect();
+        let b: Vec<bool> = (0..64)
+            .map(|i| plan.decide(Operation::RunTask, "pool", i).is_some())
+            .collect();
+        assert_eq!(a, b, "same (seed, scope, attempt) replays identically");
+        assert!(a.iter().any(|&x| x) && a.iter().any(|&x| !x), "p=0.5 mixes");
+        let other_seed = FaultPlan::none()
+            .seed(8)
+            .fail_probabilistic(Operation::RunTask, 0.5);
+        let c: Vec<bool> = (0..64)
+            .map(|i| other_seed.decide(Operation::RunTask, "pool", i).is_some())
+            .collect();
+        assert_ne!(a, c, "seed changes the outcome sequence");
+    }
+
+    #[test]
+    fn probability_extremes() {
+        let never = FaultPlan::none().fail_probabilistic(Operation::BootNode, 0.0);
+        let always = FaultPlan::none().fail_probabilistic(Operation::BootNode, 1.0);
+        for i in 0..32 {
+            assert!(never.decide(Operation::BootNode, "s", i).is_none());
+            assert!(always.decide(Operation::BootNode, "s", i).is_some());
+        }
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let plan = FaultPlan::none()
+            .fail_with(
+                Operation::AllocateNodes,
+                FaultMode::Nth(0),
+                FaultKind::Permanent,
+            )
+            .fail_with(
+                Operation::AllocateNodes,
+                FaultMode::Always,
+                FaultKind::Transient,
+            );
+        let first = plan.decide(Operation::AllocateNodes, "s", 0).unwrap();
+        assert_eq!(first.kind, FaultKind::Permanent);
+        let later = plan.decide(Operation::AllocateNodes, "s", 1).unwrap();
+        assert_eq!(later.kind, FaultKind::Transient);
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::billing::{cost_for, BillingMeter, UsageRecord};
 use crate::error::CloudError;
-use crate::fault::{FaultPlan, Operation};
+use crate::fault::{Fault, FaultKind, FaultPlan, FaultTracker, Operation};
 use crate::quota::QuotaTracker;
 use crate::region::{Region, RegionCatalog};
 use crate::resources::{Resource, ResourceGroup, ResourceKind, ResourceState};
@@ -66,6 +66,7 @@ pub struct CloudProvider {
     quota: QuotaTracker,
     billing: BillingMeter,
     fault: FaultPlan,
+    tracker: FaultTracker,
     groups: HashMap<String, ResourceGroup>,
     allocations: HashMap<u64, Allocation>,
     next_allocation: u64,
@@ -96,6 +97,7 @@ impl CloudProvider {
             quota,
             billing: BillingMeter::new(),
             fault: FaultPlan::none(),
+            tracker: FaultTracker::new(),
             groups: HashMap::new(),
             allocations: HashMap::new(),
             next_allocation: 1,
@@ -104,9 +106,15 @@ impl CloudProvider {
         })
     }
 
-    /// Installs a failure-injection plan.
+    /// Installs a failure-injection plan, resetting invocation history.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.fault = plan;
+        self.tracker.reset();
+    }
+
+    /// The installed failure-injection plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault
     }
 
     /// The shared virtual clock.
@@ -167,20 +175,27 @@ impl CloudProvider {
             .advance_by(SimDuration::from_secs_f64(base_secs * jitter));
     }
 
-    fn check_fault(&mut self, op: Operation, label: &str) -> Result<(), CloudError> {
-        self.fault
-            .check(op)
-            .map_err(|reason| CloudError::ProvisioningFailed {
+    fn check_fault(&mut self, op: Operation, scope: &str, label: &str) -> Result<(), CloudError> {
+        self.tracker
+            .check(&self.fault, op, scope)
+            .map_err(|fault| CloudError::ProvisioningFailed {
                 operation: label.to_string(),
-                reason,
+                reason: fault.to_string(),
+                transient: fault.kind == FaultKind::Transient,
             })
     }
 
-    /// Records one invocation of `op` against the fault plan, failing if the
-    /// plan says so. Exposed for higher layers (the batch orchestrator uses
-    /// it to inject task failures).
-    pub fn check_operation(&mut self, op: Operation, label: &str) -> Result<(), CloudError> {
-        self.check_fault(op, label)
+    /// Records one invocation of `op` in `scope` against the fault plan,
+    /// returning the structured fault if the plan says so. Exposed for
+    /// higher layers (the batch orchestrator uses it to inject task-level
+    /// and node-death faults, keyed by pool name).
+    pub fn inject_fault(&mut self, op: Operation, scope: &str) -> Result<(), Fault> {
+        self.tracker.check(&self.fault, op, scope)
+    }
+
+    /// Per-scope invocation counts recorded so far (for tests/diagnostics).
+    pub fn fault_attempts(&self, op: Operation, scope: &str) -> u64 {
+        self.tracker.attempts(op, scope)
     }
 
     fn group_mut(&mut self, name: &str) -> Result<&mut ResourceGroup, CloudError> {
@@ -199,7 +214,11 @@ impl CloudProvider {
         {
             return Err(CloudError::ResourceGroupExists(name.to_string()));
         }
-        self.check_fault(Operation::CreateResourceGroup, "create resource group")?;
+        self.check_fault(
+            Operation::CreateResourceGroup,
+            name,
+            "create resource group",
+        )?;
         self.spend(5.0);
         let group = ResourceGroup {
             name: name.to_string(),
@@ -229,7 +248,7 @@ impl CloudProvider {
                 name: name.to_string(),
             });
         }
-        self.check_fault(op, label)?;
+        self.check_fault(op, group, label)?;
         self.spend(base_secs);
         let ready_at = self.clock.now();
         let g = self.group_mut(group)?;
@@ -400,7 +419,7 @@ impl CloudProvider {
                 region: self.config.region.clone(),
             });
         }
-        self.check_fault(Operation::AllocateNodes, "allocate nodes")?;
+        self.check_fault(Operation::AllocateNodes, &sku.name, "allocate nodes")?;
         let cores = sku
             .cores
             .checked_mul(nodes)
@@ -410,6 +429,12 @@ impl CloudProvider {
                 available: self.quota.available(&sku.family),
             })?;
         self.quota.try_acquire(&sku.family, cores)?;
+        // A node can come up unhealthy after capacity was granted; the
+        // failed allocation hands its quota straight back.
+        if let Err(e) = self.check_fault(Operation::BootNode, &sku.name, "boot nodes") {
+            self.quota.release(&sku.family, cores);
+            return Err(e);
+        }
         // Nodes boot in parallel: total latency is the max of per-node boots,
         // which grows slowly with pool size.
         let boot = 150.0 + 10.0 * (nodes as f64).ln_1p();
@@ -567,6 +592,27 @@ mod tests {
         assert_eq!(p.quota_mut().used("HBv3"), 0);
         // Retry succeeds.
         assert!(p.allocate_nodes("rg1", "HB120rs_v3", 1).is_ok());
+    }
+
+    #[test]
+    fn boot_fault_releases_quota() {
+        let mut p = provider();
+        p.set_fault_plan(FaultPlan::none().fail_nth(Operation::BootNode, 0));
+        deploy_landing_zone(&mut p, "rg1");
+        let err = p.allocate_nodes("rg1", "HB120rs_v3", 2).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CloudError::ProvisioningFailed {
+                    transient: true,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        // Quota granted before the boot fault is handed back.
+        assert_eq!(p.quota_mut().used("HBv3"), 0);
+        assert!(p.allocate_nodes("rg1", "HB120rs_v3", 2).is_ok());
     }
 
     #[test]

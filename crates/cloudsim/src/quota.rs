@@ -50,6 +50,14 @@ impl QuotaTracker {
         self.limit(family).saturating_sub(self.used(family))
     }
 
+    /// Whether a request for `cores` can never succeed under the family's
+    /// configured limit, regardless of what is later released. The collector
+    /// uses this to classify quota failures as permanent-for-SKU and skip
+    /// (rather than retry) the remaining scenarios on that SKU.
+    pub fn exceeds_limit(&self, family: &str, cores: u32) -> bool {
+        cores > self.limit(family)
+    }
+
     /// Attempts to take `cores` from the family's quota.
     pub fn try_acquire(&mut self, family: &str, cores: u32) -> Result<(), CloudError> {
         let available = self.available(family);

@@ -32,13 +32,15 @@
 //! # let _ = dataset;
 //! ```
 
-use crate::cache::CachePolicy;
+use crate::cache::{rehydrate_point, CachePolicy};
 use crate::collector::{
-    consult_cache, index_by_id, resolve_ids, store_new_points, Collector, ExecContext, ShardOutput,
-    ShardRun,
+    consult_cache, consult_journal, index_by_id, resolve_ids, store_new_points, Collector,
+    ExecContext, JournalConsult, JournalWriter, ShardOutput, ShardRun,
 };
 use crate::dataset::Dataset;
 use crate::error::ToolError;
+use crate::journal::JournalEntry;
+use crate::retry::RetryPolicy;
 use crate::scenario::{Scenario, ScenarioStatus};
 use batchsim::BatchService;
 use cloudsim::BillingSummary;
@@ -73,6 +75,7 @@ pub struct CollectPlan {
     experiment_seed: Option<u64>,
     subset: Option<Vec<u32>>,
     cache: Option<CachePolicy>,
+    retry: Option<RetryPolicy>,
 }
 
 impl CollectPlan {
@@ -119,6 +122,17 @@ impl CollectPlan {
         self.cache = Some(policy);
         self
     }
+
+    /// Overrides the collector's retry policy for this run.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Caps attempts per operation for this run (1 disables retries).
+    pub fn max_attempts(self, n: u32) -> Self {
+        self.retry(RetryPolicy::with_max_attempts(n))
+    }
 }
 
 /// What happened to one executed scenario.
@@ -137,7 +151,17 @@ pub struct ScenarioOutcome {
     pub shard: Option<usize>,
     /// True if the result was served from the scenario cache.
     pub cached: bool,
-    /// Failure reason (quota, setup, task failure) when `status` is failed.
+    /// True if the outcome was replayed from the crash-safe run journal
+    /// (`collect --resume`) instead of executing.
+    pub replayed: bool,
+    /// Execution attempts spent on the scenario: 1 means no retries, more
+    /// means transient faults were retried, 0 means nothing executed
+    /// (cached, replayed, or skipped before touching the cloud).
+    pub attempts: u32,
+    /// Simulated backoff seconds the scenario waited through on retries.
+    pub backoff_secs: f64,
+    /// Failure reason (quota, setup, task failure) when `status` is failed
+    /// or skipped.
     pub fail_reason: Option<String>,
 }
 
@@ -148,13 +172,23 @@ pub struct CollectStats {
     pub workers: usize,
     /// Number of shards the scenario list was split into.
     pub shards: usize,
-    /// Scenarios actually executed by the simulators (cache hits and
-    /// skipped scenarios not counted).
+    /// Scenarios the executor visited this run (cache hits and journal
+    /// replays not counted; quota skips are, since the run reached them).
     pub executed: usize,
     /// Scenarios that completed (executed or cached).
     pub completed: usize,
     /// Scenarios that failed.
     pub failed: usize,
+    /// Scenarios skipped by graceful degradation (e.g. SKU quota exhausted
+    /// mid-run); they re-run on the next collect.
+    pub skipped: usize,
+    /// Scenarios that needed more than one attempt (transient-fault
+    /// retries).
+    pub retried: usize,
+    /// Total simulated backoff across all scenarios, in seconds.
+    pub backoff_secs: f64,
+    /// Scenarios replayed from the run journal without executing.
+    pub journal_replayed: usize,
     /// Scenarios answered from the result cache without running.
     pub cache_hits: usize,
     /// Scenarios consulted but not found in the cache (0 when the cache is
@@ -213,6 +247,35 @@ impl CollectReport {
                 },
             );
         }
+        if self.stats.journal_replayed > 0 {
+            let _ = writeln!(
+                out,
+                "  journal: {} outcome{} replayed from a previous run",
+                self.stats.journal_replayed,
+                if self.stats.journal_replayed == 1 {
+                    ""
+                } else {
+                    "s"
+                },
+            );
+        }
+        if self.stats.skipped > 0 {
+            let _ = writeln!(
+                out,
+                "  skipped: {} scenario{} (graceful degradation; rerun to retry)",
+                self.stats.skipped,
+                if self.stats.skipped == 1 { "" } else { "s" },
+            );
+        }
+        if self.stats.retried > 0 {
+            let _ = writeln!(
+                out,
+                "  retries: {} scenario{} needed more than one attempt, {:.1}s simulated backoff",
+                self.stats.retried,
+                if self.stats.retried == 1 { "" } else { "s" },
+                self.stats.backoff_secs,
+            );
+        }
         for b in &self.billing {
             let _ = writeln!(
                 out,
@@ -221,13 +284,18 @@ impl CollectReport {
             );
         }
         for o in &self.outcomes {
-            if let Some(reason) = &o.fail_reason {
-                let _ = writeln!(
-                    out,
-                    "  failed scenario {} ({} x {}): {}",
-                    o.scenario_id, o.sku, o.nnodes, reason
-                );
-            }
+            let Some(reason) = &o.fail_reason else {
+                continue;
+            };
+            let verb = match o.status {
+                ScenarioStatus::Skipped => "skipped",
+                _ => "failed",
+            };
+            let _ = writeln!(
+                out,
+                "  {verb} scenario {} ({} x {}): {}",
+                o.scenario_id, o.sku, o.nnodes, reason
+            );
         }
         out
     }
@@ -286,6 +354,9 @@ impl Collector {
         if let Some(rerun) = plan.rerun_failed {
             ctx.options.rerun_failed = rerun;
         }
+        if let Some(retry) = &plan.retry {
+            ctx.options.retry = retry.clone();
+        }
 
         let index = index_by_id(scenarios);
         let ordered: Vec<Scenario> = match &plan.subset {
@@ -296,12 +367,41 @@ impl Collector {
                 .cloned()
                 .collect(),
         };
-        // Consult the result cache up front, on this thread: hits never
-        // reach a shard (or a pool), and only the misses are split below.
+        // Replay the crash-safe run journal first (the resume path):
+        // outcomes a previous interrupted run already finished are emitted
+        // verbatim, and only the remainder is collected.
+        let journal = self.journal.clone();
+        let jconsult = match &journal {
+            Some(j) => consult_journal(&ctx, &j.lock(), &ordered),
+            None => JournalConsult::pass_through(&ordered),
+        };
+        let journal_replayed = jconsult.hits.len();
+        // Consult the result cache next, on this thread: hits never reach
+        // a shard (or a pool), and only the misses are split below.
         let policy = plan.cache.unwrap_or(self.cache_policy);
-        let consult = consult_cache(&ctx, &self.cache, policy, &ordered);
+        let consult = consult_cache(&ctx, &self.cache, policy, &jconsult.misses);
         let cache_hits = consult.hits.len();
         let cache_misses = consult.fingerprints.len();
+        // Cache hits count as finished for resume purposes too.
+        if let Some(j) = &journal {
+            for hit in &consult.hits {
+                if let Some(&fingerprint) = jconsult.fingerprints.get(&hit.scenario.id) {
+                    j.lock().append(JournalEntry {
+                        fingerprint,
+                        scenario_id: hit.scenario.id,
+                        status: ScenarioStatus::Completed,
+                        attempts: 0,
+                        backoff_secs: 0.0,
+                        fail_reason: None,
+                        point: Some(hit.point.clone()),
+                    });
+                }
+            }
+        }
+        let writer = journal.as_ref().map(|j| JournalWriter {
+            journal: j.clone(),
+            fingerprints: Arc::new(jconsult.fingerprints.clone()),
+        });
         let shards = split_shards(consult.misses, plan.shard_policy);
         let workers = plan.workers.max(1).min(shards.len().max(1));
 
@@ -312,12 +412,19 @@ impl Collector {
                     ctx: &ctx,
                     service: &mut self.service,
                     vfs: self.shared_vfs.clone(),
+                    journal: writer.clone(),
                 }
                 .run(shard);
                 results.push(out.map(|o| (o, None)));
             }
         } else {
-            results = run_parallel(&ctx, &shards, workers, &self.shared_vfs.lock().clone());
+            results = run_parallel(
+                &ctx,
+                &shards,
+                workers,
+                &self.shared_vfs.lock().clone(),
+                writer.as_ref(),
+            );
         }
 
         let mut points = Vec::new();
@@ -337,6 +444,9 @@ impl Collector {
                             status: oc.status,
                             shard: Some(shard_idx),
                             cached: false,
+                            replayed: false,
+                            attempts: oc.attempts,
+                            backoff_secs: oc.backoff_secs,
                             fail_reason: oc.fail_reason,
                         });
                     }
@@ -355,6 +465,9 @@ impl Collector {
                             status: ScenarioStatus::Failed,
                             shard: Some(shard_idx),
                             cached: false,
+                            replayed: false,
+                            attempts: 1,
+                            backoff_secs: 0.0,
                             fail_reason: Some(reason.clone()),
                         });
                     }
@@ -371,9 +484,47 @@ impl Collector {
                 status: ScenarioStatus::Completed,
                 shard: None,
                 cached: true,
+                replayed: false,
+                attempts: 0,
+                backoff_secs: 0.0,
                 fail_reason: None,
             });
             points.push(hit.point);
+        }
+
+        // Splice journal replays back in with their recorded outcome. The
+        // stored point is rehydrated onto the current scenario identity,
+        // exactly like a cache hit.
+        let mut store_fps = consult.fingerprints.clone();
+        for hit in jconsult.hits {
+            if let Some(&fp) = jconsult.fingerprints.get(&hit.scenario.id) {
+                store_fps.insert(hit.scenario.id, fp);
+            }
+            let point = match &hit.entry.point {
+                Some(p) => {
+                    rehydrate_point(p.clone(), &hit.scenario, &ctx.config.tags, &ctx.deployment)
+                }
+                None => ctx.failed_point(
+                    &hit.scenario,
+                    hit.entry
+                        .fail_reason
+                        .as_deref()
+                        .unwrap_or("journaled failure"),
+                ),
+            };
+            outcomes.push(ScenarioOutcome {
+                scenario_id: hit.scenario.id,
+                sku: hit.scenario.sku.clone(),
+                nnodes: hit.scenario.nnodes,
+                status: hit.entry.status,
+                shard: None,
+                cached: false,
+                replayed: true,
+                attempts: 0,
+                backoff_secs: 0.0,
+                fail_reason: hit.entry.fail_reason,
+            });
+            points.push(point);
         }
 
         // Deterministic id order, independent of shard completion order.
@@ -383,16 +534,28 @@ impl Collector {
             scenarios[index[&oc.scenario_id]].status = oc.status;
         }
         if policy.writes() {
-            store_new_points(&mut self.cache, &consult.fingerprints, &points)?;
+            // store_fps also covers journal replays, so a resumed run heals
+            // a cache the interrupted run never got to save.
+            store_new_points(&mut self.cache, &store_fps, &points)?;
         }
 
         let mut dataset = Dataset::new();
         let outcomes_total = outcomes.len();
-        let executed = outcomes_total - cache_hits;
+        let executed = outcomes_total - cache_hits - journal_replayed;
         let completed = outcomes
             .iter()
             .filter(|o| o.status == ScenarioStatus::Completed)
             .count();
+        let failed = outcomes
+            .iter()
+            .filter(|o| o.status == ScenarioStatus::Failed)
+            .count();
+        let skipped = outcomes
+            .iter()
+            .filter(|o| o.status == ScenarioStatus::Skipped)
+            .count();
+        let retried = outcomes.iter().filter(|o| o.attempts > 1).count();
+        let backoff_secs = outcomes.iter().map(|o| o.backoff_secs).sum();
         for p in points {
             dataset.push(p);
         }
@@ -410,7 +573,11 @@ impl Collector {
                 shards: shards.len(),
                 executed,
                 completed,
-                failed: outcomes_total - completed,
+                failed,
+                skipped,
+                retried,
+                backoff_secs,
+                journal_replayed,
                 cache_hits,
                 cache_misses,
                 wall_secs: started.elapsed().as_secs_f64(),
@@ -427,6 +594,7 @@ fn run_parallel(
     shards: &[Vec<Scenario>],
     workers: usize,
     initial_vfs: &Vfs,
+    journal: Option<&JournalWriter>,
 ) -> Vec<ShardResult> {
     let slots: Vec<Mutex<Option<ShardResult>>> = shards.iter().map(|_| Mutex::new(None)).collect();
     let queue = crossbeam::deque::Injector::new();
@@ -449,6 +617,7 @@ fn run_parallel(
                     ctx,
                     service: &mut service,
                     vfs: vfs.clone(),
+                    journal: journal.cloned(),
                 }
                 .run(&shards[i]);
                 // All runner closures are gone once the shard finishes, so

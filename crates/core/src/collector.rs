@@ -30,12 +30,16 @@ use crate::cache::{rehydrate_point, CachePolicy, Fingerprint, Fingerprinter, Sce
 use crate::config::UserConfig;
 use crate::dataset::{DataPoint, Dataset};
 use crate::error::ToolError;
+use crate::journal::{JournalEntry, RunJournal};
+use crate::retry::{classify_batch, FaultClass, RetryPolicy};
 use crate::scenario::{Scenario, ScenarioStatus};
 use appmodel::AppRegistry;
-use batchsim::{BatchService, SharedProvider, TaskContext, TaskKind, TaskResult, TaskState};
+use batchsim::{
+    BatchService, FaultKind, SharedProvider, TaskContext, TaskKind, TaskResult, TaskState,
+};
 use parking_lot::Mutex;
 use simtime::SimDuration;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use taskshell::{ExecutionEnv, Interpreter, UrlStore, Vfs};
 
@@ -53,6 +57,10 @@ pub struct CollectorOptions {
     pub delete_pools: bool,
     /// Re-run scenarios already marked failed.
     pub rerun_failed: bool,
+    /// Retry schedule for transient faults (pool allocation, resize, task
+    /// submission). The default retries up to 3 attempts with exponential
+    /// backoff on the simulated clock; [`RetryPolicy::none`] disables it.
+    pub retry: RetryPolicy,
 }
 
 impl Default for CollectorOptions {
@@ -61,6 +69,7 @@ impl Default for CollectorOptions {
             experiment_seed: 42,
             delete_pools: false,
             rerun_failed: false,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -99,6 +108,12 @@ impl CollectorOptionsBuilder {
         self
     }
 
+    /// Sets the retry schedule for transient faults.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.options.retry = policy;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> CollectorOptions {
         self.options
@@ -125,6 +140,8 @@ impl ExecContext {
             ScenarioStatus::Pending => true,
             ScenarioStatus::Failed => self.options.rerun_failed,
             ScenarioStatus::Completed => false,
+            // Skipped scenarios never executed — always worth another try.
+            ScenarioStatus::Skipped => true,
         }
     }
 
@@ -145,6 +162,28 @@ impl ExecContext {
             cost_dollars: 0.0,
             status: ScenarioStatus::Failed,
             metrics: vec![("FAILREASON".into(), reason.to_string())],
+            infra: Vec::new(),
+            tags: self.config.tags.clone(),
+            deployment: self.deployment.clone(),
+        }
+    }
+
+    /// A zero-cost point for a scenario the run deliberately did not
+    /// execute (quota-aware degradation). Unlike [`ExecContext::failed_point`]
+    /// the status is `Skipped`, so the next collect re-attempts it.
+    pub(crate) fn skipped_point(&self, scenario: &Scenario, reason: &str) -> DataPoint {
+        DataPoint {
+            scenario_id: scenario.id,
+            appname: self.config.appname.clone(),
+            sku: scenario.sku.clone(),
+            nnodes: scenario.nnodes,
+            ppn: scenario.ppn,
+            appinputs: scenario.appinputs.clone(),
+            exec_time_secs: 0.0,
+            task_secs: 0.0,
+            cost_dollars: 0.0,
+            status: ScenarioStatus::Skipped,
+            metrics: vec![("SKIPREASON".into(), reason.to_string())],
             infra: Vec::new(),
             tags: self.config.tags.clone(),
             deployment: self.deployment.clone(),
@@ -172,6 +211,57 @@ pub(crate) struct ShardOutcome {
     pub(crate) scenario_id: u32,
     pub(crate) status: ScenarioStatus,
     pub(crate) fail_reason: Option<String>,
+    /// Execution attempts spent on the scenario (1 = no retries, 0 = the
+    /// scenario was skipped without touching the cloud).
+    pub(crate) attempts: u32,
+    /// Total simulated backoff the scenario waited through.
+    pub(crate) backoff_secs: f64,
+}
+
+/// Per-scenario retry bookkeeping: how many attempts were spent (across
+/// pool resizes, setup and compute submissions) and how much simulated
+/// backoff the scenario waited through.
+#[derive(Debug, Clone, Copy)]
+struct Tally {
+    attempts: u32,
+    backoff_secs: f64,
+}
+
+impl Tally {
+    fn fresh() -> Self {
+        Tally {
+            attempts: 1,
+            backoff_secs: 0.0,
+        }
+    }
+}
+
+/// Live journal hook handed into shard runs: appends each terminal outcome
+/// (with its data point) the moment the scenario finishes, so a killed run
+/// leaves a replayable prefix. Cloneable across shard workers; appends
+/// serialize on the journal mutex.
+#[derive(Clone)]
+pub(crate) struct JournalWriter {
+    pub(crate) journal: Arc<Mutex<RunJournal>>,
+    /// Scenario id → content fingerprint, precomputed on the coordinator.
+    pub(crate) fingerprints: Arc<HashMap<u32, Fingerprint>>,
+}
+
+impl JournalWriter {
+    pub(crate) fn record(&self, outcome: &ShardOutcome, point: &DataPoint) {
+        let Some(&fingerprint) = self.fingerprints.get(&outcome.scenario_id) else {
+            return;
+        };
+        self.journal.lock().append(JournalEntry {
+            fingerprint,
+            scenario_id: outcome.scenario_id,
+            status: outcome.status,
+            attempts: outcome.attempts,
+            backoff_secs: outcome.backoff_secs,
+            fail_reason: outcome.fail_reason.clone(),
+            point: Some(point.clone()),
+        });
+    }
 }
 
 /// Everything one shard produced: data points and per-scenario outcomes, in
@@ -189,6 +279,9 @@ pub(crate) struct ShardRun<'a> {
     pub(crate) ctx: &'a ExecContext,
     pub(crate) service: &'a mut BatchService,
     pub(crate) vfs: Arc<Mutex<Vfs>>,
+    /// When set, every terminal outcome is appended to the run journal as
+    /// the scenario finishes (crash-safe resume).
+    pub(crate) journal: Option<JournalWriter>,
 }
 
 impl ShardRun<'_> {
@@ -197,6 +290,9 @@ impl ShardRun<'_> {
         // Status updates made during this run, so a scenario id appearing
         // twice in the slice sees its first outcome (completed ⇒ skipped).
         let mut updated: HashMap<u32, ScenarioStatus> = HashMap::new();
+        // SKUs whose family quota ran out mid-run: their remaining
+        // scenarios are skipped, not failed, and the sweep keeps going.
+        let mut exhausted_skus: HashSet<String> = HashSet::new();
         let mut previous_vmtype: Option<String> = None;
         let mut pool_name = String::new();
         let mut setup_ok = true;
@@ -207,6 +303,18 @@ impl ShardRun<'_> {
                 scenario.status = *status;
             }
             if !self.ctx.should_run(&scenario) {
+                continue;
+            }
+            let mut tally = Tally::fresh();
+            if exhausted_skus.contains(&scenario.sku) {
+                tally.attempts = 0;
+                self.record_skip(
+                    &mut out,
+                    &mut updated,
+                    &scenario,
+                    "SKU quota exhausted earlier in this run",
+                    tally,
+                );
                 continue;
             }
 
@@ -232,21 +340,22 @@ impl ShardRun<'_> {
                     }
                     self.service.create_pool(&pool_name, &scenario.sku)?;
                 }
-                match self.service.resize_pool(&pool_name, scenario.nnodes) {
+                match self.resize_with_retry(&pool_name, scenario.nnodes, &mut tally) {
                     Ok(()) => {
-                        setup_ok = self.run_setup_task(&pool_name)?;
+                        setup_ok = self.run_setup_task(&pool_name, &mut tally)?;
                     }
-                    Err(e) => {
-                        // Quota/capacity failure: this scenario fails, the
-                        // sweep continues.
-                        self.record_failure(
-                            &mut out,
-                            &mut updated,
-                            &scenario,
-                            &format!("pool resize: {e}"),
-                        );
+                    Err((e, class)) => {
                         previous_vmtype = Some(scenario.sku.clone());
                         setup_ok = false;
+                        self.record_resize_error(
+                            &mut out,
+                            &mut updated,
+                            &mut exhausted_skus,
+                            &scenario,
+                            &e,
+                            class,
+                            tally,
+                        );
                         continue;
                     }
                 }
@@ -258,12 +367,17 @@ impl ShardRun<'_> {
             {
                 // "The number of nodes that the user requested for testing
                 // is then incremented in the pool."
-                if let Err(e) = self.service.resize_pool(&pool_name, scenario.nnodes) {
-                    self.record_failure(
+                if let Err((e, class)) =
+                    self.resize_with_retry(&pool_name, scenario.nnodes, &mut tally)
+                {
+                    self.record_resize_error(
                         &mut out,
                         &mut updated,
+                        &mut exhausted_skus,
                         &scenario,
-                        &format!("pool resize: {e}"),
+                        &e,
+                        class,
+                        tally,
                     );
                     continue;
                 }
@@ -276,14 +390,15 @@ impl ShardRun<'_> {
                     &mut updated,
                     &scenario,
                     "application setup failed on this pool",
+                    tally,
                 );
                 continue;
             }
 
             // Compute task.
-            let point = self.run_compute_task(&pool_name, &scenario)?;
+            let point = self.run_compute_task(&pool_name, &scenario, &mut tally)?;
             updated.insert(scenario.id, point.status);
-            out.outcomes.push(ShardOutcome {
+            let outcome = ShardOutcome {
                 scenario_id: scenario.id,
                 status: point.status,
                 fail_reason: match point.status {
@@ -295,7 +410,13 @@ impl ShardRun<'_> {
                     ),
                     _ => None,
                 },
-            });
+                attempts: tally.attempts,
+                backoff_secs: tally.backoff_secs,
+            };
+            if let Some(writer) = &self.journal {
+                writer.record(&outcome, &point);
+            }
+            out.outcomes.push(outcome);
             out.points.push(point);
         }
         if previous_vmtype.is_some() {
@@ -304,19 +425,120 @@ impl ShardRun<'_> {
         Ok(out)
     }
 
+    /// Resizes a pool under the retry policy: transient faults back off on
+    /// the simulated clock and try again; permanent faults (and exhausted
+    /// retries) return the error with its classification.
+    fn resize_with_retry(
+        &mut self,
+        pool: &str,
+        target: u32,
+        tally: &mut Tally,
+    ) -> Result<(), (batchsim::BatchError, FaultClass)> {
+        let max_attempts = self.ctx.options.retry.max_attempts;
+        let mut retries = 0u32;
+        loop {
+            match self.service.resize_pool(pool, target) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    let class = classify_batch(&e);
+                    if class != FaultClass::Transient || retries + 1 >= max_attempts {
+                        return Err((e, class));
+                    }
+                    retries += 1;
+                    self.backoff(pool, retries, tally);
+                }
+            }
+        }
+    }
+
+    /// Advances the shared simulated clock by the backoff for retry
+    /// `retry_no` (1-based) in `scope`, tallying it against the current
+    /// scenario. Only billing sees the wait — task durations are
+    /// runner-reported, so retried datasets stay byte-identical.
+    fn backoff(&mut self, scope: &str, retry_no: u32, tally: &mut Tally) {
+        let secs = self.ctx.options.retry.backoff_secs(scope, retry_no);
+        tally.attempts += 1;
+        tally.backoff_secs += secs;
+        self.service
+            .clock()
+            .advance_by(SimDuration::from_secs_f64(secs));
+    }
+
+    /// Records the terminal outcome of a failed resize: quota exhaustion
+    /// degrades the rest of the SKU to skips, anything else is a failure.
+    #[allow(clippy::too_many_arguments)]
+    fn record_resize_error(
+        &self,
+        out: &mut ShardOutput,
+        updated: &mut HashMap<u32, ScenarioStatus>,
+        exhausted_skus: &mut HashSet<String>,
+        scenario: &Scenario,
+        error: &batchsim::BatchError,
+        class: FaultClass,
+        tally: Tally,
+    ) {
+        if class == FaultClass::PermanentForSku {
+            exhausted_skus.insert(scenario.sku.clone());
+            self.record_skip(
+                out,
+                updated,
+                scenario,
+                &format!("SKU quota exhausted: {error}"),
+                tally,
+            );
+        } else {
+            self.record_failure(
+                out,
+                updated,
+                scenario,
+                &format!("pool resize: {error}"),
+                tally,
+            );
+        }
+    }
+
     fn record_failure(
         &self,
         out: &mut ShardOutput,
         updated: &mut HashMap<u32, ScenarioStatus>,
         scenario: &Scenario,
         reason: &str,
+        tally: Tally,
     ) {
         updated.insert(scenario.id, ScenarioStatus::Failed);
-        out.points.push(self.ctx.failed_point(scenario, reason));
-        out.outcomes.push(ShardOutcome {
+        let point = self.ctx.failed_point(scenario, reason);
+        let outcome = ShardOutcome {
             scenario_id: scenario.id,
             status: ScenarioStatus::Failed,
             fail_reason: Some(reason.to_string()),
+            attempts: tally.attempts,
+            backoff_secs: tally.backoff_secs,
+        };
+        if let Some(writer) = &self.journal {
+            writer.record(&outcome, &point);
+        }
+        out.points.push(point);
+        out.outcomes.push(outcome);
+    }
+
+    /// Records a deliberately-not-executed scenario. Skips are never
+    /// journaled: the next collect (or a resume) should attempt them.
+    fn record_skip(
+        &self,
+        out: &mut ShardOutput,
+        updated: &mut HashMap<u32, ScenarioStatus>,
+        scenario: &Scenario,
+        reason: &str,
+        tally: Tally,
+    ) {
+        updated.insert(scenario.id, ScenarioStatus::Skipped);
+        out.points.push(self.ctx.skipped_point(scenario, reason));
+        out.outcomes.push(ShardOutcome {
+            scenario_id: scenario.id,
+            status: ScenarioStatus::Skipped,
+            fail_reason: Some(reason.to_string()),
+            attempts: tally.attempts,
+            backoff_secs: tally.backoff_secs,
         });
     }
 
@@ -332,35 +554,70 @@ impl ShardRun<'_> {
         Ok(())
     }
 
-    /// Runs the pool's setup task (`hpcadvisor_setup` in the app directory).
-    /// Returns whether setup succeeded.
-    fn run_setup_task(&mut self, pool: &str) -> Result<bool, ToolError> {
-        let runner = self.ctx.make_runner(
-            &self.vfs,
-            RunnerSpec {
-                function: "hpcadvisor_setup".into(),
-                cwd: self.ctx.app_dir(),
-                env: Vec::new(),
-                write_hostfile: false,
-            },
-        );
-        let record = self.service.run_task(
-            pool,
-            &format!("setup-{}", self.ctx.config.appname),
-            TaskKind::Setup,
-            1,
-            1,
-            runner,
-        )?;
-        Ok(record.state == TaskState::Completed)
+    /// Runs the pool's setup task (`hpcadvisor_setup` in the app directory),
+    /// retrying injected transient faults. Returns whether setup succeeded.
+    /// Genuine script failures carry no fault kind and never retry.
+    fn run_setup_task(&mut self, pool: &str, tally: &mut Tally) -> Result<bool, ToolError> {
+        let max_attempts = self.ctx.options.retry.max_attempts;
+        let mut attempt = 1u32;
+        loop {
+            let runner = self.ctx.make_runner(
+                &self.vfs,
+                RunnerSpec {
+                    function: "hpcadvisor_setup".into(),
+                    cwd: self.ctx.app_dir(),
+                    env: Vec::new(),
+                    write_hostfile: false,
+                },
+            );
+            let record = self.service.run_task(
+                pool,
+                &format!("setup-{}", self.ctx.config.appname),
+                TaskKind::Setup,
+                1,
+                1,
+                runner,
+            )?;
+            if record.state == TaskState::Completed {
+                return Ok(true);
+            }
+            if record.fault != Some(FaultKind::Transient) || attempt >= max_attempts {
+                return Ok(false);
+            }
+            self.backoff(pool, attempt, tally);
+            attempt += 1;
+        }
     }
 
-    /// Runs one scenario's compute task and converts it to a data point.
+    /// Runs one scenario's compute task and converts it to a data point,
+    /// retrying attempts that failed from an injected transient fault
+    /// (task-start rejection, mid-task node death). Application-level
+    /// failures (e.g. an OOM) carry no fault kind and are never retried.
     fn run_compute_task(
         &mut self,
         pool: &str,
         scenario: &Scenario,
+        tally: &mut Tally,
     ) -> Result<DataPoint, ToolError> {
+        let max_attempts = self.ctx.options.retry.max_attempts;
+        let mut attempt = 1u32;
+        loop {
+            let (point, retryable) = self.run_compute_task_once(pool, scenario)?;
+            if point.status == ScenarioStatus::Completed || !retryable || attempt >= max_attempts {
+                return Ok(point);
+            }
+            self.backoff(pool, attempt, tally);
+            attempt += 1;
+        }
+    }
+
+    /// One compute-task attempt. The second return value says whether a
+    /// failure is worth retrying (the batch layer flagged it transient).
+    fn run_compute_task_once(
+        &mut self,
+        pool: &str,
+        scenario: &Scenario,
+    ) -> Result<(DataPoint, bool), ToolError> {
         let task_dir = format!("{}/task-{}", self.ctx.app_dir(), scenario.id);
         let mut env: Vec<(String, String)> = vec![
             ("NNODES".into(), scenario.nnodes.to_string()),
@@ -425,22 +682,26 @@ impl ShardRun<'_> {
             TaskState::Completed => ScenarioStatus::Completed,
             _ => ScenarioStatus::Failed,
         };
-        Ok(DataPoint {
-            scenario_id: scenario.id,
-            appname: self.ctx.config.appname.clone(),
-            sku: scenario.sku.clone(),
-            nnodes: scenario.nnodes,
-            ppn: scenario.ppn,
-            appinputs: scenario.appinputs.clone(),
-            exec_time_secs,
-            task_secs,
-            cost_dollars,
-            status,
-            metrics,
-            infra,
-            tags: self.ctx.config.tags.clone(),
-            deployment: self.ctx.deployment.clone(),
-        })
+        let retryable = record.fault == Some(FaultKind::Transient);
+        Ok((
+            DataPoint {
+                scenario_id: scenario.id,
+                appname: self.ctx.config.appname.clone(),
+                sku: scenario.sku.clone(),
+                nnodes: scenario.nnodes,
+                ppn: scenario.ppn,
+                appinputs: scenario.appinputs.clone(),
+                exec_time_secs,
+                task_secs,
+                cost_dollars,
+                status,
+                metrics,
+                infra,
+                tags: self.ctx.config.tags.clone(),
+                deployment: self.ctx.deployment.clone(),
+            },
+            retryable,
+        ))
     }
 }
 
@@ -526,6 +787,92 @@ pub(crate) fn consult_cache(
     out
 }
 
+/// One scenario answered from the run journal instead of executing.
+#[derive(Debug, Clone)]
+pub(crate) struct JournalHit {
+    pub(crate) scenario: Scenario,
+    pub(crate) entry: JournalEntry,
+}
+
+/// The journal's answer for an ordered run list: finished outcomes to
+/// replay verbatim, scenarios still to run, and the fingerprint of every
+/// runnable scenario (feeding the live [`JournalWriter`] and cache
+/// healing).
+#[derive(Debug, Default)]
+pub(crate) struct JournalConsult {
+    pub(crate) hits: Vec<JournalHit>,
+    pub(crate) misses: Vec<Scenario>,
+    pub(crate) fingerprints: HashMap<u32, Fingerprint>,
+}
+
+impl JournalConsult {
+    /// The no-journal answer: everything is a miss, nothing is tracked.
+    pub(crate) fn pass_through(ordered: &[Scenario]) -> Self {
+        JournalConsult {
+            misses: ordered.to_vec(),
+            ..JournalConsult::default()
+        }
+    }
+}
+
+/// Consults the run journal for an ordered run list — the resume path.
+///
+/// Completed entries always replay; failed entries replay unless the run
+/// reruns failures; skipped outcomes are never journaled, so they (and
+/// anything the journal has not seen) fall through as misses. Repeated ids
+/// follow [`consult_cache`]'s first-occurrence rule.
+pub(crate) fn consult_journal(
+    ctx: &ExecContext,
+    journal: &RunJournal,
+    ordered: &[Scenario],
+) -> JournalConsult {
+    let mut out = JournalConsult::default();
+    let revision = ctx.provider.lock().catalog().revision();
+    let fpr = Fingerprinter::new(
+        &ctx.config.appname,
+        &ctx.script,
+        ctx.options.experiment_seed,
+        revision,
+    );
+    // id → whether its first occurrence replayed.
+    let mut first: HashMap<u32, bool> = HashMap::new();
+    for s in ordered {
+        if !ctx.should_run(s) {
+            out.misses.push(s.clone());
+            continue;
+        }
+        match first.get(&s.id) {
+            Some(true) => continue,
+            Some(false) => {
+                out.misses.push(s.clone());
+                continue;
+            }
+            None => {}
+        }
+        let fp = fpr.scenario(s);
+        out.fingerprints.insert(s.id, fp);
+        let replay = journal.lookup(fp).filter(|e| match e.status {
+            ScenarioStatus::Completed => true,
+            ScenarioStatus::Failed => !ctx.options.rerun_failed,
+            _ => false,
+        });
+        match replay {
+            Some(entry) => {
+                out.hits.push(JournalHit {
+                    scenario: s.clone(),
+                    entry: entry.clone(),
+                });
+                first.insert(s.id, true);
+            }
+            None => {
+                out.misses.push(s.clone());
+                first.insert(s.id, false);
+            }
+        }
+    }
+    out
+}
+
 /// Stores freshly-executed completed points under the fingerprints recorded
 /// at consult time, persisting the cache if anything changed. Runs on the
 /// coordinating thread after all shards have merged — shard workers never
@@ -581,6 +928,7 @@ pub struct Collector {
     pub(crate) shared_vfs: Arc<Mutex<Vfs>>,
     pub(crate) cache: ScenarioCache,
     pub(crate) cache_policy: CachePolicy,
+    pub(crate) journal: Option<Arc<Mutex<RunJournal>>>,
 }
 
 impl Collector {
@@ -611,6 +959,7 @@ impl Collector {
             shared_vfs: Arc::new(Mutex::new(Vfs::new())),
             cache: ScenarioCache::in_memory(),
             cache_policy: CachePolicy::default(),
+            journal: None,
         })
     }
 
@@ -625,6 +974,19 @@ impl Collector {
     /// Sets the cache policy used when a run has no plan-level override.
     pub fn set_cache_policy(&mut self, policy: CachePolicy) {
         self.cache_policy = policy;
+    }
+
+    /// Attaches a crash-safe run journal. Plan-level collects
+    /// ([`crate::collect::CollectPlan`]) replay its finished entries and
+    /// append each new outcome as it lands; without one, nothing is
+    /// journaled.
+    pub fn set_journal(&mut self, journal: RunJournal) {
+        self.journal = Some(Arc::new(Mutex::new(journal)));
+    }
+
+    /// The attached run journal, if any.
+    pub fn journal(&self) -> Option<Arc<Mutex<RunJournal>>> {
+        self.journal.clone()
     }
 
     /// The scenario-result cache.
@@ -687,6 +1049,7 @@ impl Collector {
             ctx: &self.ctx,
             service: &mut self.service,
             vfs: self.shared_vfs.clone(),
+            journal: None,
         }
         .run(&consult.misses)?;
         for outcome in &out.outcomes {
@@ -1025,7 +1388,12 @@ mod option_tests {
     fn rerun_failed_retries_failed_scenarios() {
         use cloudsim::{FaultPlan, Operation};
         let config = UserConfig::example_lammps_small();
-        let options = CollectorOptions::builder().rerun_failed(true).build();
+        // Retries off: this test is about the *cross-run* rerun_failed
+        // knob, so the in-run retry must not absorb the injected fault.
+        let options = CollectorOptions::builder()
+            .rerun_failed(true)
+            .retry(RetryPolicy::none())
+            .build();
         let (mut collector, mut scenarios, provider) = setup_with(&config, options);
         // First pass: the second compute task (invocation 2: setup=0,
         // compute=1,2,3) fails by injection.

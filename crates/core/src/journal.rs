@@ -1,0 +1,349 @@
+//! Crash-safe run journal: append-only JSONL of per-scenario outcomes.
+//!
+//! A multi-hour sweep interrupted at scenario 30 of 36 should not re-spend
+//! cloud time on the first 30. The journal records each scenario's outcome
+//! *as it finishes* — one compact JSON object per line, appended and
+//! flushed — so a killed run leaves a readable prefix. `collect --resume`
+//! replays the journal and collects only the remainder; the resumed
+//! dataset is byte-identical to an uninterrupted run because entries carry
+//! the full [`DataPoint`] and are keyed by the same content fingerprint the
+//! PR 2 cache uses.
+//!
+//! Corruption tolerance mirrors the cache: a damaged header discards the
+//! whole file (cold start, `recovered` flag set), a torn tail line — the
+//! normal shape of a crash mid-append — drops only that line.
+
+use crate::cache::Fingerprint;
+use crate::dataset::{point_to_value, value_to_point, DataPoint};
+use crate::scenario::ScenarioStatus;
+use hpcadvisor_formats::{json, OrderedMap, Value};
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Version of the journal line format. A header with a different version
+/// discards the file wholesale.
+const JOURNAL_VERSION: i64 = 1;
+
+/// One journaled scenario outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// Content fingerprint of the scenario execution (the cache key).
+    pub fingerprint: Fingerprint,
+    /// Scenario id at the time of the run (diagnostic only — resume matches
+    /// by fingerprint, so renumbered grids still replay).
+    pub scenario_id: u32,
+    /// Terminal status the scenario reached.
+    pub status: ScenarioStatus,
+    /// Attempts spent on the scenario (1 = no retries; 0 = replayed).
+    pub attempts: u32,
+    /// Total simulated backoff seconds spent on the scenario.
+    pub backoff_secs: f64,
+    /// Failure reason, for failed scenarios.
+    pub fail_reason: Option<String>,
+    /// The finished data point, for completed scenarios.
+    pub point: Option<DataPoint>,
+}
+
+fn entry_to_line(e: &JournalEntry) -> String {
+    let mut m = OrderedMap::new();
+    m.insert("fp", Value::str(e.fingerprint.to_hex()));
+    m.insert("id", Value::Int(i64::from(e.scenario_id)));
+    m.insert("status", Value::str(e.status.as_str()));
+    m.insert("attempts", Value::Int(i64::from(e.attempts)));
+    m.insert("backoff_secs", Value::Float(e.backoff_secs));
+    if let Some(reason) = &e.fail_reason {
+        m.insert("fail_reason", Value::str(reason));
+    }
+    if let Some(point) = &e.point {
+        m.insert("point", point_to_value(point));
+    }
+    json::to_string(&Value::Map(m))
+}
+
+fn line_to_entry(line: &str) -> Option<JournalEntry> {
+    let v = json::parse(line).ok()?;
+    let fingerprint = Fingerprint::from_hex(v.get("fp")?.as_str()?)?;
+    let status = ScenarioStatus::parse(v.get("status")?.as_str()?)?;
+    let point = match v.get("point") {
+        Some(pv) => Some(value_to_point(pv).ok()?),
+        None => None,
+    };
+    Some(JournalEntry {
+        fingerprint,
+        scenario_id: v.get("id")?.as_int()? as u32,
+        status,
+        attempts: v.get("attempts")?.as_int()? as u32,
+        backoff_secs: v.get("backoff_secs")?.as_f64()?,
+        fail_reason: v
+            .get("fail_reason")
+            .and_then(|r| r.as_str())
+            .map(str::to_string),
+        point,
+    })
+}
+
+/// The append-only run journal.
+#[derive(Debug, Default)]
+pub struct RunJournal {
+    path: Option<PathBuf>,
+    /// Insertion-ordered entries as read/written; later entries for the
+    /// same fingerprint win in [`RunJournal::lookup`].
+    entries: Vec<JournalEntry>,
+    by_fp: HashMap<Fingerprint, usize>,
+    recovered: bool,
+    /// True once the backing file is known to start with a valid header.
+    initialized: bool,
+}
+
+impl RunJournal {
+    /// A purely in-memory journal (for tests; nothing persists).
+    pub fn in_memory() -> Self {
+        RunJournal::default()
+    }
+
+    /// Opens a file-backed journal, replaying whatever prefix survives.
+    /// A missing file starts empty; a damaged header starts empty with
+    /// `recovered` set (the file is rewritten on the first append); a torn
+    /// tail line is dropped alone.
+    pub fn open(path: impl AsRef<Path>) -> Self {
+        let path = path.as_ref().to_path_buf();
+        let mut journal = RunJournal {
+            path: Some(path.clone()),
+            ..RunJournal::default()
+        };
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => return journal,
+        };
+        let mut lines = text.lines();
+        let header_ok = lines.next().is_some_and(|h| {
+            json::parse(h).ok().and_then(|v| v.get("version")?.as_int()) == Some(JOURNAL_VERSION)
+        });
+        if !header_ok {
+            journal.recovered = true;
+            return journal;
+        }
+        journal.initialized = true;
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match line_to_entry(line) {
+                Some(entry) => journal.push(entry),
+                // A torn or garbled line: the tail of a crashed append.
+                None => journal.recovered = true,
+            }
+        }
+        if journal.recovered {
+            // The file may end in a partial line with no newline; force the
+            // next append to rewrite it from the surviving entries.
+            journal.initialized = false;
+        }
+        journal
+    }
+
+    /// Opens a file-backed journal after deleting any existing file — the
+    /// non-resume collect path, which must not replay a previous run.
+    pub fn open_fresh(path: impl AsRef<Path>) -> Self {
+        let _ = std::fs::remove_file(path.as_ref());
+        RunJournal::open(path)
+    }
+
+    fn push(&mut self, entry: JournalEntry) {
+        self.by_fp.insert(entry.fingerprint, self.entries.len());
+        self.entries.push(entry);
+    }
+
+    /// Appends one outcome, flushing the line to disk before returning.
+    /// IO errors are swallowed: journalling is best-effort and must never
+    /// fail the collection it protects.
+    pub fn append(&mut self, entry: JournalEntry) {
+        if let Some(path) = &self.path {
+            let line = entry_to_line(&entry);
+            let write = || -> std::io::Result<()> {
+                if let Some(dir) = path.parent() {
+                    std::fs::create_dir_all(dir)?;
+                }
+                let mut file = if self.initialized {
+                    std::fs::OpenOptions::new().append(true).open(path)?
+                } else {
+                    // First append (re)creates the file with its header and
+                    // the surviving entries, compacting away any damage.
+                    let mut f = std::fs::File::create(path)?;
+                    writeln!(f, "{{\"version\": {JOURNAL_VERSION}}}")?;
+                    for e in &self.entries {
+                        writeln!(f, "{}", entry_to_line(e))?;
+                    }
+                    f
+                };
+                writeln!(file, "{line}")?;
+                file.flush()
+            };
+            if write().is_ok() {
+                self.initialized = true;
+            }
+        }
+        self.push(entry);
+    }
+
+    /// Latest entry for a fingerprint, if any.
+    pub fn lookup(&self, fp: Fingerprint) -> Option<&JournalEntry> {
+        self.by_fp.get(&fp).map(|&i| &self.entries[i])
+    }
+
+    /// All entries in append order.
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
+    /// Number of journaled outcomes (duplicates counted once each).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is journaled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if damage was detected (and skipped) while opening.
+    pub fn recovered(&self) -> bool {
+        self.recovered
+    }
+
+    /// The backing file, if any.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::point;
+
+    fn fp(n: u128) -> Fingerprint {
+        Fingerprint::from_hex(&format!("{n:032x}")).unwrap()
+    }
+
+    fn completed(id: u32, raw: u128) -> JournalEntry {
+        JournalEntry {
+            fingerprint: fp(raw),
+            scenario_id: id,
+            status: ScenarioStatus::Completed,
+            attempts: 1,
+            backoff_secs: 0.0,
+            fail_reason: None,
+            point: Some(point(id, "lammps", "Standard_HC44rs", 2, 88, 10.0, 0.5)),
+        }
+    }
+
+    fn tempfile(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "hpcadvisor-journal-test-{tag}-{}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn entries_roundtrip_through_lines() {
+        let entry = JournalEntry {
+            attempts: 3,
+            backoff_secs: 87.5,
+            ..completed(7, 0xabc)
+        };
+        assert_eq!(line_to_entry(&entry_to_line(&entry)), Some(entry.clone()));
+        let failed = JournalEntry {
+            status: ScenarioStatus::Failed,
+            fail_reason: Some("quota exceeded".into()),
+            point: None,
+            ..entry
+        };
+        assert_eq!(line_to_entry(&entry_to_line(&failed)), Some(failed));
+        assert!(line_to_entry("not json").is_none());
+        assert!(line_to_entry("{\"fp\": \"zz\"}").is_none());
+    }
+
+    #[test]
+    fn append_then_reopen_replays() {
+        let path = tempfile("replay");
+        let _ = std::fs::remove_file(&path);
+        let mut journal = RunJournal::open(&path);
+        assert!(journal.is_empty() && !journal.recovered());
+        journal.append(completed(1, 1));
+        journal.append(completed(2, 2));
+
+        let back = RunJournal::open(&path);
+        assert_eq!(back.len(), 2);
+        assert!(!back.recovered());
+        assert_eq!(back.lookup(fp(1)), Some(&completed(1, 1)));
+        assert_eq!(back.lookup(fp(3)), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_line_drops_alone() {
+        let path = tempfile("torn");
+        let _ = std::fs::remove_file(&path);
+        let mut journal = RunJournal::open(&path);
+        journal.append(completed(1, 1));
+        journal.append(completed(2, 2));
+        // Simulate a crash mid-append: truncate the last line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 20]).unwrap();
+
+        let back = RunJournal::open(&path);
+        assert_eq!(back.len(), 1, "only the torn line is lost");
+        assert!(back.recovered());
+        assert!(back.lookup(fp(1)).is_some());
+        // Appending after recovery keeps the surviving prefix.
+        let mut back = back;
+        back.append(completed(3, 3));
+        let again = RunJournal::open(&path);
+        assert_eq!(again.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn damaged_header_starts_cold_and_heals_on_append() {
+        let path = tempfile("header");
+        std::fs::write(&path, "garbage header\nmore garbage\n").unwrap();
+        let mut journal = RunJournal::open(&path);
+        assert!(journal.is_empty());
+        assert!(journal.recovered());
+        journal.append(completed(1, 1));
+        let back = RunJournal::open(&path);
+        assert!(!back.recovered(), "first append rewrote the file");
+        assert_eq!(back.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_fresh_discards_previous_run() {
+        let path = tempfile("fresh");
+        let mut journal = RunJournal::open(&path);
+        journal.append(completed(1, 1));
+        let fresh = RunJournal::open_fresh(&path);
+        assert!(fresh.is_empty());
+        assert!(RunJournal::open(&path).lookup(fp(1)).is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn duplicate_fingerprints_last_wins() {
+        let mut journal = RunJournal::in_memory();
+        journal.append(JournalEntry {
+            status: ScenarioStatus::Failed,
+            fail_reason: Some("first try".into()),
+            point: None,
+            ..completed(1, 9)
+        });
+        journal.append(completed(1, 9));
+        assert_eq!(journal.len(), 2);
+        assert_eq!(
+            journal.lookup(fp(9)).unwrap().status,
+            ScenarioStatus::Completed
+        );
+    }
+}

@@ -61,12 +61,14 @@ pub mod config;
 pub mod dataset;
 pub mod deployment;
 pub mod error;
+pub mod journal;
 pub mod metrics;
 pub mod pareto;
 pub mod plot;
 pub mod predictor;
 pub mod regress;
 pub mod replicate;
+pub mod retry;
 pub mod sampling;
 pub mod scenario;
 pub mod session;
@@ -79,6 +81,8 @@ pub use config::UserConfig;
 pub use dataset::{DataFilter, DataPoint, Dataset};
 pub use deployment::{Deployment, DeploymentManager};
 pub use error::ToolError;
+pub use journal::{JournalEntry, RunJournal};
+pub use retry::{FaultClass, RetryPolicy};
 pub use scenario::{Scenario, ScenarioStatus};
 pub use session::Session;
 
@@ -92,9 +96,11 @@ pub mod prelude {
     pub use crate::dataset::{DataFilter, DataPoint, Dataset};
     pub use crate::deployment::DeploymentManager;
     pub use crate::error::ToolError;
+    pub use crate::journal::RunJournal;
     pub use crate::pareto::pareto_front;
     pub use crate::predictor::{advise_from_history, HistoryPredictor};
     pub use crate::replicate::{front_stability, render_stability, run_replicates};
+    pub use crate::retry::RetryPolicy;
     pub use crate::sampling::partial::run_partial_execution;
     pub use crate::scenario::{Scenario, ScenarioStatus};
     pub use crate::session::Session;

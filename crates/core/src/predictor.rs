@@ -221,6 +221,7 @@ pub fn advise_from_history(
         Advice {
             rows,
             sort: AdviceSort::ByTime,
+            skipped_scenarios: 0,
         },
         predictions,
     ))

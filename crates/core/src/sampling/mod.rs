@@ -232,6 +232,7 @@ mod tests {
                 })
                 .collect(),
             sort: Default::default(),
+            skipped_scenarios: 0,
         }
     }
 

@@ -21,6 +21,11 @@ pub enum ScenarioStatus {
     Completed,
     /// Executed and failed (or could not run).
     Failed,
+    /// Deliberately not executed: the run degraded gracefully (e.g. the
+    /// SKU's quota was exhausted mid-run) and will re-attempt on the next
+    /// collect. Unlike `Failed`, no execution evidence exists for the
+    /// scenario.
+    Skipped,
 }
 
 impl ScenarioStatus {
@@ -30,6 +35,7 @@ impl ScenarioStatus {
             ScenarioStatus::Pending => "pending",
             ScenarioStatus::Completed => "completed",
             ScenarioStatus::Failed => "failed",
+            ScenarioStatus::Skipped => "skipped",
         }
     }
 
@@ -39,6 +45,7 @@ impl ScenarioStatus {
             "pending" => Some(ScenarioStatus::Pending),
             "completed" => Some(ScenarioStatus::Completed),
             "failed" => Some(ScenarioStatus::Failed),
+            "skipped" => Some(ScenarioStatus::Skipped),
             _ => None,
         }
     }
@@ -287,6 +294,7 @@ mod tests {
             ScenarioStatus::Pending,
             ScenarioStatus::Completed,
             ScenarioStatus::Failed,
+            ScenarioStatus::Skipped,
         ] {
             assert_eq!(ScenarioStatus::parse(s.as_str()), Some(s));
         }

@@ -9,6 +9,7 @@ use crate::config::UserConfig;
 use crate::dataset::Dataset;
 use crate::deployment::DeploymentManager;
 use crate::error::ToolError;
+use crate::journal::RunJournal;
 use crate::scenario::{generate_scenarios, Scenario};
 use batchsim::SharedProvider;
 use cloudsim::SkuCatalog;
@@ -41,6 +42,23 @@ impl Session {
             deployment,
             config,
         })
+    }
+
+    /// Creates a session that resumes an interrupted collection from a run
+    /// journal: the cloud environment is recreated, and plan-based collects
+    /// replay the journal's finished outcomes — only the remainder
+    /// executes. The resumed dataset is byte-identical to what the
+    /// uninterrupted run would have produced.
+    pub fn resume(config: UserConfig, seed: u64, journal: RunJournal) -> Result<Self, ToolError> {
+        let mut session = Session::create(config, seed)?;
+        session.set_journal(journal);
+        Ok(session)
+    }
+
+    /// Attaches a crash-safe run journal (see [`RunJournal`]); plan-based
+    /// collects append every outcome as it lands and replay finished ones.
+    pub fn set_journal(&mut self, journal: RunJournal) {
+        self.collector.set_journal(journal);
     }
 
     /// The deployment (resource-group) name.

@@ -79,11 +79,15 @@ fn quota_failure_in_one_shard_leaves_siblings_untouched() {
         .collect_with(&CollectPlan::new().workers(4))
         .unwrap();
 
-    assert_eq!(report.stats.executed, 36, "no scenario was skipped");
-    assert!(report.stats.failed > 0, "quota failures surfaced");
+    assert_eq!(report.stats.executed, 36, "every scenario was visited");
+    assert_eq!(
+        report.stats.failed, 0,
+        "quota exhaustion degrades, not fails"
+    );
+    assert!(report.stats.skipped > 0, "quota skips surfaced");
     for outcome in &report.outcomes {
         if outcome.sku.contains("HC44rs") && outcome.nnodes > 1 {
-            assert_eq!(outcome.status, ScenarioStatus::Failed, "{outcome:?}");
+            assert_eq!(outcome.status, ScenarioStatus::Skipped, "{outcome:?}");
             let reason = outcome.fail_reason.as_deref().unwrap_or("");
             assert!(reason.contains("quota"), "reason: {reason}");
         } else {

@@ -90,4 +90,40 @@ proptest! {
         };
         prop_assert_eq!(run(), run());
     }
+
+    /// Under a random probabilistic fault plan the sweep never panics or
+    /// aborts, every scenario still reaches a terminal state, and the
+    /// outcome counts partition the grid.
+    #[test]
+    fn random_fault_plans_never_abort_the_sweep(
+        config in arb_config(),
+        seed in 1u64..500,
+        fault_seed in 0u64..1000,
+        p_task in 0.0f64..0.4,
+        p_alloc in 0.0f64..0.4,
+    ) {
+        use hpcadvisor::cloudsim::{FaultPlan, Operation};
+        let mut session = Session::create(config.clone(), seed).unwrap();
+        session.provider().lock().set_fault_plan(
+            FaultPlan::none()
+                .seed(fault_seed)
+                .fail_probabilistic(Operation::RunTask, p_task)
+                .fail_probabilistic(Operation::AllocateNodes, p_alloc),
+        );
+        let report = session.collect_with(&CollectPlan::new()).unwrap();
+        let total = config.scenario_count();
+        prop_assert_eq!(report.outcomes.len(), total);
+        prop_assert_eq!(
+            report.stats.completed + report.stats.failed + report.stats.skipped,
+            total,
+            "terminal statuses partition the grid"
+        );
+        for s in session.scenarios() {
+            prop_assert!(s.status != ScenarioStatus::Pending);
+        }
+        // Attempts are bounded by the default policy's maximum.
+        for o in &report.outcomes {
+            prop_assert!(o.attempts <= 3, "attempts {} on {:?}", o.attempts, o.scenario_id);
+        }
+    }
 }
