@@ -1,6 +1,6 @@
 //! Pools: groups of identical nodes backing task execution.
 
-use cloudsim::AllocationId;
+use cloudsim::{AllocationId, Capacity};
 
 /// Lifecycle state of a pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +28,9 @@ pub struct Pool {
     pub state: PoolState,
     /// True once the pool's setup task completed successfully.
     pub setup_done: bool,
+    /// Pricing/eviction class of the pool's nodes. Dedicated by default;
+    /// spot pools bill at a discount but can lose all nodes to eviction.
+    pub capacity: Capacity,
 }
 
 impl Pool {
@@ -41,6 +44,7 @@ impl Pool {
             allocation: None,
             state: PoolState::Active,
             setup_done: false,
+            capacity: Capacity::Dedicated,
         }
     }
 

@@ -4,7 +4,7 @@ use crate::error::BatchError;
 use crate::pool::{Pool, PoolState};
 use crate::task::{TaskContext, TaskId, TaskKind, TaskRecord, TaskResult, TaskState};
 use crate::SharedProvider;
-use cloudsim::{CloudError, Operation};
+use cloudsim::{Capacity, CloudError, Operation};
 use simtime::{EventQueue, SharedClock, SimInstant};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -100,6 +100,7 @@ impl BatchService {
             return Ok(());
         }
         let sku = pool.sku.clone();
+        let capacity = pool.capacity;
         let old_allocation = pool.allocation.take();
         // Close out the old allocation first so quota frees before the new
         // acquire (growing a pool within quota would otherwise double-count).
@@ -110,15 +111,32 @@ impl BatchService {
         pool.nodes = 0;
         pool.busy.clear();
         if target > 0 {
-            let allocation =
-                self.provider
-                    .lock()
-                    .allocate_nodes(&self.resource_group, &sku, target)?;
+            let allocation = self.provider.lock().allocate_nodes_with(
+                &self.resource_group,
+                &sku,
+                target,
+                capacity,
+            )?;
             let pool = self.active_pool(name)?;
             pool.allocation = Some(allocation);
             pool.nodes = target;
             pool.busy = vec![false; target as usize];
         }
+        Ok(())
+    }
+
+    /// Switches a pool between dedicated and spot capacity. The pool must be
+    /// idle and empty: capacity applies to the *next* resize, so callers
+    /// shrink to zero first (the collector escalates evicted scenarios this
+    /// way — resize to 0, switch to dedicated, resize back up).
+    pub fn set_pool_capacity(&mut self, name: &str, capacity: Capacity) -> Result<(), BatchError> {
+        let pool = self.active_pool(name)?;
+        if !pool.is_idle() || pool.nodes > 0 {
+            return Err(BatchError::PoolBusy {
+                pool: name.to_string(),
+            });
+        }
+        pool.capacity = capacity;
         Ok(())
     }
 
@@ -194,6 +212,7 @@ impl BatchService {
                 exit_code: None,
                 run_duration: None,
                 fault: None,
+                evicted: false,
             },
         );
         self.runners.insert(id, runner);
@@ -286,6 +305,34 @@ impl BatchService {
                 );
                 self.tasks.get_mut(&id).expect("record").fault = Some(fault.kind);
             }
+            // Spot pools can lose their nodes to capacity reclaim while a
+            // compute task runs. The eviction check is keyed by pool name so
+            // it replays identically under any worker count; the doomed task
+            // consumes its runtime (the partial node-hours are billed when
+            // the pool deprovisions in `finish`), fails with an eviction
+            // tag, and the collector requeues or escalates it.
+            let record = self.tasks.get(&id).expect("record");
+            if record.kind == TaskKind::Compute
+                && self
+                    .pools
+                    .get(&pool_name)
+                    .is_some_and(|p| p.capacity == Capacity::Spot)
+            {
+                let evicted = self
+                    .provider
+                    .lock()
+                    .inject_fault(Operation::Eviction, &pool_name);
+                if let Err(fault) = evicted {
+                    result = TaskResult::failed(
+                        result.duration,
+                        format!("{}spot capacity evicted mid-task: {fault}\n", result.stdout),
+                        -1,
+                    );
+                    let record = self.tasks.get_mut(&id).expect("record");
+                    record.fault = Some(fault.kind);
+                    record.evicted = true;
+                }
+            }
             let finish_at = self.clock.now() + result.duration;
             self.running.insert(
                 id,
@@ -322,6 +369,19 @@ impl BatchService {
                     if rec.kind == TaskKind::Setup {
                         pool.setup_done = true;
                     }
+                }
+            }
+            // An eviction takes the whole pool with it: the provider
+            // reclaims the nodes now, which closes the billing span at the
+            // eviction instant — only the consumed (partial) node-hours are
+            // charged. The pool object survives empty, setup state intact,
+            // so the collector can resize it back up and retry.
+            let was_evicted = self.tasks.get(&id).is_some_and(|r| r.evicted);
+            if was_evicted && pool.is_idle() {
+                if let Some(alloc) = pool.allocation.take() {
+                    pool.nodes = 0;
+                    pool.busy.clear();
+                    let _ = self.provider.lock().release_nodes(alloc);
                 }
             }
         }
@@ -595,6 +655,102 @@ mod tests {
             .run_task("p1", "t2", TaskKind::Compute, 1, 44, quick_runner(10))
             .unwrap();
         assert_eq!(rec2.state, TaskState::Completed);
+    }
+
+    #[test]
+    fn eviction_preempts_spot_pool_and_bills_partial_span() {
+        let mut provider = CloudProvider::new(ProviderConfig::default()).unwrap();
+        provider.create_resource_group("rg").unwrap();
+        provider.create_vnet("rg", "vnet", "default").unwrap();
+        provider.create_storage_account("rg", "stor").unwrap();
+        provider.create_batch_account("rg", "batch").unwrap();
+        // First eviction check fires; later ones don't.
+        provider.set_fault_plan(FaultPlan::none().fail_nth(Operation::Eviction, 0));
+        let mut svc = BatchService::new(share(provider), "rg");
+        svc.create_pool("p1", "HB120rs_v3").unwrap();
+        svc.set_pool_capacity("p1", Capacity::Spot).unwrap();
+        svc.resize_pool("p1", 2).unwrap();
+
+        let rec = svc
+            .run_task("p1", "t", TaskKind::Compute, 2, 120, quick_runner(600))
+            .unwrap();
+        assert_eq!(rec.state, TaskState::Failed);
+        assert!(rec.evicted, "eviction is tagged");
+        assert_eq!(rec.fault, Some(cloudsim::FaultKind::Transient));
+        assert!(rec.stdout.contains("evicted mid-task"));
+        // The whole pool was reclaimed; its billing span closed at the
+        // eviction instant with only the consumed node-hours, spot-priced.
+        let pool = svc.pool("p1").unwrap();
+        assert_eq!(pool.nodes, 0);
+        assert!(pool.allocation.is_none());
+        assert_eq!(pool.capacity, Capacity::Spot);
+        {
+            let provider = svc.provider.lock();
+            let records = provider.billing().records();
+            assert_eq!(records.len(), 1);
+            let full_rate = 3.60 * 2.0 * (600.0 / 3600.0);
+            assert!(records[0].cost > 0.0, "partial span is billed");
+            assert!(
+                records[0].cost < full_rate,
+                "spot discount applied: {} < {full_rate}",
+                records[0].cost
+            );
+        }
+        // The collector's requeue path: resize back up and retry — the
+        // second attempt survives (the plan only fired once per scope).
+        svc.resize_pool("p1", 2).unwrap();
+        let rec2 = svc
+            .run_task(
+                "p1",
+                "t-retry",
+                TaskKind::Compute,
+                2,
+                120,
+                quick_runner(600),
+            )
+            .unwrap();
+        assert_eq!(rec2.state, TaskState::Completed);
+        assert!(!rec2.evicted);
+    }
+
+    #[test]
+    fn dedicated_pools_never_see_eviction_checks() {
+        let mut provider = CloudProvider::new(ProviderConfig::default()).unwrap();
+        provider.create_resource_group("rg").unwrap();
+        provider.create_vnet("rg", "vnet", "default").unwrap();
+        provider.create_storage_account("rg", "stor").unwrap();
+        provider.create_batch_account("rg", "batch").unwrap();
+        // Even an always-evict plan cannot touch dedicated capacity.
+        provider.set_fault_plan(FaultPlan::none().evict_pressure(1.0));
+        let mut svc = BatchService::new(share(provider), "rg");
+        svc.create_pool("p1", "HC44rs").unwrap();
+        svc.resize_pool("p1", 1).unwrap();
+        let rec = svc
+            .run_task("p1", "t", TaskKind::Compute, 1, 44, quick_runner(30))
+            .unwrap();
+        assert_eq!(rec.state, TaskState::Completed);
+        assert!(!rec.evicted);
+        assert_eq!(
+            svc.provider
+                .lock()
+                .fault_attempts(Operation::Eviction, "p1"),
+            0,
+            "no eviction roll was consumed"
+        );
+    }
+
+    #[test]
+    fn capacity_switch_requires_empty_pool() {
+        let mut svc = service();
+        svc.create_pool("p1", "HC44rs").unwrap();
+        svc.resize_pool("p1", 2).unwrap();
+        assert!(
+            svc.set_pool_capacity("p1", Capacity::Spot).is_err(),
+            "capacity switch on a populated pool is rejected"
+        );
+        svc.resize_pool("p1", 0).unwrap();
+        svc.set_pool_capacity("p1", Capacity::Spot).unwrap();
+        assert_eq!(svc.pool("p1").unwrap().capacity, Capacity::Spot);
     }
 
     #[test]

@@ -144,6 +144,11 @@ pub struct TaskRecord {
     /// Retry logic uses this to tell transient infrastructure loss apart
     /// from deterministic application errors.
     pub fault: Option<FaultKind>,
+    /// True when the task failed because its spot nodes were reclaimed
+    /// mid-run. Evicted tasks also carry a transient `fault` tag; the
+    /// separate flag lets the collector count evictions and escalate to
+    /// dedicated capacity after repeated reclaims.
+    pub evicted: bool,
 }
 
 impl TaskRecord {
@@ -219,6 +224,7 @@ mod tests {
             exit_code: None,
             run_duration: None,
             fault: None,
+            evicted: false,
         };
         assert_eq!(rec.duration(), None);
         assert!(!rec.is_finished());

@@ -1,0 +1,71 @@
+//! What spot capacity costs under eviction pressure — and what the
+//! eviction-resilient scheduler pays to absorb it.
+//!
+//! The baseline runs the Listing-1 grid (36 scenarios) on dedicated
+//! capacity. The spot benchmarks run the same grid on spot pools at
+//! increasing seeded eviction pressure: every evicted attempt burns its
+//! runtime, requeues, and eventually escalates the pool to dedicated, so
+//! the sweep still completes 100% — these benchmarks measure that recovery
+//! machinery (eviction bookkeeping, pool re-provisioning, escalation) end
+//! to end.
+
+use cloudsim::{Capacity, FaultPlan};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcadvisor_bench::SEED;
+use hpcadvisor_core::prelude::*;
+
+fn run_grid(plan: &CollectPlan, faults: Option<FaultPlan>) -> usize {
+    let mut session = Session::create(UserConfig::example_openfoam(), SEED).unwrap();
+    if let Some(f) = faults {
+        session.provider().lock().set_fault_plan(f);
+    }
+    let report = session.collect_with(plan).unwrap();
+    assert_eq!(report.stats.failed, 0, "benchmarks run to completion");
+    assert_eq!(report.stats.completed, 36, "spot sweeps finish 100%");
+    report.dataset.len()
+}
+
+fn spot_eviction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spot_eviction");
+    group.sample_size(10);
+
+    // Dedicated capacity: the eviction machinery is armed but idle.
+    group.bench_function("dedicated_grid", |b| {
+        b.iter(|| run_grid(&CollectPlan::new(), None))
+    });
+
+    // Spot capacity with zero pressure: the discount without the churn.
+    group.bench_function("spot_grid_no_pressure", |b| {
+        b.iter(|| run_grid(&CollectPlan::new().capacity(Capacity::Spot), None))
+    });
+
+    // 20% of compute attempts evicted (seeded, deterministic): requeue and
+    // the occasional escalation carry the sweep to completion.
+    group.bench_function("spot_grid_20pct_pressure", |b| {
+        b.iter(|| {
+            run_grid(
+                &CollectPlan::new().capacity(Capacity::Spot),
+                Some(FaultPlan::none().seed(SEED).evict_pressure(0.20)),
+            )
+        })
+    });
+
+    // 50% pressure: most scenarios escalate; the recovery path dominates.
+    group.bench_function("spot_grid_50pct_pressure", |b| {
+        b.iter(|| {
+            run_grid(
+                &CollectPlan::new().capacity(Capacity::Spot),
+                Some(FaultPlan::none().seed(SEED).evict_pressure(0.50)),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = spot_eviction
+}
+criterion_main!(benches);

@@ -23,6 +23,9 @@ const VALUED: &[&str] = &[
     "workers",
     "cache-dir",
     "max-attempts",
+    "capacity",
+    "deadline",
+    "budget",
 ];
 
 /// Short-option aliases.
@@ -134,6 +137,22 @@ mod tests {
         assert_eq!(a.option("max-attempts"), Some("5"));
         assert!(a.has("no-retry"));
         assert!(a.has("resume"));
+    }
+
+    #[test]
+    fn spot_capacity_flags_take_values() {
+        let a = parse(&[
+            "collect",
+            "--capacity",
+            "spot",
+            "--deadline",
+            "3600",
+            "--budget",
+            "25.50",
+        ]);
+        assert_eq!(a.option("capacity"), Some("spot"));
+        assert_eq!(a.option("deadline"), Some("3600"));
+        assert_eq!(a.option("budget"), Some("25.50"));
     }
 
     #[test]

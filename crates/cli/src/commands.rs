@@ -13,7 +13,7 @@ use hpcadvisor_core::sampling::{
 };
 use hpcadvisor_core::scenario::generate_scenarios;
 use hpcadvisor_core::session::Session;
-use hpcadvisor_core::{DataFilter, RetryPolicy, RunJournal, ToolError, UserConfig};
+use hpcadvisor_core::{Capacity, DataFilter, RetryPolicy, RunJournal, ToolError, UserConfig};
 use std::io::Write;
 
 type Out<'a> = &'a mut dyn Write;
@@ -231,6 +231,34 @@ fn collect(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
     }
     collector.set_journal(journal);
 
+    // Spot-capacity collection: `--capacity spot` provisions spot pools
+    // (discounted, evictable); `auto` starts on spot but escalates a
+    // scenario to dedicated after its first eviction.
+    let capacity = match args.option("capacity") {
+        None | Some("dedicated") => None,
+        Some("spot") => Some((Capacity::Spot, None)),
+        Some("auto") => Some((Capacity::Spot, Some(1u32))),
+        Some(v) => {
+            return Err(ToolError::Config(format!(
+                "--capacity must be spot, dedicated or auto, got '{v}'"
+            )))
+        }
+    };
+    let deadline: Option<f64> = args
+        .option("deadline")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| ToolError::Config(format!("--deadline must be seconds, got '{v}'")))
+        })
+        .transpose()?;
+    let budget: Option<f64> = args
+        .option("budget")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| ToolError::Config(format!("--budget must be dollars, got '{v}'")))
+        })
+        .transpose()?;
+
     let increment = match args.option("sampler") {
         None | Some("full") => {
             let mut plan = CollectPlan::new().workers(workers);
@@ -241,6 +269,18 @@ fn collect(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
                     ToolError::Config(format!("--max-attempts must be a number, got '{n}'"))
                 })?;
                 plan = plan.max_attempts(n);
+            }
+            if let Some((class, escalate)) = capacity {
+                plan = plan.capacity(class);
+                if let Some(n) = escalate {
+                    plan = plan.escalate_after(n);
+                }
+            }
+            if let Some(secs) = deadline {
+                plan = plan.deadline_secs(secs);
+            }
+            if let Some(dollars) = budget {
+                plan = plan.budget_dollars(dollars);
             }
             let report = collector.collect_with_plan(&mut scenarios, &plan)?;
             if workers > 1 {
@@ -286,8 +326,26 @@ fn collect(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
                 wline(
                     out,
                     &format!(
-                        "skipped: {} scenarios degraded gracefully (e.g. quota); rerun collect to retry",
+                        "skipped: {} scenarios degraded gracefully (e.g. quota or budget); rerun collect to retry",
                         report.stats.skipped
+                    ),
+                )?;
+            }
+            if report.stats.evictions > 0 {
+                wline(
+                    out,
+                    &format!(
+                        "evictions: {} spot evictions survived via requeue/escalation",
+                        report.stats.evictions
+                    ),
+                )?;
+            }
+            if report.stats.timed_out > 0 {
+                wline(
+                    out,
+                    &format!(
+                        "timed out: {} scenarios hit the --deadline watchdog",
+                        report.stats.timed_out
                     ),
                 )?;
             }
@@ -359,7 +417,12 @@ fn collect(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
         .iter()
         .filter(|p| p.status == hpcadvisor_core::ScenarioStatus::Skipped)
         .count();
-    let failed = increment.len() - completed - skipped;
+    let timed_out = increment
+        .points
+        .iter()
+        .filter(|p| p.status == hpcadvisor_core::ScenarioStatus::TimedOut)
+        .count();
+    let failed = increment.len() - completed - skipped - timed_out;
     let mut dataset = workdir.load_dataset()?;
     dataset.extend(increment);
     workdir.save_dataset(&dataset)?;
@@ -367,11 +430,14 @@ fn collect(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
     // `+ 0.0` normalizes the negative zero an empty billing ledger sums to,
     // so a fully-cached collection prints $0.00 rather than $-0.00.
     let total_cost = manager.provider().lock().billing().total_cost() + 0.0;
-    let skipnote = if skipped > 0 {
+    let mut skipnote = if skipped > 0 {
         format!(", {skipped} skipped")
     } else {
         String::new()
     };
+    if timed_out > 0 {
+        skipnote.push_str(&format!(", {timed_out} timed out"));
+    }
     wline(
         out,
         &format!(
@@ -753,6 +819,47 @@ mod tests {
         assert!(ok, "{out}");
         let (_, ok) = run_in(&dir, &["collect", "--max-attempts", "lots"]);
         assert!(!ok, "non-numeric --max-attempts must error");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn collect_capacity_flags() {
+        let dir = tempdir("capacityflags");
+        let config = write_config(&dir);
+        let (_, ok) = run_in(&dir, &["deploy", "create", "-c", config.to_str().unwrap()]);
+        assert!(ok);
+        // A spot sweep (no injected pressure here) completes and bills at
+        // the discounted rate; budget and deadline parse alongside it.
+        let (out, ok) = run_in(
+            &dir,
+            &[
+                "collect",
+                "--capacity",
+                "spot",
+                "--deadline",
+                "86400",
+                "--budget",
+                "100",
+                "--no-cache",
+            ],
+        );
+        assert!(ok, "{out}");
+        assert!(out.contains("collected 2 completed, 0 failed"), "{out}");
+        // Bad values error before anything runs.
+        let (_, ok) = run_in(&dir, &["collect", "--capacity", "preemptible"]);
+        assert!(!ok, "unknown capacity class must error");
+        let (_, ok) = run_in(&dir, &["collect", "--budget", "lots"]);
+        assert!(!ok, "non-numeric --budget must error");
+        let (_, ok) = run_in(&dir, &["collect", "--deadline", "soon"]);
+        assert!(!ok, "non-numeric --deadline must error");
+        // A zero budget skips everything (journaled) instead of spending.
+        let scenarios_json = dir.join("scenarios.json");
+        let text = std::fs::read_to_string(&scenarios_json).unwrap();
+        std::fs::write(&scenarios_json, text.replace("completed", "pending")).unwrap();
+        let (out, ok) = run_in(&dir, &["collect", "--budget", "0", "--no-cache"]);
+        assert!(ok, "{out}");
+        assert!(out.contains("2 skipped"), "{out}");
+        assert!(out.contains("cloud spend this collection: $0.00"), "{out}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -76,6 +76,14 @@ OPTIONS:
     --max-attempts <n>     attempts per operation for transient faults
                            (default 3)
     --no-retry             fail fast: a single attempt per operation
+    --capacity <class>     pool capacity class: dedicated (default), spot
+                           (discounted, evictable; evicted scenarios requeue
+                           and escalate to dedicated), or auto (spot with
+                           escalation after the first eviction)
+    --deadline <secs>      per-scenario wall-clock deadline (simulated);
+                           scenarios that exceed it are marked timed out
+    --budget <dollars>     stop spending once billed cost reaches this;
+                           remaining scenarios are skipped (journaled)
     --ascii                print plots to the terminal instead of SVG files
     --sort <key>           advice sort order: time (default) or cost
     --slurm                also print a Slurm recipe for the fastest row

@@ -221,4 +221,45 @@ mod tests {
         let sku = catalog.get("HC44rs").unwrap();
         assert_eq!(cost_for(sku, 1.0, 100, SimDuration::ZERO), 0.0);
     }
+
+    #[test]
+    fn evict_at_boot_span_is_free_and_non_negative() {
+        // A spot node reclaimed the instant it boots produces a zero-length
+        // span; the meter must record exactly $0, never a negative refund.
+        let catalog = SkuCatalog::azure_hpc();
+        let sku = catalog.get("HB120rs_v3").unwrap();
+        let mut meter = BillingMeter::new();
+        let t0 = SimInstant::EPOCH;
+        let cost = cost_for(sku, 1.0 - sku.spot_discount, 8, SimDuration::ZERO);
+        assert_eq!(cost, 0.0);
+        meter.record(UsageRecord {
+            sku: sku.name.clone(),
+            nodes: 8,
+            start: t0,
+            end: t0,
+            cost,
+            resource_group: "rg1".into(),
+        });
+        assert_eq!(meter.total_cost(), 0.0);
+        assert_eq!(meter.total_node_hours(), 0.0);
+    }
+
+    #[test]
+    fn evict_mid_task_bills_fractional_seconds_without_rounding() {
+        // Eviction lands mid-second (1 337.25 s into the span). Azure meters
+        // by the second; the simulator is finer still — the fractional tail
+        // is billed pro rata, never rounded up to a whole second and never
+        // truncated to a negative duration.
+        let catalog = SkuCatalog::azure_hpc();
+        let sku = catalog.get("HB120rs_v3").unwrap();
+        let span = SimDuration::from_secs_f64(1337.25);
+        let spot_rate = 1.0 - sku.spot_discount;
+        let cost = cost_for(sku, spot_rate, 4, span);
+        let expected = sku.price_per_hour * spot_rate * 4.0 * (1337.25 / 3600.0);
+        assert!((cost - expected).abs() < 1e-9, "{cost} vs {expected}");
+        assert!(cost > 0.0, "partial billing must never go negative");
+        // Pro-rata monotonicity: a shorter partial span is strictly cheaper.
+        let shorter = cost_for(sku, spot_rate, 4, SimDuration::from_secs_f64(1337.0));
+        assert!(shorter < cost);
+    }
 }

@@ -39,6 +39,9 @@ pub enum Operation {
     RunTask,
     /// A node dying while a task is running on it.
     NodeDeath,
+    /// Spot/low-priority capacity being reclaimed by the provider while a
+    /// task is running on it. Only checked for spot allocations.
+    Eviction,
 }
 
 /// How an injected fault should be treated by retry logic.
@@ -86,6 +89,21 @@ pub enum FaultMode {
     /// by a stateless hash of `(seed, op, scope, attempt)` so the outcome
     /// is identical under any thread interleaving.
     Probability(f64),
+    /// Correlated bursts ("eviction storms"): invocations whose index falls
+    /// inside a window of `width` at the start of each `every`-invocation
+    /// cycle fail with `storm` probability; invocations outside the window
+    /// fail with the lower `calm` probability. Decisions use the same
+    /// stateless hash as [`FaultMode::Probability`].
+    Burst {
+        /// Cycle length, in invocations (must be > 0 to ever storm).
+        every: u64,
+        /// Number of invocations at the start of each cycle that storm.
+        width: u64,
+        /// Failure probability inside the storm window.
+        storm: f64,
+        /// Failure probability outside the storm window.
+        calm: f64,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -145,6 +163,32 @@ impl FaultPlan {
         self.fail_with(op, FaultMode::Probability(p), FaultKind::Transient)
     }
 
+    /// Registers steady spot-eviction pressure: each eviction check fails
+    /// (evicts) independently with probability `rate`.
+    pub fn evict_pressure(self, rate: f64) -> Self {
+        self.fail_with(
+            Operation::Eviction,
+            FaultMode::Probability(rate),
+            FaultKind::Transient,
+        )
+    }
+
+    /// Registers correlated "eviction storms": the first `width` of every
+    /// `every` eviction checks evict with probability `storm`, the rest
+    /// with the background probability `calm`.
+    pub fn evict_storms(self, every: u64, width: u64, storm: f64, calm: f64) -> Self {
+        self.fail_with(
+            Operation::Eviction,
+            FaultMode::Burst {
+                every,
+                width,
+                storm,
+                calm,
+            },
+            FaultKind::Transient,
+        )
+    }
+
     /// Whether the plan injects any faults at all.
     pub fn is_empty(&self) -> bool {
         self.rules.is_empty()
@@ -159,6 +203,19 @@ impl FaultPlan {
                 FaultMode::Nth(n) => attempt == n,
                 FaultMode::Always => true,
                 FaultMode::Probability(p) => fault_roll(self.seed, op, scope, attempt) < p,
+                FaultMode::Burst {
+                    every,
+                    width,
+                    storm,
+                    calm,
+                } => {
+                    let p = if every > 0 && attempt % every < width {
+                        storm
+                    } else {
+                        calm
+                    };
+                    fault_roll(self.seed, op, scope, attempt) < p
+                }
             };
             if fires {
                 return Some(Fault {
@@ -347,6 +404,42 @@ mod tests {
             assert!(never.decide(Operation::BootNode, "s", i).is_none());
             assert!(always.decide(Operation::BootNode, "s", i).is_some());
         }
+    }
+
+    #[test]
+    fn burst_mode_storms_in_windows_and_stays_deterministic() {
+        // Storm window: first 4 of every 16 checks evict with certainty,
+        // the rest never do — the pattern is exact and replayable.
+        let plan = FaultPlan::none().seed(3).evict_storms(16, 4, 1.0, 0.0);
+        let fired: Vec<bool> = (0..48)
+            .map(|i| plan.decide(Operation::Eviction, "pool-hb", i).is_some())
+            .collect();
+        for (i, &f) in fired.iter().enumerate() {
+            assert_eq!(f, (i as u64) % 16 < 4, "check #{i}");
+        }
+        let again: Vec<bool> = (0..48)
+            .map(|i| plan.decide(Operation::Eviction, "pool-hb", i).is_some())
+            .collect();
+        assert_eq!(fired, again, "burst decisions are stateless");
+        // A calm background rate fires outside the window too.
+        let calm = FaultPlan::none().seed(3).evict_storms(16, 4, 1.0, 0.5);
+        let outside = (4..16)
+            .filter(|&i| calm.decide(Operation::Eviction, "pool-hb", i).is_some())
+            .count();
+        assert!(outside > 0, "calm-rate evictions fire between storms");
+    }
+
+    #[test]
+    fn evict_pressure_is_probabilistic_per_scope() {
+        let plan = FaultPlan::none().seed(7).evict_pressure(0.5);
+        let a: Vec<bool> = (0..64)
+            .map(|i| plan.decide(Operation::Eviction, "pool-a", i).is_some())
+            .collect();
+        let b: Vec<bool> = (0..64)
+            .map(|i| plan.decide(Operation::Eviction, "pool-b", i).is_some())
+            .collect();
+        assert_ne!(a, b, "scopes roll independently");
+        assert!(a.iter().any(|&x| x) && a.iter().any(|&x| !x));
     }
 
     #[test]

@@ -47,6 +47,45 @@ impl Default for ProviderConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AllocationId(pub u64);
 
+/// Pricing/eviction class of a node allocation.
+///
+/// `Dedicated` nodes are pay-as-you-go: full price, never evicted. `Spot`
+/// (Azure "low-priority") nodes are billed at the SKU's discounted rate but
+/// can be reclaimed at any moment via [`Operation::Eviction`] faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Capacity {
+    /// Pay-as-you-go nodes at full price; immune to eviction.
+    #[default]
+    Dedicated,
+    /// Low-priority nodes at `price × (1 - spot_discount)`; evictable.
+    Spot,
+}
+
+impl Capacity {
+    /// Stable lowercase name, used in datasets, cache keys, and the CLI.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Capacity::Dedicated => "dedicated",
+            Capacity::Spot => "spot",
+        }
+    }
+
+    /// Parses the lowercase name produced by [`Capacity::as_str`].
+    pub fn parse(s: &str) -> Option<Capacity> {
+        match s {
+            "dedicated" => Some(Capacity::Dedicated),
+            "spot" => Some(Capacity::Spot),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Capacity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Allocation {
     sku: String,
@@ -54,6 +93,7 @@ struct Allocation {
     nodes: u32,
     start: SimInstant,
     resource_group: String,
+    capacity: Capacity,
 }
 
 /// The simulated cloud provider.
@@ -411,6 +451,19 @@ impl CloudProvider {
         sku_name: &str,
         nodes: u32,
     ) -> Result<AllocationId, CloudError> {
+        self.allocate_nodes_with(group, sku_name, nodes, Capacity::Dedicated)
+    }
+
+    /// [`CloudProvider::allocate_nodes`] with an explicit capacity class.
+    /// Spot allocations consume the same quota and boot path but are billed
+    /// at the SKU's discounted rate when released.
+    pub fn allocate_nodes_with(
+        &mut self,
+        group: &str,
+        sku_name: &str,
+        nodes: u32,
+        capacity: Capacity,
+    ) -> Result<AllocationId, CloudError> {
         self.group_mut(group)?;
         let sku = self.sku(sku_name)?.clone();
         if !self.region().offers_family(&sku.family) {
@@ -449,9 +502,15 @@ impl CloudProvider {
                 nodes,
                 start: self.clock.now(),
                 resource_group: group.to_string(),
+                capacity,
             },
         );
         Ok(AllocationId(id))
+    }
+
+    /// Capacity class of a live allocation.
+    pub fn allocation_capacity(&self, id: AllocationId) -> Option<Capacity> {
+        self.allocations.get(&id.0).map(|a| a.capacity)
     }
 
     /// Releases an allocation, returning the billed cost of its whole span.
@@ -463,12 +522,13 @@ impl CloudProvider {
         let sku = self.sku(&alloc.sku)?.clone();
         self.quota.release(&alloc.family, sku.cores * alloc.nodes);
         let end = self.clock.now();
-        let cost = cost_for(
-            &sku,
-            self.region().price_multiplier,
-            alloc.nodes,
-            end - alloc.start,
-        );
+        // Spot nodes bill the same span at the discounted rate; an eviction
+        // closes the span early, so only the consumed node-hours are charged.
+        let multiplier = match alloc.capacity {
+            Capacity::Dedicated => self.region().price_multiplier,
+            Capacity::Spot => self.region().price_multiplier * (1.0 - sku.spot_discount),
+        };
+        let cost = cost_for(&sku, multiplier, alloc.nodes, end - alloc.start);
         self.billing.record(UsageRecord {
             sku: alloc.sku,
             nodes: alloc.nodes,
@@ -553,6 +613,70 @@ mod tests {
         assert!((p.billing().total_cost() - cost).abs() < 1e-12);
         // Quota fully restored.
         assert_eq!(p.quota_mut().used("HBv3"), 0);
+    }
+
+    #[test]
+    fn spot_allocation_bills_at_discounted_rate() {
+        let mut p = provider();
+        deploy_landing_zone(&mut p, "rg1");
+        let id = p
+            .allocate_nodes_with("rg1", "HB120rs_v3", 4, Capacity::Spot)
+            .unwrap();
+        assert_eq!(p.allocation_capacity(id), Some(Capacity::Spot));
+        p.clock().advance_by(SimDuration::from_hours(1));
+        let cost = p.release_nodes(id).unwrap();
+        let discount = p.catalog().get("HB120rs_v3").unwrap().spot_discount;
+        let dedicated = 4.0 * 3.60;
+        assert!(
+            (cost - dedicated * (1.0 - discount)).abs() / dedicated < 0.05,
+            "spot cost {cost} should be {:.0}% of dedicated {dedicated}",
+            (1.0 - discount) * 100.0
+        );
+        // Quota is the same resource either way, and it came back.
+        assert_eq!(p.quota_mut().used("HBv3"), 0);
+    }
+
+    #[test]
+    fn eviction_at_boot_bills_nothing_and_never_negative() {
+        // A spot allocation reclaimed the instant it boots has a zero-length
+        // billing span: $0.00, never negative, and quota is handed back.
+        let mut p = provider();
+        deploy_landing_zone(&mut p, "rg1");
+        let id = p
+            .allocate_nodes_with("rg1", "HC44rs", 2, Capacity::Spot)
+            .unwrap();
+        let cost = p.release_nodes(id).unwrap();
+        assert_eq!(cost, 0.0, "evict-at-boot must bill a zero-length span");
+        assert!(cost >= 0.0, "partial billing must never go negative");
+        assert_eq!(p.quota_mut().used("HC"), 0);
+    }
+
+    #[test]
+    fn eviction_mid_task_bills_partial_span_once() {
+        // Reclaimed 17.3 minutes in: only the consumed node-hours are
+        // charged, at the spot rate, and a second release (a double refund
+        // or double charge) is structurally impossible.
+        let mut p = provider();
+        deploy_landing_zone(&mut p, "rg1");
+        let id = p
+            .allocate_nodes_with("rg1", "HB120rs_v3", 2, Capacity::Spot)
+            .unwrap();
+        p.clock()
+            .advance_by(SimDuration::from_secs_f64(17.3 * 60.0));
+        let cost = p.release_nodes(id).unwrap();
+        let discount = p.catalog().get("HB120rs_v3").unwrap().spot_discount;
+        let expected = 3.60 * (1.0 - discount) * 2.0 * (17.3 / 60.0);
+        assert!(
+            (cost - expected).abs() < 1e-9,
+            "partial span billed exactly: {cost} vs {expected}"
+        );
+        assert!((p.billing().total_cost() - cost).abs() < 1e-12);
+        // Double release is rejected, so the span cannot be re-billed.
+        assert!(matches!(
+            p.release_nodes(id),
+            Err(CloudError::UnknownAllocation(_))
+        ));
+        assert!((p.billing().total_cost() - cost).abs() < 1e-12);
     }
 
     #[test]

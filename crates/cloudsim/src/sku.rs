@@ -94,6 +94,11 @@ pub struct VmSku {
     pub interconnect: Interconnect,
     /// Pay-as-you-go price in USD per VM-hour (base region).
     pub price_per_hour: f64,
+    /// Spot/low-priority discount as a fraction of the pay-as-you-go price:
+    /// a spot node of this SKU costs `price_per_hour × (1 - spot_discount)`.
+    /// Deeper discounts come with higher eviction pressure in practice;
+    /// scarce top-end HPC parts discount less than commodity sizes.
+    pub spot_discount: f64,
     /// True if the SKU supports RDMA placement for tightly-coupled MPI.
     pub rdma_capable: bool,
 }
@@ -103,6 +108,12 @@ impl VmSku {
     /// (`hb120rs_v3` for `Standard_HB120rs_v3`).
     pub fn short_name(&self) -> String {
         normalize(&self.name)
+    }
+
+    /// Spot/low-priority price in USD per VM-hour (base region): the
+    /// pay-as-you-go price with this SKU's spot discount applied.
+    pub fn spot_price_per_hour(&self) -> f64 {
+        self.price_per_hour * (1.0 - self.spot_discount)
     }
 }
 
@@ -154,6 +165,7 @@ impl SkuCatalog {
                 arch: CpuArch::SkylakeSp,
                 interconnect: ib(100.0, 1.7),
                 price_per_hour: 3.168,
+                spot_discount: 0.62,
                 rdma_capable: true,
             },
             VmSku {
@@ -167,6 +179,7 @@ impl SkuCatalog {
                 arch: CpuArch::Naples,
                 interconnect: ib(100.0, 1.8),
                 price_per_hour: 2.28,
+                spot_discount: 0.70,
                 rdma_capable: true,
             },
             VmSku {
@@ -180,6 +193,7 @@ impl SkuCatalog {
                 arch: CpuArch::Rome,
                 interconnect: ib(200.0, 1.6),
                 price_per_hour: 3.60,
+                spot_discount: 0.68,
                 rdma_capable: true,
             },
             VmSku {
@@ -194,6 +208,7 @@ impl SkuCatalog {
                 arch: CpuArch::MilanX,
                 interconnect: ib(200.0, 1.5),
                 price_per_hour: 3.60,
+                spot_discount: 0.64,
                 rdma_capable: true,
             },
             VmSku {
@@ -207,6 +222,7 @@ impl SkuCatalog {
                 arch: CpuArch::GenoaX,
                 interconnect: ib(400.0, 1.3),
                 price_per_hour: 7.20,
+                spot_discount: 0.52,
                 rdma_capable: true,
             },
             VmSku {
@@ -220,6 +236,7 @@ impl SkuCatalog {
                 arch: CpuArch::GenoaX,
                 interconnect: ib(400.0, 1.3),
                 price_per_hour: 8.64,
+                spot_discount: 0.48,
                 rdma_capable: true,
             },
             VmSku {
@@ -233,6 +250,7 @@ impl SkuCatalog {
                 arch: CpuArch::CascadeLake,
                 interconnect: eth(30.0, 30.0),
                 price_per_hour: 3.045,
+                spot_discount: 0.80,
                 rdma_capable: false,
             },
             VmSku {
@@ -246,6 +264,7 @@ impl SkuCatalog {
                 arch: CpuArch::CascadeLake,
                 interconnect: eth(30.0, 35.0),
                 price_per_hour: 3.072,
+                spot_discount: 0.78,
                 rdma_capable: false,
             },
             VmSku {
@@ -259,6 +278,7 @@ impl SkuCatalog {
                 arch: CpuArch::CascadeLake,
                 interconnect: eth(35.0, 35.0),
                 price_per_hour: 6.048,
+                spot_discount: 0.74,
                 rdma_capable: false,
             },
         ];
@@ -358,6 +378,26 @@ mod tests {
             "hb120rs_v3"
         );
         assert_eq!(c.get("Standard_HC44rs").unwrap().short_name(), "hc44rs");
+    }
+
+    #[test]
+    fn spot_discounts_form_a_sane_curve() {
+        // Every SKU offers a spot rate strictly below pay-as-you-go, and the
+        // newest/scarcest HPC parts (HB176rs_v4, HX176rs) carry the smallest
+        // discounts — scarce capacity evicts more and discounts less.
+        let c = SkuCatalog::azure_hpc();
+        for sku in c.all() {
+            assert!(
+                sku.spot_discount > 0.0 && sku.spot_discount < 1.0,
+                "{}: discount {} out of range",
+                sku.name,
+                sku.spot_discount
+            );
+            assert!(sku.spot_price_per_hour() < sku.price_per_hour);
+        }
+        let commodity = c.get("F72s_v2").unwrap().spot_discount;
+        let scarce = c.get("HX176rs").unwrap().spot_discount;
+        assert!(scarce < commodity, "scarce SKUs discount less");
     }
 
     #[test]

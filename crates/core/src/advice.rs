@@ -5,6 +5,7 @@
 use crate::dataset::{DataFilter, Dataset};
 use crate::pareto::pareto_front;
 use crate::scenario::ScenarioStatus;
+use cloudsim::Capacity;
 
 /// How the advice table is sorted. "The advice data presented here is
 /// sorted by the least execution time first, but the tool has the option to
@@ -35,6 +36,35 @@ pub struct AdviceRow {
     pub appinputs: Vec<(String, String)>,
 }
 
+/// Aggregate spot-vs-dedicated comparison, available when the dataset
+/// carries completed points in both capacity classes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityComparison {
+    /// Completed spot rows.
+    pub spot_completed: usize,
+    /// Spot rows that did not complete (failed or timed out).
+    pub spot_unfinished: usize,
+    /// Total spot evictions recorded in the spot rows' `EVICTIONS` metric.
+    pub evictions: u64,
+    /// Scenario ids completed in both classes, feeding the cost delta.
+    pub pairs: usize,
+    /// Mean fractional cost delta of spot vs dedicated over the paired
+    /// scenarios (negative ⇒ spot cheaper, e.g. -0.35 = 35% cheaper even
+    /// after paying for evicted attempts).
+    pub mean_cost_delta: f64,
+}
+
+impl CapacityComparison {
+    /// Spot completion rate over the rows that ran on spot capacity.
+    pub fn spot_completion_rate(&self) -> f64 {
+        let total = self.spot_completed + self.spot_unfinished;
+        if total == 0 {
+            return 0.0;
+        }
+        self.spot_completed as f64 / total as f64
+    }
+}
+
 /// The advice: the Pareto front of the filtered dataset.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Advice {
@@ -42,10 +72,14 @@ pub struct Advice {
     pub rows: Vec<AdviceRow>,
     /// How `rows` is sorted.
     pub sort: AdviceSort,
-    /// Scenarios the collection deliberately skipped (quota-aware
-    /// degradation). When nonzero the advice was computed from a partial
-    /// grid and [`Advice::render_text`] says so.
+    /// Scenarios the collection deliberately dropped — skipped (quota or
+    /// budget degradation) or killed by the deadline watchdog. When nonzero
+    /// the advice was computed from a partial grid and
+    /// [`Advice::render_text`] says so.
     pub skipped_scenarios: usize,
+    /// Spot-vs-dedicated comparison, present when the dataset holds
+    /// completed points in both capacity classes.
+    pub capacity_comparison: Option<CapacityComparison>,
 }
 
 impl Advice {
@@ -85,12 +119,13 @@ impl Advice {
         let skipped_scenarios = ds
             .points
             .iter()
-            .filter(|p| p.status == ScenarioStatus::Skipped)
+            .filter(|p| p.status == ScenarioStatus::Skipped || p.status == ScenarioStatus::TimedOut)
             .count();
         Advice {
             rows,
             sort,
             skipped_scenarios,
+            capacity_comparison: compare_capacity(ds),
         }
     }
 
@@ -113,9 +148,23 @@ impl Advice {
         }
         if self.skipped_scenarios > 0 {
             out.push_str(&format!(
-                "note: partial grid — {} scenario{} skipped (e.g. quota); rerun collect to fill in\n",
+                "note: partial grid — {} scenario{} skipped (e.g. quota) or timed out; rerun collect to fill in\n",
                 self.skipped_scenarios,
                 if self.skipped_scenarios == 1 { "" } else { "s" },
+            ));
+        }
+        if let Some(c) = &self.capacity_comparison {
+            out.push_str(&format!(
+                "capacity: spot completed {}/{} ({:.0}%, {} eviction{}); \
+                 spot vs dedicated cost over {} paired scenario{}: {:+.1}%\n",
+                c.spot_completed,
+                c.spot_completed + c.spot_unfinished,
+                c.spot_completion_rate() * 100.0,
+                c.evictions,
+                if c.evictions == 1 { "" } else { "s" },
+                c.pairs,
+                if c.pairs == 1 { "" } else { "s" },
+                c.mean_cost_delta * 100.0,
             ));
         }
         out
@@ -184,6 +233,70 @@ impl Advice {
             sku_full = sku_full,
         )
     }
+}
+
+/// Builds the spot-vs-dedicated comparison from a dataset that holds rows
+/// in both capacity classes (e.g. after a dedicated sweep and a spot sweep
+/// into the same dataset). Returns `None` when either class has no
+/// completed rows — a single-class dataset has nothing to compare.
+fn compare_capacity(ds: &Dataset) -> Option<CapacityComparison> {
+    let mut spot_completed = 0usize;
+    let mut spot_unfinished = 0usize;
+    let mut evictions = 0u64;
+    let mut dedicated_completed = 0usize;
+    for p in &ds.points {
+        match p.capacity {
+            Capacity::Spot => match p.status {
+                ScenarioStatus::Completed => {
+                    spot_completed += 1;
+                    evictions += p
+                        .metric("EVICTIONS")
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .unwrap_or(0);
+                }
+                ScenarioStatus::Failed | ScenarioStatus::TimedOut => spot_unfinished += 1,
+                _ => {}
+            },
+            Capacity::Dedicated => {
+                if p.status == ScenarioStatus::Completed {
+                    dedicated_completed += 1;
+                }
+            }
+        }
+    }
+    if spot_completed + spot_unfinished == 0 || dedicated_completed == 0 {
+        return None;
+    }
+    // Pair scenarios completed in both classes and average the fractional
+    // cost delta.
+    let mut pairs = 0usize;
+    let mut delta_sum = 0.0f64;
+    for sp in &ds.points {
+        if sp.capacity != Capacity::Spot || sp.status != ScenarioStatus::Completed {
+            continue;
+        }
+        let paired = ds.points.iter().find(|dp| {
+            dp.capacity == Capacity::Dedicated
+                && dp.scenario_id == sp.scenario_id
+                && dp.status == ScenarioStatus::Completed
+                && dp.cost_dollars > 0.0
+        });
+        if let Some(dp) = paired {
+            pairs += 1;
+            delta_sum += (sp.cost_dollars - dp.cost_dollars) / dp.cost_dollars;
+        }
+    }
+    Some(CapacityComparison {
+        spot_completed,
+        spot_unfinished,
+        evictions,
+        pairs,
+        mean_cost_delta: if pairs > 0 {
+            delta_sum / pairs as f64
+        } else {
+            0.0
+        },
+    })
 }
 
 #[cfg(test)]
@@ -270,6 +383,63 @@ mod tests {
         let advice = Advice::from_dataset(&Dataset::new(), &DataFilter::all());
         assert!(advice.rows.is_empty());
         assert_eq!(advice.render_text().lines().count(), 1, "header only");
+    }
+
+    #[test]
+    fn spot_vs_dedicated_comparison_pairs_scenarios() {
+        // No spot rows ⇒ no comparison.
+        let ds = listing4_like();
+        assert!(Advice::from_dataset(&ds, &DataFilter::all())
+            .capacity_comparison
+            .is_none());
+
+        // Spot re-measurements of two scenarios, one cheaper, plus one
+        // timed-out spot row.
+        let mut ds = listing4_like();
+        let mut sp = point(
+            1,
+            "lammps",
+            "Standard_HB120rs_v3",
+            3,
+            120,
+            173.0,
+            0.519 * 0.4,
+        );
+        sp.capacity = Capacity::Spot;
+        sp.metrics.push(("EVICTIONS".into(), "2".into()));
+        ds.push(sp);
+        let mut sp = point(
+            2,
+            "lammps",
+            "Standard_HB120rs_v3",
+            4,
+            120,
+            132.0,
+            0.528 * 0.6,
+        );
+        sp.capacity = Capacity::Spot;
+        ds.push(sp);
+        let mut to = point(3, "lammps", "Standard_HB120rs_v3", 8, 120, 0.0, 0.0);
+        to.capacity = Capacity::Spot;
+        to.status = ScenarioStatus::TimedOut;
+        ds.push(to);
+
+        let advice = Advice::from_dataset(&ds, &DataFilter::all());
+        let c = advice
+            .capacity_comparison
+            .clone()
+            .expect("both classes present");
+        assert_eq!(c.spot_completed, 2);
+        assert_eq!(c.spot_unfinished, 1);
+        assert_eq!(c.evictions, 2);
+        assert_eq!(c.pairs, 2);
+        assert!((c.spot_completion_rate() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((c.mean_cost_delta - (-0.5)).abs() < 1e-9, "{c:?}");
+        let text = advice.render_text();
+        assert!(text.contains("spot completed 2/3"), "{text}");
+        assert!(text.contains("-50.0%"), "{text}");
+        // The timed-out row also counts into the partial-grid note.
+        assert_eq!(advice.skipped_scenarios, 1);
     }
 
     #[test]

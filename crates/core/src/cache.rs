@@ -166,6 +166,17 @@ impl Fingerprinter {
         Fingerprinter { base }
     }
 
+    /// Folds the run's capacity class into the fingerprint. Dedicated is
+    /// the implicit default and folds nothing, so fingerprints of ordinary
+    /// runs are unchanged; spot results can never shadow dedicated ones
+    /// (their eviction overhead makes them different measurements).
+    pub fn with_capacity(mut self, capacity: cloudsim::Capacity) -> Self {
+        if capacity != cloudsim::Capacity::Dedicated {
+            self.base.field(capacity.as_str().as_bytes());
+        }
+        self
+    }
+
     /// Fingerprints one scenario under this run's collection inputs.
     pub fn scenario(&self, s: &Scenario) -> Fingerprint {
         let mut h = self.base.clone();
@@ -392,9 +403,15 @@ mod tests {
             Fingerprinter::new("lammps", "other script", 42, 7),
             Fingerprinter::new("lammps", "script", 43, 7),
             Fingerprinter::new("lammps", "script", 42, 8),
+            Fingerprinter::new("lammps", "script", 42, 7).with_capacity(cloudsim::Capacity::Spot),
         ] {
             assert_ne!(fpr.scenario(&s), different.scenario(&s));
         }
+        // Dedicated is the implicit default: folding it changes nothing, so
+        // pre-capacity cache entries stay addressable.
+        let dedicated = Fingerprinter::new("lammps", "script", 42, 7)
+            .with_capacity(cloudsim::Capacity::Dedicated);
+        assert_eq!(fpr.scenario(&s), dedicated.scenario(&s));
     }
 
     #[test]

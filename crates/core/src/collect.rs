@@ -43,7 +43,7 @@ use crate::journal::JournalEntry;
 use crate::retry::RetryPolicy;
 use crate::scenario::{Scenario, ScenarioStatus};
 use batchsim::BatchService;
-use cloudsim::BillingSummary;
+use cloudsim::{BillingSummary, Capacity};
 use parking_lot::Mutex;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -76,6 +76,10 @@ pub struct CollectPlan {
     subset: Option<Vec<u32>>,
     cache: Option<CachePolicy>,
     retry: Option<RetryPolicy>,
+    capacity: Option<Capacity>,
+    escalate_after: Option<u32>,
+    deadline_secs: Option<f64>,
+    budget_dollars: Option<f64>,
 }
 
 impl CollectPlan {
@@ -133,6 +137,35 @@ impl CollectPlan {
     pub fn max_attempts(self, n: u32) -> Self {
         self.retry(RetryPolicy::with_max_attempts(n))
     }
+
+    /// Overrides the capacity class pools are provisioned with for this
+    /// run. Spot capacity bills at the SKU's discounted rate but exposes
+    /// scenarios to eviction (requeued, then escalated to dedicated).
+    pub fn capacity(mut self, capacity: Capacity) -> Self {
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// Overrides how many evictions one scenario tolerates before its pool
+    /// escalates to dedicated capacity.
+    pub fn escalate_after(mut self, evictions: u32) -> Self {
+        self.escalate_after = Some(evictions);
+        self
+    }
+
+    /// Sets a per-scenario wall-clock deadline (simulated seconds); a
+    /// scenario whose retry loop exceeds it is marked timed out.
+    pub fn deadline_secs(mut self, secs: f64) -> Self {
+        self.deadline_secs = Some(secs);
+        self
+    }
+
+    /// Sets a sweep-level cost budget in dollars; once billed spend reaches
+    /// it, remaining scenarios are skipped (journaled) instead of executed.
+    pub fn budget_dollars(mut self, dollars: f64) -> Self {
+        self.budget_dollars = Some(dollars);
+        self
+    }
 }
 
 /// What happened to one executed scenario.
@@ -160,8 +193,10 @@ pub struct ScenarioOutcome {
     pub attempts: u32,
     /// Simulated backoff seconds the scenario waited through on retries.
     pub backoff_secs: f64,
-    /// Failure reason (quota, setup, task failure) when `status` is failed
-    /// or skipped.
+    /// Spot evictions the scenario survived (0 on dedicated capacity).
+    pub evictions: u32,
+    /// Failure reason (quota, setup, task failure, deadline) when `status`
+    /// is failed, skipped, or timed out.
     pub fail_reason: Option<String>,
 }
 
@@ -180,8 +215,13 @@ pub struct CollectStats {
     /// Scenarios that failed.
     pub failed: usize,
     /// Scenarios skipped by graceful degradation (e.g. SKU quota exhausted
-    /// mid-run); they re-run on the next collect.
+    /// mid-run, or the cost budget tripping); they re-run on the next
+    /// collect unless the skip was journaled (budget stops).
     pub skipped: usize,
+    /// Scenarios killed by the per-scenario deadline watchdog.
+    pub timed_out: usize,
+    /// Total spot evictions survived across all scenarios.
+    pub evictions: u32,
     /// Scenarios that needed more than one attempt (transient-fault
     /// retries).
     pub retried: usize,
@@ -267,6 +307,22 @@ impl CollectReport {
                 if self.stats.skipped == 1 { "" } else { "s" },
             );
         }
+        if self.stats.timed_out > 0 {
+            let _ = writeln!(
+                out,
+                "  timed out: {} scenario{} hit the per-scenario deadline",
+                self.stats.timed_out,
+                if self.stats.timed_out == 1 { "" } else { "s" },
+            );
+        }
+        if self.stats.evictions > 0 {
+            let _ = writeln!(
+                out,
+                "  evictions: {} spot eviction{} survived via requeue/escalation",
+                self.stats.evictions,
+                if self.stats.evictions == 1 { "" } else { "s" },
+            );
+        }
         if self.stats.retried > 0 {
             let _ = writeln!(
                 out,
@@ -289,6 +345,7 @@ impl CollectReport {
             };
             let verb = match o.status {
                 ScenarioStatus::Skipped => "skipped",
+                ScenarioStatus::TimedOut => "timed out",
                 _ => "failed",
             };
             let _ = writeln!(
@@ -356,6 +413,18 @@ impl Collector {
         }
         if let Some(retry) = &plan.retry {
             ctx.options.retry = retry.clone();
+        }
+        if let Some(capacity) = plan.capacity {
+            ctx.options.capacity = capacity;
+        }
+        if let Some(n) = plan.escalate_after {
+            ctx.options.escalate_after = n;
+        }
+        if let Some(secs) = plan.deadline_secs {
+            ctx.options.deadline_secs = Some(secs);
+        }
+        if let Some(dollars) = plan.budget_dollars {
+            ctx.options.budget_dollars = Some(dollars);
         }
 
         let index = index_by_id(scenarios);
@@ -447,6 +516,7 @@ impl Collector {
                             replayed: false,
                             attempts: oc.attempts,
                             backoff_secs: oc.backoff_secs,
+                            evictions: oc.evictions,
                             fail_reason: oc.fail_reason,
                         });
                     }
@@ -468,6 +538,7 @@ impl Collector {
                             replayed: false,
                             attempts: 1,
                             backoff_secs: 0.0,
+                            evictions: 0,
                             fail_reason: Some(reason.clone()),
                         });
                     }
@@ -487,6 +558,7 @@ impl Collector {
                 replayed: false,
                 attempts: 0,
                 backoff_secs: 0.0,
+                evictions: 0,
                 fail_reason: None,
             });
             points.push(hit.point);
@@ -504,13 +576,20 @@ impl Collector {
                 Some(p) => {
                     rehydrate_point(p.clone(), &hit.scenario, &ctx.config.tags, &ctx.deployment)
                 }
-                None => ctx.failed_point(
-                    &hit.scenario,
-                    hit.entry
+                // Point-less entries (older journals) get a synthetic point
+                // matching the journaled status.
+                None => {
+                    let reason = hit
+                        .entry
                         .fail_reason
                         .as_deref()
-                        .unwrap_or("journaled failure"),
-                ),
+                        .unwrap_or("journaled failure");
+                    match hit.entry.status {
+                        ScenarioStatus::Skipped => ctx.skipped_point(&hit.scenario, reason),
+                        ScenarioStatus::TimedOut => ctx.timed_out_point(&hit.scenario, reason),
+                        _ => ctx.failed_point(&hit.scenario, reason),
+                    }
+                }
             };
             outcomes.push(ScenarioOutcome {
                 scenario_id: hit.scenario.id,
@@ -522,6 +601,7 @@ impl Collector {
                 replayed: true,
                 attempts: 0,
                 backoff_secs: 0.0,
+                evictions: 0,
                 fail_reason: hit.entry.fail_reason,
             });
             points.push(point);
@@ -554,6 +634,11 @@ impl Collector {
             .iter()
             .filter(|o| o.status == ScenarioStatus::Skipped)
             .count();
+        let timed_out = outcomes
+            .iter()
+            .filter(|o| o.status == ScenarioStatus::TimedOut)
+            .count();
+        let evictions = outcomes.iter().map(|o| o.evictions).sum();
         let retried = outcomes.iter().filter(|o| o.attempts > 1).count();
         let backoff_secs = outcomes.iter().map(|o| o.backoff_secs).sum();
         for p in points {
@@ -575,6 +660,8 @@ impl Collector {
                 completed,
                 failed,
                 skipped,
+                timed_out,
+                evictions,
                 retried,
                 backoff_secs,
                 journal_replayed,

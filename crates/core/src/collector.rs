@@ -37,6 +37,7 @@ use appmodel::AppRegistry;
 use batchsim::{
     BatchService, FaultKind, SharedProvider, TaskContext, TaskKind, TaskResult, TaskState,
 };
+use cloudsim::Capacity;
 use parking_lot::Mutex;
 use simtime::SimDuration;
 use std::collections::{HashMap, HashSet};
@@ -61,6 +62,25 @@ pub struct CollectorOptions {
     /// submission). The default retries up to 3 attempts with exponential
     /// backoff on the simulated clock; [`RetryPolicy::none`] disables it.
     pub retry: RetryPolicy,
+    /// Capacity class the sweep provisions pools with. Spot pools bill at
+    /// the SKU's discounted rate but can lose their nodes to eviction
+    /// mid-task; the collector requeues evicted scenarios and escalates to
+    /// dedicated capacity after [`CollectorOptions::escalate_after`]
+    /// evictions.
+    pub capacity: Capacity,
+    /// Evictions one scenario tolerates before its pool is escalated to
+    /// dedicated capacity for the remainder of that scenario.
+    pub escalate_after: u32,
+    /// Per-scenario wall-clock deadline in simulated seconds. A scenario
+    /// whose retry loop (attempt durations plus backoff) exceeds it is
+    /// killed into [`ScenarioStatus::TimedOut`] instead of retrying
+    /// forever. `None` disables the watchdog.
+    pub deadline_secs: Option<f64>,
+    /// Sweep-level cost budget in dollars. Once the provider's billed spend
+    /// reaches it, every remaining scenario is skipped (journaled, so a
+    /// resume honors the stop) instead of executed. `None` disables the
+    /// circuit breaker.
+    pub budget_dollars: Option<f64>,
 }
 
 impl Default for CollectorOptions {
@@ -70,6 +90,10 @@ impl Default for CollectorOptions {
             delete_pools: false,
             rerun_failed: false,
             retry: RetryPolicy::default(),
+            capacity: Capacity::Dedicated,
+            escalate_after: 2,
+            deadline_secs: None,
+            budget_dollars: None,
         }
     }
 }
@@ -114,6 +138,30 @@ impl CollectorOptionsBuilder {
         self
     }
 
+    /// Provisions pools with the given capacity class (spot or dedicated).
+    pub fn capacity(mut self, capacity: Capacity) -> Self {
+        self.options.capacity = capacity;
+        self
+    }
+
+    /// Evictions one scenario tolerates before escalating to dedicated.
+    pub fn escalate_after(mut self, evictions: u32) -> Self {
+        self.options.escalate_after = evictions;
+        self
+    }
+
+    /// Sets the per-scenario wall-clock deadline (simulated seconds).
+    pub fn deadline_secs(mut self, secs: Option<f64>) -> Self {
+        self.options.deadline_secs = secs;
+        self
+    }
+
+    /// Sets the sweep-level cost budget in dollars.
+    pub fn budget_dollars(mut self, dollars: Option<f64>) -> Self {
+        self.options.budget_dollars = dollars;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> CollectorOptions {
         self.options
@@ -139,6 +187,9 @@ impl ExecContext {
         match s.status {
             ScenarioStatus::Pending => true,
             ScenarioStatus::Failed => self.options.rerun_failed,
+            // Timed-out scenarios burned their wall-clock budget once
+            // already; only an explicit rerun request tries again.
+            ScenarioStatus::TimedOut => self.options.rerun_failed,
             ScenarioStatus::Completed => false,
             // Skipped scenarios never executed — always worth another try.
             ScenarioStatus::Skipped => true,
@@ -161,7 +212,31 @@ impl ExecContext {
             task_secs: 0.0,
             cost_dollars: 0.0,
             status: ScenarioStatus::Failed,
+            capacity: self.options.capacity,
             metrics: vec![("FAILREASON".into(), reason.to_string())],
+            infra: Vec::new(),
+            tags: self.config.tags.clone(),
+            deployment: self.deployment.clone(),
+        }
+    }
+
+    /// A point for a scenario killed by the deadline watchdog. Terminal
+    /// like a failure — the evidence is "ran out of wall-clock budget", so
+    /// the next collect only re-attempts it under `rerun_failed`.
+    pub(crate) fn timed_out_point(&self, scenario: &Scenario, reason: &str) -> DataPoint {
+        DataPoint {
+            scenario_id: scenario.id,
+            appname: self.config.appname.clone(),
+            sku: scenario.sku.clone(),
+            nnodes: scenario.nnodes,
+            ppn: scenario.ppn,
+            appinputs: scenario.appinputs.clone(),
+            exec_time_secs: 0.0,
+            task_secs: 0.0,
+            cost_dollars: 0.0,
+            status: ScenarioStatus::TimedOut,
+            capacity: self.options.capacity,
+            metrics: vec![("TIMEOUTREASON".into(), reason.to_string())],
             infra: Vec::new(),
             tags: self.config.tags.clone(),
             deployment: self.deployment.clone(),
@@ -183,6 +258,7 @@ impl ExecContext {
             task_secs: 0.0,
             cost_dollars: 0.0,
             status: ScenarioStatus::Skipped,
+            capacity: self.options.capacity,
             metrics: vec![("SKIPREASON".into(), reason.to_string())],
             infra: Vec::new(),
             tags: self.config.tags.clone(),
@@ -216,15 +292,19 @@ pub(crate) struct ShardOutcome {
     pub(crate) attempts: u32,
     /// Total simulated backoff the scenario waited through.
     pub(crate) backoff_secs: f64,
+    /// Spot evictions the scenario survived (0 on dedicated capacity).
+    pub(crate) evictions: u32,
 }
 
 /// Per-scenario retry bookkeeping: how many attempts were spent (across
-/// pool resizes, setup and compute submissions) and how much simulated
-/// backoff the scenario waited through.
+/// pool resizes, setup and compute submissions), how much simulated
+/// backoff the scenario waited through, and how many spot evictions it
+/// survived.
 #[derive(Debug, Clone, Copy)]
 struct Tally {
     attempts: u32,
     backoff_secs: f64,
+    evictions: u32,
 }
 
 impl Tally {
@@ -232,6 +312,7 @@ impl Tally {
         Tally {
             attempts: 1,
             backoff_secs: 0.0,
+            evictions: 0,
         }
     }
 }
@@ -306,6 +387,24 @@ impl ShardRun<'_> {
                 continue;
             }
             let mut tally = Tally::fresh();
+            // Budget circuit breaker: once billed spend reaches the budget,
+            // every remaining scenario degrades to a journaled skip — the
+            // sweep stops spending but still produces a complete, resumable
+            // picture of what was dropped and why.
+            if let Some(budget) = self.ctx.options.budget_dollars {
+                let spent = self.ctx.provider.lock().billing().total_cost();
+                if spent >= budget {
+                    tally.attempts = 0;
+                    self.record_budget_skip(
+                        &mut out,
+                        &mut updated,
+                        &scenario,
+                        &format!("budget exceeded: ${spent:.2} spent of ${budget:.2} budget"),
+                        tally,
+                    );
+                    continue;
+                }
+            }
             if exhausted_skus.contains(&scenario.sku) {
                 tally.attempts = 0;
                 self.record_skip(
@@ -340,6 +439,7 @@ impl ShardRun<'_> {
                     }
                     self.service.create_pool(&pool_name, &scenario.sku)?;
                 }
+                self.apply_capacity(&pool_name)?;
                 match self.resize_with_retry(&pool_name, scenario.nnodes, &mut tally) {
                     Ok(()) => {
                         setup_ok = self.run_setup_task(&pool_name, &mut tally)?;
@@ -397,6 +497,10 @@ impl ShardRun<'_> {
 
             // Compute task.
             let point = self.run_compute_task(&pool_name, &scenario, &mut tally)?;
+            // Escalation is scoped to the scenario: hand the pool back to
+            // the run's configured capacity class before the next scenario
+            // reuses it.
+            self.apply_capacity(&pool_name)?;
             updated.insert(scenario.id, point.status);
             let outcome = ShardOutcome {
                 scenario_id: scenario.id,
@@ -408,10 +512,17 @@ impl ShardRun<'_> {
                             .map(str::to_string)
                             .unwrap_or_else(|| "compute task failed".into()),
                     ),
+                    ScenarioStatus::TimedOut => Some(
+                        point
+                            .metric("TIMEOUTREASON")
+                            .map(str::to_string)
+                            .unwrap_or_else(|| "deadline exceeded".into()),
+                    ),
                     _ => None,
                 },
                 attempts: tally.attempts,
                 backoff_secs: tally.backoff_secs,
+                evictions: tally.evictions,
             };
             if let Some(writer) = &self.journal {
                 writer.record(&outcome, &point);
@@ -464,6 +575,21 @@ impl ShardRun<'_> {
             .advance_by(SimDuration::from_secs_f64(secs));
     }
 
+    /// Brings the pool's capacity class back to the run's configured one
+    /// (spot sweeps provision spot pools; escalation flips a pool to
+    /// dedicated for one scenario only). The switch needs an empty pool, so
+    /// a populated pool is resized to zero first — the next scenario's
+    /// resize-up re-provisions it.
+    fn apply_capacity(&mut self, pool: &str) -> Result<(), ToolError> {
+        let want = self.ctx.options.capacity;
+        if self.service.pool(pool).map(|p| p.capacity) == Some(want) {
+            return Ok(());
+        }
+        self.service.resize_pool(pool, 0)?;
+        self.service.set_pool_capacity(pool, want)?;
+        Ok(())
+    }
+
     /// Records the terminal outcome of a failed resize: quota exhaustion
     /// degrades the rest of the SKU to skips, anything else is a failure.
     #[allow(clippy::too_many_arguments)]
@@ -513,6 +639,7 @@ impl ShardRun<'_> {
             fail_reason: Some(reason.to_string()),
             attempts: tally.attempts,
             backoff_secs: tally.backoff_secs,
+            evictions: tally.evictions,
         };
         if let Some(writer) = &self.journal {
             writer.record(&outcome, &point);
@@ -521,7 +648,7 @@ impl ShardRun<'_> {
         out.outcomes.push(outcome);
     }
 
-    /// Records a deliberately-not-executed scenario. Skips are never
+    /// Records a deliberately-not-executed scenario. Quota skips are never
     /// journaled: the next collect (or a resume) should attempt them.
     fn record_skip(
         &self,
@@ -539,7 +666,37 @@ impl ShardRun<'_> {
             fail_reason: Some(reason.to_string()),
             attempts: tally.attempts,
             backoff_secs: tally.backoff_secs,
+            evictions: tally.evictions,
         });
+    }
+
+    /// Records a budget-breaker skip. Unlike quota skips this one IS
+    /// journaled: the breaker dropped the scenario on purpose, and a
+    /// `--resume` must honor the stop instead of silently re-running (and
+    /// re-billing) everything the breaker cut.
+    fn record_budget_skip(
+        &self,
+        out: &mut ShardOutput,
+        updated: &mut HashMap<u32, ScenarioStatus>,
+        scenario: &Scenario,
+        reason: &str,
+        tally: Tally,
+    ) {
+        updated.insert(scenario.id, ScenarioStatus::Skipped);
+        let point = self.ctx.skipped_point(scenario, reason);
+        let outcome = ShardOutcome {
+            scenario_id: scenario.id,
+            status: ScenarioStatus::Skipped,
+            fail_reason: Some(reason.to_string()),
+            attempts: tally.attempts,
+            backoff_secs: tally.backoff_secs,
+            evictions: tally.evictions,
+        };
+        if let Some(writer) = &self.journal {
+            writer.record(&outcome, &point);
+        }
+        out.points.push(point);
+        out.outcomes.push(outcome);
     }
 
     fn teardown_pool(&mut self, pool: &str) -> Result<(), ToolError> {
@@ -593,6 +750,14 @@ impl ShardRun<'_> {
     /// retrying attempts that failed from an injected transient fault
     /// (task-start rejection, mid-task node death). Application-level
     /// failures (e.g. an OOM) carry no fault kind and are never retried.
+    ///
+    /// Spot evictions get their own requeue path: the eviction tore the
+    /// pool down, so the scenario backs off, re-provisions the pool and
+    /// tries again; after `escalate_after` evictions the pool is escalated
+    /// to dedicated capacity so the scenario can finish. Eviction retries
+    /// are bounded by the escalation, not by `max_attempts`. The deadline
+    /// watchdog cuts either loop short into a `TimedOut` point once the
+    /// scenario's simulated wall-clock (attempts plus backoff) exceeds it.
     fn run_compute_task(
         &mut self,
         pool: &str,
@@ -600,10 +765,63 @@ impl ShardRun<'_> {
         tally: &mut Tally,
     ) -> Result<DataPoint, ToolError> {
         let max_attempts = self.ctx.options.retry.max_attempts;
+        let escalate_after = self.ctx.options.escalate_after;
         let mut attempt = 1u32;
+        let mut task_secs_total = 0.0f64;
+        let backoff_start = tally.backoff_secs;
+        // Real spend consumed by evicted attempts, surfaced as overhead in
+        // the final point so spot rows carry their true cost.
+        let mut eviction_cost = 0.0f64;
         loop {
-            let (point, retryable) = self.run_compute_task_once(pool, scenario)?;
-            if point.status == ScenarioStatus::Completed || !retryable || attempt >= max_attempts {
+            let (mut point, meta) = self.run_compute_task_once(pool, scenario)?;
+            task_secs_total += point.task_secs;
+            if point.status == ScenarioStatus::Completed {
+                if tally.evictions > 0 {
+                    point.cost_dollars += eviction_cost;
+                    point
+                        .metrics
+                        .push(("EVICTIONS".into(), tally.evictions.to_string()));
+                }
+                return Ok(point);
+            }
+            if meta.evicted {
+                tally.evictions += 1;
+                eviction_cost += point.cost_dollars;
+            }
+            let elapsed = task_secs_total + (tally.backoff_secs - backoff_start);
+            if let Some(deadline) = self.ctx.options.deadline_secs {
+                if elapsed >= deadline {
+                    return Ok(self.ctx.timed_out_point(
+                        scenario,
+                        &format!(
+                            "deadline exceeded: {elapsed:.0}s elapsed over {attempt} attempt(s) \
+                             and {} eviction(s) against a {deadline:.0}s deadline",
+                            tally.evictions
+                        ),
+                    ));
+                }
+            }
+            if meta.evicted {
+                self.backoff(pool, attempt, tally);
+                attempt += 1;
+                if tally.evictions >= escalate_after
+                    && self.service.pool(pool).map(|p| p.capacity) == Some(Capacity::Spot)
+                {
+                    self.service.resize_pool(pool, 0)?;
+                    self.service.set_pool_capacity(pool, Capacity::Dedicated)?;
+                }
+                // The eviction deprovisioned the pool; bring it back before
+                // the next attempt.
+                if let Err((e, _)) = self.resize_with_retry(pool, scenario.nnodes, tally) {
+                    point.metrics.push((
+                        "FAILREASON".into(),
+                        format!("pool re-provision after eviction: {e}"),
+                    ));
+                    return Ok(point);
+                }
+                continue;
+            }
+            if !meta.retryable || attempt >= max_attempts {
                 return Ok(point);
             }
             self.backoff(pool, attempt, tally);
@@ -611,14 +829,22 @@ impl ShardRun<'_> {
         }
     }
 
-    /// One compute-task attempt. The second return value says whether a
-    /// failure is worth retrying (the batch layer flagged it transient).
+    /// One compute-task attempt, plus the facts the retry loop needs beyond
+    /// the point itself: whether a failure is worth retrying (the batch
+    /// layer flagged it transient) and whether it was a spot eviction.
     fn run_compute_task_once(
         &mut self,
         pool: &str,
         scenario: &Scenario,
-    ) -> Result<(DataPoint, bool), ToolError> {
+    ) -> Result<(DataPoint, AttemptMeta), ToolError> {
         let task_dir = format!("{}/task-{}", self.ctx.app_dir(), scenario.id);
+        // The capacity class this attempt runs on (escalation may have
+        // flipped the pool to dedicated mid-scenario).
+        let capacity = self
+            .service
+            .pool(pool)
+            .map(|p| p.capacity)
+            .unwrap_or_default();
         let mut env: Vec<(String, String)> = vec![
             ("NNODES".into(), scenario.nnodes.to_string()),
             ("PPN".into(), scenario.ppn.to_string()),
@@ -676,13 +902,28 @@ impl ShardRun<'_> {
             .find(|(k, _)| k == "APPEXECTIME")
             .and_then(|(_, v)| v.parse::<f64>().ok())
             .unwrap_or(task_secs);
-        let price = self.ctx.provider.lock().price_per_hour(&scenario.sku)?;
+        let price = {
+            let provider = self.ctx.provider.lock();
+            let base = provider.price_per_hour(&scenario.sku)?;
+            match capacity {
+                Capacity::Dedicated => base,
+                Capacity::Spot => {
+                    let discount = provider
+                        .catalog()
+                        .get(&scenario.sku)
+                        .map(|s| s.spot_discount)
+                        .unwrap_or(0.0);
+                    base * (1.0 - discount)
+                }
+            }
+        };
         let cost_dollars = price * scenario.nnodes as f64 * exec_time_secs / 3600.0;
         let status = match record.state {
             TaskState::Completed => ScenarioStatus::Completed,
             _ => ScenarioStatus::Failed,
         };
         let retryable = record.fault == Some(FaultKind::Transient);
+        let evicted = record.evicted;
         Ok((
             DataPoint {
                 scenario_id: scenario.id,
@@ -695,14 +936,28 @@ impl ShardRun<'_> {
                 task_secs,
                 cost_dollars,
                 status,
+                // The row is labeled with the *requested* capacity class even
+                // if escalation finished it on a dedicated pool: the sweep
+                // stays homogeneous and the escalated row's dedicated-rate
+                // cost (plus eviction overhead) is the true price of asking
+                // for spot under that pressure.
+                capacity: self.ctx.options.capacity,
                 metrics,
                 infra,
                 tags: self.ctx.config.tags.clone(),
                 deployment: self.ctx.deployment.clone(),
             },
-            retryable,
+            AttemptMeta { retryable, evicted },
         ))
     }
+}
+
+/// Facts about one compute attempt the retry loop needs beyond the data
+/// point itself.
+#[derive(Debug, Clone, Copy)]
+struct AttemptMeta {
+    retryable: bool,
+    evicted: bool,
 }
 
 /// One scenario answered from the result cache instead of the simulator.
@@ -750,7 +1005,8 @@ pub(crate) fn consult_cache(
         &ctx.script,
         ctx.options.experiment_seed,
         revision,
-    );
+    )
+    .with_capacity(ctx.options.capacity);
     // id → whether its first occurrence hit.
     let mut first: HashMap<u32, bool> = HashMap::new();
     for (pos, s) in ordered.iter().enumerate() {
@@ -817,8 +1073,9 @@ impl JournalConsult {
 
 /// Consults the run journal for an ordered run list — the resume path.
 ///
-/// Completed entries always replay; failed entries replay unless the run
-/// reruns failures; skipped outcomes are never journaled, so they (and
+/// Completed entries always replay. Failed, timed-out and budget-skipped
+/// entries were all deliberate terminal decisions, so they replay unless
+/// the run reruns failures. Quota skips are never journaled, so they (and
 /// anything the journal has not seen) fall through as misses. Repeated ids
 /// follow [`consult_cache`]'s first-occurrence rule.
 pub(crate) fn consult_journal(
@@ -833,7 +1090,8 @@ pub(crate) fn consult_journal(
         &ctx.script,
         ctx.options.experiment_seed,
         revision,
-    );
+    )
+    .with_capacity(ctx.options.capacity);
     // id → whether its first occurrence replayed.
     let mut first: HashMap<u32, bool> = HashMap::new();
     for s in ordered {
@@ -853,8 +1111,10 @@ pub(crate) fn consult_journal(
         out.fingerprints.insert(s.id, fp);
         let replay = journal.lookup(fp).filter(|e| match e.status {
             ScenarioStatus::Completed => true,
-            ScenarioStatus::Failed => !ctx.options.rerun_failed,
-            _ => false,
+            ScenarioStatus::Failed | ScenarioStatus::TimedOut | ScenarioStatus::Skipped => {
+                !ctx.options.rerun_failed
+            }
+            ScenarioStatus::Pending => false,
         });
         match replay {
             Some(entry) => {

@@ -2,6 +2,7 @@
 
 use crate::error::ToolError;
 use crate::scenario::ScenarioStatus;
+use cloudsim::Capacity;
 use hpcadvisor_formats::{json, OrderedMap, Value};
 use std::collections::HashSet;
 
@@ -39,6 +40,9 @@ pub struct DataPoint {
     pub tags: Vec<(String, String)>,
     /// Deployment (resource group) the row was collected in.
     pub deployment: String,
+    /// Capacity class the row was measured on. Spot rows carry the eviction
+    /// overhead in their cost/time; the advisor compares the two classes.
+    pub capacity: Capacity,
 }
 
 impl DataPoint {
@@ -87,6 +91,8 @@ pub struct DataFilter {
     pub tags: Vec<(String, String)>,
     /// Include failed rows too (default: completed only).
     pub include_failed: bool,
+    /// Restrict to one capacity class (`capacity=spot|dedicated`).
+    pub capacity: Option<Capacity>,
 }
 
 impl DataFilter {
@@ -111,6 +117,11 @@ impl DataFilter {
                 "appname" => f.appname = Some(v.to_string()),
                 "sku" => f.sku = Some(v.to_string()),
                 "status" if v == "any" => f.include_failed = true,
+                "capacity" => {
+                    f.capacity = Some(Capacity::parse(v).ok_or_else(|| {
+                        ToolError::Config(format!("bad capacity '{v}': expected spot or dedicated"))
+                    })?)
+                }
                 "tag" => match v.split_once(':') {
                     Some((tk, tv)) => f.tags.push((tk.to_string(), tv.to_string())),
                     None => {
@@ -149,6 +160,11 @@ impl DataFilter {
                 return false;
             }
         }
+        if let Some(c) = self.capacity {
+            if p.capacity != c {
+                return false;
+            }
+        }
         true
     }
 }
@@ -171,22 +187,23 @@ impl Dataset {
         self.points.push(point);
     }
 
-    /// Merges another dataset in, deduplicating by scenario id: an incoming
-    /// row whose scenario id is already present *replaces* the existing row
-    /// in place (fresher data wins, order is preserved). Cache-merge paths
-    /// rely on this so a point can never be double-inserted.
+    /// Merges another dataset in, deduplicating by (scenario id, capacity):
+    /// an incoming row whose key is already present *replaces* the existing
+    /// row in place (fresher data wins, order is preserved). Cache-merge
+    /// paths rely on this so a point can never be double-inserted; spot and
+    /// dedicated measurements of the same scenario coexist as two rows.
     pub fn extend(&mut self, other: Dataset) {
-        let mut by_id: std::collections::HashMap<u32, usize> = self
+        let mut by_id: std::collections::HashMap<(u32, Capacity), usize> = self
             .points
             .iter()
             .enumerate()
-            .map(|(i, p)| (p.scenario_id, i))
+            .map(|(i, p)| ((p.scenario_id, p.capacity), i))
             .collect();
         for point in other.points {
-            match by_id.get(&point.scenario_id) {
+            match by_id.get(&(point.scenario_id, point.capacity)) {
                 Some(&i) => self.points[i] = point,
                 None => {
-                    by_id.insert(point.scenario_id, self.points.len());
+                    by_id.insert((point.scenario_id, point.capacity), self.points.len());
                     self.points.push(point);
                 }
             }
@@ -290,6 +307,11 @@ pub(crate) fn point_to_value(p: &DataPoint) -> Value {
     m.insert("task_secs", Value::Float(p.task_secs));
     m.insert("cost_dollars", Value::Float(p.cost_dollars));
     m.insert("status", Value::str(p.status.as_str()));
+    // Dedicated is the implicit default so datasets collected before the
+    // capacity dimension existed stay byte-identical.
+    if p.capacity != Capacity::Dedicated {
+        m.insert("capacity", Value::str(p.capacity.as_str()));
+    }
     m.insert("metrics", pairs_to_value(&p.metrics));
     m.insert("infra", pairs_to_value(&p.infra));
     m.insert("tags", pairs_to_value(&p.tags));
@@ -331,6 +353,11 @@ pub(crate) fn value_to_point(v: &Value) -> Result<DataPoint, ToolError> {
         infra: value_to_pairs(v.get("infra")),
         tags: value_to_pairs(v.get("tags")),
         deployment: get_str("deployment")?,
+        capacity: match v.get("capacity").and_then(|x| x.as_str()) {
+            Some(s) => Capacity::parse(s)
+                .ok_or_else(|| ToolError::Config(format!("bad capacity '{s}'")))?,
+            None => Capacity::Dedicated,
+        },
     })
 }
 
@@ -359,6 +386,7 @@ pub fn point(
         infra: Vec::new(),
         tags: Vec::new(),
         deployment: "test".to_string(),
+        capacity: Capacity::Dedicated,
     }
 }
 
@@ -498,6 +526,46 @@ mod tests {
     }
 
     #[test]
+    fn capacity_dimension_roundtrips_and_filters() {
+        let mut ds = Dataset::new();
+        let dedicated = point(1, "lammps", "Standard_HB120rs_v3", 4, 120, 40.0, 0.5);
+        let mut spot = dedicated.clone();
+        spot.capacity = Capacity::Spot;
+        spot.cost_dollars = 0.2;
+        ds.push(dedicated.clone());
+        // Same scenario id, different capacity: both rows coexist.
+        let mut incoming = Dataset::new();
+        incoming.push(spot.clone());
+        ds.extend(incoming);
+        assert_eq!(ds.len(), 2, "spot and dedicated rows coexist");
+        // Spot rows carry the capacity key; dedicated rows stay implicit so
+        // pre-capacity datasets remain byte-identical.
+        let text = ds.to_json();
+        assert_eq!(text.matches("\"capacity\"").count(), 1);
+        let back = Dataset::from_json(&text).unwrap();
+        assert_eq!(ds, back);
+        // The filter splits the classes.
+        let f = DataFilter::parse("capacity=spot").unwrap();
+        let rows = ds.filter(&f);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].capacity, Capacity::Spot);
+        assert!(DataFilter::parse("capacity=preemptible").is_err());
+        // Re-extending with a fresher spot row replaces, not duplicates.
+        let mut fresher = Dataset::new();
+        let mut s2 = spot.clone();
+        s2.cost_dollars = 0.25;
+        fresher.push(s2);
+        ds.extend(fresher);
+        assert_eq!(ds.len(), 2);
+        // CSV carries the capacity column.
+        let csv = ds.to_csv();
+        let rows = hpcadvisor_formats::csv::read(&csv).unwrap();
+        let cap_idx = rows[0].iter().position(|h| h == "capacity").unwrap();
+        assert_eq!(rows[1][cap_idx], "dedicated");
+        assert_eq!(rows[2][cap_idx], "spot");
+    }
+
+    #[test]
     fn distinct_skus_and_inputs() {
         let ds = sample();
         assert_eq!(ds.skus(&DataFilter::all()), vec!["hb120rs_v3", "hc44rs"]);
@@ -550,6 +618,7 @@ impl Dataset {
             "task_secs",
             "cost_dollars",
             "status",
+            "capacity",
             "deployment",
         ]
         .iter()
@@ -569,6 +638,7 @@ impl Dataset {
                 format!("{}", p.task_secs),
                 format!("{}", p.cost_dollars),
                 p.status.as_str().to_string(),
+                p.capacity.as_str().to_string(),
                 p.deployment.clone(),
             ];
             for k in &input_keys {

@@ -73,8 +73,9 @@ pub mod sampling;
 pub mod scenario;
 pub mod session;
 
-pub use advice::Advice;
+pub use advice::{Advice, CapacityComparison};
 pub use cache::{CachePolicy, Fingerprint, Fingerprinter, ScenarioCache};
+pub use cloudsim::Capacity;
 pub use collect::{CollectPlan, CollectReport, CollectStats, ScenarioOutcome, ShardPolicy};
 pub use collector::{Collector, CollectorOptions, CollectorOptionsBuilder};
 pub use config::UserConfig;
@@ -104,4 +105,5 @@ pub mod prelude {
     pub use crate::sampling::partial::run_partial_execution;
     pub use crate::scenario::{Scenario, ScenarioStatus};
     pub use crate::session::Session;
+    pub use cloudsim::Capacity;
 }

@@ -222,6 +222,7 @@ pub fn advise_from_history(
             rows,
             sort: AdviceSort::ByTime,
             skipped_scenarios: 0,
+            capacity_comparison: None,
         },
         predictions,
     ))

@@ -233,6 +233,7 @@ mod tests {
                 .collect(),
             sort: Default::default(),
             skipped_scenarios: 0,
+            capacity_comparison: None,
         }
     }
 

@@ -26,6 +26,11 @@ pub enum ScenarioStatus {
     /// collect. Unlike `Failed`, no execution evidence exists for the
     /// scenario.
     Skipped,
+    /// Killed by the per-scenario deadline watchdog: the scenario hung or
+    /// thrashed (e.g. eviction loops on spot capacity) past its wall-clock
+    /// budget. Terminal like `Failed`, but the evidence is "ran out of
+    /// time", not an execution error.
+    TimedOut,
 }
 
 impl ScenarioStatus {
@@ -36,6 +41,7 @@ impl ScenarioStatus {
             ScenarioStatus::Completed => "completed",
             ScenarioStatus::Failed => "failed",
             ScenarioStatus::Skipped => "skipped",
+            ScenarioStatus::TimedOut => "timedout",
         }
     }
 
@@ -46,6 +52,7 @@ impl ScenarioStatus {
             "completed" => Some(ScenarioStatus::Completed),
             "failed" => Some(ScenarioStatus::Failed),
             "skipped" => Some(ScenarioStatus::Skipped),
+            "timedout" => Some(ScenarioStatus::TimedOut),
             _ => None,
         }
     }
@@ -295,6 +302,7 @@ mod tests {
             ScenarioStatus::Completed,
             ScenarioStatus::Failed,
             ScenarioStatus::Skipped,
+            ScenarioStatus::TimedOut,
         ] {
             assert_eq!(ScenarioStatus::parse(s.as_str()), Some(s));
         }

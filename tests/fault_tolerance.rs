@@ -159,6 +159,149 @@ fn corrupted_journal_tail_is_salvaged_on_resume() {
 }
 
 #[test]
+fn mid_task_node_death_is_retried_to_a_byte_identical_dataset() {
+    let baseline = fault_free_json();
+    let mut session = Session::create(UserConfig::example_openfoam(), SEED).unwrap();
+    // Nodes die *while tasks run* — a different failure window than the
+    // allocation faults above: the doomed attempt consumes its runtime and
+    // bills its node-hours before the retry fires.
+    session.provider().lock().set_fault_plan(
+        FaultPlan::none()
+            .seed(7)
+            .fail_probabilistic(Operation::NodeDeath, 0.1),
+    );
+    let report = session.collect_with(&CollectPlan::new()).unwrap();
+    assert_eq!(
+        report.stats.failed, 0,
+        "mid-task deaths absorbed: {:?}",
+        report.stats
+    );
+    assert_eq!(report.stats.skipped, 0);
+    assert!(
+        report.stats.retried > 0,
+        "a 10% death rate actually fired somewhere: {:?}",
+        report.stats
+    );
+    // Lost attempts only burn simulated money and time; the dataset the
+    // advisor reasons over is identical to the fault-free run.
+    assert_eq!(report.dataset.to_json(), baseline);
+}
+
+#[test]
+fn budget_breaker_skips_are_journaled_and_survive_resume() {
+    let dir = tempdir("budget");
+    let journal_path = dir.join("run-journal.jsonl");
+    let config = UserConfig::example_openfoam();
+
+    // A budget that covers roughly the first SKU pool: billed spend crosses
+    // the line when that pool is released, and the breaker drops the rest.
+    let mut session = Session::create(config.clone(), SEED).unwrap();
+    session.set_journal(RunJournal::open_fresh(&journal_path));
+    let report = session
+        .collect_with(&CollectPlan::new().budget_dollars(0.05))
+        .unwrap();
+    assert!(report.stats.completed > 0, "work ran before the breaker");
+    assert!(
+        report.stats.skipped > 0,
+        "the breaker fired: {:?}",
+        report.stats
+    );
+    let completed = report.stats.completed;
+    let skipped = report.stats.skipped;
+    for outcome in &report.outcomes {
+        if outcome.status == ScenarioStatus::Skipped {
+            let reason = outcome.fail_reason.as_deref().unwrap_or("");
+            assert!(reason.contains("budget exceeded"), "reason: {reason}");
+        }
+    }
+    // Budget skips are journaled (unlike quota skips): the whole grid has a
+    // verdict on disk.
+    let journal = RunJournal::open(&journal_path);
+    assert_eq!(journal.len(), 36);
+    drop(session);
+
+    // Resume honors the stop: every verdict replays, nothing re-runs and
+    // nothing is re-billed — even without the budget flag.
+    let mut resumed =
+        Session::resume(config.clone(), SEED, RunJournal::open(&journal_path)).unwrap();
+    let report = resumed.collect_with(&CollectPlan::new()).unwrap();
+    assert_eq!(report.stats.journal_replayed, 36);
+    assert_eq!(report.stats.executed, 0, "resume honors the budget stop");
+    assert_eq!(report.stats.completed, completed);
+    assert_eq!(report.stats.skipped, skipped);
+    assert_eq!(
+        resumed.total_cloud_cost(),
+        0.0,
+        "replays never touch the cloud"
+    );
+    drop(resumed);
+
+    // `rerun_failed` is the explicit escape hatch: the journaled skips are
+    // re-executed, and with the budget lifted the grid completes.
+    let mut rerun = Session::resume(config, SEED, RunJournal::open(&journal_path)).unwrap();
+    let report = rerun
+        .collect_with(&CollectPlan::new().rerun_failed(true))
+        .unwrap();
+    assert_eq!(report.stats.journal_replayed, completed);
+    assert_eq!(
+        report.stats.executed, skipped,
+        "the skipped remainder re-ran"
+    );
+    assert_eq!(report.stats.completed, 36);
+    assert_eq!(report.stats.skipped, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deadline_times_out_thrashing_scenarios_and_resume_honors_it() {
+    let dir = tempdir("deadline");
+    let journal_path = dir.join("run-journal.jsonl");
+    let config = UserConfig::example_lammps_small(); // 3 scenarios
+
+    // Total spot pressure with escalation disabled: every compute attempt
+    // is evicted, so without a deadline the scenarios would thrash forever.
+    let mut session = Session::create(config.clone(), SEED).unwrap();
+    session
+        .provider()
+        .lock()
+        .set_fault_plan(FaultPlan::none().seed(5).evict_pressure(1.0));
+    session.set_journal(RunJournal::open_fresh(&journal_path));
+    let report = session
+        .collect_with(
+            &CollectPlan::new()
+                .capacity(Capacity::Spot)
+                .escalate_after(u32::MAX)
+                .deadline_secs(1.0),
+        )
+        .unwrap();
+    assert_eq!(report.stats.timed_out, 3, "{:?}", report.stats);
+    assert_eq!(report.stats.completed, 0);
+    assert!(report.stats.evictions >= 3, "{:?}", report.stats);
+    for outcome in &report.outcomes {
+        assert_eq!(outcome.status, ScenarioStatus::TimedOut, "{outcome:?}");
+        let reason = outcome.fail_reason.as_deref().unwrap_or("");
+        assert!(reason.contains("deadline exceeded"), "reason: {reason}");
+    }
+    // Timed-out scenarios count against the advice's partial-grid note.
+    let advice = Advice::from_dataset(&report.dataset, &DataFilter::all());
+    assert_eq!(advice.skipped_scenarios, 3);
+    drop(session);
+
+    // The TimedOut verdicts replay from the journal: resuming in the same
+    // capacity mode does not burn another deadline's worth of evicted
+    // attempts. (The fingerprint folds the capacity class, so a spot-run
+    // journal only matches a spot-mode resume.)
+    let mut resumed = Session::resume(config, SEED, RunJournal::open(&journal_path)).unwrap();
+    let report = resumed
+        .collect_with(&CollectPlan::new().capacity(Capacity::Spot))
+        .unwrap();
+    assert_eq!(report.stats.journal_replayed, 3);
+    assert_eq!(report.stats.executed, 0);
+    assert_eq!(report.stats.timed_out, 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn quota_exhaustion_skips_gracefully_and_annotates_advice() {
     let mut session = Session::create(UserConfig::example_openfoam(), SEED).unwrap();
     // Cap the HC family below 2 nodes (2 × 44 = 88 cores).

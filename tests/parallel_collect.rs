@@ -118,6 +118,66 @@ fn quota_failure_in_one_shard_leaves_siblings_untouched() {
 }
 
 #[test]
+fn spot_evictions_replay_identically_across_worker_counts() {
+    // A seeded spot sweep under real eviction pressure: every worker count
+    // must see the same evictions (the roll is keyed by pool name, not by
+    // scheduling order) and requeue/escalate its way to a 100% complete,
+    // byte-identical dataset.
+    let run = |workers: usize| {
+        let mut session = Session::create(UserConfig::example_openfoam(), SEED).unwrap();
+        session
+            .provider()
+            .lock()
+            .set_fault_plan(cloudsim::FaultPlan::none().seed(13).evict_pressure(0.35));
+        let report = session
+            .collect_with(&CollectPlan::new().workers(workers).capacity(Capacity::Spot))
+            .unwrap();
+        let per_scenario: Vec<(u32, u32, u32)> = report
+            .outcomes
+            .iter()
+            .map(|o| (o.scenario_id, o.attempts, o.evictions))
+            .collect();
+        (report, per_scenario)
+    };
+    let (serial, serial_outcomes) = run(1);
+    assert_eq!(
+        serial.stats.completed, 36,
+        "the sweep completes under pressure: {:?}",
+        serial.stats
+    );
+    assert_eq!(serial.stats.failed, 0);
+    assert!(
+        serial.stats.evictions > 0,
+        "a 35% eviction rate actually fired: {:?}",
+        serial.stats
+    );
+    for workers in [4usize, 8] {
+        let (parallel, parallel_outcomes) = run(workers);
+        assert_eq!(
+            parallel.dataset.to_json(),
+            serial.dataset.to_json(),
+            "spot dataset with {workers} workers differs from serial"
+        );
+        assert_eq!(
+            parallel_outcomes, serial_outcomes,
+            "per-scenario attempts/evictions differ under {workers} workers"
+        );
+        assert_eq!(parallel.stats.evictions, serial.stats.evictions);
+    }
+    // Spot rows carry the capacity dimension and their eviction counts.
+    assert!(serial
+        .dataset
+        .points
+        .iter()
+        .all(|p| p.capacity == Capacity::Spot));
+    assert!(serial
+        .dataset
+        .points
+        .iter()
+        .any(|p| p.metrics.iter().any(|(k, _)| k == "EVICTIONS")));
+}
+
+#[test]
 fn report_carries_billing_and_stats() {
     let mut session = Session::create(UserConfig::example_openfoam(), SEED).unwrap();
     let report = session
