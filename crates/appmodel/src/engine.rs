@@ -53,7 +53,7 @@ pub struct EngineOutput {
     /// Total wall-clock seconds (noise-free).
     pub wall_secs: f64,
     /// Seconds per step after warm-up — the quantity partial-execution
-    /// predictors (Yang et al. [6]; Brunetta & Borin [13]) extrapolate.
+    /// predictors (Yang et al. \[6]; Brunetta & Borin \[13]) extrapolate.
     pub per_step_secs: f64,
     /// Compute portion of one step.
     pub comp_secs: f64,
@@ -96,7 +96,7 @@ pub fn memory_pressure(working_set_per_node: f64, memory_bytes: f64) -> f64 {
     1.0 + MEM_PRESSURE_MAX * sigmoid
 }
 
-/// Smooth cache boost: ≥1, approaching [`CACHE_BOOST_MAX`] as the per-node
+/// Smooth cache boost: ≥1, approaching `CACHE_BOOST_MAX` as the per-node
 /// working set drops below the L3 capacity.
 pub fn cache_boost(working_set_per_node: f64, l3_bytes: f64) -> f64 {
     if working_set_per_node <= 0.0 || l3_bytes <= 0.0 {

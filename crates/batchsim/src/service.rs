@@ -4,9 +4,10 @@ use crate::error::BatchError;
 use crate::pool::{Pool, PoolState};
 use crate::task::{TaskContext, TaskId, TaskKind, TaskRecord, TaskResult, TaskState};
 use crate::SharedProvider;
-use cloudsim::{Capacity, CloudError, Operation};
+use cloudsim::{Capacity, CloudError, Fault, Operation};
 use simtime::{EventQueue, SharedClock, SimInstant};
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use telemetry::{EventSink, TraceEvent, Value};
 
 /// A task runner: computes the outcome of a task given where it runs.
 ///
@@ -38,6 +39,7 @@ pub struct BatchService {
     events: EventQueue<FinishEvent>,
     running: HashMap<TaskId, RunningTask>,
     next_task: u64,
+    trace: EventSink,
 }
 
 impl BatchService {
@@ -55,12 +57,35 @@ impl BatchService {
             events: EventQueue::new(),
             running: HashMap::new(),
             next_task: 1,
+            trace: EventSink::disabled(),
         }
     }
 
     /// The virtual clock shared with the provider.
     pub fn clock(&self) -> SharedClock {
         self.clock.clone()
+    }
+
+    /// Installs the shard-local trace sink (disabled by default).
+    ///
+    /// The service stamps its own events — and the provider events it
+    /// drains while holding the provider lock — on the sink's shard-local
+    /// timeline, which advances only by deterministic durations
+    /// (un-jittered boot latency, runner-reported task durations). The
+    /// shared clock never reaches the sink.
+    pub fn set_trace(&mut self, sink: EventSink) {
+        self.trace = sink;
+    }
+
+    /// The trace sink, for layers driving this service (the collector
+    /// stamps scenario-lifecycle events and backoff waits through it).
+    pub fn trace_mut(&mut self) -> &mut EventSink {
+        &mut self.trace
+    }
+
+    /// Drains the buffered trace events.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.take()
     }
 
     /// Creates an empty pool of `sku` nodes.
@@ -83,6 +108,9 @@ impl BatchService {
                 .ok_or_else(|| CloudError::UnknownSku(sku.to_string()))?;
         }
         self.pools.insert(name.to_string(), Pool::new(name, sku));
+        self.trace.emit("pool_create", name, |m| {
+            m.insert("sku", Value::str(sku));
+        });
         Ok(())
     }
 
@@ -101,22 +129,47 @@ impl BatchService {
         }
         let sku = pool.sku.clone();
         let capacity = pool.capacity;
+        let from = pool.nodes;
         let old_allocation = pool.allocation.take();
+        self.trace.emit("pool_resize", name, |m| {
+            m.insert("from", Value::Int(i64::from(from)));
+            m.insert("to", Value::Int(i64::from(target)));
+        });
         // Close out the old allocation first so quota frees before the new
         // acquire (growing a pool within quota would otherwise double-count).
         if let Some(id) = old_allocation {
-            self.provider.lock().release_nodes(id)?;
+            let mut provider = self.provider.lock();
+            let released = provider.release_nodes(id);
+            let drained = provider.drain_trace();
+            drop(provider);
+            self.trace.absorb(drained);
+            released?;
         }
         let pool = self.active_pool(name)?;
         pool.nodes = 0;
         pool.busy.clear();
         if target > 0 {
-            let allocation = self.provider.lock().allocate_nodes_with(
-                &self.resource_group,
-                &sku,
-                target,
-                capacity,
-            )?;
+            // Call and drain under one lock hold so no other shard's
+            // provider events interleave into this shard's trace.
+            let mut provider = self.provider.lock();
+            let allocated =
+                provider.allocate_nodes_with(&self.resource_group, &sku, target, capacity);
+            let drained = provider.drain_trace();
+            drop(provider);
+            let boot_secs = drained
+                .iter()
+                .rev()
+                .find(|e| e.kind == "provision")
+                .and_then(|e| e.f64_field("boot_secs"));
+            self.trace.absorb(drained);
+            let allocation = allocated?;
+            if let Some(boot) = boot_secs {
+                self.trace.emit("node_boot", name, |m| {
+                    m.insert("nodes", Value::Int(i64::from(target)));
+                    m.insert("boot_secs", Value::Float(boot));
+                });
+                self.trace.advance(boot);
+            }
             let pool = self.active_pool(name)?;
             pool.allocation = Some(allocation);
             pool.nodes = target;
@@ -257,10 +310,7 @@ impl BatchService {
             };
             // Injected task-start failures (capacity loss, node crash, …),
             // counted per pool so parallel shards replay like a serial run.
-            let start_fault = self
-                .provider
-                .lock()
-                .inject_fault(Operation::RunTask, &pool_name);
+            let start_fault = self.roll_traced(Operation::RunTask, &pool_name);
             if let Err(fault) = start_fault {
                 let pool = self.pools.get_mut(&pool_name).expect("pool exists");
                 pool.release(&indices);
@@ -273,6 +323,14 @@ impl BatchService {
             let record = self.tasks.get_mut(&id).expect("record");
             record.state = TaskState::Running;
             record.started_at = Some(self.clock.now());
+            let task_name = record.name.clone();
+            let task_kind = record.kind;
+            self.trace.emit("task_start", &pool_name, |m| {
+                m.insert("task", Value::str(&task_name));
+                m.insert("task_kind", Value::str(kind_str(task_kind)));
+                m.insert("nodes", Value::Int(i64::from(needed)));
+            });
+            let record = self.tasks.get_mut(&id).expect("record");
             let ctx = TaskContext {
                 task_id: id,
                 sku: {
@@ -293,10 +351,7 @@ impl BatchService {
             // A node can die while the task runs: the task still consumes
             // its duration (the paper's failed tasks are billed too) but
             // finishes failed, tagged as an injected transient fault.
-            let death = self
-                .provider
-                .lock()
-                .inject_fault(Operation::NodeDeath, &pool_name);
+            let death = self.roll_traced(Operation::NodeDeath, &pool_name);
             if let Err(fault) = death {
                 result = TaskResult::failed(
                     result.duration,
@@ -318,10 +373,7 @@ impl BatchService {
                     .get(&pool_name)
                     .is_some_and(|p| p.capacity == Capacity::Spot)
             {
-                let evicted = self
-                    .provider
-                    .lock()
-                    .inject_fault(Operation::Eviction, &pool_name);
+                let evicted = self.roll_traced(Operation::Eviction, &pool_name);
                 if let Err(fault) = evicted {
                     result = TaskResult::failed(
                         result.duration,
@@ -347,6 +399,18 @@ impl BatchService {
         self.queue = requeue;
     }
 
+    /// Rolls an injected fault for `op` under the provider lock, draining
+    /// the provider's buffered trace events in the same hold so no other
+    /// shard's events interleave into this shard's trace.
+    fn roll_traced(&mut self, op: Operation, scope: &str) -> Result<(), Fault> {
+        let mut provider = self.provider.lock();
+        let rolled = provider.inject_fault(op, scope);
+        let drained = provider.drain_trace();
+        drop(provider);
+        self.trace.absorb(drained);
+        rolled
+    }
+
     /// Marks a task failed without running it.
     fn fail_now(&mut self, id: TaskId, reason: &str) {
         self.runners.remove(&id);
@@ -357,6 +421,16 @@ impl BatchService {
         record.completed_at = Some(now);
         record.stdout = format!("task failed before start: {reason}\n");
         record.exit_code = Some(-1);
+        let task_name = record.name.clone();
+        let kind = record.kind;
+        let pool = record.pool.clone();
+        self.trace.emit("task_end", &pool, |m| {
+            m.insert("task", Value::str(&task_name));
+            m.insert("task_kind", Value::str(kind_str(kind)));
+            m.insert("secs", Value::Float(0.0));
+            m.insert("state", Value::str("failed"));
+            m.insert("reason", Value::str(reason));
+        });
     }
 
     fn finish(&mut self, id: TaskId, at: SimInstant) {
@@ -381,7 +455,11 @@ impl BatchService {
                 if let Some(alloc) = pool.allocation.take() {
                     pool.nodes = 0;
                     pool.busy.clear();
-                    let _ = self.provider.lock().release_nodes(alloc);
+                    let mut provider = self.provider.lock();
+                    let _ = provider.release_nodes(alloc);
+                    let drained = provider.drain_trace();
+                    drop(provider);
+                    self.trace.absorb(drained);
                 }
             }
         }
@@ -395,6 +473,34 @@ impl BatchService {
         } else {
             TaskState::Failed
         };
+        // The shard-local timeline advances by the runner-reported duration
+        // (deterministic), never by shared-clock readings. With overlapping
+        // tasks durations accumulate rather than overlap — still
+        // deterministic; the collector drives one task at a time.
+        let secs = running.result.duration.as_secs_f64();
+        let task_name = record.name.clone();
+        let kind = record.kind;
+        let state = record.state;
+        let evicted = record.evicted;
+        self.trace.advance(secs);
+        if evicted {
+            self.trace.emit("eviction", &running.pool, |m| {
+                m.insert("task", Value::str(&task_name));
+            });
+        }
+        self.trace.emit("task_end", &running.pool, |m| {
+            m.insert("task", Value::str(&task_name));
+            m.insert("task_kind", Value::str(kind_str(kind)));
+            m.insert("secs", Value::Float(secs));
+            m.insert(
+                "state",
+                Value::str(if state == TaskState::Completed {
+                    "completed"
+                } else {
+                    "failed"
+                }),
+            );
+        });
     }
 
     /// Drives the scheduler until no task is pending or running, advancing
@@ -445,6 +551,14 @@ impl BatchService {
         let id = self.submit(pool, name, kind, nodes_required, ppn, runner)?;
         self.run_until_idle();
         Ok(self.task(id).expect("task just ran").clone())
+    }
+}
+
+/// Stable trace label for a task kind.
+fn kind_str(kind: TaskKind) -> &'static str {
+    match kind {
+        TaskKind::Setup => "setup",
+        TaskKind::Compute => "compute",
     }
 }
 
@@ -765,6 +879,56 @@ mod tests {
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].nodes, 2);
         assert!(records[0].cost >= 2.0 * 3.60);
+    }
+
+    #[test]
+    fn trace_stamps_pool_and_task_spans_on_local_timeline() {
+        let mut svc = service();
+        svc.provider.lock().set_trace_enabled(true);
+        svc.set_trace(telemetry::EventSink::for_shard(0));
+        svc.create_pool("p1", "HC44rs").unwrap();
+        svc.resize_pool("p1", 2).unwrap();
+        svc.run_task("p1", "t", TaskKind::Compute, 2, 44, quick_runner(120))
+            .unwrap();
+        let events = svc.take_trace();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.as_str()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "pool_create",
+                "pool_resize",
+                "fault_roll", // AllocateNodes
+                "quota",
+                "fault_roll", // BootNode
+                "provision",
+                "node_boot",
+                "fault_roll", // RunTask
+                "task_start",
+                "fault_roll", // NodeDeath
+                "task_end",
+            ]
+        );
+        let boot = 150.0 + 10.0 * 2f64.ln_1p();
+        let node_boot = &events[6];
+        assert_eq!(node_boot.t, 0.0, "boot starts the local timeline");
+        assert_eq!(node_boot.f64_field("boot_secs"), Some(boot));
+        let start = &events[8];
+        assert_eq!(start.t, boot, "task starts when nodes are up");
+        let end = &events[10];
+        assert_eq!(end.t, boot + 120.0, "timeline advanced by task duration");
+        assert_eq!(end.f64_field("secs"), Some(120.0));
+        assert_eq!(end.str_field("state"), Some("completed"));
+        assert!(events.iter().all(|e| e.shard == 0));
+    }
+
+    #[test]
+    fn trace_disabled_service_emits_nothing() {
+        let mut svc = service();
+        svc.create_pool("p1", "HC44rs").unwrap();
+        svc.resize_pool("p1", 1).unwrap();
+        svc.run_task("p1", "t", TaskKind::Compute, 1, 44, quick_runner(10))
+            .unwrap();
+        assert!(svc.take_trace().is_empty());
     }
 
     #[test]

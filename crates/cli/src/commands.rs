@@ -41,6 +41,7 @@ pub fn dispatch(argv: &[String], out: Out) -> Result<(), ToolError> {
         "plot" => plot_cmd(&args, &workdir, out),
         "advice" => advice_cmd(&args, &workdir, out),
         "export" => export_cmd(&args, &workdir, out),
+        "trace" => trace_cmd(&args, &workdir, out),
         "gui" => gui(&args, &workdir, out),
         other => Err(ToolError::Config(format!(
             "unknown command '{other}'; try --help"
@@ -247,17 +248,41 @@ fn collect(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
     let deadline: Option<f64> = args
         .option("deadline")
         .map(|v| {
-            v.parse()
-                .map_err(|_| ToolError::Config(format!("--deadline must be seconds, got '{v}'")))
+            let secs: f64 = v.parse().map_err(|_| {
+                ToolError::Config(format!(
+                    "--deadline must be a number of simulated seconds, got '{v}'"
+                ))
+            })?;
+            if !secs.is_finite() || secs < 0.0 {
+                return Err(ToolError::Config(format!(
+                    "--deadline must be non-negative simulated seconds, got '{v}'"
+                )));
+            }
+            Ok(secs)
         })
         .transpose()?;
     let budget: Option<f64> = args
         .option("budget")
         .map(|v| {
-            v.parse()
-                .map_err(|_| ToolError::Config(format!("--budget must be dollars, got '{v}'")))
+            let dollars: f64 = v.parse().map_err(|_| {
+                ToolError::Config(format!(
+                    "--budget must be a number of US dollars, got '{v}'"
+                ))
+            })?;
+            if !dollars.is_finite() || dollars < 0.0 {
+                return Err(ToolError::Config(format!(
+                    "--budget must be non-negative US dollars, got '{v}'"
+                )));
+            }
+            Ok(dollars)
         })
         .transpose()?;
+    let tracing = args.has("trace");
+    if tracing && !matches!(args.option("sampler"), None | Some("full")) {
+        return Err(ToolError::Config(
+            "--trace requires the full-grid collect (no --sampler)".into(),
+        ));
+    }
 
     let increment = match args.option("sampler") {
         None | Some("full") => {
@@ -282,7 +307,25 @@ fn collect(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
             if let Some(dollars) = budget {
                 plan = plan.budget_dollars(dollars);
             }
+            if tracing {
+                plan = plan.trace(true);
+            }
             let report = collector.collect_with_plan(&mut scenarios, &plan)?;
+            if let Some(trace) = &report.trace {
+                let path = workdir.trace_file();
+                if let Some(parent) = path.parent() {
+                    std::fs::create_dir_all(parent)?;
+                }
+                std::fs::write(&path, trace.to_jsonl())?;
+                wline(
+                    out,
+                    &format!(
+                        "trace: wrote {} events to {}; see 'trace summary' and 'trace timeline'",
+                        trace.len(),
+                        path.display()
+                    ),
+                )?;
+            }
             if workers > 1 {
                 wline(
                     out,
@@ -549,6 +592,72 @@ fn export_cmd(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError>
                 &format!("wrote {} rows to {}", filtered.len(), path.display()),
             )
         }
+    }
+}
+
+/// `trace summary` / `trace timeline`: inspect the run trace written by
+/// `collect --trace`.
+fn trace_cmd(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
+    let path = match args.option("in") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => workdir.trace_file(),
+    };
+    let load = || -> Result<telemetry::Trace, ToolError> {
+        let text = std::fs::read_to_string(&path).map_err(|_| {
+            ToolError::NoData(format!(
+                "no run trace at {}; run 'collect --trace' first",
+                path.display()
+            ))
+        })?;
+        telemetry::Trace::from_jsonl(&text)
+            .map_err(|e| ToolError::Config(format!("unreadable trace {}: {e}", path.display())))
+    };
+    match args.positional.get(1).map(|s| s.as_str()) {
+        None | Some("summary") => {
+            let trace = load()?;
+            wline(out, &format!("trace file: {}", path.display()))?;
+            wline(out, trace.summarize().render_text().trim_end())
+        }
+        Some("timeline") => {
+            let trace = load()?;
+            let lanes = telemetry::build_timeline(&trace.events);
+            if lanes.is_empty() {
+                return Err(ToolError::NoData(
+                    "trace has no boot/task spans to draw".into(),
+                ));
+            }
+            let mut chart = svgplot::GanttChart::new("Collection run timeline").with_subtitle(
+                &format!("{} events, {} pool lanes", trace.len(), lanes.len()),
+            );
+            for lane in &lanes {
+                let mut spans = Vec::with_capacity(lane.spans.len());
+                for s in &lane.spans {
+                    spans.push(svgplot::GanttSpan {
+                        start: s.start,
+                        end: s.end,
+                        kind: chart.kind(s.kind.label()),
+                        label: s.label.clone(),
+                    });
+                }
+                chart.add_lane(svgplot::GanttLane {
+                    label: format!("shard{}/{}", lane.shard, lane.pool),
+                    spans,
+                });
+            }
+            let svg = chart.to_svg(900);
+            let target = match args.option("out") {
+                Some(p) => std::path::PathBuf::from(p),
+                None => path.with_file_name("timeline.svg"),
+            };
+            if let Some(parent) = target.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(&target, svg)?;
+            wline(out, &format!("wrote {}", target.display()))
+        }
+        other => Err(ToolError::Config(format!(
+            "trace needs a subcommand (summary|timeline), got {other:?}"
+        ))),
     }
 }
 
@@ -860,6 +969,71 @@ mod tests {
         assert!(ok, "{out}");
         assert!(out.contains("2 skipped"), "{out}");
         assert!(out.contains("cloud spend this collection: $0.00"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn collect_rejects_negative_deadline_and_budget() {
+        let dir = tempdir("negflags");
+        let config = write_config(&dir);
+        let (_, ok) = run_in(&dir, &["deploy", "create", "-c", config.to_str().unwrap()]);
+        assert!(ok);
+        let (_, ok) = run_in(&dir, &["collect", "--deadline", "-10"]);
+        assert!(!ok, "negative --deadline must error");
+        let (_, ok) = run_in(&dir, &["collect", "--budget", "-1"]);
+        assert!(!ok, "negative --budget must error");
+        let (_, ok) = run_in(&dir, &["collect", "--deadline", "inf"]);
+        assert!(!ok, "non-finite --deadline must error");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn collect_trace_writes_jsonl_and_trace_subcommands_read_it() {
+        let dir = tempdir("trace");
+        let config = write_config(&dir);
+        let (_, ok) = run_in(&dir, &["deploy", "create", "-c", config.to_str().unwrap()]);
+        assert!(ok);
+
+        // Without --trace, nothing is written and the subcommands error.
+        let (_, ok) = run_in(&dir, &["trace", "summary"]);
+        assert!(!ok, "no trace yet");
+        let (out, ok) = run_in(&dir, &["collect", "--no-cache"]);
+        assert!(ok, "{out}");
+        assert!(!dir.join("trace/run-trace.jsonl").exists());
+
+        // A traced collect writes the JSONL file.
+        let scenarios_json = dir.join("scenarios.json");
+        let text = std::fs::read_to_string(&scenarios_json).unwrap();
+        std::fs::write(&scenarios_json, text.replace("completed", "pending")).unwrap();
+        let (out, ok) = run_in(&dir, &["collect", "--trace", "--no-cache"]);
+        assert!(ok, "{out}");
+        assert!(out.contains("trace: wrote"), "{out}");
+        let trace_path = dir.join("trace/run-trace.jsonl");
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(text.starts_with("{\"version\": 1}\n"), "{text}");
+        assert!(text.contains("\"kind\":\"run_start\""), "{text}");
+        assert!(text.contains("\"kind\":\"provision\""));
+        assert!(text.contains("\"kind\":\"scenario_end\""));
+
+        let (out, ok) = run_in(&dir, &["trace", "summary"]);
+        assert!(ok, "{out}");
+        assert!(out.contains("events"), "{out}");
+        assert!(out.contains("completed"), "{out}");
+
+        let (out, ok) = run_in(&dir, &["trace", "timeline"]);
+        assert!(ok, "{out}");
+        let svg_path = dir.join("trace/timeline.svg");
+        assert!(svg_path.exists());
+        let svg = std::fs::read_to_string(&svg_path).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("shard0/"), "{out}");
+
+        // --trace is a full-grid-only flag.
+        let (_, ok) = run_in(&dir, &["collect", "--trace", "--sampler", "aggressive"]);
+        assert!(!ok, "--trace with a sampler must error");
+        // Unknown subcommand errors.
+        let (_, ok) = run_in(&dir, &["trace", "bogus"]);
+        assert!(!ok);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -10,6 +10,8 @@
 //! | `cache` | `clear` | Drops all cached scenario results |
 //! | `plot` | — | Generates plots using a given data filter |
 //! | `advice` | — | Generates advice (Pareto front) using a data filter |
+//! | `trace` | `summary` | Aggregates the run trace written by `collect --trace` |
+//! | `trace` | `timeline` | Renders the run trace as a per-pool Gantt SVG |
 //! | `gui` | — | Starts the GUI mode |
 //!
 //! State lives in a work directory (default `./hpcadvisor-data`):
@@ -29,7 +31,7 @@ pub mod state;
 
 use std::io::Write;
 
-/// Runs the CLI with the given arguments (excluding argv[0]), writing to
+/// Runs the CLI with the given arguments (excluding `argv[0]`), writing to
 /// `out`. Returns the process exit code.
 pub fn run(argv: &[String], out: &mut dyn Write) -> i32 {
     match commands::dispatch(argv, out) {
@@ -60,6 +62,10 @@ COMMANDS:
     advice [-f <filter>] [--sort time|cost] [--slurm]
                                      print the Pareto-front advice table
     export [-f <filter>] [-o <file>] write the dataset as CSV
+    trace summary [--in <file>]      aggregate the run trace written by
+                                     'collect --trace' (counters, histograms)
+    trace timeline [--in <file>] [-o <svg>]
+                                     render the run trace as a per-pool Gantt
     gui                              textual dashboard
 
 OPTIONS:
@@ -80,10 +86,17 @@ OPTIONS:
                            (discounted, evictable; evicted scenarios requeue
                            and escalate to dedicated), or auto (spot with
                            escalation after the first eviction)
-    --deadline <secs>      per-scenario wall-clock deadline (simulated);
-                           scenarios that exceed it are marked timed out
-    --budget <dollars>     stop spending once billed cost reaches this;
-                           remaining scenarios are skipped (journaled)
+    --deadline <secs>      per-scenario wall-clock deadline, in SIMULATED
+                           seconds (not wall time); must be >= 0; scenarios
+                           that exceed it are marked timed out
+    --budget <dollars>     sweep-level cost budget, in US dollars of
+                           simulated billing; must be >= 0; once spend
+                           reaches it, remaining scenarios are skipped
+                           (journaled)
+    --trace                capture a deterministic run trace to
+                           <workdir>/trace/run-trace.jsonl (full-grid
+                           collect only); bytes are identical for any
+                           --workers value
     --ascii                print plots to the terminal instead of SVG files
     --sort <key>           advice sort order: time (default) or cost
     --slurm                also print a Slurm recipe for the fastest row

@@ -59,6 +59,12 @@ impl WorkDir {
         self.root.join("run-journal.jsonl")
     }
 
+    /// Path of the run trace `collect --trace` writes and the `trace`
+    /// subcommands read.
+    pub fn trace_file(&self) -> PathBuf {
+        self.root.join("trace").join("run-trace.jsonl")
+    }
+
     fn file(&self, name: &str) -> PathBuf {
         self.root.join(name)
     }

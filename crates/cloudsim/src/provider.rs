@@ -18,6 +18,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simtime::{SharedClock, SimDuration, SimInstant};
 use std::collections::HashMap;
+use telemetry::{OrderedMap, TraceEvent, Value};
 
 /// Configuration for a [`CloudProvider`].
 #[derive(Debug, Clone)]
@@ -111,6 +112,8 @@ pub struct CloudProvider {
     allocations: HashMap<u64, Allocation>,
     next_allocation: u64,
     rng: StdRng,
+    trace_on: bool,
+    trace_buf: Vec<TraceEvent>,
 }
 
 impl CloudProvider {
@@ -142,6 +145,8 @@ impl CloudProvider {
             allocations: HashMap::new(),
             next_allocation: 1,
             rng,
+            trace_on: false,
+            trace_buf: Vec::new(),
             config,
         })
     }
@@ -215,9 +220,51 @@ impl CloudProvider {
             .advance_by(SimDuration::from_secs_f64(base_secs * jitter));
     }
 
+    /// Enables or disables trace-event buffering, clearing the buffer.
+    ///
+    /// The provider has no timeline of its own (the shared clock carries
+    /// seeded jitter and cross-shard ordering, so its readings must never
+    /// reach a trace): events are buffered unstamped and the caller holding
+    /// the provider lock drains them with [`CloudProvider::drain_trace`]
+    /// onto its shard-local sink before releasing the lock.
+    pub fn set_trace_enabled(&mut self, on: bool) {
+        self.trace_on = on;
+        self.trace_buf.clear();
+    }
+
+    /// Whether trace events are being buffered.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_on
+    }
+
+    /// Drains buffered (unstamped) trace events in emission order.
+    pub fn drain_trace(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace_buf)
+    }
+
+    fn trace(&mut self, kind: &str, scope: &str, fill: impl FnOnce(&mut OrderedMap)) {
+        if self.trace_on {
+            self.trace_buf.push(TraceEvent::pending(kind, scope, fill));
+        }
+    }
+
+    fn roll_fault(&mut self, op: Operation, scope: &str) -> Result<(), Fault> {
+        let rolled = self.tracker.check(&self.fault, op, scope);
+        if self.trace_on {
+            let attempt = self.tracker.attempts(op, scope).saturating_sub(1);
+            let fired = rolled.is_err();
+            self.trace_buf
+                .push(TraceEvent::pending("fault_roll", scope, |m| {
+                    m.insert("op", Value::str(format!("{op:?}")));
+                    m.insert("attempt", Value::Int(attempt as i64));
+                    m.insert("fired", Value::Bool(fired));
+                }));
+        }
+        rolled
+    }
+
     fn check_fault(&mut self, op: Operation, scope: &str, label: &str) -> Result<(), CloudError> {
-        self.tracker
-            .check(&self.fault, op, scope)
+        self.roll_fault(op, scope)
             .map_err(|fault| CloudError::ProvisioningFailed {
                 operation: label.to_string(),
                 reason: fault.to_string(),
@@ -230,7 +277,7 @@ impl CloudProvider {
     /// higher layers (the batch orchestrator uses it to inject task-level
     /// and node-death faults, keyed by pool name).
     pub fn inject_fault(&mut self, op: Operation, scope: &str) -> Result<(), Fault> {
-        self.tracker.check(&self.fault, op, scope)
+        self.roll_fault(op, scope)
     }
 
     /// Per-scope invocation counts recorded so far (for tests/diagnostics).
@@ -481,7 +528,19 @@ impl CloudProvider {
                 requested: u32::MAX,
                 available: self.quota.available(&sku.family),
             })?;
-        self.quota.try_acquire(&sku.family, cores)?;
+        if let Err(e) = self.quota.try_acquire(&sku.family, cores) {
+            let available = self.quota.available(&sku.family);
+            self.trace("quota", &sku.family, |m| {
+                m.insert("granted", Value::Bool(false));
+                m.insert("cores", Value::Int(i64::from(cores)));
+                m.insert("available", Value::Int(i64::from(available)));
+            });
+            return Err(e);
+        }
+        self.trace("quota", &sku.family, |m| {
+            m.insert("granted", Value::Bool(true));
+            m.insert("cores", Value::Int(i64::from(cores)));
+        });
         // A node can come up unhealthy after capacity was granted; the
         // failed allocation hands its quota straight back.
         if let Err(e) = self.check_fault(Operation::BootNode, &sku.name, "boot nodes") {
@@ -491,6 +550,14 @@ impl CloudProvider {
         // Nodes boot in parallel: total latency is the max of per-node boots,
         // which grows slowly with pool size.
         let boot = 150.0 + 10.0 * (nodes as f64).ln_1p();
+        // The trace records the un-jittered base latency: jitter comes from
+        // the shared RNG whose draw order depends on worker interleaving.
+        self.trace("provision", &sku.name, |m| {
+            m.insert("nodes", Value::Int(i64::from(nodes)));
+            m.insert("cores", Value::Int(i64::from(cores)));
+            m.insert("boot_secs", Value::Float(boot));
+            m.insert("capacity", Value::str(capacity.as_str()));
+        });
         self.spend(boot);
         let id = self.next_allocation;
         self.next_allocation += 1;
@@ -529,6 +596,14 @@ impl CloudProvider {
             Capacity::Spot => self.region().price_multiplier * (1.0 - sku.spot_discount),
         };
         let cost = cost_for(&sku, multiplier, alloc.nodes, end - alloc.start);
+        // No cost/duration in the trace: the billed span runs on the
+        // jittered shared clock.
+        let nodes = alloc.nodes;
+        let capacity = alloc.capacity;
+        self.trace("release", &alloc.sku, |m| {
+            m.insert("nodes", Value::Int(i64::from(nodes)));
+            m.insert("capacity", Value::str(capacity.as_str()));
+        });
         self.billing.record(UsageRecord {
             sku: alloc.sku,
             nodes: alloc.nodes,
@@ -788,6 +863,44 @@ mod tests {
         let p = provider();
         assert!(p.check_subscription("mysubscription").is_ok());
         assert!(p.check_subscription("other").is_err());
+    }
+
+    #[test]
+    fn trace_buffer_gates_and_drains() {
+        let mut p = provider();
+        deploy_landing_zone(&mut p, "rg1");
+        assert!(!p.trace_enabled());
+        let id = p.allocate_nodes("rg1", "HB120rs_v3", 2).unwrap();
+        p.release_nodes(id).unwrap();
+        assert!(
+            p.drain_trace().is_empty(),
+            "disabled provider buffers nothing"
+        );
+        p.set_trace_enabled(true);
+        let id = p
+            .allocate_nodes_with("rg1", "HB120rs_v3", 2, Capacity::Spot)
+            .unwrap();
+        p.release_nodes(id).unwrap();
+        let events = p.drain_trace();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.as_str()).collect();
+        assert_eq!(
+            kinds,
+            ["fault_roll", "quota", "fault_roll", "provision", "release"]
+        );
+        let prov = &events[3];
+        // Un-jittered base boot latency, never the shared clock's reading.
+        assert_eq!(
+            prov.f64_field("boot_secs"),
+            Some(150.0 + 10.0 * 2f64.ln_1p())
+        );
+        assert_eq!(prov.str_field("capacity"), Some("spot"));
+        assert!(p.drain_trace().is_empty(), "drain empties the buffer");
+        // Denied quota is traced too.
+        p.quota_mut().set_limit("HBv3", 100);
+        assert!(p.allocate_nodes("rg1", "HB120rs_v3", 4).is_err());
+        let events = p.drain_trace();
+        let quota = events.iter().find(|e| e.kind == "quota").unwrap();
+        assert_eq!(quota.fields.get("granted"), Some(&Value::Bool(false)));
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! collector's [`crate::cache::ScenarioCache`] — scenarios whose
 //! fingerprint is already known are answered without touching a pool, and
 //! only the misses are split into shards. New results are buffered in each
-//! shard's [`ShardOutput`] and inserted into the cache after the merge
+//! shard's `ShardOutput` and inserted into the cache after the merge
 //! barrier on the coordinating thread, so shard workers never contend on a
 //! cache lock. [`CollectPlan::cache`] overrides the policy per run.
 //!
@@ -34,8 +34,8 @@
 
 use crate::cache::{rehydrate_point, CachePolicy};
 use crate::collector::{
-    consult_cache, consult_journal, index_by_id, resolve_ids, store_new_points, Collector,
-    ExecContext, JournalConsult, JournalWriter, ShardOutput, ShardRun,
+    consult_cache, consult_journal, index_by_id, resolve_ids, status_str, store_new_points,
+    Collector, ExecContext, JournalConsult, JournalWriter, ShardOutput, ShardRun,
 };
 use crate::dataset::Dataset;
 use crate::error::ToolError;
@@ -48,6 +48,7 @@ use parking_lot::Mutex;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use taskshell::Vfs;
+use telemetry::{EventSink, Trace, TraceEvent, TraceSummary, Value};
 
 /// How the scenario list is split into independently-runnable shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -80,6 +81,7 @@ pub struct CollectPlan {
     escalate_after: Option<u32>,
     deadline_secs: Option<f64>,
     budget_dollars: Option<f64>,
+    trace: bool,
 }
 
 impl CollectPlan {
@@ -166,6 +168,16 @@ impl CollectPlan {
         self.budget_dollars = Some(dollars);
         self
     }
+
+    /// Captures a deterministic run trace ([`CollectReport::trace`]): span
+    /// events from every layer, stamped on shard-local simulated timelines
+    /// and merged in shard order, so the trace bytes are identical for any
+    /// worker count. Off by default — a disabled trace costs one branch per
+    /// event site and allocates nothing.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
 }
 
 /// What happened to one executed scenario.
@@ -250,12 +262,22 @@ pub struct CollectReport {
     pub billing: Vec<BillingSummary>,
     /// Executor statistics.
     pub stats: CollectStats,
+    /// The merged run trace, when the plan enabled tracing
+    /// ([`CollectPlan::trace`]). Byte-identical for any worker count.
+    pub trace: Option<Trace>,
 }
 
 impl CollectReport {
     /// Extracts just the dataset (what the legacy `collect()` returned).
     pub fn into_dataset(self) -> Dataset {
         self.dataset
+    }
+
+    /// Aggregated trace counters and histograms (provision latency, boot
+    /// time, retries, cache hit ratio, dollars per completed scenario), when
+    /// the run was traced.
+    pub fn trace_summary(&self) -> Option<TraceSummary> {
+        self.trace.as_ref().map(|t| t.summarize())
     }
 
     /// Human-readable summary: stats line, per-pool billing, failures.
@@ -332,6 +354,9 @@ impl CollectReport {
                 self.stats.backoff_secs,
             );
         }
+        if let Some(trace) = &self.trace {
+            let _ = writeln!(out, "  trace: {} events captured", trace.len());
+        }
         for b in &self.billing {
             let _ = writeln!(
                 out,
@@ -358,9 +383,10 @@ impl CollectReport {
     }
 }
 
-/// One shard's hand-back: its output plus, for parallel shards, the
-/// filesystem clone it worked on (None when it ran on the shared one).
-type ShardResult = Result<(ShardOutput, Option<Vfs>), ToolError>;
+/// One shard's hand-back: its output, the filesystem clone it worked on
+/// (None when it ran on the shared one), and its trace events (empty when
+/// the run is untraced).
+type ShardResult = Result<(ShardOutput, Option<Vfs>, Vec<TraceEvent>), ToolError>;
 
 /// Splits ordered scenarios into shards under `policy`. Per-SKU sharding
 /// groups all scenarios of a VM type into one shard, in first-appearance
@@ -474,17 +500,62 @@ impl Collector {
         let shards = split_shards(consult.misses, plan.shard_policy);
         let workers = plan.workers.max(1).min(shards.len().max(1));
 
+        // Coordinator trace framing: run_start, then the decisions made
+        // before any shard executes (journal replays, cache hits, in
+        // requested order), then — after the merge barrier below — the
+        // shard streams in shard-index order and run_end. Nothing here may
+        // depend on worker count or wall-clock.
+        let tracing = plan.trace;
+        let mut coord = if tracing {
+            // The shared provider buffers span events only while a traced
+            // run is in flight; shard services drain it under the same lock
+            // hold as the call that produced them.
+            ctx.provider.lock().set_trace_enabled(true);
+            EventSink::coordinator()
+        } else {
+            EventSink::disabled()
+        };
+        coord.emit("run_start", "run", |m| {
+            m.insert("scenarios", Value::Int(ordered.len() as i64));
+            m.insert("seed", Value::Int(ctx.options.experiment_seed as i64));
+        });
+        for hit in &jconsult.hits {
+            coord.emit("journal_replay", &format!("s{}", hit.scenario.id), |m| {
+                m.insert("status", Value::str(status_str(hit.entry.status)));
+            });
+        }
+        for hit in &consult.hits {
+            coord.emit("cache_hit", &format!("s{}", hit.scenario.id), |m| {
+                m.insert("sku", Value::str(hit.scenario.sku.clone()));
+                m.insert("nnodes", Value::Int(i64::from(hit.scenario.nnodes)));
+            });
+        }
+
         let mut results: Vec<ShardResult> = Vec::with_capacity(shards.len());
         if workers <= 1 {
-            for shard in &shards {
+            // Every shard starts from a snapshot of the shared filesystem
+            // and merges back afterwards, exactly like the parallel path —
+            // otherwise a later shard would see files an earlier shard
+            // downloaded, skip the fetch, and its simulated timeline (and
+            // run trace) would depend on the worker count.
+            let initial_vfs = self.shared_vfs.lock().clone();
+            for (idx, shard) in shards.iter().enumerate() {
+                if tracing {
+                    self.service.set_trace(EventSink::for_shard(idx as i64));
+                }
+                let vfs = Arc::new(Mutex::new(initial_vfs.clone()));
                 let out = ShardRun {
                     ctx: &ctx,
                     service: &mut self.service,
-                    vfs: self.shared_vfs.clone(),
+                    vfs: vfs.clone(),
                     journal: writer.clone(),
                 }
                 .run(shard);
-                results.push(out.map(|o| (o, None)));
+                let events = self.service.take_trace();
+                let vfs = Arc::try_unwrap(vfs)
+                    .map(Mutex::into_inner)
+                    .unwrap_or_else(|arc| arc.lock().clone());
+                results.push(out.map(|o| (o, Some(vfs), events)));
             }
         } else {
             results = run_parallel(
@@ -493,14 +564,20 @@ impl Collector {
                 workers,
                 &self.shared_vfs.lock().clone(),
                 writer.as_ref(),
+                tracing,
             );
         }
+        if tracing {
+            ctx.provider.lock().set_trace_enabled(false);
+        }
 
+        let mut trace_events: Vec<TraceEvent> = coord.take();
         let mut points = Vec::new();
         let mut outcomes: Vec<ScenarioOutcome> = Vec::new();
         for (shard_idx, result) in results.into_iter().enumerate() {
             match result {
-                Ok((out, vfs)) => {
+                Ok((out, vfs, events)) => {
+                    trace_events.extend(events);
                     if let Some(vfs) = vfs {
                         self.shared_vfs.lock().merge_from(&vfs);
                     }
@@ -649,10 +726,27 @@ impl Collector {
             .lock()
             .billing()
             .summarize_by_sku(Some(&ctx.deployment));
+        // run_end carries only worker-count-invariant aggregates: the cost
+        // figure sums the points' deterministic price × nodes × exec-time
+        // values, never the jitter-affected billing spans.
+        let total_cost: f64 = dataset.points.iter().map(|p| p.cost_dollars).sum();
+        coord.emit("run_end", "run", |m| {
+            m.insert("completed", Value::Int(completed as i64));
+            m.insert("failed", Value::Int(failed as i64));
+            m.insert("skipped", Value::Int(skipped as i64));
+            m.insert("timed_out", Value::Int(timed_out as i64));
+            m.insert("cache_hits", Value::Int(cache_hits as i64));
+            m.insert("cache_misses", Value::Int(cache_misses as i64));
+            m.insert("replayed", Value::Int(journal_replayed as i64));
+            m.insert("cost", Value::Float(total_cost));
+        });
+        trace_events.extend(coord.take());
+        let trace = tracing.then(|| Trace::new(trace_events));
         Ok(CollectReport {
             dataset,
             outcomes,
             billing,
+            trace,
             stats: CollectStats {
                 workers,
                 shards: shards.len(),
@@ -682,6 +776,7 @@ fn run_parallel(
     workers: usize,
     initial_vfs: &Vfs,
     journal: Option<&JournalWriter>,
+    tracing: bool,
 ) -> Vec<ShardResult> {
     let slots: Vec<Mutex<Option<ShardResult>>> = shards.iter().map(|_| Mutex::new(None)).collect();
     let queue = crossbeam::deque::Injector::new();
@@ -699,6 +794,11 @@ fn run_parallel(
                     crossbeam::deque::Steal::Retry => continue,
                 };
                 let mut service = BatchService::new(ctx.provider.clone(), &ctx.deployment);
+                if tracing {
+                    // Sinks are keyed by shard index, not worker id, so the
+                    // merged stream is invariant to which worker ran what.
+                    service.set_trace(EventSink::for_shard(i as i64));
+                }
                 let vfs = Arc::new(Mutex::new(initial_vfs.clone()));
                 let result = ShardRun {
                     ctx,
@@ -707,13 +807,14 @@ fn run_parallel(
                     journal: journal.cloned(),
                 }
                 .run(&shards[i]);
+                let events = service.take_trace();
                 // All runner closures are gone once the shard finishes, so
                 // the Arc is unique and the filesystem moves out copy-free.
                 let result = result.map(|out| {
                     let vfs = Arc::try_unwrap(vfs)
                         .map(Mutex::into_inner)
                         .unwrap_or_else(|arc| arc.lock().clone());
-                    (out, Some(vfs))
+                    (out, Some(vfs), events)
                 });
                 *slots_ref[i].lock() = Some(result);
             });

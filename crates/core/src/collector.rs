@@ -19,7 +19,7 @@
 //! printed by the script are scraped into the dataset, exactly as the paper
 //! describes.
 //!
-//! The loop itself lives in [`ShardRun`], which executes one ordered slice of
+//! The loop itself lives in `ShardRun`, which executes one ordered slice of
 //! scenarios against one [`BatchService`]. The serial [`Collector::collect`]
 //! path runs a single shard over the collector's own service; the parallel
 //! path ([`crate::collect::CollectPlan`]) runs one shard per VM type, each on
@@ -43,6 +43,7 @@ use simtime::SimDuration;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use taskshell::{ExecutionEnv, Interpreter, UrlStore, Vfs};
+use telemetry::Value;
 
 /// Options for a collection run.
 ///
@@ -353,6 +354,22 @@ pub(crate) struct ShardOutput {
     pub(crate) outcomes: Vec<ShardOutcome>,
 }
 
+/// Scope string for one scenario's trace events (`s<id>`).
+fn scenario_scope(scenario: &Scenario) -> String {
+    format!("s{}", scenario.id)
+}
+
+/// The trace vocabulary's status strings.
+pub(crate) fn status_str(status: ScenarioStatus) -> &'static str {
+    match status {
+        ScenarioStatus::Pending => "pending",
+        ScenarioStatus::Completed => "completed",
+        ScenarioStatus::Failed => "failed",
+        ScenarioStatus::Skipped => "skipped",
+        ScenarioStatus::TimedOut => "timed_out",
+    }
+}
+
 /// Executes an ordered slice of scenarios against one batch service —
 /// Algorithm 1 over one shard. The serial path uses a single shard holding
 /// every scenario; the parallel path runs one `ShardRun` per VM type.
@@ -387,6 +404,12 @@ impl ShardRun<'_> {
                 continue;
             }
             let mut tally = Tally::fresh();
+            self.service
+                .trace_mut()
+                .emit("scenario_start", &scenario_scope(&scenario), |m| {
+                    m.insert("sku", Value::str(scenario.sku.clone()));
+                    m.insert("nnodes", Value::Int(i64::from(scenario.nnodes)));
+                });
             // Budget circuit breaker: once billed spend reaches the budget,
             // every remaining scenario degrades to a journaled skip — the
             // sweep stops spending but still produces a complete, resumable
@@ -502,6 +525,7 @@ impl ShardRun<'_> {
             // reuses it.
             self.apply_capacity(&pool_name)?;
             updated.insert(scenario.id, point.status);
+            self.trace_scenario_end(&scenario, point.status, tally, point.cost_dollars);
             let outcome = ShardOutcome {
                 scenario_id: scenario.id,
                 status: point.status,
@@ -570,9 +594,36 @@ impl ShardRun<'_> {
         let secs = self.ctx.options.retry.backoff_secs(scope, retry_no);
         tally.attempts += 1;
         tally.backoff_secs += secs;
+        let attempt = tally.attempts;
+        let trace = self.service.trace_mut();
+        trace.emit("retry", scope, |m| {
+            m.insert("attempt", Value::Int(i64::from(attempt)));
+            m.insert("backoff_secs", Value::Float(secs));
+        });
+        trace.advance(secs);
         self.service
             .clock()
             .advance_by(SimDuration::from_secs_f64(secs));
+    }
+
+    /// Emits the scenario's terminal trace event. `cost` is the data
+    /// point's deterministic price × nodes × exec-time figure, never the
+    /// jittered billing span.
+    fn trace_scenario_end(
+        &mut self,
+        scenario: &Scenario,
+        status: ScenarioStatus,
+        tally: Tally,
+        cost: f64,
+    ) {
+        self.service
+            .trace_mut()
+            .emit("scenario_end", &scenario_scope(scenario), |m| {
+                m.insert("status", Value::str(status_str(status)));
+                m.insert("attempts", Value::Int(i64::from(tally.attempts)));
+                m.insert("evictions", Value::Int(i64::from(tally.evictions)));
+                m.insert("cost", Value::Float(cost));
+            });
     }
 
     /// Brings the pool's capacity class back to the run's configured one
@@ -594,7 +645,7 @@ impl ShardRun<'_> {
     /// degrades the rest of the SKU to skips, anything else is a failure.
     #[allow(clippy::too_many_arguments)]
     fn record_resize_error(
-        &self,
+        &mut self,
         out: &mut ShardOutput,
         updated: &mut HashMap<u32, ScenarioStatus>,
         exhausted_skus: &mut HashSet<String>,
@@ -624,7 +675,7 @@ impl ShardRun<'_> {
     }
 
     fn record_failure(
-        &self,
+        &mut self,
         out: &mut ShardOutput,
         updated: &mut HashMap<u32, ScenarioStatus>,
         scenario: &Scenario,
@@ -632,6 +683,7 @@ impl ShardRun<'_> {
         tally: Tally,
     ) {
         updated.insert(scenario.id, ScenarioStatus::Failed);
+        self.trace_scenario_end(scenario, ScenarioStatus::Failed, tally, 0.0);
         let point = self.ctx.failed_point(scenario, reason);
         let outcome = ShardOutcome {
             scenario_id: scenario.id,
@@ -651,7 +703,7 @@ impl ShardRun<'_> {
     /// Records a deliberately-not-executed scenario. Quota skips are never
     /// journaled: the next collect (or a resume) should attempt them.
     fn record_skip(
-        &self,
+        &mut self,
         out: &mut ShardOutput,
         updated: &mut HashMap<u32, ScenarioStatus>,
         scenario: &Scenario,
@@ -659,6 +711,7 @@ impl ShardRun<'_> {
         tally: Tally,
     ) {
         updated.insert(scenario.id, ScenarioStatus::Skipped);
+        self.trace_scenario_end(scenario, ScenarioStatus::Skipped, tally, 0.0);
         out.points.push(self.ctx.skipped_point(scenario, reason));
         out.outcomes.push(ShardOutcome {
             scenario_id: scenario.id,
@@ -675,7 +728,7 @@ impl ShardRun<'_> {
     /// `--resume` must honor the stop instead of silently re-running (and
     /// re-billing) everything the breaker cut.
     fn record_budget_skip(
-        &self,
+        &mut self,
         out: &mut ShardOutput,
         updated: &mut HashMap<u32, ScenarioStatus>,
         scenario: &Scenario,
@@ -683,6 +736,7 @@ impl ShardRun<'_> {
         tally: Tally,
     ) {
         updated.insert(scenario.id, ScenarioStatus::Skipped);
+        self.trace_scenario_end(scenario, ScenarioStatus::Skipped, tally, 0.0);
         let point = self.ctx.skipped_point(scenario, reason);
         let outcome = ShardOutcome {
             scenario_id: scenario.id,

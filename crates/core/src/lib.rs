@@ -86,6 +86,7 @@ pub use journal::{JournalEntry, RunJournal};
 pub use retry::{FaultClass, RetryPolicy};
 pub use scenario::{Scenario, ScenarioStatus};
 pub use session::Session;
+pub use telemetry::{Trace, TraceEvent, TraceSummary};
 
 /// Common imports for tool users.
 pub mod prelude {
@@ -106,4 +107,5 @@ pub mod prelude {
     pub use crate::scenario::{Scenario, ScenarioStatus};
     pub use crate::session::Session;
     pub use cloudsim::Capacity;
+    pub use telemetry::{Trace, TraceSummary};
 }

@@ -11,7 +11,7 @@
 //! configurations; [`advise_from_history`] turns a configuration grid plus
 //! a historical dataset into a *predicted* Pareto front with **zero** cloud
 //! executions. This is the "simple regression analysis" route the paper's
-//! §III-F sketches (its references [2], [8], [14] use heavier ML on the
+//! §III-F sketches (its references \[2], \[8], \[14] use heavier ML on the
 //! same features: application inputs + instance characteristics).
 //!
 //! Model, per application:

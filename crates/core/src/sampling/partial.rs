@@ -1,5 +1,5 @@
 //! Partial-execution prediction — the technique the paper cites from
-//! Yang et al. [6] and Brunetta & Borin [13]: "several HPC workloads have
+//! Yang et al. \[6] and Brunetta & Borin \[13]: "several HPC workloads have
 //! a steady execution time per step (after warm-up). So one could get some
 //! approximation of execution times and costs."
 //!

@@ -15,10 +15,12 @@
 mod ascii;
 mod axis;
 mod chart;
+mod gantt;
 mod svg;
 
 pub use axis::nice_ticks;
 pub use chart::{Chart, Series, SeriesKind};
+pub use gantt::{GanttChart, GanttLane, GanttSpan};
 
 #[cfg(test)]
 mod proptests {

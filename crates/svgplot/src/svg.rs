@@ -4,7 +4,7 @@ use crate::axis::{format_tick, nice_ticks};
 use crate::chart::{Chart, SeriesKind};
 
 /// Categorical palette (colour-blind-friendly, matplotlib-tab10-like).
-const PALETTE: [&str; 8] = [
+pub(crate) const PALETTE: [&str; 8] = [
     "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
 ];
 
@@ -13,7 +13,7 @@ const MARGIN_RIGHT: f64 = 16.0;
 const MARGIN_TOP: f64 = 40.0;
 const MARGIN_BOTTOM: f64 = 48.0;
 
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     s.replace('&', "&amp;")
         .replace('<', "&lt;")
         .replace('>', "&gt;")

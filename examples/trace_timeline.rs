@@ -1,0 +1,69 @@
+//! Regenerates the EXPERIMENTS.md trace-timeline figure: the Listing-1
+//! 36-scenario OpenFOAM grid collected on spot capacity under 35 %
+//! eviction pressure, with the run trace enabled, rendered as a per-pool
+//! Gantt chart (`experiments/out/trace_timeline.svg`).
+//!
+//! The same figure falls out of the CLI:
+//!
+//! ```console
+//! $ hpcadvisor collect --trace --capacity spot
+//! $ hpcadvisor trace timeline
+//! ```
+//!
+//! Eviction rolls are a stateless hash and every timeline is per-shard
+//! simulated time, so the trace — and therefore this SVG — is
+//! byte-identical for any `--workers` value.
+//!
+//! Run with: `cargo run --example trace_timeline`
+
+use hpcadvisor::prelude::*;
+use hpcadvisor::{svgplot, telemetry};
+
+fn main() -> Result<(), ToolError> {
+    let mut session = Session::create(UserConfig::example_openfoam(), 42)?;
+    session
+        .provider()
+        .lock()
+        .set_fault_plan(cloudsim::FaultPlan::none().seed(13).evict_pressure(0.35));
+    let report = session.collect_with(
+        &CollectPlan::new()
+            .workers(4)
+            .capacity(Capacity::Spot)
+            .trace(true),
+    )?;
+
+    let summary = report.trace_summary().expect("plan enabled tracing");
+    println!("{}", summary.render_text().trim_end());
+
+    let trace = report.trace.as_ref().expect("plan enabled tracing");
+    let lanes = telemetry::build_timeline(&trace.events);
+    let mut chart =
+        svgplot::GanttChart::new("Spot sweep timeline (36 scenarios, 35% eviction pressure)")
+            .with_subtitle(&format!(
+                "{} events, {} pool lanes, {} evictions, {} retries",
+                trace.len(),
+                lanes.len(),
+                summary.evictions,
+                summary.retries
+            ));
+    for lane in &lanes {
+        let mut spans = Vec::with_capacity(lane.spans.len());
+        for s in &lane.spans {
+            spans.push(svgplot::GanttSpan {
+                start: s.start,
+                end: s.end,
+                kind: chart.kind(s.kind.label()),
+                label: s.label.clone(),
+            });
+        }
+        chart.add_lane(svgplot::GanttLane {
+            label: format!("shard{}/{}", lane.shard, lane.pool),
+            spans,
+        });
+    }
+    let out = "experiments/out/trace_timeline.svg";
+    std::fs::create_dir_all("experiments/out")?;
+    std::fs::write(out, chart.to_svg(900))?;
+    println!("wrote {out}");
+    Ok(())
+}

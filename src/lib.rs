@@ -15,6 +15,8 @@
 //!   setup/run scripts inside the simulation.
 //! * [`formats`] (`hpcadvisor-formats`) — YAML/JSON/CSV codecs.
 //! * [`svgplot`] — SVG/ASCII chart rendering.
+//! * [`telemetry`] — the zero-cost-when-off run-trace layer (events,
+//!   sinks, summaries, timeline extraction).
 //! * [`simtime`] — deterministic virtual time.
 //!
 //! See `DESIGN.md` for the paper-to-substrate substitution map and
@@ -28,6 +30,7 @@ pub use hpcadvisor_formats as formats;
 pub use simtime;
 pub use svgplot;
 pub use taskshell;
+pub use telemetry;
 
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
