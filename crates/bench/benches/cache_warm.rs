@@ -44,15 +44,21 @@ fn cache_warm(c: &mut Criterion) {
     let path = cache_file("warm");
     let _ = std::fs::remove_file(&path);
     {
-        let mut session = Session::create(grid_config(), SEED).unwrap();
-        session.set_cache(ScenarioCache::open(&path));
+        let mut session = Session::builder(grid_config())
+            .seed(SEED)
+            .cache(ScenarioCache::open(&path))
+            .build()
+            .unwrap();
         let report = session.collect_with(&CollectPlan::new()).unwrap();
         assert_eq!(report.stats.cache_misses, 36);
     }
     group.bench_function("collect_listing1_36_scenarios_warm", |b| {
         b.iter(|| {
-            let mut session = Session::create(grid_config(), SEED).unwrap();
-            session.set_cache(ScenarioCache::open(&path));
+            let mut session = Session::builder(grid_config())
+                .seed(SEED)
+                .cache(ScenarioCache::open(&path))
+                .build()
+                .unwrap();
             let report = session.collect_with(&CollectPlan::new()).unwrap();
             assert_eq!(report.stats.cache_hits, 36);
             report.dataset.len()

@@ -71,8 +71,11 @@ fn parallel_collect_batch() -> f64 {
 fn cache_warm_batch(cache_path: &PathBuf) -> f64 {
     let start = Instant::now();
     for _ in 0..WARM_ITERS {
-        let mut session = Session::create(grid_config(), hpcadvisor_bench::SEED).expect("session");
-        session.set_cache(ScenarioCache::open(cache_path));
+        let mut session = Session::builder(grid_config())
+            .seed(hpcadvisor_bench::SEED)
+            .cache(ScenarioCache::open(cache_path))
+            .build()
+            .expect("session");
         let report = session.collect_with(&CollectPlan::new()).expect("collect");
         assert_eq!(report.stats.cache_hits, 36, "cache must be warm");
     }
@@ -98,10 +101,18 @@ fn run_benches() -> Vec<BenchResult> {
     ));
     let _ = std::fs::remove_file(&cache_path);
     {
-        let mut session = Session::create(grid_config(), hpcadvisor_bench::SEED).expect("session");
-        session.set_cache(ScenarioCache::open(&cache_path));
+        let mut session = Session::builder(grid_config())
+            .seed(hpcadvisor_bench::SEED)
+            .cache(ScenarioCache::open(&cache_path))
+            .build()
+            .expect("session");
         session.collect().expect("cache fill");
     }
+
+    // One untimed batch first: the very first batch after a build runs with
+    // cold page cache and an unramped CPU and can read 20-30% high, which
+    // is exactly the noise band the tolerance is meant to cover.
+    let _ = parallel_collect_batch();
 
     let mut results = Vec::new();
     let mut samples: Vec<f64> = (0..SAMPLES).map(|_| parallel_collect_batch()).collect();

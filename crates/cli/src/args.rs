@@ -26,6 +26,16 @@ const VALUED: &[&str] = &[
     "capacity",
     "deadline",
     "budget",
+    "listen",
+    "connect",
+    "tenant",
+    "service-workers",
+    "queue",
+    "max-requests",
+    "tenant-jobs",
+    "tenant-budget",
+    "tenant-grid",
+    "in",
 ];
 
 /// Short-option aliases.

@@ -42,6 +42,8 @@ pub fn dispatch(argv: &[String], out: Out) -> Result<(), ToolError> {
         "advice" => advice_cmd(&args, &workdir, out),
         "export" => export_cmd(&args, &workdir, out),
         "trace" => trace_cmd(&args, &workdir, out),
+        "serve" => crate::serve::serve_cmd(&args, &workdir, out),
+        "request" => crate::serve::request_cmd(&args, &workdir, out),
         "gui" => gui(&args, &workdir, out),
         other => Err(ToolError::Config(format!(
             "unknown command '{other}'; try --help"
@@ -422,12 +424,13 @@ fn collect(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
         }
         Some(sampler_name) => {
             // Sampling needs the Session wrapper for iterative batches.
-            let mut session = Session::create(config.clone(), record.seed)?;
+            let mut builder = Session::builder(config.clone()).seed(record.seed);
             if args.has("no-cache") {
-                session.set_cache_policy(CachePolicy::Off);
+                builder = builder.cache_policy(CachePolicy::Off);
             } else {
-                session.set_cache(ScenarioCache::open(&cache_path));
+                builder = builder.cache(ScenarioCache::open(&cache_path));
             }
+            let mut session = builder.build()?;
             let mut sampler = make_sampler(sampler_name)?;
             let (ds, report) = run_sampled(&mut session, sampler.as_mut())?;
             for s in session.scenarios() {

@@ -27,6 +27,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod serve;
 pub mod state;
 
 use std::io::Write;
@@ -66,6 +67,13 @@ COMMANDS:
                                      'collect --trace' (counters, histograms)
     trace timeline [--in <file>] [-o <svg>]
                                      render the run trace as a per-pool Gantt
+    serve [--listen <addr>]          run the advisor as a daemon: NDJSON
+                                     frames over TCP, many tenants, one
+                                     shared scenario cache (identical
+                                     scenarios are simulated once)
+    request --connect <addr> [-c <config.yaml>] [--tenant <name>]
+                                     submit one advisory run to a daemon,
+                                     stream its progress, print the advice
     gui                              textual dashboard
 
 OPTIONS:
@@ -100,6 +108,19 @@ OPTIONS:
     --ascii                print plots to the terminal instead of SVG files
     --sort <key>           advice sort order: time (default) or cost
     --slurm                also print a Slurm recipe for the fastest row
+
+SERVE OPTIONS:
+    --listen <addr>        daemon bind address (default 127.0.0.1:0; the
+                           chosen port is announced on startup)
+    --service-workers <n>  worker threads draining the job queue (default 2)
+    --queue <n>            job-queue bound across all tenants (default 16)
+    --tenant-jobs <n>      per-tenant in-flight job quota (default 4)
+    --tenant-budget <usd>  per-tenant cumulative budget for newly
+                           provisioned pool time (cache hits are free)
+    --tenant-grid <n>      largest scenario grid one request may expand to
+    --max-requests <n>     exit after serving n collect requests
+    --connect <addr>       (request) daemon address to connect to
+    --tenant <name>        (request) tenant to account the run against
 ";
 
 #[cfg(test)]

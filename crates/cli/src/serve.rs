@@ -1,0 +1,442 @@
+//! `hpcadvisor serve` — the advisor as a long-lived daemon — and
+//! `hpcadvisor request`, its line-protocol client.
+//!
+//! The daemon listens on TCP and speaks the versioned NDJSON envelope
+//! from [`hpcadvisor_formats::wire`]: one compact JSON frame per line in
+//! each direction. Client frames:
+//!
+//! * `collect` — body `{tenant, config_yaml, seed, workers}`: admit a
+//!   full advisory run for `tenant` over the YAML config.
+//! * `ping` — liveness probe; answered with `pong`.
+//! * `shutdown` — stop the daemon gracefully (drains in-flight jobs).
+//!
+//! Server frames (each echoes the request id):
+//!
+//! * `progress` — one live trace event (`run_start`, `scenario_start`,
+//!   `scenario_end`, `cache_hit`, `run_end`) from the running collection.
+//! * `result` — terminal: the dataset (embedded as a JSON string, so the
+//!   bytes are exactly what a standalone CLI run writes), rendered advice,
+//!   executor stats (including the cache hit/miss counters that make
+//!   cross-tenant dedup observable) and the run's newly-provisioned cost.
+//! * `error` — terminal: a typed admission refusal (queue full, over
+//!   quota, budget exhausted, ...) or a job failure, as a message.
+//! * `pong` / `ok` — answers to `ping` / `shutdown`.
+//!
+//! All connections feed one [`AdvisorService`], so every tenant shares
+//! the daemon's scenario cache: identical scenarios are simulated once.
+
+use crate::args::Args;
+use crate::state::WorkDir;
+use hpcadvisor_core::{
+    AdviceRequest, AdvisorService, CachePolicy, JobEvent, JobOutcome, ServiceConfig,
+    SharedScenarioCache, TenantPolicy, ToolError, UserConfig,
+};
+use hpcadvisor_formats::wire::Frame;
+use hpcadvisor_formats::{json, OrderedMap, Value};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+type Out<'a> = &'a mut dyn Write;
+
+fn wline(out: Out, text: &str) -> Result<(), ToolError> {
+    writeln!(out, "{text}").map_err(ToolError::Io)
+}
+
+/// How the daemon is configured (all settable from `serve` flags).
+pub struct ServeOptions {
+    /// Worker threads draining the job queue.
+    pub service_workers: usize,
+    /// Bound of the job queue.
+    pub queue_capacity: usize,
+    /// Per-tenant admission limits.
+    pub policy: TenantPolicy,
+    /// The scenario cache every tenant shares.
+    pub cache: SharedScenarioCache,
+    /// Exit after serving this many `collect` requests (used by tests and
+    /// smoke jobs to terminate without signals). `None` serves forever.
+    pub max_requests: Option<usize>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            service_workers: 2,
+            queue_capacity: 16,
+            policy: TenantPolicy::default(),
+            cache: SharedScenarioCache::in_memory(),
+            max_requests: None,
+        }
+    }
+}
+
+fn parse_usize(args: &Args, name: &str) -> Result<Option<usize>, ToolError> {
+    args.option(name)
+        .map(|v| {
+            v.parse()
+                .map_err(|_| ToolError::Config(format!("--{name} must be a number, got '{v}'")))
+        })
+        .transpose()
+}
+
+/// The `serve` command: bind, announce, and run the accept loop.
+pub fn serve_cmd(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
+    let mut opts = ServeOptions::default();
+    if let Some(n) = parse_usize(args, "service-workers")? {
+        opts.service_workers = n.max(1);
+    }
+    if let Some(n) = parse_usize(args, "queue")? {
+        opts.queue_capacity = n.max(1);
+    }
+    if let Some(n) = parse_usize(args, "tenant-jobs")? {
+        opts.policy.max_inflight = n.max(1);
+    }
+    if let Some(v) = args.option("tenant-budget") {
+        let dollars: f64 = v.parse().map_err(|_| {
+            ToolError::Config(format!("--tenant-budget must be US dollars, got '{v}'"))
+        })?;
+        if !dollars.is_finite() || dollars < 0.0 {
+            return Err(ToolError::Config(format!(
+                "--tenant-budget must be non-negative US dollars, got '{v}'"
+            )));
+        }
+        opts.policy.budget_dollars = Some(dollars);
+    }
+    if let Some(n) = parse_usize(args, "tenant-grid")? {
+        opts.policy.max_scenarios = Some(n);
+    }
+    opts.max_requests = parse_usize(args, "max-requests")?;
+    // The daemon's cache persists in the work directory (or --cache-dir),
+    // exactly where standalone `collect` runs look — warm starts carry over.
+    let cache_path = match args.option("cache-dir") {
+        Some(dir) => std::path::Path::new(dir).join("scenario-cache.json"),
+        None => workdir.cache_file(),
+    };
+    opts.cache = SharedScenarioCache::open(&cache_path);
+    let listen = args.option("listen").unwrap_or("127.0.0.1:0");
+    let listener = TcpListener::bind(listen)
+        .map_err(|e| ToolError::Config(format!("cannot listen on {listen}: {e}")))?;
+    serve_on(listener, opts, out)
+}
+
+/// Runs the daemon on an already-bound listener until a `shutdown` frame
+/// arrives or `max_requests` collect requests have been served. Announces
+/// the bound address on `out` first, so callers (and tests) binding port
+/// 0 can discover where to connect.
+pub fn serve_on(listener: TcpListener, opts: ServeOptions, out: Out) -> Result<(), ToolError> {
+    let addr = listener.local_addr().map_err(ToolError::Io)?;
+    let service = Arc::new(AdvisorService::start(ServiceConfig {
+        workers: opts.service_workers,
+        queue_capacity: opts.queue_capacity,
+        policy: opts.policy,
+        cache: opts.cache,
+        cache_policy: CachePolicy::default(),
+    }));
+    wline(out, &format!("serving on {addr}"))?;
+    listener.set_nonblocking(true).map_err(ToolError::Io)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let served = Arc::new(AtomicUsize::new(0));
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if let Some(max) = opts.max_requests {
+            if served.load(Ordering::SeqCst) >= max {
+                break;
+            }
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let service = service.clone();
+                let stop = stop.clone();
+                let served = served.clone();
+                connections.push(std::thread::spawn(move || {
+                    let _ = handle_connection(stream, &service, &stop, &served);
+                }));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(ToolError::Io(e)),
+        }
+        connections.retain(|c| !c.is_finished());
+    }
+    // Graceful drain: finish open conversations, then let the service run
+    // every admitted job to completion before persisting the cache.
+    stop.store(true, Ordering::SeqCst);
+    for c in connections {
+        let _ = c.join();
+    }
+    let n = served.load(Ordering::SeqCst);
+    let service = match Arc::try_unwrap(service) {
+        Ok(service) => service,
+        Err(arc) => {
+            drop(arc); // Drop drains the queue too.
+            wline(out, &format!("served {n} requests; shut down"))?;
+            return Ok(());
+        }
+    };
+    let cache = service.cache();
+    service.shutdown();
+    cache.save()?;
+    wline(out, &format!("served {n} requests; shut down"))
+}
+
+/// One client conversation: frames in, frames out, until EOF or shutdown.
+fn handle_connection(
+    stream: TcpStream,
+    service: &AdvisorService,
+    stop: &AtomicBool,
+    served: &AtomicUsize,
+) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Retry short timeouts so a quiet client still notices shutdown.
+        let n = loop {
+            match reader.read_line(&mut line) {
+                Ok(n) => break n,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if stop.load(Ordering::SeqCst) {
+                        return Ok(());
+                    }
+                }
+                Err(_) => return Ok(()),
+            }
+        };
+        if n == 0 {
+            return Ok(()); // EOF: client hung up.
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let frame = match Frame::decode(line.trim_end_matches(['\r', '\n'])) {
+            Ok(f) => f,
+            Err(e) => {
+                send(&mut writer, &error_frame(0, &format!("bad frame: {e}")))?;
+                continue;
+            }
+        };
+        match frame.kind.as_str() {
+            "ping" => send(&mut writer, &Frame::new(frame.id, "pong", Value::Null))?,
+            "shutdown" => {
+                send(&mut writer, &Frame::new(frame.id, "ok", Value::Null))?;
+                stop.store(true, Ordering::SeqCst);
+                return Ok(());
+            }
+            "collect" => {
+                serve_collect(frame, service, &mut writer)?;
+                served.fetch_add(1, Ordering::SeqCst);
+            }
+            other => send(
+                &mut writer,
+                &error_frame(frame.id, &format!("unknown frame kind '{other}'")),
+            )?,
+        }
+    }
+}
+
+/// Admits one `collect` frame and streams its progress and terminal frame.
+fn serve_collect(
+    frame: Frame,
+    service: &AdvisorService,
+    writer: &mut TcpStream,
+) -> std::io::Result<()> {
+    let id = frame.id;
+    let request = match parse_collect_body(&frame.body) {
+        Ok(r) => r,
+        Err(m) => return send(writer, &error_frame(id, &m)),
+    };
+    let handle = match service.submit(request) {
+        Ok(h) => h,
+        Err(e) => return send(writer, &error_frame(id, &e.to_string())),
+    };
+    for event in handle.events().iter() {
+        match event {
+            JobEvent::Progress(ev) => {
+                // The event's canonical JSON line becomes the frame body.
+                let body = json::parse(&ev.to_line()).unwrap_or(Value::Null);
+                send(writer, &Frame::new(id, "progress", body))?;
+            }
+            JobEvent::Finished(outcome) => {
+                return send(writer, &Frame::new(id, "result", result_body(&outcome)));
+            }
+            JobEvent::Failed(m) => return send(writer, &error_frame(id, &m)),
+        }
+    }
+    send(writer, &error_frame(id, "job ended without a result"))
+}
+
+fn parse_collect_body(body: &Value) -> Result<AdviceRequest, String> {
+    let map = body.as_map().ok_or("collect body must be an object")?;
+    let yaml = map
+        .get("config_yaml")
+        .and_then(Value::as_str)
+        .ok_or("collect body missing string 'config_yaml'")?;
+    let config = UserConfig::from_yaml(yaml).map_err(|e| format!("bad config: {e}"))?;
+    let tenant = map
+        .get("tenant")
+        .and_then(Value::as_str)
+        .unwrap_or("default");
+    let mut request = AdviceRequest::new(tenant, config, 42);
+    if let Some(seed) = map.get("seed").and_then(Value::as_int) {
+        request.seed = seed as u64;
+    }
+    if let Some(workers) = map.get("workers").and_then(Value::as_int) {
+        request.workers = (workers.max(1)) as usize;
+    }
+    Ok(request)
+}
+
+fn result_body(outcome: &JobOutcome) -> Value {
+    let mut stats = OrderedMap::new();
+    stats.insert("completed", Value::Int(outcome.stats.completed as i64));
+    stats.insert("failed", Value::Int(outcome.stats.failed as i64));
+    stats.insert("skipped", Value::Int(outcome.stats.skipped as i64));
+    stats.insert("executed", Value::Int(outcome.stats.executed as i64));
+    stats.insert("cache_hits", Value::Int(outcome.stats.cache_hits as i64));
+    stats.insert(
+        "cache_misses",
+        Value::Int(outcome.stats.cache_misses as i64),
+    );
+    let mut body = OrderedMap::new();
+    body.insert("job", Value::Int(outcome.job_id as i64));
+    body.insert("tenant", Value::str(&outcome.tenant));
+    // Embedded as a string so the dataset bytes survive the wire exactly.
+    body.insert("dataset_json", Value::str(&outcome.dataset_json));
+    body.insert("advice", Value::str(&outcome.advice_text));
+    body.insert("stats", Value::Map(stats));
+    body.insert("cost_dollars", Value::Float(outcome.run_cost_dollars));
+    Value::Map(body)
+}
+
+fn error_frame(id: i64, message: &str) -> Frame {
+    let mut body = OrderedMap::new();
+    body.insert("message", Value::str(message));
+    Frame::new(id, "error", body_value(body))
+}
+
+fn body_value(map: OrderedMap) -> Value {
+    Value::Map(map)
+}
+
+fn send(writer: &mut TcpStream, frame: &Frame) -> std::io::Result<()> {
+    writer.write_all(frame.encode().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// The `request` command: a one-shot client for the daemon.
+pub fn request_cmd(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
+    let addr = args
+        .option("connect")
+        .ok_or_else(|| ToolError::Config("request requires --connect <host:port>".into()))?;
+    let config_text = match args.option("config") {
+        Some(path) => std::fs::read_to_string(path)?,
+        None => {
+            let path = workdir.root().join("config.yaml");
+            std::fs::read_to_string(&path).map_err(|_| {
+                ToolError::Config(
+                    "request requires -c <config.yaml> (no config in the work directory)".into(),
+                )
+            })?
+        }
+    };
+    // Validate locally before bothering the daemon.
+    UserConfig::from_yaml(&config_text)?;
+    let tenant = args.option("tenant").unwrap_or("default");
+    let workers = parse_usize(args, "workers")?.unwrap_or(1);
+    let seed = args.seed()?;
+
+    let mut body = OrderedMap::new();
+    body.insert("tenant", Value::str(tenant));
+    body.insert("config_yaml", Value::str(config_text));
+    body.insert("seed", Value::Int(seed as i64));
+    body.insert("workers", Value::Int(workers as i64));
+    let mut stream = TcpStream::connect(addr)
+        .map_err(|e| ToolError::Config(format!("cannot connect to {addr}: {e}")))?;
+    send(&mut stream, &Frame::new(1, "collect", Value::Map(body))).map_err(ToolError::Io)?;
+
+    let reader = BufReader::new(stream.try_clone().map_err(ToolError::Io)?);
+    for line in reader.lines() {
+        let line = line.map_err(ToolError::Io)?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let frame = Frame::decode(&line)
+            .map_err(|e| ToolError::Config(format!("bad frame from daemon: {e}")))?;
+        match frame.kind.as_str() {
+            "progress" => {
+                let map = frame.body.as_map();
+                let kind = map
+                    .and_then(|m| m.get("kind"))
+                    .and_then(Value::as_str)
+                    .unwrap_or("?");
+                let scope = map
+                    .and_then(|m| m.get("scope"))
+                    .and_then(Value::as_str)
+                    .unwrap_or("");
+                wline(out, &format!("progress: {kind} {scope}"))?;
+            }
+            "result" => {
+                let map = frame
+                    .body
+                    .as_map()
+                    .ok_or_else(|| ToolError::Config("result body must be an object".into()))?;
+                if let Some(stats) = map.get("stats").and_then(Value::as_map) {
+                    let get = |k: &str| stats.get(k).and_then(Value::as_int).unwrap_or(0);
+                    wline(
+                        out,
+                        &format!(
+                            "collected {} completed, {} failed; cache {} hits / {} misses",
+                            get("completed"),
+                            get("failed"),
+                            get("cache_hits"),
+                            get("cache_misses"),
+                        ),
+                    )?;
+                }
+                if let Some(cost) = map.get("cost_dollars").and_then(Value::as_f64) {
+                    wline(
+                        out,
+                        &format!("cloud spend this request: ${:.2}", cost + 0.0),
+                    )?;
+                }
+                if let Some(ds) = map.get("dataset_json").and_then(Value::as_str) {
+                    if let Some(path) = args.option("out") {
+                        std::fs::write(path, ds)?;
+                        wline(out, &format!("wrote dataset to {path}"))?;
+                    }
+                }
+                if let Some(advice) = map.get("advice").and_then(Value::as_str) {
+                    wline(out, advice.trim_end())?;
+                }
+                return Ok(());
+            }
+            "error" => {
+                let message = frame
+                    .body
+                    .as_map()
+                    .and_then(|m| m.get("message"))
+                    .and_then(Value::as_str)
+                    .unwrap_or("unknown daemon error");
+                return Err(ToolError::Config(format!("daemon: {message}")));
+            }
+            other => {
+                return Err(ToolError::Config(format!(
+                    "unexpected frame kind '{other}' from daemon"
+                )))
+            }
+        }
+    }
+    Err(ToolError::Config(
+        "daemon closed the connection without a result".into(),
+    ))
+}

@@ -43,9 +43,11 @@ use crate::dataset::{point_to_value, value_to_point, DataPoint};
 use crate::error::ToolError;
 use crate::scenario::{Scenario, ScenarioStatus};
 use hpcadvisor_formats::{json, OrderedMap, Value};
+use parking_lot::{Mutex, MutexGuard};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Version of the on-disk cache schema. Files written by a different
 /// schema are discarded wholesale (treated as a cold cache).
@@ -228,6 +230,11 @@ pub struct ScenarioCache {
     entries: HashMap<u128, DataPoint>,
     path: Option<PathBuf>,
     recovered: bool,
+    /// True when the in-memory entries differ from the backing file:
+    /// [`ScenarioCache::save`] skips the rewrite entirely when clean, so a
+    /// warm all-hits run never touches the store. Recovered opens start
+    /// dirty — the next save heals the damaged file.
+    dirty: bool,
 }
 
 impl ScenarioCache {
@@ -254,6 +261,7 @@ impl ScenarioCache {
             entries,
             path: Some(path),
             recovered,
+            dirty: recovered,
         }
     }
 
@@ -293,28 +301,46 @@ impl ScenarioCache {
 
     /// Stores a finished point. Only completed points are cacheable —
     /// failures may be transient (injected faults, quota) and must re-run.
-    /// Returns whether the point was stored.
+    /// A point identical to the stored one is a no-op that leaves the
+    /// store clean, so redundant inserts never force a file rewrite.
+    /// Returns whether the store changed.
     pub fn insert(&mut self, fp: Fingerprint, point: &DataPoint) -> bool {
         if point.status != ScenarioStatus::Completed {
             return false;
         }
+        if self.entries.get(&fp.0) == Some(point) {
+            return false;
+        }
         self.entries.insert(fp.0, point.clone());
+        self.dirty = true;
         true
     }
 
     /// Drops every entry (the CLI's `cache clear`). The backing file is
     /// rewritten empty on the next [`ScenarioCache::save`].
     pub fn clear(&mut self) {
+        if !self.entries.is_empty() {
+            self.dirty = true;
+        }
         self.entries.clear();
     }
 
-    /// Writes the store to its backing file (no-op for in-memory caches).
+    /// True when the in-memory entries differ from the backing file.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Writes the store to its backing file (no-op for in-memory caches
+    /// and for clean stores — an all-hits warm run rewrites nothing).
     /// The write goes to a sibling temp file first and renames into place,
     /// so a crash mid-save leaves the old cache intact.
-    pub fn save(&self) -> Result<(), ToolError> {
+    pub fn save(&mut self) -> Result<(), ToolError> {
         let Some(path) = &self.path else {
             return Ok(());
         };
+        if !self.dirty {
+            return Ok(());
+        }
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
         }
@@ -331,7 +357,70 @@ impl ScenarioCache {
         let tmp = path.with_extension("json.tmp");
         std::fs::write(&tmp, text)?;
         std::fs::rename(&tmp, path)?;
+        self.dirty = false;
         Ok(())
+    }
+}
+
+/// A scenario cache shared by many sessions — the daemon's cross-tenant
+/// dedup point. Clones are handles to the same store; every consult and
+/// insert takes the internal lock, so concurrent jobs that ask about the
+/// same scenarios pay for one simulation and hit on the rest.
+///
+/// The collector holds its cache through this type even when unshared (a
+/// plain CLI run is simply a share group of one).
+#[derive(Debug, Clone, Default)]
+pub struct SharedScenarioCache {
+    inner: Arc<Mutex<ScenarioCache>>,
+}
+
+impl SharedScenarioCache {
+    /// Wraps an existing cache into a shareable handle.
+    pub fn new(cache: ScenarioCache) -> Self {
+        SharedScenarioCache {
+            inner: Arc::new(Mutex::new(cache)),
+        }
+    }
+
+    /// A shareable handle over an empty in-memory cache.
+    pub fn in_memory() -> Self {
+        SharedScenarioCache::new(ScenarioCache::in_memory())
+    }
+
+    /// Opens a file-backed cache (see [`ScenarioCache::open`]) behind a
+    /// shareable handle.
+    pub fn open(path: impl AsRef<Path>) -> Self {
+        SharedScenarioCache::new(ScenarioCache::open(path))
+    }
+
+    /// Locks the underlying store for direct access.
+    pub fn lock(&self) -> MutexGuard<'_, ScenarioCache> {
+        self.inner.lock()
+    }
+
+    /// Number of cached points.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// True if a damaged backing file was discarded on open.
+    pub fn recovered(&self) -> bool {
+        self.lock().recovered()
+    }
+
+    /// Store summary for status displays.
+    pub fn stats(&self) -> CacheStoreStats {
+        self.lock().stats()
+    }
+
+    /// Persists the underlying store (see [`ScenarioCache::save`]).
+    pub fn save(&self) -> Result<(), ToolError> {
+        self.lock().save()
     }
 }
 
@@ -481,14 +570,72 @@ mod tests {
         ] {
             let path = tempfile(tag);
             std::fs::write(&path, garbage).unwrap();
-            let cache = ScenarioCache::open(&path);
+            let mut cache = ScenarioCache::open(&path);
             assert!(cache.is_empty(), "{tag}: damaged store starts cold");
             assert!(cache.recovered(), "{tag}: recovery is flagged");
+            assert!(cache.is_dirty(), "{tag}: recovered stores save eagerly");
             // And saving over the damage produces a loadable store again.
             cache.save().unwrap();
             assert!(!ScenarioCache::open(&path).recovered(), "{tag}");
             let _ = std::fs::remove_file(&path);
         }
+    }
+
+    #[test]
+    fn clean_stores_skip_the_rewrite() {
+        let path = tempfile("dirty");
+        let _ = std::fs::remove_file(&path);
+        let fpr = Fingerprinter::new("lammps", "s", 42, 1);
+        let s = scenario(1, "Standard_HB120rs_v3", 4);
+        let fp = fpr.scenario(&s);
+        let p = point(1, "lammps", "Standard_HB120rs_v3", 4, 120, 12.5, 0.05);
+
+        let mut cache = ScenarioCache::open(&path);
+        assert!(!cache.is_dirty(), "fresh open is clean");
+        assert!(cache.insert(fp, &p));
+        assert!(cache.is_dirty());
+        cache.save().unwrap();
+        assert!(!cache.is_dirty(), "save clears the flag");
+        let saved_at = std::fs::metadata(&path).unwrap().modified().unwrap();
+
+        // Re-inserting the identical point keeps the store clean: the
+        // warm path's post-merge insert loop must not force a rewrite.
+        assert!(!cache.insert(fp, &p), "identical insert is a no-op");
+        assert!(!cache.is_dirty());
+        cache.save().unwrap();
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().modified().unwrap(),
+            saved_at,
+            "clean save never touches the file"
+        );
+
+        // A genuinely different point under the same key dirties again.
+        let mut newer = p.clone();
+        newer.exec_time_secs += 1.0;
+        assert!(cache.insert(fp, &newer));
+        assert!(cache.is_dirty());
+
+        // clear() on a non-empty store schedules an empty rewrite.
+        cache.clear();
+        assert!(cache.is_dirty());
+        cache.save().unwrap();
+        assert_eq!(ScenarioCache::open(&path).len(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shared_handles_see_one_store() {
+        let shared = SharedScenarioCache::in_memory();
+        let clone = shared.clone();
+        let fpr = Fingerprinter::new("lammps", "s", 42, 1);
+        let s = scenario(1, "Standard_HB120rs_v3", 4);
+        let p = point(1, "lammps", "Standard_HB120rs_v3", 4, 120, 12.5, 0.05);
+        assert!(shared.lock().insert(fpr.scenario(&s), &p));
+        assert_eq!(clone.len(), 1, "clones share the underlying store");
+        assert!(!clone.is_empty());
+        assert!(!clone.recovered());
+        assert_eq!(clone.stats().entries, 1);
+        assert!(clone.save().is_ok(), "in-memory save is a no-op");
     }
 
     #[test]

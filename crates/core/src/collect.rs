@@ -48,7 +48,7 @@ use parking_lot::Mutex;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use taskshell::Vfs;
-use telemetry::{EventSink, Trace, TraceEvent, TraceSummary, Value};
+use telemetry::{EventSink, EventTap, Trace, TraceEvent, TraceSummary, Value, COORDINATOR_SHARD};
 
 /// How the scenario list is split into independently-runnable shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -388,6 +388,20 @@ impl CollectReport {
 /// the run is untraced).
 type ShardResult = Result<(ShardOutput, Option<Vfs>, Vec<TraceEvent>), ToolError>;
 
+/// Builds the sink for one shard (or the coordinator): enabled when the
+/// run records a trace or streams live progress, with the tap attached so
+/// subscribers see events as they are emitted.
+fn shard_sink(shard: i64, on: bool, tap: &Option<Arc<dyn EventTap>>) -> EventSink {
+    if !on {
+        return EventSink::disabled();
+    }
+    let sink = EventSink::for_shard(shard);
+    match tap {
+        Some(tap) => sink.with_tap(tap.clone()),
+        None => sink,
+    }
+}
+
 /// Splits ordered scenarios into shards under `policy`. Per-SKU sharding
 /// groups all scenarios of a VM type into one shard, in first-appearance
 /// order of the SKU.
@@ -474,7 +488,7 @@ impl Collector {
         // Consult the result cache next, on this thread: hits never reach
         // a shard (or a pool), and only the misses are split below.
         let policy = plan.cache.unwrap_or(self.cache_policy);
-        let consult = consult_cache(&ctx, &self.cache, policy, &jconsult.misses);
+        let consult = consult_cache(&ctx, &self.cache.lock(), policy, &jconsult.misses);
         let cache_hits = consult.hits.len();
         let cache_misses = consult.fingerprints.len();
         // Cache hits count as finished for resume purposes too.
@@ -506,15 +520,19 @@ impl Collector {
         // shard streams in shard-index order and run_end. Nothing here may
         // depend on worker count or wall-clock.
         let tracing = plan.trace;
-        let mut coord = if tracing {
+        let tap = self.progress.clone();
+        // Sinks run whenever the trace is recorded OR a live tap wants the
+        // stream; a tap alone never turns on provider-level span buffering
+        // (that stays a trace-only cost), and tapped-but-untraced events
+        // are discarded after the run, so report bytes are unaffected.
+        let sink_on = tracing || tap.is_some();
+        if tracing {
             // The shared provider buffers span events only while a traced
             // run is in flight; shard services drain it under the same lock
             // hold as the call that produced them.
             ctx.provider.lock().set_trace_enabled(true);
-            EventSink::coordinator()
-        } else {
-            EventSink::disabled()
-        };
+        }
+        let mut coord = shard_sink(COORDINATOR_SHARD, sink_on, &tap);
         coord.emit("run_start", "run", |m| {
             m.insert("scenarios", Value::Int(ordered.len() as i64));
             m.insert("seed", Value::Int(ctx.options.experiment_seed as i64));
@@ -540,8 +558,9 @@ impl Collector {
             // run trace) would depend on the worker count.
             let initial_vfs = self.shared_vfs.lock().clone();
             for (idx, shard) in shards.iter().enumerate() {
-                if tracing {
-                    self.service.set_trace(EventSink::for_shard(idx as i64));
+                if sink_on {
+                    self.service
+                        .set_trace(shard_sink(idx as i64, sink_on, &tap));
                 }
                 let vfs = Arc::new(Mutex::new(initial_vfs.clone()));
                 let out = ShardRun {
@@ -564,8 +583,14 @@ impl Collector {
                 workers,
                 &self.shared_vfs.lock().clone(),
                 writer.as_ref(),
-                tracing,
+                sink_on,
+                &tap,
             );
+        }
+        if sink_on {
+            // Detach the sink (and with it the tap) from the collector's
+            // persistent service so later runs neither buffer nor stream.
+            self.service.set_trace(EventSink::disabled());
         }
         if tracing {
             ctx.provider.lock().set_trace_enabled(false);
@@ -693,7 +718,7 @@ impl Collector {
         if policy.writes() {
             // store_fps also covers journal replays, so a resumed run heals
             // a cache the interrupted run never got to save.
-            store_new_points(&mut self.cache, &store_fps, &points)?;
+            store_new_points(&self.cache, &store_fps, &points)?;
         }
 
         let mut dataset = Dataset::new();
@@ -770,13 +795,15 @@ impl Collector {
 /// Runs shards on `workers` scoped threads draining a work-stealing queue.
 /// Each shard executes against a fresh [`BatchService`] (same provider, so
 /// billing/quota stay global) and its own clone of the shared filesystem.
+#[allow(clippy::too_many_arguments)]
 fn run_parallel(
     ctx: &ExecContext,
     shards: &[Vec<Scenario>],
     workers: usize,
     initial_vfs: &Vfs,
     journal: Option<&JournalWriter>,
-    tracing: bool,
+    sink_on: bool,
+    tap: &Option<Arc<dyn EventTap>>,
 ) -> Vec<ShardResult> {
     let slots: Vec<Mutex<Option<ShardResult>>> = shards.iter().map(|_| Mutex::new(None)).collect();
     let queue = crossbeam::deque::Injector::new();
@@ -794,10 +821,10 @@ fn run_parallel(
                     crossbeam::deque::Steal::Retry => continue,
                 };
                 let mut service = BatchService::new(ctx.provider.clone(), &ctx.deployment);
-                if tracing {
+                if sink_on {
                     // Sinks are keyed by shard index, not worker id, so the
                     // merged stream is invariant to which worker ran what.
-                    service.set_trace(EventSink::for_shard(i as i64));
+                    service.set_trace(shard_sink(i as i64, sink_on, tap));
                 }
                 let vfs = Arc::new(Mutex::new(initial_vfs.clone()));
                 let result = ShardRun {

@@ -26,7 +26,9 @@
 //! its own service, and merges the outputs in scenario order.
 
 use crate::appscript;
-use crate::cache::{rehydrate_point, CachePolicy, Fingerprint, Fingerprinter, ScenarioCache};
+use crate::cache::{
+    rehydrate_point, CachePolicy, Fingerprint, Fingerprinter, ScenarioCache, SharedScenarioCache,
+};
 use crate::config::UserConfig;
 use crate::dataset::{DataPoint, Dataset};
 use crate::error::ToolError;
@@ -1192,20 +1194,19 @@ pub(crate) fn consult_journal(
 /// coordinating thread after all shards have merged — shard workers never
 /// touch the cache.
 pub(crate) fn store_new_points(
-    cache: &mut ScenarioCache,
+    cache: &SharedScenarioCache,
     fingerprints: &HashMap<u32, Fingerprint>,
     points: &[DataPoint],
 ) -> Result<(), ToolError> {
-    let mut inserted = false;
+    let mut cache = cache.lock();
     for p in points {
         if let Some(&fp) = fingerprints.get(&p.scenario_id) {
-            inserted |= cache.insert(fp, p);
+            cache.insert(fp, p);
         }
     }
-    if inserted {
-        cache.save()?;
-    }
-    Ok(())
+    // The store tracks its own dirtiness: this is a no-op unless an
+    // insert above (or a concurrent sharer) actually changed something.
+    cache.save()
 }
 
 /// Maps scenario id → index in the array, built once per call instead of a
@@ -1240,9 +1241,10 @@ pub struct Collector {
     pub(crate) ctx: ExecContext,
     pub(crate) service: BatchService,
     pub(crate) shared_vfs: Arc<Mutex<Vfs>>,
-    pub(crate) cache: ScenarioCache,
+    pub(crate) cache: SharedScenarioCache,
     pub(crate) cache_policy: CachePolicy,
     pub(crate) journal: Option<Arc<Mutex<RunJournal>>>,
+    pub(crate) progress: Option<Arc<dyn telemetry::EventTap>>,
 }
 
 impl Collector {
@@ -1271,9 +1273,10 @@ impl Collector {
             },
             service,
             shared_vfs: Arc::new(Mutex::new(Vfs::new())),
-            cache: ScenarioCache::in_memory(),
+            cache: SharedScenarioCache::in_memory(),
             cache_policy: CachePolicy::default(),
             journal: None,
+            progress: None,
         })
     }
 
@@ -1282,7 +1285,22 @@ impl Collector {
     /// in-memory cache, which memoizes results for this collector's
     /// lifetime only.
     pub fn set_cache(&mut self, cache: ScenarioCache) {
+        self.cache = SharedScenarioCache::new(cache);
+    }
+
+    /// Attaches a cache handle shared with other collectors (the advisor
+    /// daemon's cross-tenant dedup point): consults and inserts all hit
+    /// the same store.
+    pub fn set_shared_cache(&mut self, cache: SharedScenarioCache) {
         self.cache = cache;
+    }
+
+    /// Attaches a live progress tap: plan-based collects hand every trace
+    /// event (scenario starts/ends, pool activity, run framing) to `tap`
+    /// as it is emitted, whether or not the plan records a trace. Pass
+    /// `None` to detach.
+    pub fn set_progress_tap(&mut self, tap: Option<Arc<dyn telemetry::EventTap>>) {
+        self.progress = tap;
     }
 
     /// Sets the cache policy used when a run has no plan-level override.
@@ -1303,14 +1321,9 @@ impl Collector {
         self.journal.clone()
     }
 
-    /// The scenario-result cache.
-    pub fn cache(&self) -> &ScenarioCache {
-        &self.cache
-    }
-
-    /// Mutable access to the scenario-result cache (`cache clear` et al.).
-    pub fn cache_mut(&mut self) -> &mut ScenarioCache {
-        &mut self.cache
+    /// A handle to the scenario-result cache (clones share the store).
+    pub fn cache(&self) -> SharedScenarioCache {
+        self.cache.clone()
     }
 
     /// Registers custom script content for a URL (user-provided scripts).
@@ -1358,7 +1371,7 @@ impl Collector {
         let index = index_by_id(scenarios);
         let ordered = resolve_ids(scenarios, &index, ids)?;
         let policy = self.cache_policy;
-        let consult = consult_cache(&self.ctx, &self.cache, policy, &ordered);
+        let consult = consult_cache(&self.ctx, &self.cache.lock(), policy, &ordered);
         let out = ShardRun {
             ctx: &self.ctx,
             service: &mut self.service,
@@ -1370,7 +1383,7 @@ impl Collector {
             scenarios[index[&outcome.scenario_id]].status = outcome.status;
         }
         if policy.writes() {
-            store_new_points(&mut self.cache, &consult.fingerprints, &out.points)?;
+            store_new_points(&self.cache, &consult.fingerprints, &out.points)?;
         }
         // Splice executed and cached points back into the requested order —
         // exactly where a cold run would have emitted them.

@@ -71,10 +71,11 @@ pub mod replicate;
 pub mod retry;
 pub mod sampling;
 pub mod scenario;
+pub mod service;
 pub mod session;
 
 pub use advice::{Advice, CapacityComparison};
-pub use cache::{CachePolicy, Fingerprint, Fingerprinter, ScenarioCache};
+pub use cache::{CachePolicy, Fingerprint, Fingerprinter, ScenarioCache, SharedScenarioCache};
 pub use cloudsim::Capacity;
 pub use collect::{CollectPlan, CollectReport, CollectStats, ScenarioOutcome, ShardPolicy};
 pub use collector::{Collector, CollectorOptions, CollectorOptionsBuilder};
@@ -85,13 +86,17 @@ pub use error::ToolError;
 pub use journal::{JournalEntry, RunJournal};
 pub use retry::{FaultClass, RetryPolicy};
 pub use scenario::{Scenario, ScenarioStatus};
-pub use session::Session;
+pub use service::{
+    AdviceRequest, AdvisorService, JobEvent, JobHandle, JobOutcome, ServiceConfig, ServiceError,
+    TenantPolicy,
+};
+pub use session::{Session, SessionBuilder};
 pub use telemetry::{Trace, TraceEvent, TraceSummary};
 
 /// Common imports for tool users.
 pub mod prelude {
     pub use crate::advice::Advice;
-    pub use crate::cache::{CachePolicy, ScenarioCache};
+    pub use crate::cache::{CachePolicy, ScenarioCache, SharedScenarioCache};
     pub use crate::collect::{CollectPlan, CollectReport, ShardPolicy};
     pub use crate::collector::{Collector, CollectorOptions};
     pub use crate::config::UserConfig;
@@ -105,7 +110,11 @@ pub mod prelude {
     pub use crate::retry::RetryPolicy;
     pub use crate::sampling::partial::run_partial_execution;
     pub use crate::scenario::{Scenario, ScenarioStatus};
-    pub use crate::session::Session;
+    pub use crate::service::{
+        AdviceRequest, AdvisorService, JobEvent, JobHandle, JobOutcome, ServiceConfig,
+        ServiceError, TenantPolicy,
+    };
+    pub use crate::session::{Session, SessionBuilder};
     pub use cloudsim::Capacity;
     pub use telemetry::{Trace, TraceSummary};
 }

@@ -1,0 +1,669 @@
+//! The advisor as a long-lived service: many tenants, one simulator fleet.
+//!
+//! The paper frames HPCAdvisor as a tool one user runs per cluster; this
+//! module is the backend that serves the same advice as a daemon. An
+//! [`AdvisorService`] owns a pool of worker threads draining a bounded
+//! [`JobQueue`] of [`AdviceRequest`]s. Each job builds an isolated
+//! [`Session`] via [`Session::builder`] (own provider, own deployment, own
+//! journal-free collector) so tenants can never observe each other's cloud
+//! state — with one deliberate exception: all sessions share the service's
+//! [`SharedScenarioCache`], so two tenants asking about the same
+//! app/SKU/grid pay for one simulation and the second request reports
+//! all-hits.
+//!
+//! Admission control reuses the collection guardrails as per-tenant
+//! quotas ([`TenantPolicy`]): a cap on jobs in flight, a cumulative
+//! simulated-spend budget (only *newly provisioned* pools count — cache
+//! hits are free, so dedup stretches budgets), and a grid-size ceiling.
+//! Every rejection is a typed [`ServiceError`], never a panic: a daemon
+//! fronting many tenants must refuse work gracefully.
+//!
+//! Progress streams through the telemetry layer: each job attaches an
+//! [`EventTap`] to its session, forwards the interesting trace events
+//! (`run_start`, `scenario_start`, `scenario_end`, `cache_hit`,
+//! `run_end`) into the job's event channel, and the daemon relays them to
+//! the client as wire frames. The [`JobHandle`] returned by
+//! [`AdvisorService::submit`] is that channel's receiving end.
+//!
+//! Shutdown is graceful by construction: [`AdvisorService::shutdown`]
+//! closes the queue — rejecting new submissions with
+//! [`ServiceError::ShuttingDown`] — and joins the workers, which drain
+//! every job already admitted before exiting.
+
+use crate::cache::{CachePolicy, SharedScenarioCache};
+use crate::collect::{CollectPlan, CollectStats};
+use crate::config::UserConfig;
+use crate::dataset::DataFilter;
+use crate::session::Session;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use telemetry::{EventTap, TraceEvent};
+
+/// Per-tenant admission limits. The same guardrails collection runs use
+/// (budgets, caps) applied at the service boundary.
+#[derive(Debug, Clone)]
+pub struct TenantPolicy {
+    /// Maximum jobs one tenant may have queued or running at once.
+    pub max_inflight: usize,
+    /// Cumulative simulated-spend budget per tenant, in dollars of *newly
+    /// provisioned* pool time across all their jobs. Cache hits provision
+    /// nothing and therefore cost nothing against this budget. `None`
+    /// disables the check.
+    pub budget_dollars: Option<f64>,
+    /// Largest scenario grid a single request may expand to. `None`
+    /// disables the check.
+    pub max_scenarios: Option<usize>,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> Self {
+        TenantPolicy {
+            max_inflight: 4,
+            budget_dollars: None,
+            max_scenarios: None,
+        }
+    }
+}
+
+/// Service-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads draining the job queue (jobs run concurrently).
+    pub workers: usize,
+    /// Bound of the job queue, across all tenants.
+    pub queue_capacity: usize,
+    /// Admission limits applied to every tenant.
+    pub policy: TenantPolicy,
+    /// The scenario cache all jobs share — the cross-tenant dedup point.
+    pub cache: SharedScenarioCache,
+    /// Default cache policy for requests that do not override it.
+    pub cache_policy: CachePolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 16,
+            policy: TenantPolicy::default(),
+            cache: SharedScenarioCache::in_memory(),
+            cache_policy: CachePolicy::default(),
+        }
+    }
+}
+
+/// Why the service refused or failed a request. Every admission failure
+/// is one of these — the daemon maps them to wire error frames.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The bounded job queue is full; retry later.
+    QueueFull {
+        /// The queue bound that was hit.
+        capacity: usize,
+    },
+    /// The tenant already has `max_inflight` jobs queued or running.
+    OverQuota {
+        /// Offending tenant.
+        tenant: String,
+        /// Jobs currently in flight for the tenant.
+        inflight: usize,
+        /// The policy cap.
+        limit: usize,
+    },
+    /// The tenant's cumulative simulated spend reached its budget.
+    BudgetExhausted {
+        /// Offending tenant.
+        tenant: String,
+        /// Dollars spent so far.
+        spent: f64,
+        /// The policy budget.
+        budget: f64,
+    },
+    /// The request's scenario grid exceeds the per-request ceiling.
+    GridTooLarge {
+        /// Offending tenant.
+        tenant: String,
+        /// Scenario count the request expands to.
+        scenarios: usize,
+        /// The policy ceiling.
+        limit: usize,
+    },
+    /// The service is shutting down and accepts no new work.
+    ShuttingDown,
+    /// The job was admitted but failed while running (bad config, ...).
+    JobFailed(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::QueueFull { capacity } => {
+                write!(f, "job queue full ({capacity} jobs); retry later")
+            }
+            ServiceError::OverQuota {
+                tenant,
+                inflight,
+                limit,
+            } => write!(
+                f,
+                "tenant '{tenant}' over quota: {inflight} jobs in flight (limit {limit})"
+            ),
+            ServiceError::BudgetExhausted {
+                tenant,
+                spent,
+                budget,
+            } => write!(
+                f,
+                "tenant '{tenant}' budget exhausted: ${spent:.2} spent of ${budget:.2}"
+            ),
+            ServiceError::GridTooLarge {
+                tenant,
+                scenarios,
+                limit,
+            } => write!(
+                f,
+                "tenant '{tenant}' request expands to {scenarios} scenarios (limit {limit})"
+            ),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::JobFailed(m) => write!(f, "job failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// One advice request, as admitted into the queue.
+#[derive(Debug, Clone)]
+pub struct AdviceRequest {
+    /// Tenant the request is accounted against.
+    pub tenant: String,
+    /// The configuration to collect and advise on (the same YAML the CLI
+    /// takes).
+    pub config: UserConfig,
+    /// Experiment seed (fingerprints include it, so tenants only dedup
+    /// against results collected under the same seed).
+    pub seed: u64,
+    /// Worker threads for the job's own collection (per-SKU shards).
+    pub workers: usize,
+    /// Overrides the service's default cache policy for this request.
+    pub cache_policy: Option<CachePolicy>,
+}
+
+impl AdviceRequest {
+    /// A serial request under the service's default cache policy.
+    pub fn new(tenant: impl Into<String>, config: UserConfig, seed: u64) -> Self {
+        AdviceRequest {
+            tenant: tenant.into(),
+            config,
+            seed,
+            workers: 1,
+            cache_policy: None,
+        }
+    }
+}
+
+/// What a finished job hands back.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Service-assigned job id.
+    pub job_id: u64,
+    /// Tenant the job ran for.
+    pub tenant: String,
+    /// The collected dataset, serialized exactly as `Dataset::to_json` —
+    /// byte-identical to what a standalone CLI run of the same
+    /// config/seed produces.
+    pub dataset_json: String,
+    /// Rendered Pareto-front advice over the full dataset.
+    pub advice_text: String,
+    /// Executor statistics (cache hit/miss counters included — this is
+    /// where cross-tenant dedup becomes observable).
+    pub stats: CollectStats,
+    /// Simulated dollars of pool time this job newly provisioned (zero
+    /// for an all-hits run); what the tenant's budget is charged.
+    pub run_cost_dollars: f64,
+}
+
+/// One message on a job's event stream.
+#[derive(Debug, Clone)]
+pub enum JobEvent {
+    /// A live trace event from the running collection (scenario
+    /// starts/ends, cache hits, run framing).
+    Progress(TraceEvent),
+    /// The job finished; terminal.
+    Finished(Box<JobOutcome>),
+    /// The job failed after admission; terminal.
+    Failed(String),
+}
+
+/// The client's end of one admitted job: a stream of [`JobEvent`]s ending
+/// in `Finished` or `Failed`.
+#[derive(Debug)]
+pub struct JobHandle {
+    /// Service-assigned job id.
+    pub id: u64,
+    /// Tenant the job was admitted for.
+    pub tenant: String,
+    events: Receiver<JobEvent>,
+}
+
+impl JobHandle {
+    /// The live event stream (progress, then one terminal event).
+    pub fn events(&self) -> &Receiver<JobEvent> {
+        &self.events
+    }
+
+    /// Consumes the handle into its raw receiver.
+    pub fn into_events(self) -> Receiver<JobEvent> {
+        self.events
+    }
+
+    /// Blocks until the job's terminal event, discarding progress.
+    pub fn wait(self) -> Result<JobOutcome, ServiceError> {
+        for event in self.events.iter() {
+            match event {
+                JobEvent::Progress(_) => continue,
+                JobEvent::Finished(outcome) => return Ok(*outcome),
+                JobEvent::Failed(m) => return Err(ServiceError::JobFailed(m)),
+            }
+        }
+        Err(ServiceError::JobFailed(
+            "job channel closed without a terminal event".into(),
+        ))
+    }
+}
+
+/// A bounded multi-producer multi-consumer queue that can be closed.
+///
+/// Pushes fail fast with [`QueuePushError::Full`] at the bound (admission
+/// control's backpressure) and [`QueuePushError::Closed`] after
+/// [`JobQueue::close`]; pops block until an item or the drain completes.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    tx: Mutex<Option<SyncSender<T>>>,
+    rx: Mutex<Receiver<T>>,
+    capacity: usize,
+}
+
+/// Why a [`JobQueue::push`] was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueuePushError {
+    /// The queue is at capacity.
+    Full,
+    /// The queue was closed.
+    Closed,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn bounded(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
+        JobQueue {
+            tx: Mutex::new(Some(tx)),
+            rx: Mutex::new(rx),
+            capacity,
+        }
+    }
+
+    /// The queue bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues without blocking; fails fast when full or closed.
+    pub fn push(&self, item: T) -> Result<(), QueuePushError> {
+        let tx = self.tx.lock();
+        let Some(tx) = tx.as_ref() else {
+            return Err(QueuePushError::Closed);
+        };
+        match tx.try_send(item) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(QueuePushError::Full),
+            Err(TrySendError::Disconnected(_)) => Err(QueuePushError::Closed),
+        }
+    }
+
+    /// Dequeues, blocking until an item arrives; `None` once the queue is
+    /// closed *and* drained — consumers see every admitted item.
+    pub fn pop(&self) -> Option<T> {
+        self.rx.lock().recv().ok()
+    }
+
+    /// Closes the queue: pushes fail from now on, pops drain what is left.
+    pub fn close(&self) {
+        self.tx.lock().take();
+    }
+}
+
+/// An admitted job traveling through the queue.
+struct Job {
+    id: u64,
+    request: AdviceRequest,
+    events: Sender<JobEvent>,
+}
+
+/// Trace-event kinds forwarded to clients as progress. Everything else
+/// (pool resizes, node boots, task spans) stays in the trace layer.
+const STREAMED_KINDS: &[&str] = &[
+    "run_start",
+    "scenario_start",
+    "scenario_end",
+    "cache_hit",
+    "journal_replay",
+    "run_end",
+];
+
+/// The per-job tap: forwards the streamed subset of trace events into the
+/// job's event channel. Send failures mean the client hung up — the run
+/// continues; its results still feed the shared cache.
+struct ProgressForwarder {
+    events: Sender<JobEvent>,
+}
+
+impl EventTap for ProgressForwarder {
+    fn on_event(&self, event: &TraceEvent) {
+        if STREAMED_KINDS.contains(&event.kind.as_str()) {
+            let _ = self.events.send(JobEvent::Progress(event.clone()));
+        }
+    }
+}
+
+/// Shared state between the submitting side and the workers.
+struct ServiceInner {
+    queue: JobQueue<Job>,
+    policy: TenantPolicy,
+    cache: SharedScenarioCache,
+    cache_policy: CachePolicy,
+    accepting: AtomicBool,
+    next_id: AtomicU64,
+    /// tenant → jobs queued or running.
+    inflight: Mutex<HashMap<String, usize>>,
+    /// tenant → cumulative newly-provisioned dollars.
+    spent: Mutex<HashMap<String, f64>>,
+}
+
+impl ServiceInner {
+    fn release(&self, tenant: &str) {
+        let mut inflight = self.inflight.lock();
+        if let Some(n) = inflight.get_mut(tenant) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                inflight.remove(tenant);
+            }
+        }
+    }
+}
+
+/// The multi-tenant advisor daemon's engine (see the module docs).
+pub struct AdvisorService {
+    inner: Arc<ServiceInner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl AdvisorService {
+    /// Starts the worker pool and returns the running service.
+    pub fn start(config: ServiceConfig) -> AdvisorService {
+        let inner = Arc::new(ServiceInner {
+            queue: JobQueue::bounded(config.queue_capacity),
+            policy: config.policy,
+            cache: config.cache,
+            cache_policy: config.cache_policy,
+            accepting: AtomicBool::new(true),
+            next_id: AtomicU64::new(1),
+            inflight: Mutex::new(HashMap::new()),
+            spent: Mutex::new(HashMap::new()),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("advisor-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = inner.queue.pop() {
+                            run_job(&inner, job);
+                        }
+                    })
+                    .expect("spawn advisor worker")
+            })
+            .collect();
+        AdvisorService { inner, workers }
+    }
+
+    /// The shared scenario cache (for status displays and persistence).
+    pub fn cache(&self) -> SharedScenarioCache {
+        self.inner.cache.clone()
+    }
+
+    /// Dollars of newly-provisioned simulated pool time charged to
+    /// `tenant` so far.
+    pub fn tenant_spend(&self, tenant: &str) -> f64 {
+        self.inner.spent.lock().get(tenant).copied().unwrap_or(0.0)
+    }
+
+    /// Admits a request, returning the job's event stream, or the typed
+    /// reason it was refused. Admission checks run in order: shutdown,
+    /// grid size, budget, in-flight quota, queue capacity.
+    pub fn submit(&self, request: AdviceRequest) -> Result<JobHandle, ServiceError> {
+        let inner = &self.inner;
+        if !inner.accepting.load(Ordering::SeqCst) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let tenant = request.tenant.clone();
+        if let Some(limit) = inner.policy.max_scenarios {
+            let scenarios = request.config.scenario_count();
+            if scenarios > limit {
+                return Err(ServiceError::GridTooLarge {
+                    tenant,
+                    scenarios,
+                    limit,
+                });
+            }
+        }
+        if let Some(budget) = inner.policy.budget_dollars {
+            let spent = inner.spent.lock().get(&tenant).copied().unwrap_or(0.0);
+            if spent >= budget {
+                return Err(ServiceError::BudgetExhausted {
+                    tenant,
+                    spent,
+                    budget,
+                });
+            }
+        }
+        {
+            // Reserve the in-flight slot under the lock so racing submits
+            // from one tenant cannot both pass the check.
+            let mut inflight = inner.inflight.lock();
+            let n = inflight.entry(tenant.clone()).or_insert(0);
+            if *n >= inner.policy.max_inflight {
+                return Err(ServiceError::OverQuota {
+                    tenant,
+                    inflight: *n,
+                    limit: inner.policy.max_inflight,
+                });
+            }
+            *n += 1;
+        }
+        let id = inner.next_id.fetch_add(1, Ordering::SeqCst);
+        let (tx, rx) = channel();
+        let job = Job {
+            id,
+            request,
+            events: tx,
+        };
+        match inner.queue.push(job) {
+            Ok(()) => Ok(JobHandle {
+                id,
+                tenant,
+                events: rx,
+            }),
+            Err(e) => {
+                inner.release(&tenant);
+                Err(match e {
+                    QueuePushError::Full => ServiceError::QueueFull {
+                        capacity: inner.queue.capacity(),
+                    },
+                    QueuePushError::Closed => ServiceError::ShuttingDown,
+                })
+            }
+        }
+    }
+
+    /// Stops accepting work, drains every job already admitted, and joins
+    /// the workers. In-flight jobs run to completion — their clients get
+    /// their terminal events.
+    pub fn shutdown(mut self) {
+        self.inner.accepting.store(false, Ordering::SeqCst);
+        self.inner.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for AdvisorService {
+    fn drop(&mut self) {
+        // Dropping without shutdown() still drains gracefully.
+        self.inner.accepting.store(false, Ordering::SeqCst);
+        self.inner.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Executes one admitted job on a worker thread: isolated session, shared
+/// cache, live progress, terminal event, quota release.
+fn run_job(inner: &ServiceInner, job: Job) {
+    let Job {
+        id,
+        request,
+        events,
+    } = job;
+    let tenant = request.tenant.clone();
+    let result = execute_request(inner, id, &tenant, request, events.clone());
+    match result {
+        Ok(outcome) => {
+            let _ = events.send(JobEvent::Finished(Box::new(outcome)));
+        }
+        Err(e) => {
+            let _ = events.send(JobEvent::Failed(e.to_string()));
+        }
+    }
+    inner.release(&tenant);
+}
+
+fn execute_request(
+    inner: &ServiceInner,
+    job_id: u64,
+    tenant: &str,
+    request: AdviceRequest,
+    events: Sender<JobEvent>,
+) -> Result<JobOutcome, crate::error::ToolError> {
+    let policy = request.cache_policy.unwrap_or(inner.cache_policy);
+    let mut session = Session::builder(request.config)
+        .seed(request.seed)
+        .shared_cache(inner.cache.clone())
+        .cache_policy(policy)
+        .progress(Arc::new(ProgressForwarder { events }))
+        .build()?;
+    let report = session.collect_with(&CollectPlan::new().workers(request.workers.max(1)))?;
+    // Budget accounting: only pool time this job newly provisioned. An
+    // all-hits run provisions nothing and charges nothing.
+    let run_cost_dollars = session.total_cloud_cost();
+    *inner.spent.lock().entry(tenant.to_string()).or_insert(0.0) += run_cost_dollars;
+    let advice = crate::advice::Advice::from_dataset(&report.dataset, &DataFilter::all());
+    let outcome = JobOutcome {
+        job_id,
+        tenant: tenant.to_string(),
+        dataset_json: report.dataset.to_json(),
+        advice_text: advice.render_text(),
+        stats: report.stats.clone(),
+        run_cost_dollars,
+    };
+    let _ = session.shutdown();
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_queue_bounds_closes_and_drains() {
+        let q: JobQueue<u32> = JobQueue::bounded(2);
+        assert_eq!(q.capacity(), 2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(QueuePushError::Full));
+        q.close();
+        assert_eq!(q.push(4), Err(QueuePushError::Closed));
+        // Closed queues still drain what was admitted.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn single_request_round_trip_with_progress() {
+        let service = AdvisorService::start(ServiceConfig::default());
+        let request = AdviceRequest::new("t1", UserConfig::example_lammps_small(), 42);
+        let handle = service.submit(request).unwrap();
+        assert_eq!(handle.tenant, "t1");
+        let mut kinds = Vec::new();
+        let mut outcome = None;
+        for event in handle.events().iter() {
+            match event {
+                JobEvent::Progress(ev) => kinds.push(ev.kind.clone()),
+                JobEvent::Finished(o) => {
+                    outcome = Some(*o);
+                    break;
+                }
+                JobEvent::Failed(m) => panic!("job failed: {m}"),
+            }
+        }
+        let outcome = outcome.expect("finished");
+        assert_eq!(outcome.stats.completed, 3);
+        assert_eq!(outcome.stats.cache_misses, 3);
+        assert!(outcome.run_cost_dollars > 0.0, "cold run provisions pools");
+        assert!(outcome.advice_text.contains("Nodes"));
+        assert_eq!(
+            kinds.iter().filter(|k| *k == "scenario_start").count(),
+            3,
+            "progress streamed per scenario: {kinds:?}"
+        );
+        assert_eq!(kinds.iter().filter(|k| *k == "scenario_end").count(), 3);
+        assert_eq!(kinds.first().map(String::as_str), Some("run_start"));
+        assert_eq!(kinds.last().map(String::as_str), Some("run_end"));
+        assert!(service.tenant_spend("t1") > 0.0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn bad_config_fails_the_job_not_the_service() {
+        let service = AdvisorService::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let mut config = UserConfig::example_lammps_small();
+        config.skus = vec!["No_Such_Sku".into()];
+        let handle = service
+            .submit(AdviceRequest::new("t1", config, 42))
+            .unwrap();
+        let err = handle.wait().unwrap_err();
+        assert!(matches!(err, ServiceError::JobFailed(_)), "{err}");
+        // The worker survives and serves the next job.
+        let handle = service
+            .submit(AdviceRequest::new(
+                "t1",
+                UserConfig::example_lammps_small(),
+                42,
+            ))
+            .unwrap();
+        assert_eq!(handle.wait().unwrap().stats.completed, 3);
+        service.shutdown();
+    }
+}

@@ -1,8 +1,32 @@
 //! A convenience wrapper tying the whole pipeline together: provider →
 //! deployment → scenarios → collector. This is the programmatic equivalent
 //! of the CLI sequence `deploy create && collect`.
+//!
+//! Construction goes through [`SessionBuilder`]: everything a session
+//! carries for its lifetime — seed, cache (owned or shared), cache policy,
+//! journal, custom scripts, progress tap — is declared up front, and the
+//! built session is ready to collect with no further mutation. Per-run
+//! knobs (workers, retries, capacity, budget, trace) belong on
+//! [`CollectPlan`], not here:
+//!
+//! ```no_run
+//! use hpcadvisor_core::prelude::*;
+//! use hpcadvisor_core::cache::ScenarioCache;
+//!
+//! let mut session = Session::builder(UserConfig::example_lammps_small())
+//!     .seed(42)
+//!     .cache(ScenarioCache::open("cache.json"))
+//!     .build()
+//!     .unwrap();
+//! let report = session.collect_with(&CollectPlan::new().workers(4)).unwrap();
+//! # let _ = report;
+//! ```
+//!
+//! The pre-builder mutators (`set_cache`, `set_cache_policy`,
+//! `set_journal`, `collector_mut`) remain as deprecated thin wrappers for
+//! one release; see DESIGN.md for the deprecation window.
 
-use crate::cache::{CachePolicy, ScenarioCache};
+use crate::cache::{CachePolicy, ScenarioCache, SharedScenarioCache};
 use crate::collect::{CollectPlan, CollectReport};
 use crate::collector::{Collector, CollectorOptions};
 use crate::config::UserConfig;
@@ -13,6 +37,125 @@ use crate::journal::RunJournal;
 use crate::scenario::{generate_scenarios, Scenario};
 use batchsim::SharedProvider;
 use cloudsim::SkuCatalog;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use taskshell::Vfs;
+use telemetry::EventTap;
+
+/// Everything a [`Session`] can be configured with at build time.
+///
+/// Obtained from [`Session::builder`]; every method is optional and the
+/// defaults match `Session::create(config, 42)`.
+pub struct SessionBuilder {
+    config: UserConfig,
+    seed: u64,
+    cache: Option<SharedScenarioCache>,
+    cache_policy: Option<CachePolicy>,
+    journal: Option<RunJournal>,
+    scripts: Vec<(String, String)>,
+    progress: Option<Arc<dyn EventTap>>,
+}
+
+impl SessionBuilder {
+    fn new(config: UserConfig) -> Self {
+        SessionBuilder {
+            config,
+            seed: 42,
+            cache: None,
+            cache_policy: None,
+            journal: None,
+            scripts: Vec::new(),
+            progress: None,
+        }
+    }
+
+    /// Experiment seed: drives deployment naming, simulated noise and
+    /// scenario fingerprints (default 42).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Attaches a scenario-result cache owned by this session alone (e.g.
+    /// a file-backed store from [`ScenarioCache::open`]).
+    pub fn cache(mut self, cache: ScenarioCache) -> Self {
+        self.cache = Some(SharedScenarioCache::new(cache));
+        self
+    }
+
+    /// Attaches a cache handle shared with other sessions: all of them
+    /// consult and feed the same store. This is how the advisor daemon
+    /// dedups identical scenarios across tenants.
+    pub fn shared_cache(mut self, cache: SharedScenarioCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Default cache policy for runs whose plan has no override.
+    pub fn cache_policy(mut self, policy: CachePolicy) -> Self {
+        self.cache_policy = Some(policy);
+        self
+    }
+
+    /// Attaches a crash-safe run journal (see [`RunJournal`]); plan-based
+    /// collects append every outcome as it lands and replay finished ones.
+    pub fn journal(mut self, journal: RunJournal) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Registers custom script content under a URL before anything runs,
+    /// replacing the bundled script when the URL matches `appsetupurl`.
+    pub fn script(mut self, url: impl Into<String>, content: impl Into<String>) -> Self {
+        self.scripts.push((url.into(), content.into()));
+        self
+    }
+
+    /// Attaches a live progress tap: every collect streams its trace
+    /// events (scenario starts/ends, run framing) to `tap` as they are
+    /// emitted — the daemon's per-job progress feed.
+    pub fn progress(mut self, tap: Arc<dyn EventTap>) -> Self {
+        self.progress = Some(tap);
+        self
+    }
+
+    /// Creates the cloud environment, expands the scenario grid, and wires
+    /// the collector with everything declared on the builder.
+    pub fn build(self) -> Result<Session, ToolError> {
+        let config = self.config;
+        let mut manager = DeploymentManager::new(&config.subscription, &config.region, self.seed)?;
+        let deployment = manager.create(&config)?;
+        let scenarios = generate_scenarios(&config, &SkuCatalog::azure_hpc())?;
+        let mut collector = Collector::new(
+            manager.provider(),
+            &deployment,
+            config.clone(),
+            CollectorOptions::builder()
+                .experiment_seed(self.seed)
+                .build(),
+        )?;
+        if let Some(cache) = self.cache {
+            collector.set_shared_cache(cache);
+        }
+        if let Some(policy) = self.cache_policy {
+            collector.set_cache_policy(policy);
+        }
+        if let Some(journal) = self.journal {
+            collector.set_journal(journal);
+        }
+        for (url, content) in &self.scripts {
+            collector.register_script(url, content)?;
+        }
+        collector.set_progress_tap(self.progress);
+        Ok(Session {
+            manager,
+            collector,
+            scenarios,
+            deployment,
+            config,
+        })
+    }
+}
 
 /// One end-to-end advisory session over a single deployment.
 pub struct Session {
@@ -24,24 +167,15 @@ pub struct Session {
 }
 
 impl Session {
-    /// Creates the cloud environment and expands the scenario grid.
+    /// Starts building a session over `config`; see [`SessionBuilder`].
+    pub fn builder(config: UserConfig) -> SessionBuilder {
+        SessionBuilder::new(config)
+    }
+
+    /// Creates the cloud environment and expands the scenario grid —
+    /// shorthand for `Session::builder(config).seed(seed).build()`.
     pub fn create(config: UserConfig, seed: u64) -> Result<Self, ToolError> {
-        let mut manager = DeploymentManager::new(&config.subscription, &config.region, seed)?;
-        let deployment = manager.create(&config)?;
-        let scenarios = generate_scenarios(&config, &SkuCatalog::azure_hpc())?;
-        let collector = Collector::new(
-            manager.provider(),
-            &deployment,
-            config.clone(),
-            CollectorOptions::builder().experiment_seed(seed).build(),
-        )?;
-        Ok(Session {
-            manager,
-            collector,
-            scenarios,
-            deployment,
-            config,
-        })
+        Session::builder(config).seed(seed).build()
     }
 
     /// Creates a session that resumes an interrupted collection from a run
@@ -50,13 +184,14 @@ impl Session {
     /// executes. The resumed dataset is byte-identical to what the
     /// uninterrupted run would have produced.
     pub fn resume(config: UserConfig, seed: u64, journal: RunJournal) -> Result<Self, ToolError> {
-        let mut session = Session::create(config, seed)?;
-        session.set_journal(journal);
-        Ok(session)
+        Session::builder(config).seed(seed).journal(journal).build()
     }
 
-    /// Attaches a crash-safe run journal (see [`RunJournal`]); plan-based
-    /// collects append every outcome as it lands and replay finished ones.
+    /// Attaches a crash-safe run journal.
+    #[deprecated(
+        since = "0.2.0",
+        note = "declare the journal at build time: Session::builder(..).journal(..)"
+    )]
     pub fn set_journal(&mut self, journal: RunJournal) {
         self.collector.set_journal(journal);
     }
@@ -81,26 +216,51 @@ impl Session {
         self.manager.provider()
     }
 
-    /// Mutable access to the collector (to register custom scripts).
+    /// Mutable access to the collector.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Session::register_script / Session::shared_vfs, or declare \
+                collector state on Session::builder"
+    )]
     pub fn collector_mut(&mut self) -> &mut Collector {
         &mut self.collector
     }
 
-    /// Attaches a scenario-result cache (e.g. a file-backed store opened
-    /// via [`ScenarioCache::open`]) so repeat collections reuse finished
-    /// data points instead of re-provisioning pools.
+    /// Attaches a scenario-result cache.
+    #[deprecated(
+        since = "0.2.0",
+        note = "declare the cache at build time: Session::builder(..).cache(..)"
+    )]
     pub fn set_cache(&mut self, cache: ScenarioCache) {
         self.collector.set_cache(cache);
     }
 
     /// Sets the default cache policy for runs without a plan override.
+    #[deprecated(
+        since = "0.2.0",
+        note = "declare the policy at build time: Session::builder(..).cache_policy(..)"
+    )]
     pub fn set_cache_policy(&mut self, policy: CachePolicy) {
         self.collector.set_cache_policy(policy);
     }
 
-    /// The collector's scenario-result cache.
-    pub fn cache(&self) -> &ScenarioCache {
+    /// A handle to the collector's scenario-result cache (clones share
+    /// the store).
+    pub fn cache(&self) -> SharedScenarioCache {
         self.collector.cache()
+    }
+
+    /// Registers custom script content for a URL (user-provided scripts),
+    /// replacing the bundled script when the URL matches `appsetupurl`.
+    /// Also available at build time via [`SessionBuilder::script`].
+    pub fn register_script(&mut self, url: &str, content: &str) -> Result<(), ToolError> {
+        self.collector.register_script(url, content)
+    }
+
+    /// The deployment's shared filesystem (inspectable, like the paper's
+    /// jumpbox lets users do).
+    pub fn shared_vfs(&self) -> Arc<Mutex<Vfs>> {
+        self.collector.shared_vfs()
     }
 
     /// Runs all pending scenarios and returns the collected dataset.

@@ -31,10 +31,12 @@ pub mod csv;
 pub mod error;
 pub mod json;
 pub mod value;
+pub mod wire;
 pub mod yaml;
 
 pub use error::FormatError;
 pub use value::{OrderedMap, Value};
+pub use wire::{Frame, WIRE_VERSION};
 
 #[cfg(test)]
 mod proptests {

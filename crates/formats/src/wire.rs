@@ -1,0 +1,149 @@
+//! Versioned newline-delimited JSON envelope for the advisor daemon.
+//!
+//! `hpcadvisor serve` speaks a line protocol: each direction is a stream
+//! of frames, one compact JSON object per line. A frame is an envelope —
+//! version, correlation id, kind — around an opaque [`Value`] body; the
+//! service layer defines what bodies mean for each kind, this module only
+//! guarantees the envelope shape:
+//!
+//! ```json
+//! {"v": 1, "id": 3, "kind": "collect", "body": {"tenant": "acme"}}
+//! ```
+//!
+//! * `v` — protocol version ([`WIRE_VERSION`]). A peer speaking a
+//!   different version is rejected up front with a clear error instead of
+//!   a confusing body-level failure.
+//! * `id` — client-chosen correlation id; every response frame for a
+//!   request echoes it, so one connection can multiplex requests.
+//! * `kind` — frame discriminator (`collect`, `progress`, `result`,
+//!   `error`, ...).
+//! * `body` — kind-specific payload, `null` when absent.
+//!
+//! Frames encode compactly (never pretty) so one frame is always exactly
+//! one line; [`Frame::decode`] rejects embedded newlines for the same
+//! reason.
+
+use crate::error::FormatError;
+use crate::json;
+use crate::value::{OrderedMap, Value};
+
+/// Version of the wire envelope. Bump on any incompatible change to the
+/// envelope shape or to the meaning of a standard frame kind.
+pub const WIRE_VERSION: i64 = 1;
+
+/// One protocol frame: a versioned, correlated, typed envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Correlation id echoed on every response to this request.
+    pub id: i64,
+    /// Frame discriminator.
+    pub kind: String,
+    /// Kind-specific payload (`Value::Null` when absent).
+    pub body: Value,
+}
+
+impl Frame {
+    /// Builds a frame with the current [`WIRE_VERSION`].
+    pub fn new(id: i64, kind: impl Into<String>, body: Value) -> Frame {
+        Frame {
+            id,
+            kind: kind.into(),
+            body,
+        }
+    }
+
+    /// Serializes to one compact JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut map = OrderedMap::new();
+        map.insert("v", Value::Int(WIRE_VERSION));
+        map.insert("id", Value::Int(self.id));
+        map.insert("kind", Value::str(self.kind.clone()));
+        map.insert("body", self.body.clone());
+        json::to_string(&Value::Map(map))
+    }
+
+    /// Parses one line back into a frame, enforcing the envelope shape
+    /// and version.
+    pub fn decode(line: &str) -> Result<Frame, FormatError> {
+        if line.contains('\n') {
+            return Err(FormatError::on_line(1, "frame must be a single line"));
+        }
+        let doc = json::parse(line)?;
+        let map = doc
+            .as_map()
+            .ok_or_else(|| FormatError::on_line(1, "frame must be a JSON object"))?;
+        let version = map
+            .get("v")
+            .and_then(|v| v.as_int())
+            .ok_or_else(|| FormatError::on_line(1, "frame missing version field 'v'"))?;
+        if version != WIRE_VERSION {
+            return Err(FormatError::on_line(
+                1,
+                format!("wire version {version} != {WIRE_VERSION}"),
+            ));
+        }
+        let id = map
+            .get("id")
+            .and_then(|v| v.as_int())
+            .ok_or_else(|| FormatError::on_line(1, "frame missing integer 'id'"))?;
+        let kind = map
+            .get("kind")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| FormatError::on_line(1, "frame missing string 'kind'"))?;
+        if kind.is_empty() {
+            return Err(FormatError::on_line(1, "frame 'kind' must be non-empty"));
+        }
+        let body = map.get("body").cloned().unwrap_or(Value::Null);
+        Ok(Frame {
+            id,
+            kind: kind.to_string(),
+            body,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_single_line() {
+        let mut body = OrderedMap::new();
+        body.insert("tenant", Value::str("acme"));
+        body.insert("seed", Value::Int(42));
+        let frame = Frame::new(7, "collect", Value::Map(body));
+        let line = frame.encode();
+        assert!(!line.contains('\n'), "compact encoding is one line");
+        assert_eq!(Frame::decode(&line).unwrap(), frame);
+    }
+
+    #[test]
+    fn null_body_is_implicit() {
+        let frame = Frame::decode(r#"{"v": 1, "id": 0, "kind": "ping"}"#).unwrap();
+        assert_eq!(frame.kind, "ping");
+        assert_eq!(frame.body, Value::Null);
+        assert_eq!(Frame::decode(&frame.encode()).unwrap(), frame);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let err = Frame::decode(r#"{"v": 2, "id": 0, "kind": "ping"}"#).unwrap_err();
+        assert!(err.message.contains("wire version 2"), "{err}");
+    }
+
+    #[test]
+    fn malformed_envelopes_are_rejected() {
+        for (line, what) in [
+            ("[]", "must be a JSON object"),
+            (r#"{"id": 0, "kind": "x"}"#, "missing version"),
+            (r#"{"v": 1, "kind": "x"}"#, "missing integer 'id'"),
+            (r#"{"v": 1, "id": 0}"#, "missing string 'kind'"),
+            (r#"{"v": 1, "id": 0, "kind": ""}"#, "non-empty"),
+            ("not json", ""),
+        ] {
+            let err = Frame::decode(line).unwrap_err();
+            assert!(err.message.contains(what), "{line}: {err}");
+        }
+        assert!(Frame::decode("{}\n{}").is_err(), "embedded newline");
+    }
+}

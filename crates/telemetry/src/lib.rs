@@ -25,11 +25,13 @@
 //! [`timeline::build_timeline`] folds the stream into per-pool lanes for
 //! Gantt rendering.
 
+pub mod bus;
 mod event;
 mod sink;
 pub mod summary;
 pub mod timeline;
 
+pub use bus::{EventBus, EventTap};
 pub use event::{Trace, TraceError, TraceEvent, TRACE_VERSION};
 pub use sink::{EventSink, COORDINATOR_SHARD};
 pub use summary::{Histogram, TraceSummary};

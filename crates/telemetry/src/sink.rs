@@ -1,7 +1,9 @@
 //! The per-shard event sink and its local simulated timeline.
 
+use crate::bus::EventTap;
 use crate::TraceEvent;
 use hpcadvisor_formats::OrderedMap;
+use std::sync::Arc;
 
 /// Shard index stamped on coordinator-level events (run framing, cache
 /// hits, journal replays) that belong to no shard.
@@ -24,11 +26,25 @@ pub struct EventSink {
     inner: Option<Sink>,
 }
 
-#[derive(Debug)]
 struct Sink {
     shard: i64,
     now: f64,
     events: Vec<TraceEvent>,
+    /// Live observer notified of every event as it is recorded, in
+    /// addition to buffering (see [`crate::bus`]). Taps cannot alter the
+    /// buffered stream.
+    tap: Option<Arc<dyn EventTap>>,
+}
+
+impl std::fmt::Debug for Sink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sink")
+            .field("shard", &self.shard)
+            .field("now", &self.now)
+            .field("events", &self.events)
+            .field("tap", &self.tap.as_ref().map(|_| "..."))
+            .finish()
+    }
 }
 
 impl EventSink {
@@ -44,8 +60,19 @@ impl EventSink {
                 shard,
                 now: 0.0,
                 events: Vec::new(),
+                tap: None,
             }),
         }
+    }
+
+    /// Attaches a live tap: every event recorded from now on is also
+    /// handed to `tap` on the emitting thread. No-op on a disabled sink —
+    /// taps only observe streams that are being recorded.
+    pub fn with_tap(mut self, tap: Arc<dyn EventTap>) -> EventSink {
+        if let Some(sink) = &mut self.inner {
+            sink.tap = Some(tap);
+        }
+        self
     }
 
     /// An enabled sink for coordinator-level events.
@@ -77,6 +104,9 @@ impl EventSink {
             let mut ev = TraceEvent::pending(kind, scope, fill);
             ev.t = sink.now;
             ev.shard = sink.shard;
+            if let Some(tap) = &sink.tap {
+                tap.on_event(&ev);
+            }
             sink.events.push(ev);
         }
     }
@@ -89,6 +119,9 @@ impl EventSink {
             for mut ev in pending {
                 ev.t = sink.now;
                 ev.shard = sink.shard;
+                if let Some(tap) = &sink.tap {
+                    tap.on_event(&ev);
+                }
                 sink.events.push(ev);
             }
         }
@@ -148,6 +181,30 @@ mod tests {
         assert_eq!(sink.now(), 5.5);
         assert!(sink.is_empty(), "take drained the buffer");
         assert!(sink.is_enabled(), "take keeps the sink enabled");
+    }
+
+    #[test]
+    fn tap_sees_every_event_without_disturbing_the_buffer() {
+        use crate::bus::EventBus;
+        use std::sync::Arc;
+        let bus = Arc::new(EventBus::new());
+        let rx = bus.subscribe();
+        let mut sink = EventSink::for_shard(2).with_tap(bus);
+        sink.emit("direct", "s", |_| {});
+        sink.advance(3.0);
+        sink.absorb(vec![TraceEvent::pending("absorbed", "s", |_| {})]);
+        let live: Vec<TraceEvent> = rx.try_iter().collect();
+        assert_eq!(live.len(), 2, "tap saw both events live");
+        assert_eq!(live[0].kind, "direct");
+        assert_eq!(
+            (live[1].kind.as_str(), live[1].t, live[1].shard),
+            ("absorbed", 3.0, 2)
+        );
+        assert_eq!(sink.take(), live, "buffered stream is identical");
+        // Tapping a disabled sink stays inert.
+        let mut off = EventSink::disabled().with_tap(Arc::new(EventBus::new()));
+        off.emit("x", "y", |_| {});
+        assert!(off.take().is_empty());
     }
 
     #[test]

@@ -59,11 +59,11 @@ appinputs:
 "#,
     )?;
 
-    let mut session = Session::create(config, 7)?;
     // Register our script under the URL the config references.
-    session
-        .collector_mut()
-        .register_script("https://my-org.example/scripts/my-wrf.sh", MY_WRF_SCRIPT)?;
+    let mut session = Session::builder(config)
+        .seed(7)
+        .script("https://my-org.example/scripts/my-wrf.sh", MY_WRF_SCRIPT)
+        .build()?;
     let dataset = session.collect()?;
 
     // Resolution dominates cost: compare the two sweeps.

@@ -25,6 +25,7 @@
 pub use appmodel;
 pub use batchsim;
 pub use cloudsim;
+pub use hpcadvisor_cli as cli;
 pub use hpcadvisor_core as core;
 pub use hpcadvisor_formats as formats;
 pub use simtime;

@@ -67,7 +67,7 @@ fn setup_task_runs_once_per_pool() {
     session.collect().unwrap();
     // The shared FS holds exactly one downloaded input per app dir, created
     // by the first setup; later scenarios of the same SKU reused it.
-    let vfs = session.collector_mut().shared_vfs();
+    let vfs = session.shared_vfs();
     let vfs = vfs.lock();
     assert!(vfs.exists("/share/alg1001/apps/lammps/in.lj.txt"));
     // Six task dirs (one per scenario), each with its own patched input.

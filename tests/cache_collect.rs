@@ -36,9 +36,11 @@ fn cache_path(tag: &str) -> PathBuf {
 }
 
 fn session_with_cache(config: UserConfig, path: &PathBuf) -> Session {
-    let mut s = Session::create(config, 42).unwrap();
-    s.set_cache(ScenarioCache::open(path));
-    s
+    Session::builder(config)
+        .seed(42)
+        .cache(ScenarioCache::open(path))
+        .build()
+        .unwrap()
 }
 
 #[test]

@@ -94,8 +94,11 @@ fn resume_replays_the_journal_and_matches_the_uninterrupted_run() {
     // "Interrupted" run: only the first half of the grid lands in the
     // journal before the process dies.
     let config = UserConfig::example_openfoam();
-    let mut session = Session::create(config.clone(), SEED).unwrap();
-    session.set_journal(RunJournal::open_fresh(&journal_path));
+    let mut session = Session::builder(config.clone())
+        .seed(SEED)
+        .journal(RunJournal::open_fresh(&journal_path))
+        .build()
+        .unwrap();
     let half: Vec<u32> = session.scenarios().iter().take(18).map(|s| s.id).collect();
     let report = session
         .collect_with(&CollectPlan::new().subset(half))
@@ -137,8 +140,11 @@ fn corrupted_journal_tail_is_salvaged_on_resume() {
             .to_json()
     };
 
-    let mut session = Session::create(config.clone(), SEED).unwrap();
-    session.set_journal(RunJournal::open_fresh(&journal_path));
+    let mut session = Session::builder(config.clone())
+        .seed(SEED)
+        .journal(RunJournal::open_fresh(&journal_path))
+        .build()
+        .unwrap();
     session.collect_with(&CollectPlan::new()).unwrap();
     drop(session);
 
@@ -195,8 +201,11 @@ fn budget_breaker_skips_are_journaled_and_survive_resume() {
 
     // A budget that covers roughly the first SKU pool: billed spend crosses
     // the line when that pool is released, and the breaker drops the rest.
-    let mut session = Session::create(config.clone(), SEED).unwrap();
-    session.set_journal(RunJournal::open_fresh(&journal_path));
+    let mut session = Session::builder(config.clone())
+        .seed(SEED)
+        .journal(RunJournal::open_fresh(&journal_path))
+        .build()
+        .unwrap();
     let report = session
         .collect_with(&CollectPlan::new().budget_dollars(0.05))
         .unwrap();
@@ -260,12 +269,15 @@ fn deadline_times_out_thrashing_scenarios_and_resume_honors_it() {
 
     // Total spot pressure with escalation disabled: every compute attempt
     // is evicted, so without a deadline the scenarios would thrash forever.
-    let mut session = Session::create(config.clone(), SEED).unwrap();
+    let mut session = Session::builder(config.clone())
+        .seed(SEED)
+        .journal(RunJournal::open_fresh(&journal_path))
+        .build()
+        .unwrap();
     session
         .provider()
         .lock()
         .set_fault_plan(FaultPlan::none().seed(5).evict_pressure(1.0));
-    session.set_journal(RunJournal::open_fresh(&journal_path));
     let report = session
         .collect_with(
             &CollectPlan::new()

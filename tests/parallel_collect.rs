@@ -53,7 +53,7 @@ fn parallel_collect_merges_shard_filesystems() {
                 .collect_with(&CollectPlan::new().workers(workers))
                 .unwrap();
         }
-        let vfs = session.collector_mut().shared_vfs();
+        let vfs = session.shared_vfs();
         let vfs = vfs.lock();
         vfs.list("/").iter().map(|p| p.to_string()).collect()
     };

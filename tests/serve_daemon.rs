@@ -1,0 +1,169 @@
+//! Socket-level tests of `hpcadvisor serve`: one daemon, NDJSON frames
+//! over TCP, two concurrent tenants, cross-tenant dedup, and streamed
+//! per-scenario progress.
+
+use hpcadvisor::cli::serve::{serve_on, ServeOptions};
+use hpcadvisor::core::cache::SharedScenarioCache;
+use hpcadvisor::formats::wire::Frame;
+use hpcadvisor::formats::{OrderedMap, Value};
+use hpcadvisor::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+const YAML: &str = r#"
+subscription: mysubscription
+skus:
+- Standard_HC44rs
+- Standard_HB120rs_v3
+rgprefix: daemont
+appsetupurl: https://example.com/scripts/lammps.sh
+nnodes: [1, 2, 4]
+appname: lammps
+region: southcentralus
+ppr: 100
+appinputs:
+  BOXFACTOR: "8"
+"#;
+
+/// Everything one `collect` conversation returned.
+struct Reply {
+    progress_kinds: Vec<String>,
+    dataset_json: String,
+    cache_hits: i64,
+    cache_misses: i64,
+    cost_dollars: f64,
+}
+
+fn collect_frame(id: i64, tenant: &str, workers: i64) -> Frame {
+    let mut body = OrderedMap::new();
+    body.insert("tenant", Value::str(tenant));
+    body.insert("config_yaml", Value::str(YAML));
+    body.insert("seed", Value::Int(42));
+    body.insert("workers", Value::Int(workers));
+    Frame::new(id, "collect", Value::Map(body))
+}
+
+fn send(stream: &mut TcpStream, frame: &Frame) {
+    stream.write_all(frame.encode().as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.flush().unwrap();
+}
+
+/// Runs one collect conversation against the daemon and parses the reply.
+fn run_collect(addr: std::net::SocketAddr, tenant: &str, workers: i64) -> Reply {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    send(&mut stream, &collect_frame(7, tenant, workers));
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    let mut progress_kinds = Vec::new();
+    for line in reader.lines() {
+        let frame = Frame::decode(&line.unwrap()).unwrap();
+        assert_eq!(frame.id, 7, "responses echo the request id");
+        match frame.kind.as_str() {
+            "progress" => {
+                let map = frame.body.as_map().expect("progress body is the event");
+                progress_kinds.push(map.get("kind").and_then(Value::as_str).unwrap().to_string());
+            }
+            "result" => {
+                let map = frame.body.as_map().unwrap();
+                assert_eq!(
+                    map.get("tenant").and_then(Value::as_str),
+                    Some(tenant),
+                    "result names the tenant"
+                );
+                let stats = map.get("stats").and_then(Value::as_map).unwrap();
+                return Reply {
+                    progress_kinds,
+                    dataset_json: map
+                        .get("dataset_json")
+                        .and_then(Value::as_str)
+                        .unwrap()
+                        .to_string(),
+                    cache_hits: stats.get("cache_hits").and_then(Value::as_int).unwrap(),
+                    cache_misses: stats.get("cache_misses").and_then(Value::as_int).unwrap(),
+                    cost_dollars: map.get("cost_dollars").and_then(Value::as_f64).unwrap(),
+                };
+            }
+            "error" => panic!(
+                "daemon error: {:?}",
+                frame.body.as_map().and_then(|m| m.get("message")).cloned()
+            ),
+            other => panic!("unexpected frame kind '{other}'"),
+        }
+    }
+    panic!("daemon closed the connection without a result");
+}
+
+#[test]
+fn one_daemon_two_concurrent_tenants_then_an_all_hits_rerun() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let daemon = std::thread::spawn(move || {
+        let mut log = Vec::new();
+        serve_on(
+            listener,
+            ServeOptions {
+                service_workers: 2,
+                cache: SharedScenarioCache::in_memory(),
+                max_requests: Some(3),
+                ..ServeOptions::default()
+            },
+            &mut log,
+        )
+        .unwrap();
+        String::from_utf8(log).unwrap()
+    });
+
+    // A ping on its own connection answers pong (liveness probe).
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        send(&mut stream, &Frame::new(1, "ping", Value::Null));
+        let mut line = String::new();
+        BufReader::new(&stream).read_line(&mut line).unwrap();
+        assert_eq!(Frame::decode(line.trim()).unwrap().kind, "pong");
+    }
+
+    // Two tenants, same grid, truly concurrent connections.
+    let alice = std::thread::spawn(move || run_collect(addr, "alice", 2));
+    let bob = std::thread::spawn(move || run_collect(addr, "bob", 1));
+    let alice = alice.join().unwrap();
+    let bob = bob.join().unwrap();
+
+    // Byte-identical to a standalone CLI-style run of the same config.
+    let mut session = Session::create(UserConfig::from_yaml(YAML).unwrap(), 42).unwrap();
+    let standalone = session
+        .collect_with(&CollectPlan::new())
+        .unwrap()
+        .dataset
+        .to_json();
+    assert_eq!(alice.dataset_json, standalone);
+    assert_eq!(bob.dataset_json, standalone);
+
+    // Progress streamed per scenario for both tenants.
+    for reply in [&alice, &bob] {
+        let starts = reply
+            .progress_kinds
+            .iter()
+            .filter(|k| *k == "scenario_start")
+            .count();
+        let ends = reply
+            .progress_kinds
+            .iter()
+            .filter(|k| *k == "scenario_end")
+            .count();
+        assert_eq!(starts, 6, "{:?}", reply.progress_kinds);
+        assert_eq!(ends, 6, "{:?}", reply.progress_kinds);
+    }
+
+    // Third, identical request: everything alice/bob computed is shared,
+    // so it answers entirely from the daemon's cache and provisions
+    // nothing. (This also trips --max-requests, stopping the daemon.)
+    let carol = run_collect(addr, "carol", 1);
+    assert_eq!(carol.cache_hits, 6, "cross-tenant dedup: all hits");
+    assert_eq!(carol.cache_misses, 0);
+    assert_eq!(carol.cost_dollars, 0.0);
+    assert_eq!(carol.dataset_json, standalone);
+
+    let log = daemon.join().unwrap();
+    assert!(log.contains("serving on "), "{log}");
+    assert!(log.contains("served 3 requests; shut down"), "{log}");
+}
