@@ -35,6 +35,12 @@ const VALUED: &[&str] = &[
     "tenant-jobs",
     "tenant-budget",
     "tenant-grid",
+    "io-timeout",
+    "max-conns",
+    "state-dir",
+    "timeout",
+    "retries",
+    "request-key",
     "in",
 ];
 
@@ -163,6 +169,34 @@ mod tests {
         assert_eq!(a.option("capacity"), Some("spot"));
         assert_eq!(a.option("deadline"), Some("3600"));
         assert_eq!(a.option("budget"), Some("25.50"));
+    }
+
+    #[test]
+    fn daemon_resilience_flags_take_values() {
+        let a = parse(&[
+            "serve",
+            "--io-timeout",
+            "2.5",
+            "--max-conns",
+            "8",
+            "--state-dir",
+            "/tmp/svc",
+        ]);
+        assert_eq!(a.option("io-timeout"), Some("2.5"));
+        assert_eq!(a.option("max-conns"), Some("8"));
+        assert_eq!(a.option("state-dir"), Some("/tmp/svc"));
+        let a = parse(&[
+            "request",
+            "--timeout",
+            "10",
+            "--retries",
+            "3",
+            "--request-key",
+            "job-1",
+        ]);
+        assert_eq!(a.option("timeout"), Some("10"));
+        assert_eq!(a.option("retries"), Some("3"));
+        assert_eq!(a.option("request-key"), Some("job-1"));
     }
 
     #[test]

@@ -5,39 +5,63 @@
 //! from [`hpcadvisor_formats::wire`]: one compact JSON frame per line in
 //! each direction. Client frames:
 //!
-//! * `collect` — body `{tenant, config_yaml, seed, workers}`: admit a
-//!   full advisory run for `tenant` over the YAML config.
+//! * `collect` — body `{tenant, config_yaml, seed, workers, request_key?}`:
+//!   admit a full advisory run for `tenant` over the YAML config. The
+//!   optional `request_key` makes the request idempotent: resubmitting the
+//!   same key (after a dropped connection) attaches to the in-flight job
+//!   instead of admitting a duplicate.
 //! * `ping` — liveness probe; answered with `pong`.
-//! * `shutdown` — stop the daemon gracefully (drains in-flight jobs).
+//! * `shutdown` — stop the daemon. Body `{"mode": "force"}` skips the
+//!   drain: queued jobs are refused and running jobs are abandoned to the
+//!   journal, which replays them on the next start.
 //!
 //! Server frames (each echoes the request id):
 //!
 //! * `progress` — one live trace event (`run_start`, `scenario_start`,
 //!   `scenario_end`, `cache_hit`, `run_end`) from the running collection.
+//! * `hb` — keep-alive while a job computes without producing traffic, so
+//!   client read deadlines don't fire mid-run.
 //! * `result` — terminal: the dataset (embedded as a JSON string, so the
 //!   bytes are exactly what a standalone CLI run writes), rendered advice,
 //!   executor stats (including the cache hit/miss counters that make
 //!   cross-tenant dedup observable) and the run's newly-provisioned cost.
-//! * `error` — terminal: a typed admission refusal (queue full, over
-//!   quota, budget exhausted, ...) or a job failure, as a message.
+//! * `error` — terminal: a typed refusal. The body carries a
+//!   machine-readable [`ErrorCode`] (mapped exhaustively from
+//!   `ServiceError` by [`hpcadvisor_core::ServiceError::wire_code`]), the
+//!   human message, and a `retry_after_ms` hint when waiting can help.
 //! * `pong` / `ok` — answers to `ping` / `shutdown`.
 //!
 //! All connections feed one [`AdvisorService`], so every tenant shares
 //! the daemon's scenario cache: identical scenarios are simulated once.
+//!
+//! ## Hardening
+//!
+//! Connections carry deadlines: a peer that sends no frame for
+//! `--io-timeout` seconds is reaped with a typed `idle_timeout` error, a
+//! line that grows past [`MAX_FRAME_BYTES`] without a newline is refused
+//! without ever being buffered whole, and accepts beyond `--max-conns`
+//! are shed immediately with `overloaded` + a retry hint. With
+//! `--state-dir` (defaulting into the work directory) the daemon journals
+//! admissions and spend durably — kill it with SIGKILL mid-grid, restart
+//! it on the same directory, and it replays the interrupted jobs before
+//! announcing `serving on`, so a resubmitted request is served from cache
+//! byte-identically with no double billing.
 
 use crate::args::Args;
 use crate::state::WorkDir;
 use hpcadvisor_core::{
-    AdviceRequest, AdvisorService, CachePolicy, JobEvent, JobOutcome, ServiceConfig,
+    AdviceRequest, AdvisorService, CachePolicy, JobEvent, JobOutcome, RetryPolicy, ServiceConfig,
     SharedScenarioCache, TenantPolicy, ToolError, UserConfig,
 };
-use hpcadvisor_formats::wire::Frame;
+use hpcadvisor_formats::wire::{ErrorCode, Frame, MonotonicId, KIND_HEARTBEAT, MAX_FRAME_BYTES};
 use hpcadvisor_formats::{json, OrderedMap, Value};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::RecvTimeoutError;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 type Out<'a> = &'a mut dyn Write;
 
@@ -58,6 +82,16 @@ pub struct ServeOptions {
     /// Exit after serving this many `collect` requests (used by tests and
     /// smoke jobs to terminate without signals). `None` serves forever.
     pub max_requests: Option<usize>,
+    /// Per-connection I/O deadline: a peer idle for this long between
+    /// frames is reaped, and writes that stall this long fail the
+    /// connection (`--io-timeout`).
+    pub io_timeout: Duration,
+    /// Connections beyond this bound are shed at accept with a typed
+    /// `overloaded` refusal (`--max-conns`).
+    pub max_conns: usize,
+    /// Durable service state (admission journal, per-job run journals).
+    /// `None` keeps admission state in memory only.
+    pub state_dir: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -68,6 +102,9 @@ impl Default for ServeOptions {
             policy: TenantPolicy::default(),
             cache: SharedScenarioCache::in_memory(),
             max_requests: None,
+            io_timeout: Duration::from_secs(30),
+            max_conns: 64,
+            state_dir: None,
         }
     }
 }
@@ -79,6 +116,24 @@ fn parse_usize(args: &Args, name: &str) -> Result<Option<usize>, ToolError> {
                 .map_err(|_| ToolError::Config(format!("--{name} must be a number, got '{v}'")))
         })
         .transpose()
+}
+
+/// Parses a `--flag <seconds>` duration, rejecting non-finite, negative
+/// and zero values with a clear message (the same discipline `--deadline`
+/// and `--budget` follow).
+fn parse_secs(args: &Args, name: &str) -> Result<Option<Duration>, ToolError> {
+    let Some(v) = args.option(name) else {
+        return Ok(None);
+    };
+    let secs: f64 = v
+        .parse()
+        .map_err(|_| ToolError::Config(format!("--{name} must be seconds, got '{v}'")))?;
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err(ToolError::Config(format!(
+            "--{name} must be a positive number of seconds, got '{v}'"
+        )));
+    }
+    Ok(Some(Duration::from_secs_f64(secs)))
 }
 
 /// The `serve` command: bind, announce, and run the accept loop.
@@ -108,6 +163,12 @@ pub fn serve_cmd(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolErr
         opts.policy.max_scenarios = Some(n);
     }
     opts.max_requests = parse_usize(args, "max-requests")?;
+    if let Some(t) = parse_secs(args, "io-timeout")? {
+        opts.io_timeout = t;
+    }
+    if let Some(n) = parse_usize(args, "max-conns")? {
+        opts.max_conns = n.max(1);
+    }
     // The daemon's cache persists in the work directory (or --cache-dir),
     // exactly where standalone `collect` runs look — warm starts carry over.
     let cache_path = match args.option("cache-dir") {
@@ -115,6 +176,12 @@ pub fn serve_cmd(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolErr
         None => workdir.cache_file(),
     };
     opts.cache = SharedScenarioCache::open(&cache_path);
+    // Durable admission state lives next to the cache by default, so a
+    // restart on the same work directory recovers both.
+    opts.state_dir = Some(match args.option("state-dir") {
+        Some(dir) => PathBuf::from(dir),
+        None => workdir.service_dir(),
+    });
     let listen = args.option("listen").unwrap_or("127.0.0.1:0");
     let listener = TcpListener::bind(listen)
         .map_err(|e| ToolError::Config(format!("cannot listen on {listen}: {e}")))?;
@@ -122,9 +189,10 @@ pub fn serve_cmd(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolErr
 }
 
 /// Runs the daemon on an already-bound listener until a `shutdown` frame
-/// arrives or `max_requests` collect requests have been served. Announces
-/// the bound address on `out` first, so callers (and tests) binding port
-/// 0 can discover where to connect.
+/// arrives or `max_requests` collect requests have been served. Replays
+/// journal-recovered jobs first, then announces the bound address on
+/// `out` — so by the time callers see `serving on`, the cache already
+/// holds every interrupted job's results and resubmissions hit it.
 pub fn serve_on(listener: TcpListener, opts: ServeOptions, out: Out) -> Result<(), ToolError> {
     let addr = listener.local_addr().map_err(ToolError::Io)?;
     let service = Arc::new(AdvisorService::start(ServiceConfig {
@@ -133,11 +201,24 @@ pub fn serve_on(listener: TcpListener, opts: ServeOptions, out: Out) -> Result<(
         policy: opts.policy,
         cache: opts.cache,
         cache_policy: CachePolicy::default(),
+        state_dir: opts.state_dir,
     }));
+    if service.recovered_jobs() > 0 {
+        wline(
+            out,
+            &format!(
+                "recovering {} interrupted job(s) from the service journal",
+                service.recovered_jobs()
+            ),
+        )?;
+        let finished = service.await_recovery();
+        wline(out, &format!("recovery complete: {finished} job(s) served"))?;
+    }
     wline(out, &format!("serving on {addr}"))?;
     listener.set_nonblocking(true).map_err(ToolError::Io)?;
     let stop = Arc::new(AtomicBool::new(false));
     let served = Arc::new(AtomicUsize::new(0));
+    let io_timeout = opts.io_timeout;
     let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
     loop {
         if stop.load(Ordering::SeqCst) {
@@ -150,11 +231,16 @@ pub fn serve_on(listener: TcpListener, opts: ServeOptions, out: Out) -> Result<(
         }
         match listener.accept() {
             Ok((stream, _)) => {
+                connections.retain(|c| !c.is_finished());
+                if connections.len() >= opts.max_conns {
+                    shed_connection(stream, io_timeout);
+                    continue;
+                }
                 let service = service.clone();
                 let stop = stop.clone();
                 let served = served.clone();
                 connections.push(std::thread::spawn(move || {
-                    let _ = handle_connection(stream, &service, &stop, &served);
+                    let _ = handle_connection(stream, &service, &stop, &served, io_timeout);
                 }));
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -165,7 +251,9 @@ pub fn serve_on(listener: TcpListener, opts: ServeOptions, out: Out) -> Result<(
         connections.retain(|c| !c.is_finished());
     }
     // Graceful drain: finish open conversations, then let the service run
-    // every admitted job to completion before persisting the cache.
+    // every admitted job to completion before persisting the cache. After
+    // a forced shutdown the workers are already detached, so this path
+    // returns promptly and the journal covers whatever was cut off.
     stop.store(true, Ordering::SeqCst);
     for c in connections {
         let _ = c.join();
@@ -185,93 +273,222 @@ pub fn serve_on(listener: TcpListener, opts: ServeOptions, out: Out) -> Result<(
     wline(out, &format!("served {n} requests; shut down"))
 }
 
-/// One client conversation: frames in, frames out, until EOF or shutdown.
+/// Refuses one over-limit connection with a typed `overloaded` frame.
+/// Best-effort: a peer that cannot even take the refusal is just dropped.
+fn shed_connection(mut stream: TcpStream, io_timeout: Duration) {
+    let _ = stream.set_write_timeout(Some(io_timeout));
+    let frame = Frame::error(
+        0,
+        ErrorCode::Overloaded,
+        "connection limit reached; retry later",
+        Some(500),
+    );
+    let _ = send(&mut stream, &frame);
+}
+
+/// One step of bounded line reading.
+enum LineStep {
+    /// A complete line (without its newline).
+    Line(String),
+    /// The peer closed the connection.
+    Eof,
+    /// No bytes arrived within the poll timeout.
+    Quiet,
+    /// Bytes arrived but the line is not complete yet.
+    Partial,
+    /// The line exceeded [`MAX_FRAME_BYTES`] before its newline.
+    TooLong,
+    /// Hard I/O failure.
+    Failed,
+}
+
+/// Polls one chunk of a line out of `reader` into `buf`, never letting
+/// `buf` grow past the frame limit — the reader-side defense against a
+/// peer streaming an endless line to balloon memory.
+fn read_line_step(reader: &mut BufReader<TcpStream>, buf: &mut Vec<u8>) -> LineStep {
+    match reader.fill_buf() {
+        Ok([]) => LineStep::Eof,
+        Ok(chunk) => {
+            if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+                buf.extend_from_slice(&chunk[..pos]);
+                reader.consume(pos + 1);
+                if buf.len() > MAX_FRAME_BYTES {
+                    return LineStep::TooLong;
+                }
+                let line = String::from_utf8_lossy(buf).into_owned();
+                buf.clear();
+                LineStep::Line(line)
+            } else {
+                let n = chunk.len();
+                buf.extend_from_slice(chunk);
+                reader.consume(n);
+                if buf.len() > MAX_FRAME_BYTES {
+                    LineStep::TooLong
+                } else {
+                    LineStep::Partial
+                }
+            }
+        }
+        Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+            LineStep::Quiet
+        }
+        Err(_) => LineStep::Failed,
+    }
+}
+
+/// One client conversation: frames in, frames out, until EOF, shutdown,
+/// the idle deadline, or an oversized line.
 fn handle_connection(
     stream: TcpStream,
     service: &AdvisorService,
     stop: &AtomicBool,
     served: &AtomicUsize,
+    io_timeout: Duration,
 ) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    // Short poll so a quiet client still notices shutdown promptly; the
+    // real deadline is io_timeout, tracked across polls.
+    let poll = Duration::from_millis(200).min(io_timeout);
+    stream.set_read_timeout(Some(poll))?;
+    stream.set_write_timeout(Some(io_timeout))?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut last_activity = Instant::now();
     loop {
-        line.clear();
-        // Retry short timeouts so a quiet client still notices shutdown.
-        let n = loop {
-            match reader.read_line(&mut line) {
-                Ok(n) => break n,
-                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+        let line = loop {
+            match read_line_step(&mut reader, &mut buf) {
+                LineStep::Line(line) => break line,
+                LineStep::Eof | LineStep::Failed => return Ok(()),
+                LineStep::Partial => last_activity = Instant::now(),
+                LineStep::Quiet => {
                     if stop.load(Ordering::SeqCst) {
                         return Ok(());
                     }
+                    if last_activity.elapsed() >= io_timeout {
+                        let frame = Frame::error(
+                            0,
+                            ErrorCode::IdleTimeout,
+                            &format!(
+                                "connection idle for {:.1}s; reaped",
+                                io_timeout.as_secs_f64()
+                            ),
+                            None,
+                        );
+                        let _ = send(&mut writer, &frame);
+                        return Ok(());
+                    }
                 }
-                Err(_) => return Ok(()),
+                LineStep::TooLong => {
+                    let frame = Frame::error(
+                        0,
+                        ErrorCode::BadFrame,
+                        &format!("frame exceeds the {MAX_FRAME_BYTES}-byte limit"),
+                        None,
+                    );
+                    let _ = send(&mut writer, &frame);
+                    return Ok(());
+                }
             }
         };
-        if n == 0 {
-            return Ok(()); // EOF: client hung up.
-        }
+        last_activity = Instant::now();
         if line.trim().is_empty() {
             continue;
         }
         let frame = match Frame::decode(line.trim_end_matches(['\r', '\n'])) {
             Ok(f) => f,
             Err(e) => {
-                send(&mut writer, &error_frame(0, &format!("bad frame: {e}")))?;
+                send(
+                    &mut writer,
+                    &Frame::error(0, ErrorCode::BadFrame, &format!("bad frame: {e}"), None),
+                )?;
                 continue;
             }
         };
         match frame.kind.as_str() {
             "ping" => send(&mut writer, &Frame::new(frame.id, "pong", Value::Null))?,
             "shutdown" => {
+                let force = frame
+                    .body
+                    .as_map()
+                    .and_then(|m| m.get("mode"))
+                    .and_then(Value::as_str)
+                    == Some("force");
                 send(&mut writer, &Frame::new(frame.id, "ok", Value::Null))?;
+                if force {
+                    // Abandon running jobs to the journal; the next start
+                    // on this state dir replays them.
+                    service.shutdown_now();
+                }
                 stop.store(true, Ordering::SeqCst);
                 return Ok(());
             }
             "collect" => {
-                serve_collect(frame, service, &mut writer)?;
+                serve_collect(frame, service, &mut writer, io_timeout)?;
                 served.fetch_add(1, Ordering::SeqCst);
             }
             other => send(
                 &mut writer,
-                &error_frame(frame.id, &format!("unknown frame kind '{other}'")),
+                &Frame::error(
+                    frame.id,
+                    ErrorCode::UnknownKind,
+                    &format!("unknown frame kind '{other}'"),
+                    None,
+                ),
             )?,
         }
     }
 }
 
-/// Admits one `collect` frame and streams its progress and terminal frame.
+/// Admits one `collect` frame and streams its progress and terminal
+/// frame, heartbeating whenever the job computes silently for longer than
+/// half the I/O deadline.
 fn serve_collect(
     frame: Frame,
     service: &AdvisorService,
     writer: &mut TcpStream,
+    io_timeout: Duration,
 ) -> std::io::Result<()> {
     let id = frame.id;
     let request = match parse_collect_body(&frame.body) {
         Ok(r) => r,
-        Err(m) => return send(writer, &error_frame(id, &m)),
+        Err(m) => return send(writer, &Frame::error(id, ErrorCode::BadRequest, &m, None)),
     };
     let handle = match service.submit(request) {
         Ok(h) => h,
-        Err(e) => return send(writer, &error_frame(id, &e.to_string())),
+        Err(e) => {
+            return send(
+                writer,
+                &Frame::error(id, e.wire_code(), &e.to_string(), e.retry_after_ms()),
+            )
+        }
     };
-    for event in handle.events().iter() {
-        match event {
-            JobEvent::Progress(ev) => {
+    let heartbeat_every = (io_timeout / 2).max(Duration::from_millis(25));
+    loop {
+        match handle.events().recv_timeout(heartbeat_every) {
+            Ok(JobEvent::Progress(ev)) => {
                 // The event's canonical JSON line becomes the frame body.
                 let body = json::parse(&ev.to_line()).unwrap_or(Value::Null);
                 send(writer, &Frame::new(id, "progress", body))?;
             }
-            JobEvent::Finished(outcome) => {
+            Ok(JobEvent::Finished(outcome)) => {
                 return send(writer, &Frame::new(id, "result", result_body(&outcome)));
             }
-            JobEvent::Failed(m) => return send(writer, &error_frame(id, &m)),
+            Ok(JobEvent::Failed(m)) => {
+                return send(writer, &Frame::error(id, ErrorCode::JobFailed, &m, None));
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                // Keep the client's read deadline from firing mid-compute.
+                send(writer, &Frame::heartbeat(id))?;
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                return send(
+                    writer,
+                    &Frame::error(id, ErrorCode::Internal, "job ended without a result", None),
+                );
+            }
         }
     }
-    send(writer, &error_frame(id, "job ended without a result"))
 }
 
 fn parse_collect_body(body: &Value) -> Result<AdviceRequest, String> {
@@ -291,6 +508,9 @@ fn parse_collect_body(body: &Value) -> Result<AdviceRequest, String> {
     }
     if let Some(workers) = map.get("workers").and_then(Value::as_int) {
         request.workers = (workers.max(1)) as usize;
+    }
+    if let Some(key) = map.get("request_key").and_then(Value::as_str) {
+        request.request_key = Some(key.to_string());
     }
     Ok(request)
 }
@@ -317,27 +537,56 @@ fn result_body(outcome: &JobOutcome) -> Value {
     Value::Map(body)
 }
 
-fn error_frame(id: i64, message: &str) -> Frame {
-    let mut body = OrderedMap::new();
-    body.insert("message", Value::str(message));
-    Frame::new(id, "error", body_value(body))
-}
-
-fn body_value(map: OrderedMap) -> Value {
-    Value::Map(map)
-}
-
 fn send(writer: &mut TcpStream, frame: &Frame) -> std::io::Result<()> {
-    writer.write_all(frame.encode().as_bytes())?;
+    let line = frame
+        .encode_checked()
+        .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+    writer.write_all(line.as_bytes())?;
     writer.write_all(b"\n")?;
     writer.flush()
 }
 
-/// The `request` command: a one-shot client for the daemon.
+/// 64-bit FNV-1a, for deriving default request keys and jitter seeds.
+fn fnv64(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in text.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// How one client attempt ended.
+enum Attempt {
+    /// Terminal success; the command is done.
+    Done,
+    /// Worth retrying after a backoff: dropped connections, read
+    /// timeouts, and refusals whose [`ErrorCode::retryable`] says load
+    /// will clear.
+    Retry {
+        why: String,
+        retry_after: Option<Duration>,
+    },
+    /// Retrying cannot help (bad config, budget exhausted, job failed).
+    Fatal(ToolError),
+}
+
+/// The `request` command: a retrying client for the daemon.
+///
+/// Every attempt reuses the same idempotent `request_key` (derived from
+/// tenant/seed/config unless `--request-key` pins it) under a fresh
+/// monotonic frame id, so a reconnect after a dropped connection attaches
+/// to the in-flight job — or, post-crash, is re-served from the cache —
+/// instead of being billed twice. Backoff between attempts follows the
+/// collection layer's deterministic [`RetryPolicy`] (exponential, seeded
+/// jitter), honoring the daemon's `retry_after_ms` hints when present.
 pub fn request_cmd(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
     let addr = args
         .option("connect")
         .ok_or_else(|| ToolError::Config("request requires --connect <host:port>".into()))?;
+    if args.has("shutdown") {
+        return shutdown_daemon(addr, args.has("force"), out);
+    }
     let config_text = match args.option("config") {
         Some(path) => std::fs::read_to_string(path)?,
         None => {
@@ -354,25 +603,166 @@ pub fn request_cmd(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolE
     let tenant = args.option("tenant").unwrap_or("default");
     let workers = parse_usize(args, "workers")?.unwrap_or(1);
     let seed = args.seed()?;
+    let timeout = parse_secs(args, "timeout")?.unwrap_or(Duration::from_secs(30));
+    let retries = parse_usize(args, "retries")?.unwrap_or(5);
+    // The idempotency key: stable across attempts and restarts for the
+    // same request, so resubmission can never double-bill.
+    let request_key = match args.option("request-key") {
+        Some(k) => k.to_string(),
+        None => format!(
+            "req-{:016x}",
+            fnv64(&format!("{tenant}\u{0}{seed}\u{0}{config_text}"))
+        ),
+    };
+    let policy = RetryPolicy {
+        max_attempts: (retries as u32).saturating_add(1).max(1),
+        base_backoff_secs: 0.05,
+        max_backoff_secs: 1.0,
+        jitter_seed: fnv64(&request_key),
+    };
+    let ids = MonotonicId::new();
 
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let outcome = request_once(
+            addr,
+            tenant,
+            &config_text,
+            seed,
+            workers,
+            &request_key,
+            ids.next(),
+            timeout,
+            args,
+            out,
+        );
+        let (why, retry_after) = match outcome {
+            Ok(Attempt::Done) => return Ok(()),
+            Ok(Attempt::Fatal(e)) => return Err(e),
+            Ok(Attempt::Retry { why, retry_after }) => (why, retry_after),
+            Err(e) => return Err(e),
+        };
+        if attempt >= policy.max_attempts {
+            return Err(ToolError::Config(format!(
+                "request failed after {attempt} attempt(s): {why}"
+            )));
+        }
+        let backoff = retry_after
+            .unwrap_or_else(|| Duration::from_secs_f64(policy.backoff_secs("request", attempt)));
+        wline(
+            out,
+            &format!(
+                "attempt {attempt} failed ({why}); retrying in {:.2}s",
+                backoff.as_secs_f64()
+            ),
+        )?;
+        std::thread::sleep(backoff.min(Duration::from_secs(2)));
+    }
+}
+
+/// One connect-send-stream attempt. I/O failures and retryable refusals
+/// come back as [`Attempt::Retry`]; only local problems (unwritable
+/// `--out`) surface as hard `Err`.
+#[allow(clippy::too_many_arguments)]
+fn request_once(
+    addr: &str,
+    tenant: &str,
+    config_text: &str,
+    seed: u64,
+    workers: usize,
+    request_key: &str,
+    frame_id: i64,
+    timeout: Duration,
+    args: &Args,
+    out: Out,
+) -> Result<Attempt, ToolError> {
     let mut body = OrderedMap::new();
     body.insert("tenant", Value::str(tenant));
     body.insert("config_yaml", Value::str(config_text));
     body.insert("seed", Value::Int(seed as i64));
     body.insert("workers", Value::Int(workers as i64));
-    let mut stream = TcpStream::connect(addr)
-        .map_err(|e| ToolError::Config(format!("cannot connect to {addr}: {e}")))?;
-    send(&mut stream, &Frame::new(1, "collect", Value::Map(body))).map_err(ToolError::Io)?;
-
-    let reader = BufReader::new(stream.try_clone().map_err(ToolError::Io)?);
-    for line in reader.lines() {
-        let line = line.map_err(ToolError::Io)?;
+    body.insert("request_key", Value::str(request_key));
+    let mut stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            return Ok(Attempt::Retry {
+                why: format!("cannot connect to {addr}: {e}"),
+                retry_after: None,
+            })
+        }
+    };
+    if stream.set_read_timeout(Some(timeout)).is_err()
+        || stream.set_write_timeout(Some(timeout)).is_err()
+    {
+        return Ok(Attempt::Retry {
+            why: "cannot arm socket deadlines".into(),
+            retry_after: None,
+        });
+    }
+    let request = Frame::new(frame_id, "collect", Value::Map(body));
+    if let Err(e) = send(&mut stream, &request) {
+        return Ok(Attempt::Retry {
+            why: format!("send failed: {e}"),
+            retry_after: None,
+        });
+    }
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            return Ok(Attempt::Retry {
+                why: format!("socket clone failed: {e}"),
+                retry_after: None,
+            })
+        }
+    });
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = match reader.read_line(&mut line) {
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return Ok(Attempt::Retry {
+                    why: format!(
+                        "no frame from the daemon within {:.1}s",
+                        timeout.as_secs_f64()
+                    ),
+                    retry_after: None,
+                });
+            }
+            Err(e) => {
+                return Ok(Attempt::Retry {
+                    why: format!("read failed: {e}"),
+                    retry_after: None,
+                })
+            }
+        };
+        if n == 0 {
+            return Ok(Attempt::Retry {
+                why: "daemon closed the connection without a result".into(),
+                retry_after: None,
+            });
+        }
+        if !line.ends_with('\n') {
+            // EOF mid-frame: the connection was cut, not the protocol broken.
+            return Ok(Attempt::Retry {
+                why: "connection cut mid-frame".into(),
+                retry_after: None,
+            });
+        }
         if line.trim().is_empty() {
             continue;
         }
-        let frame = Frame::decode(&line)
-            .map_err(|e| ToolError::Config(format!("bad frame from daemon: {e}")))?;
+        let frame = match Frame::decode(line.trim_end_matches(['\r', '\n'])) {
+            Ok(f) => f,
+            Err(e) => {
+                return Ok(Attempt::Fatal(ToolError::Config(format!(
+                    "bad frame from daemon: {e}"
+                ))))
+            }
+        };
         match frame.kind.as_str() {
+            KIND_HEARTBEAT => continue, // Read deadline restarts with the next read.
             "progress" => {
                 let map = frame.body.as_map();
                 let kind = map
@@ -386,57 +776,106 @@ pub fn request_cmd(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolE
                 wline(out, &format!("progress: {kind} {scope}"))?;
             }
             "result" => {
-                let map = frame
-                    .body
-                    .as_map()
-                    .ok_or_else(|| ToolError::Config("result body must be an object".into()))?;
-                if let Some(stats) = map.get("stats").and_then(Value::as_map) {
-                    let get = |k: &str| stats.get(k).and_then(Value::as_int).unwrap_or(0);
-                    wline(
-                        out,
-                        &format!(
-                            "collected {} completed, {} failed; cache {} hits / {} misses",
-                            get("completed"),
-                            get("failed"),
-                            get("cache_hits"),
-                            get("cache_misses"),
-                        ),
-                    )?;
-                }
-                if let Some(cost) = map.get("cost_dollars").and_then(Value::as_f64) {
-                    wline(
-                        out,
-                        &format!("cloud spend this request: ${:.2}", cost + 0.0),
-                    )?;
-                }
-                if let Some(ds) = map.get("dataset_json").and_then(Value::as_str) {
-                    if let Some(path) = args.option("out") {
-                        std::fs::write(path, ds)?;
-                        wline(out, &format!("wrote dataset to {path}"))?;
-                    }
-                }
-                if let Some(advice) = map.get("advice").and_then(Value::as_str) {
-                    wline(out, advice.trim_end())?;
-                }
-                return Ok(());
+                print_result(&frame, args, out)?;
+                return Ok(Attempt::Done);
             }
             "error" => {
                 let message = frame
-                    .body
-                    .as_map()
-                    .and_then(|m| m.get("message"))
-                    .and_then(Value::as_str)
-                    .unwrap_or("unknown daemon error");
-                return Err(ToolError::Config(format!("daemon: {message}")));
+                    .error_message()
+                    .unwrap_or("unknown daemon error")
+                    .to_string();
+                let code = frame.error_code();
+                if code.is_some_and(ErrorCode::retryable) {
+                    return Ok(Attempt::Retry {
+                        why: format!("daemon refused ({}): {message}", code.unwrap()),
+                        retry_after: frame.retry_after_ms().map(Duration::from_millis),
+                    });
+                }
+                let label = code.map(|c| format!(" [{c}]")).unwrap_or_default();
+                return Ok(Attempt::Fatal(ToolError::Config(format!(
+                    "daemon{label}: {message}"
+                ))));
             }
             other => {
-                return Err(ToolError::Config(format!(
+                return Ok(Attempt::Fatal(ToolError::Config(format!(
                     "unexpected frame kind '{other}' from daemon"
-                )))
+                ))))
             }
         }
     }
-    Err(ToolError::Config(
-        "daemon closed the connection without a result".into(),
-    ))
+}
+
+/// Renders a `result` frame: stats line, spend line, optional dataset
+/// file, advice text.
+fn print_result(frame: &Frame, args: &Args, out: Out) -> Result<(), ToolError> {
+    let map = frame
+        .body
+        .as_map()
+        .ok_or_else(|| ToolError::Config("result body must be an object".into()))?;
+    if let Some(stats) = map.get("stats").and_then(Value::as_map) {
+        let get = |k: &str| stats.get(k).and_then(Value::as_int).unwrap_or(0);
+        wline(
+            out,
+            &format!(
+                "collected {} completed, {} failed; cache {} hits / {} misses",
+                get("completed"),
+                get("failed"),
+                get("cache_hits"),
+                get("cache_misses"),
+            ),
+        )?;
+    }
+    if let Some(cost) = map.get("cost_dollars").and_then(Value::as_f64) {
+        wline(
+            out,
+            &format!("cloud spend this request: ${:.2}", cost + 0.0),
+        )?;
+    }
+    if let Some(ds) = map.get("dataset_json").and_then(Value::as_str) {
+        if let Some(path) = args.option("out") {
+            std::fs::write(path, ds)?;
+            wline(out, &format!("wrote dataset to {path}"))?;
+        }
+    }
+    if let Some(advice) = map.get("advice").and_then(Value::as_str) {
+        wline(out, advice.trim_end())?;
+    }
+    Ok(())
+}
+
+/// Sends one `shutdown` frame (`--force` skips the drain) and waits for
+/// the acknowledgement.
+fn shutdown_daemon(addr: &str, force: bool, out: Out) -> Result<(), ToolError> {
+    let mut stream = TcpStream::connect(addr)
+        .map_err(|e| ToolError::Config(format!("cannot connect to {addr}: {e}")))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(ToolError::Io)?;
+    let body = if force {
+        let mut m = OrderedMap::new();
+        m.insert("mode", Value::str("force"));
+        Value::Map(m)
+    } else {
+        Value::Null
+    };
+    send(&mut stream, &Frame::new(1, "shutdown", body)).map_err(ToolError::Io)?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(ToolError::Io)?;
+    let frame = Frame::decode(line.trim_end_matches(['\r', '\n']))
+        .map_err(|e| ToolError::Config(format!("bad frame from daemon: {e}")))?;
+    if frame.kind != "ok" {
+        return Err(ToolError::Config(format!(
+            "daemon answered shutdown with '{}'",
+            frame.kind
+        )));
+    }
+    wline(
+        out,
+        if force {
+            "daemon shutting down (forced; journal will replay interrupted jobs)"
+        } else {
+            "daemon shutting down (graceful drain)"
+        },
+    )
 }

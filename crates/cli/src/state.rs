@@ -65,6 +65,13 @@ impl WorkDir {
         self.root.join("trace").join("run-trace.jsonl")
     }
 
+    /// Directory of the daemon's durable service state (admission journal
+    /// and per-job run journals); `serve` defaults its `--state-dir` here
+    /// so a restarted daemon in the same work directory recovers.
+    pub fn service_dir(&self) -> PathBuf {
+        self.root.join("service")
+    }
+
     fn file(&self, name: &str) -> PathBuf {
         self.root.join(name)
     }

@@ -36,6 +36,25 @@ pub struct UserConfig {
     pub peervpn: bool,
 }
 
+/// Emits one scalar for [`UserConfig::to_yaml`], quoting whenever the bare
+/// spelling would re-parse as something other than the original string
+/// (numbers, booleans, null, flow sequences, comments, key separators).
+/// The in-tree YAML reader strips quotes without escape processing, so a
+/// string containing a double quote is single-quoted instead.
+fn yaml_scalar(s: &str) -> String {
+    let needs_quotes = s.is_empty()
+        || !matches!(yaml::parse(&format!("k: {s}")).ok().and_then(|d| d.get("k").cloned()),
+            Some(Value::Str(back)) if back == s);
+    if !needs_quotes {
+        return s.to_string();
+    }
+    if s.contains('"') {
+        format!("'{s}'")
+    } else {
+        format!("\"{s}\"")
+    }
+}
+
 fn req_str(doc: &Value, key: &str) -> Result<String, ToolError> {
     match doc.get(key) {
         Some(Value::Str(s)) => Ok(s.clone()),
@@ -183,6 +202,60 @@ impl UserConfig {
         })
     }
 
+    /// Serializes back to a Listing-1-style YAML document that
+    /// [`UserConfig::from_yaml`] parses to an equal value. The service
+    /// journal uses this to persist admitted-but-unfinished requests so a
+    /// restarted daemon can replay them; sweeps use the `appinputs`
+    /// list-of-single-key-maps form so multi-value parameters survive.
+    pub fn to_yaml(&self) -> String {
+        let mut out = String::new();
+        let mut kv = |k: &str, v: &str| {
+            out.push_str(k);
+            out.push_str(": ");
+            out.push_str(&yaml_scalar(v));
+            out.push('\n');
+        };
+        kv("subscription", &self.subscription);
+        kv("rgprefix", &self.rgprefix);
+        kv("appsetupurl", &self.appsetupurl);
+        kv("appname", &self.appname);
+        kv("region", &self.region);
+        out.push_str(&format!("ppr: {}\n", self.ppr));
+        if self.createjumpbox {
+            out.push_str("createjumpbox: true\n");
+        }
+        if self.peervpn {
+            out.push_str("peervpn: true\n");
+        }
+        if let Some(rg) = &self.vpnrg {
+            out.push_str(&format!("vpnrg: {}\n", yaml_scalar(rg)));
+        }
+        if let Some(vnet) = &self.vpnvnet {
+            out.push_str(&format!("vpnvnet: {}\n", yaml_scalar(vnet)));
+        }
+        out.push_str("skus:\n");
+        for sku in &self.skus {
+            out.push_str(&format!("- {}\n", yaml_scalar(sku)));
+        }
+        let nodes: Vec<String> = self.nnodes.iter().map(|n| n.to_string()).collect();
+        out.push_str(&format!("nnodes: [{}]\n", nodes.join(", ")));
+        if !self.tags.is_empty() {
+            out.push_str("tags:\n");
+            for (k, v) in &self.tags {
+                out.push_str(&format!("  {}: {}\n", yaml_scalar(k), yaml_scalar(v)));
+            }
+        }
+        if !self.appinputs.is_empty() {
+            out.push_str("appinputs:\n");
+            for (k, values) in &self.appinputs {
+                for v in values {
+                    out.push_str(&format!("- {}: {}\n", yaml_scalar(k), yaml_scalar(v)));
+                }
+            }
+        }
+        out
+    }
+
     /// Total number of scenarios this configuration expands to.
     pub fn scenario_count(&self) -> usize {
         let input_combos: usize = self
@@ -269,6 +342,36 @@ appinputs:
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn to_yaml_round_trips_every_bundled_example() {
+        for config in [
+            UserConfig::example_openfoam(),
+            UserConfig::example_openfoam_motorbike(),
+            UserConfig::example_lammps(),
+            UserConfig::example_lammps_small(),
+        ] {
+            let back = UserConfig::from_yaml(&config.to_yaml()).expect("emitted YAML parses");
+            assert_eq!(back, config, "round-trip changed the config");
+        }
+    }
+
+    #[test]
+    fn to_yaml_quotes_hostile_scalars() {
+        let mut config = UserConfig::example_lammps_small();
+        config.tags = vec![
+            ("plain".into(), "value".into()),
+            ("numberish".into(), "42".into()),
+            ("boolish".into(), "true".into()),
+            ("commenty".into(), "a # b".into()),
+            ("colony".into(), "a: b".into()),
+            ("bracket".into(), "[1, 2]".into()),
+            ("spacey".into(), "  padded  ".into()),
+        ];
+        config.appinputs = vec![("mesh".into(), vec!["80 24 24".into(), "60 16 16".into()])];
+        let back = UserConfig::from_yaml(&config.to_yaml()).expect("quoted YAML parses");
+        assert_eq!(back, config);
+    }
 
     #[test]
     fn parses_listing1_fields() {

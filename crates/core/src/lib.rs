@@ -72,6 +72,7 @@ pub mod retry;
 pub mod sampling;
 pub mod scenario;
 pub mod service;
+pub mod service_state;
 pub mod session;
 
 pub use advice::{Advice, CapacityComparison};
@@ -90,6 +91,7 @@ pub use service::{
     AdviceRequest, AdvisorService, JobEvent, JobHandle, JobOutcome, ServiceConfig, ServiceError,
     TenantPolicy,
 };
+pub use service_state::{PendingJob, ServiceJournal, ServiceRecord, ServiceState};
 pub use session::{Session, SessionBuilder};
 pub use telemetry::{Trace, TraceEvent, TraceSummary};
 

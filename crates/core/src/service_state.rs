@@ -1,0 +1,433 @@
+//! Durable daemon state: an append-only JSONL service journal.
+//!
+//! The PR 6 daemon kept tenant spend and the in-flight job manifest only
+//! in memory, so a crash forgot who had spent what and silently dropped
+//! every admitted job. This module gives [`crate::service::AdvisorService`]
+//! the same crash-safety discipline the collection layer already has in
+//! [`crate::journal`]: one compact JSON record per line, appended and
+//! flushed as state changes, with torn-tail salvage on reopen — a killed
+//! daemon leaves a readable prefix, and the next start replays it.
+//!
+//! Three record kinds cover the whole admission lifecycle:
+//!
+//! * `spend` — a tenant was charged some newly-provisioned dollars when a
+//!   job finished. Replay sums these per tenant, so budgets survive
+//!   restarts and a resubmitted all-hits run cannot be double-billed.
+//! * `admitted` — a request passed admission: its idempotency key, tenant,
+//!   seed, worker count and the full config (as the canonical YAML from
+//!   [`crate::config::UserConfig::to_yaml`]).
+//! * `done` — the job reached a terminal state (finished, failed, or was
+//!   deliberately abandoned). An `admitted` with no matching `done` is an
+//!   interrupted job the restarted daemon must re-serve.
+//!
+//! Compaction mirrors [`crate::journal::RunJournal`]: the first append
+//! after detecting damage — or after the done/spend history has grown well
+//! past the live state — rewrites the file from the replayed state (one
+//! cumulative `spend` per tenant plus the still-pending `admitted`
+//! records), so the journal stays bounded by live state, not daemon
+//! uptime.
+
+use crate::cache::CachePolicy;
+use hpcadvisor_formats::{json, OrderedMap, Value};
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Version of the service-journal line format. A header with a different
+/// version discards the file wholesale (cold start, `recovered` set).
+const SERVICE_JOURNAL_VERSION: i64 = 1;
+
+/// An admitted-but-unfinished request, exactly as needed to re-admit it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingJob {
+    /// Idempotency key the client (or the service) assigned the request.
+    pub key: String,
+    /// Tenant the request is accounted against.
+    pub tenant: String,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Worker threads for the job's own collection.
+    pub workers: usize,
+    /// The full configuration, serialized with `UserConfig::to_yaml`.
+    pub config_yaml: String,
+    /// Cache-policy override, if the request carried one.
+    pub cache_policy: Option<CachePolicy>,
+}
+
+/// One journaled state change.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceRecord {
+    /// `tenant` was charged `dollars` of newly-provisioned pool time.
+    Spend {
+        /// Tenant charged.
+        tenant: String,
+        /// Newly provisioned dollars (never negative).
+        dollars: f64,
+    },
+    /// A request passed admission and entered the queue.
+    Admitted(PendingJob),
+    /// The job with this key reached a terminal state.
+    Done {
+        /// Idempotency key of the finished job.
+        key: String,
+    },
+}
+
+fn parse_cache_policy(s: &str) -> Option<CachePolicy> {
+    match s {
+        "read-write" => Some(CachePolicy::ReadWrite),
+        "read-only" => Some(CachePolicy::ReadOnly),
+        "off" => Some(CachePolicy::Off),
+        _ => None,
+    }
+}
+
+fn record_to_line(r: &ServiceRecord) -> String {
+    let mut m = OrderedMap::new();
+    match r {
+        ServiceRecord::Spend { tenant, dollars } => {
+            m.insert("rec", Value::str("spend"));
+            m.insert("tenant", Value::str(tenant));
+            m.insert("dollars", Value::Float(*dollars));
+        }
+        ServiceRecord::Admitted(job) => {
+            m.insert("rec", Value::str("admitted"));
+            m.insert("key", Value::str(&job.key));
+            m.insert("tenant", Value::str(&job.tenant));
+            m.insert("seed", Value::Int(job.seed as i64));
+            m.insert("workers", Value::Int(job.workers as i64));
+            m.insert("config_yaml", Value::str(&job.config_yaml));
+            if let Some(policy) = job.cache_policy {
+                m.insert("cache_policy", Value::str(policy.as_str()));
+            }
+        }
+        ServiceRecord::Done { key } => {
+            m.insert("rec", Value::str("done"));
+            m.insert("key", Value::str(key));
+        }
+    }
+    json::to_string(&Value::Map(m))
+}
+
+fn line_to_record(line: &str) -> Option<ServiceRecord> {
+    let v = json::parse(line).ok()?;
+    match v.get("rec")?.as_str()? {
+        "spend" => Some(ServiceRecord::Spend {
+            tenant: v.get("tenant")?.as_str()?.to_string(),
+            dollars: v.get("dollars")?.as_f64()?,
+        }),
+        "admitted" => Some(ServiceRecord::Admitted(PendingJob {
+            key: v.get("key")?.as_str()?.to_string(),
+            tenant: v.get("tenant")?.as_str()?.to_string(),
+            seed: v.get("seed")?.as_int()? as u64,
+            workers: v.get("workers")?.as_int()?.max(1) as usize,
+            config_yaml: v.get("config_yaml")?.as_str()?.to_string(),
+            cache_policy: match v.get("cache_policy") {
+                Some(p) => Some(parse_cache_policy(p.as_str()?)?),
+                None => None,
+            },
+        })),
+        "done" => Some(ServiceRecord::Done {
+            key: v.get("key")?.as_str()?.to_string(),
+        }),
+        _ => None,
+    }
+}
+
+/// The replayed view of the journal: what a restarted daemon needs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceState {
+    /// tenant → cumulative newly-provisioned dollars across all restarts.
+    pub spent: HashMap<String, f64>,
+    /// Admitted jobs with no terminal record, in admission order (one per
+    /// key — a re-admission of the same key replaces the earlier entry).
+    pub pending: Vec<PendingJob>,
+}
+
+/// The append-only service journal (see the module docs).
+#[derive(Debug, Default)]
+pub struct ServiceJournal {
+    path: Option<PathBuf>,
+    state: ServiceState,
+    /// Raw record count since the last rewrite — the compaction trigger.
+    raw_records: usize,
+    recovered: bool,
+    /// True once the backing file is known to start with a valid header.
+    initialized: bool,
+}
+
+impl ServiceJournal {
+    /// A purely in-memory journal (nothing persists; for tests).
+    pub fn in_memory() -> Self {
+        ServiceJournal::default()
+    }
+
+    /// Opens a file-backed journal, replaying whatever prefix survives. A
+    /// missing file starts empty; a damaged header starts empty with
+    /// `recovered` set; a torn tail line — the normal shape of a crash
+    /// mid-append — is dropped alone and the next append compacts.
+    pub fn open(path: impl AsRef<Path>) -> Self {
+        let path = path.as_ref().to_path_buf();
+        let mut journal = ServiceJournal {
+            path: Some(path.clone()),
+            ..ServiceJournal::default()
+        };
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => return journal,
+        };
+        let mut lines = text.lines();
+        let header_ok = lines.next().is_some_and(|h| {
+            json::parse(h).ok().and_then(|v| v.get("version")?.as_int())
+                == Some(SERVICE_JOURNAL_VERSION)
+        });
+        if !header_ok {
+            journal.recovered = true;
+            return journal;
+        }
+        journal.initialized = true;
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match line_to_record(line) {
+                Some(record) => {
+                    journal.raw_records += 1;
+                    journal.apply(record);
+                }
+                None => journal.recovered = true,
+            }
+        }
+        if journal.recovered {
+            // The file may end mid-line; force the next append to rewrite
+            // it from the replayed state.
+            journal.initialized = false;
+        }
+        journal
+    }
+
+    fn apply(&mut self, record: ServiceRecord) {
+        match record {
+            ServiceRecord::Spend { tenant, dollars } => {
+                *self.state.spent.entry(tenant).or_insert(0.0) += dollars;
+            }
+            ServiceRecord::Admitted(job) => {
+                self.state.pending.retain(|p| p.key != job.key);
+                self.state.pending.push(job);
+            }
+            ServiceRecord::Done { key } => {
+                self.state.pending.retain(|p| p.key != key);
+            }
+        }
+    }
+
+    /// The records a compacted rewrite preserves: cumulative spend per
+    /// tenant (sorted for deterministic files) plus pending admissions.
+    fn live_records(&self) -> Vec<ServiceRecord> {
+        let mut tenants: Vec<(&String, &f64)> = self.state.spent.iter().collect();
+        tenants.sort_by(|a, b| a.0.cmp(b.0));
+        let mut records: Vec<ServiceRecord> = tenants
+            .into_iter()
+            .map(|(tenant, dollars)| ServiceRecord::Spend {
+                tenant: tenant.clone(),
+                dollars: *dollars,
+            })
+            .collect();
+        records.extend(
+            self.state
+                .pending
+                .iter()
+                .cloned()
+                .map(ServiceRecord::Admitted),
+        );
+        records
+    }
+
+    /// True when the done/spend history has outgrown the live state enough
+    /// that a rewrite pays for itself.
+    fn wants_compaction(&self) -> bool {
+        let live = self.state.spent.len() + self.state.pending.len();
+        self.raw_records > 2 * live + 16
+    }
+
+    /// Appends one record, flushing the line to disk before returning.
+    /// IO errors are swallowed: journalling is best-effort and must never
+    /// fail the service it protects.
+    pub fn append(&mut self, record: ServiceRecord) {
+        self.apply(record.clone());
+        self.raw_records += 1;
+        if let Some(path) = &self.path {
+            let rewrite = !self.initialized || self.wants_compaction();
+            let write = || -> std::io::Result<()> {
+                if let Some(dir) = path.parent() {
+                    std::fs::create_dir_all(dir)?;
+                }
+                if rewrite {
+                    // (Re)create with header + the compacted live state
+                    // (which already includes `record`).
+                    let mut f = std::fs::File::create(path)?;
+                    writeln!(f, "{{\"version\": {SERVICE_JOURNAL_VERSION}}}")?;
+                    for r in self.live_records() {
+                        writeln!(f, "{}", record_to_line(&r))?;
+                    }
+                    f.flush()
+                } else {
+                    let mut f = std::fs::OpenOptions::new().append(true).open(path)?;
+                    writeln!(f, "{}", record_to_line(&record))?;
+                    f.flush()
+                }
+            };
+            if write().is_ok() {
+                self.initialized = true;
+                if rewrite {
+                    self.raw_records = self.live_records().len();
+                }
+            }
+        }
+    }
+
+    /// The replayed state: cumulative spend and interrupted jobs.
+    pub fn state(&self) -> &ServiceState {
+        &self.state
+    }
+
+    /// True if damage was detected (and skipped) while opening.
+    pub fn recovered(&self) -> bool {
+        self.recovered
+    }
+
+    /// The backing file, if any.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::UserConfig;
+
+    fn tempfile(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "hpcadvisor-service-journal-{tag}-{}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn admitted(key: &str, tenant: &str) -> ServiceRecord {
+        ServiceRecord::Admitted(PendingJob {
+            key: key.into(),
+            tenant: tenant.into(),
+            seed: 42,
+            workers: 2,
+            config_yaml: UserConfig::example_lammps_small().to_yaml(),
+            cache_policy: Some(CachePolicy::ReadWrite),
+        })
+    }
+
+    #[test]
+    fn records_roundtrip_through_lines() {
+        for record in [
+            ServiceRecord::Spend {
+                tenant: "acme".into(),
+                dollars: 12.5,
+            },
+            admitted("k1", "acme"),
+            ServiceRecord::Done { key: "k1".into() },
+        ] {
+            assert_eq!(line_to_record(&record_to_line(&record)), Some(record));
+        }
+        assert!(line_to_record("not json").is_none());
+        assert!(line_to_record("{\"rec\": \"mystery\"}").is_none());
+    }
+
+    #[test]
+    fn replay_restores_spend_and_pending_jobs() {
+        let path = tempfile("replay");
+        let _ = std::fs::remove_file(&path);
+        let mut journal = ServiceJournal::open(&path);
+        journal.append(admitted("k1", "acme"));
+        journal.append(admitted("k2", "acme"));
+        journal.append(ServiceRecord::Spend {
+            tenant: "acme".into(),
+            dollars: 3.0,
+        });
+        journal.append(ServiceRecord::Done { key: "k1".into() });
+        journal.append(ServiceRecord::Spend {
+            tenant: "acme".into(),
+            dollars: 2.0,
+        });
+
+        let back = ServiceJournal::open(&path);
+        assert!(!back.recovered());
+        let state = back.state();
+        assert_eq!(state.spent.get("acme"), Some(&5.0));
+        assert_eq!(state.pending.len(), 1, "k1 done, k2 interrupted");
+        assert_eq!(state.pending[0].key, "k2");
+        let config = UserConfig::from_yaml(&state.pending[0].config_yaml).unwrap();
+        assert_eq!(config, UserConfig::example_lammps_small());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_line_drops_alone_and_heals() {
+        let path = tempfile("torn");
+        let _ = std::fs::remove_file(&path);
+        let mut journal = ServiceJournal::open(&path);
+        journal.append(admitted("k1", "acme"));
+        journal.append(admitted("k2", "bob"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 15]).unwrap();
+
+        let mut back = ServiceJournal::open(&path);
+        assert!(back.recovered(), "damage detected");
+        assert_eq!(back.state().pending.len(), 1, "only the torn line lost");
+        back.append(ServiceRecord::Done { key: "k1".into() });
+        let healed = ServiceJournal::open(&path);
+        assert!(!healed.recovered(), "append rewrote a clean file");
+        assert!(healed.state().pending.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn damaged_header_starts_cold() {
+        let path = tempfile("header");
+        std::fs::write(&path, "garbage\n").unwrap();
+        let journal = ServiceJournal::open(&path);
+        assert!(journal.recovered());
+        assert_eq!(journal.state(), &ServiceState::default());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compaction_bounds_the_file_by_live_state() {
+        let path = tempfile("compact");
+        let _ = std::fs::remove_file(&path);
+        let mut journal = ServiceJournal::open(&path);
+        // Churn many short-lived jobs for one tenant.
+        for i in 0..60 {
+            journal.append(admitted(&format!("k{i}"), "acme"));
+            journal.append(ServiceRecord::Spend {
+                tenant: "acme".into(),
+                dollars: 1.0,
+            });
+            journal.append(ServiceRecord::Done {
+                key: format!("k{i}"),
+            });
+        }
+        let lines = std::fs::read_to_string(&path).unwrap().lines().count();
+        assert!(lines < 40, "history compacted away, got {lines} lines");
+        let back = ServiceJournal::open(&path);
+        assert_eq!(back.state().spent.get("acme"), Some(&60.0));
+        assert!(back.state().pending.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn in_memory_journal_tracks_state_without_files() {
+        let mut journal = ServiceJournal::in_memory();
+        journal.append(admitted("k", "t"));
+        assert!(journal.path().is_none());
+        assert_eq!(journal.state().pending.len(), 1);
+    }
+}

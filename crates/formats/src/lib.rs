@@ -36,7 +36,7 @@ pub mod yaml;
 
 pub use error::FormatError;
 pub use value::{OrderedMap, Value};
-pub use wire::{Frame, WIRE_VERSION};
+pub use wire::{ErrorCode, Frame, MonotonicId, WireError, MAX_FRAME_BYTES, WIRE_VERSION};
 
 #[cfg(test)]
 mod proptests {

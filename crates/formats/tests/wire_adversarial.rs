@@ -1,0 +1,162 @@
+//! Property tests hammering [`Frame::decode`] with adversarial input.
+//!
+//! The daemon feeds every line a peer sends straight into the decoder, so
+//! the decoder's contract — a typed [`WireError`] for every bad input,
+//! never a panic — is load-bearing for daemon survival. These properties
+//! attack it from four directions: random bytes, truncated valid frames,
+//! version skew, and structure-preserving mutations of real envelopes.
+
+use hpcadvisor_formats::{Frame, OrderedMap, Value, WireError, MAX_FRAME_BYTES, WIRE_VERSION};
+use proptest::prelude::*;
+
+/// A strategy for syntactically valid frames with varied ids, kinds and
+/// scalar bodies.
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (
+        any::<i64>(),
+        "[a-z_]{1,12}",
+        prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            any::<i64>().prop_map(Value::Int),
+            "[ -~]{0,40}".prop_map(Value::Str),
+        ],
+    )
+        .prop_map(|(id, kind, body)| Frame::new(id, kind, body))
+}
+
+proptest! {
+    /// Arbitrary printable garbage never panics the decoder; it either
+    /// decodes (the garbage happened to be a frame) or yields a typed
+    /// error whose Display never panics either.
+    #[test]
+    fn random_text_never_panics(line in "[ -~]{0,200}") {
+        match Frame::decode(&line) {
+            Ok(frame) => {
+                // Whatever decoded must re-encode and decode to itself.
+                prop_assert_eq!(Frame::decode(&frame.encode()).unwrap(), frame);
+            }
+            Err(e) => {
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+
+    /// Arbitrary bytes (run through lossy UTF-8, as the daemon's reader
+    /// does) never panic the decoder.
+    #[test]
+    fn random_bytes_never_panic(
+        bytes in proptest::collection::vec((0u16..256).prop_map(|b| b as u8), 0..200),
+    ) {
+        let line = String::from_utf8_lossy(&bytes);
+        let _ = Frame::decode(&line);
+    }
+
+    /// Every strict prefix of a valid encoded frame is rejected with a
+    /// typed error — a connection cut mid-frame can never smuggle in a
+    /// half frame that decodes to something else.
+    #[test]
+    fn truncated_frames_are_typed_errors(frame in arb_frame(), cut in 0usize..100) {
+        let line = frame.encode();
+        if cut < line.len() {
+            // Truncate at the nearest char boundary at or below `cut`.
+            let mut at = cut;
+            while !line.is_char_boundary(at) {
+                at -= 1;
+            }
+            if at == 0 {
+                // The empty prefix must also fail, just with a different
+                // reason (empty input, not truncated JSON).
+                prop_assert!(Frame::decode("").is_err());
+            } else {
+                let err = Frame::decode(&line[..at]).unwrap_err();
+                prop_assert!(
+                    matches!(err, WireError::Malformed(_)),
+                    "prefix {:?} gave {:?}", &line[..at], err
+                );
+            }
+        } else {
+            // cut beyond the line: full frame round-trips.
+            prop_assert_eq!(Frame::decode(&line).unwrap(), frame);
+        }
+    }
+
+    /// Any version other than WIRE_VERSION is VersionSkew, no matter what
+    /// the rest of the envelope says.
+    #[test]
+    fn version_skew_is_always_flagged(v in any::<i64>(), frame in arb_frame()) {
+        let mut map = OrderedMap::new();
+        map.insert("v", Value::Int(v));
+        map.insert("id", Value::Int(frame.id));
+        map.insert("kind", Value::str(frame.kind.clone()));
+        map.insert("body", frame.body.clone());
+        let line = hpcadvisor_formats::json::to_string(&Value::Map(map));
+        match Frame::decode(&line) {
+            Ok(decoded) => {
+                prop_assert_eq!(v, WIRE_VERSION);
+                prop_assert_eq!(decoded, frame);
+            }
+            Err(err) => {
+                prop_assert_ne!(v, WIRE_VERSION);
+                prop_assert_eq!(err, WireError::VersionSkew { got: v });
+            }
+        }
+    }
+
+    /// Valid frames always round-trip, and their compact encoding is one
+    /// line under the size limit (so encode_checked accepts it).
+    #[test]
+    fn valid_frames_roundtrip(frame in arb_frame()) {
+        let line = frame.encode_checked().unwrap();
+        prop_assert!(!line.contains('\n'));
+        prop_assert!(line.len() <= MAX_FRAME_BYTES);
+        prop_assert_eq!(Frame::decode(&line).unwrap(), frame);
+    }
+
+    /// Dropping any one envelope field from a valid frame is Malformed
+    /// (or, for the optional body, still fine) — never a panic, never a
+    /// silently different frame.
+    #[test]
+    fn missing_fields_are_malformed(frame in arb_frame(), drop in 0usize..3) {
+        let mut map = OrderedMap::new();
+        if drop != 0 {
+            map.insert("v", Value::Int(WIRE_VERSION));
+        }
+        if drop != 1 {
+            map.insert("id", Value::Int(frame.id));
+        }
+        if drop != 2 {
+            map.insert("kind", Value::str(frame.kind.clone()));
+        }
+        map.insert("body", frame.body.clone());
+        let line = hpcadvisor_formats::json::to_string(&Value::Map(map));
+        let err = Frame::decode(&line).unwrap_err();
+        prop_assert!(matches!(err, WireError::Malformed(_)), "{err:?}");
+    }
+}
+
+/// Oversized input is a deterministic property, but belongs with the rest
+/// of the adversarial suite: one byte over the limit trips TooLarge before
+/// the JSON parser ever runs.
+#[test]
+fn oversized_input_fails_fast() {
+    let line = "z".repeat(MAX_FRAME_BYTES + 1);
+    assert_eq!(
+        Frame::decode(&line),
+        Err(WireError::TooLarge {
+            len: MAX_FRAME_BYTES + 1,
+            max: MAX_FRAME_BYTES,
+        })
+    );
+}
+
+/// Embedded newlines are rejected even when both halves are valid JSON.
+#[test]
+fn embedded_newlines_are_rejected() {
+    let a = Frame::new(1, "ping", Value::Null).encode();
+    let b = Frame::new(2, "ping", Value::Null).encode();
+    assert_eq!(
+        Frame::decode(&format!("{a}\n{b}")),
+        Err(WireError::MultiLine)
+    );
+}
