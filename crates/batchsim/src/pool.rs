@@ -31,6 +31,11 @@ pub struct Pool {
     /// Pricing/eviction class of the pool's nodes. Dedicated by default;
     /// spot pools bill at a discount but can lose all nodes to eviction.
     pub capacity: Capacity,
+    /// Placement region for the pool's nodes; `None` keeps the provider's
+    /// home region and the pre-placement behavior (no regional quota pool,
+    /// provisioning profile, or spot-pressure scaling beyond the home
+    /// region's own neutral profile).
+    pub region: Option<String>,
 }
 
 impl Pool {
@@ -45,6 +50,7 @@ impl Pool {
             state: PoolState::Active,
             setup_done: false,
             capacity: Capacity::Dedicated,
+            region: None,
         }
     }
 

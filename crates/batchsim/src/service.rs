@@ -88,8 +88,23 @@ impl BatchService {
         self.trace.take()
     }
 
-    /// Creates an empty pool of `sku` nodes.
+    /// Creates an empty pool of `sku` nodes in the provider's home region.
     pub fn create_pool(&mut self, name: &str, sku: &str) -> Result<(), BatchError> {
+        self.create_pool_in(name, sku, None)
+    }
+
+    /// [`BatchService::create_pool`] pinned to a placement region. Every
+    /// resize of the pool draws on that region's quota pool, pays its
+    /// provisioning-latency profile, and is exposed to its injected region
+    /// faults; spot evictions scale with the region's spot-pressure
+    /// multiplier. `None` keeps the provider's home region and the legacy
+    /// behavior exactly.
+    pub fn create_pool_in(
+        &mut self,
+        name: &str,
+        sku: &str,
+        region: Option<&str>,
+    ) -> Result<(), BatchError> {
         if self
             .pools
             .get(name)
@@ -100,16 +115,27 @@ impl BatchService {
                 name: name.to_string(),
             }));
         }
-        {
+        let region = {
             let provider = self.provider.lock();
             provider
                 .catalog()
                 .get(sku)
                 .ok_or_else(|| CloudError::UnknownSku(sku.to_string()))?;
-        }
-        self.pools.insert(name.to_string(), Pool::new(name, sku));
+            // Canonicalize the region name so quota/billing lookups and
+            // trace fields all agree on one spelling.
+            match region {
+                Some(r) => Some(provider.region_named(r)?.name.clone()),
+                None => None,
+            }
+        };
+        let mut pool = Pool::new(name, sku);
+        pool.region = region.clone();
+        self.pools.insert(name.to_string(), pool);
         self.trace.emit("pool_create", name, |m| {
             m.insert("sku", Value::str(sku));
+            if let Some(r) = &region {
+                m.insert("region", Value::str(r));
+            }
         });
         Ok(())
     }
@@ -129,6 +155,7 @@ impl BatchService {
         }
         let sku = pool.sku.clone();
         let capacity = pool.capacity;
+        let region = pool.region.clone();
         let from = pool.nodes;
         let old_allocation = pool.allocation.take();
         self.trace.emit("pool_resize", name, |m| {
@@ -152,8 +179,12 @@ impl BatchService {
             // Call and drain under one lock hold so no other shard's
             // provider events interleave into this shard's trace.
             let mut provider = self.provider.lock();
-            let allocated =
-                provider.allocate_nodes_with(&self.resource_group, &sku, target, capacity);
+            let allocated = match &region {
+                Some(r) => {
+                    provider.allocate_nodes_in(&self.resource_group, &sku, target, capacity, r)
+                }
+                None => provider.allocate_nodes_with(&self.resource_group, &sku, target, capacity),
+            };
             let drained = provider.drain_trace();
             drop(provider);
             let boot_secs = drained
@@ -373,7 +404,8 @@ impl BatchService {
                     .get(&pool_name)
                     .is_some_and(|p| p.capacity == Capacity::Spot)
             {
-                let evicted = self.roll_traced(Operation::Eviction, &pool_name);
+                let pool_region = self.pools.get(&pool_name).and_then(|p| p.region.clone());
+                let evicted = self.roll_eviction(&pool_name, pool_region.as_deref());
                 if let Err(fault) = evicted {
                     result = TaskResult::failed(
                         result.duration,
@@ -405,6 +437,23 @@ impl BatchService {
     fn roll_traced(&mut self, op: Operation, scope: &str) -> Result<(), Fault> {
         let mut provider = self.provider.lock();
         let rolled = provider.inject_fault(op, scope);
+        let drained = provider.drain_trace();
+        drop(provider);
+        self.trace.absorb(drained);
+        rolled
+    }
+
+    /// Rolls a spot-eviction fault for a pool, scaling the plan's
+    /// probabilistic eviction rate by the placement region's spot-pressure
+    /// multiplier. Region-less (home) pools keep pressure 1.0 — the exact
+    /// legacy roll sequence.
+    fn roll_eviction(&mut self, pool_name: &str, region: Option<&str>) -> Result<(), Fault> {
+        let mut provider = self.provider.lock();
+        let pressure = region
+            .and_then(|r| provider.regions().get(r))
+            .map(|r| r.spot_pressure)
+            .unwrap_or(1.0);
+        let rolled = provider.inject_fault_scaled(Operation::Eviction, pool_name, pressure);
         let drained = provider.drain_trace();
         drop(provider);
         self.trace.absorb(drained);
@@ -851,6 +900,92 @@ mod tests {
             0,
             "no eviction roll was consumed"
         );
+    }
+
+    #[test]
+    fn regional_pool_draws_regional_quota_and_price() {
+        let mut svc = service();
+        svc.create_pool_in("p1", "HB120rs_v3", Some("westeurope"))
+            .unwrap();
+        assert_eq!(
+            svc.pool("p1").unwrap().region.as_deref(),
+            Some("westeurope")
+        );
+        svc.resize_pool("p1", 2).unwrap();
+        {
+            let mut provider = svc.provider.lock();
+            assert_eq!(provider.quota_mut().used("HBv3"), 0, "home pool untouched");
+            assert_eq!(
+                provider.quota_mut_in("westeurope").unwrap().used("HBv3"),
+                240
+            );
+        }
+        svc.clock().advance_by(SimDuration::from_hours(1));
+        svc.resize_pool("p1", 0).unwrap();
+        let provider = svc.provider.lock();
+        let records = provider.billing().records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].region, "westeurope");
+        // Billed at westeurope's 1.08 price multiplier.
+        assert!(records[0].cost >= 2.0 * 3.60 * 1.08);
+    }
+
+    #[test]
+    fn create_pool_in_unknown_region_rejected() {
+        let mut svc = service();
+        assert!(matches!(
+            svc.create_pool_in("p1", "HC44rs", Some("atlantis")),
+            Err(BatchError::Cloud(CloudError::UnknownRegion(_)))
+        ));
+    }
+
+    #[test]
+    fn regional_spot_evictions_scale_with_spot_pressure() {
+        // southeastasia's spot pressure is 1.6: a 0.625 probabilistic
+        // eviction rate saturates to 1.0 there, so every compute task on a
+        // spot pool placed there is evicted; the same plan at home (pressure
+        // 1.0) keeps the unscaled rate and lets some tasks through.
+        let run = |region: Option<&str>| -> (u32, u32) {
+            let mut provider = CloudProvider::new(ProviderConfig::default()).unwrap();
+            provider.create_resource_group("rg").unwrap();
+            provider.create_vnet("rg", "vnet", "default").unwrap();
+            provider.create_storage_account("rg", "stor").unwrap();
+            provider.create_batch_account("rg", "batch").unwrap();
+            provider.set_fault_plan(FaultPlan::none().seed(11).evict_pressure(0.625));
+            let mut svc = BatchService::new(share(provider), "rg");
+            svc.create_pool_in("p1", "HB120rs_v3", region).unwrap();
+            svc.set_pool_capacity("p1", Capacity::Spot).unwrap();
+            let (mut evicted, mut completed) = (0, 0);
+            for i in 0..6 {
+                svc.resize_pool("p1", 1).unwrap();
+                let rec = svc
+                    .run_task(
+                        "p1",
+                        &format!("t{i}"),
+                        TaskKind::Compute,
+                        1,
+                        120,
+                        quick_runner(60),
+                    )
+                    .unwrap();
+                if rec.evicted {
+                    evicted += 1;
+                } else {
+                    completed += 1;
+                }
+                svc.resize_pool("p1", 0).unwrap();
+            }
+            (evicted, completed)
+        };
+        let (pressured_evicted, pressured_completed) = run(Some("southeastasia"));
+        assert_eq!(pressured_evicted, 6, "saturated rate evicts every task");
+        assert_eq!(pressured_completed, 0);
+        let (home_evicted, home_completed) = run(None);
+        assert!(
+            home_completed > 0,
+            "unscaled rate lets some through ({home_evicted} evicted)"
+        );
+        assert!(home_evicted < pressured_evicted);
     }
 
     #[test]

@@ -42,6 +42,8 @@ const VALUED: &[&str] = &[
     "retries",
     "request-key",
     "in",
+    "region",
+    "regions",
 ];
 
 /// Short-option aliases.
@@ -197,6 +199,19 @@ mod tests {
         assert_eq!(a.option("timeout"), Some("10"));
         assert_eq!(a.option("retries"), Some("3"));
         assert_eq!(a.option("request-key"), Some("job-1"));
+    }
+
+    #[test]
+    fn region_flags_take_values() {
+        let a = parse(&[
+            "collect",
+            "--region",
+            "westeurope",
+            "--regions",
+            "southcentralus,westeurope",
+        ]);
+        assert_eq!(a.option("region"), Some("westeurope"));
+        assert_eq!(a.option("regions"), Some("southcentralus,westeurope"));
     }
 
     #[test]

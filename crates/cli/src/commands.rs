@@ -51,6 +51,47 @@ pub fn dispatch(argv: &[String], out: Out) -> Result<(), ToolError> {
     }
 }
 
+/// Canonicalizes one region name against the catalog, or errors listing
+/// every known region so a typo is a one-shot fix.
+fn resolve_region(name: &str) -> Result<String, ToolError> {
+    let catalog = cloudsim::RegionCatalog::azure();
+    match catalog.get(name) {
+        Some(region) => Ok(region.name.clone()),
+        None => Err(ToolError::Config(format!(
+            "unknown region '{}' (known regions: {})",
+            name,
+            catalog.names().join(", ")
+        ))),
+    }
+}
+
+/// Applies the typed `--region` / `--regions` overrides to a loaded
+/// config: `--region` pins the home (deployment) region, `--regions`
+/// replaces the multi-region placement list. Both validate against the
+/// [`cloudsim::RegionCatalog`] before anything is provisioned. Returns
+/// whether the config was modified.
+fn apply_region_flags(args: &Args, config: &mut UserConfig) -> Result<bool, ToolError> {
+    let mut changed = false;
+    if let Some(region) = args.option("region") {
+        config.region = resolve_region(region)?;
+        changed = true;
+    }
+    if let Some(list) = args.option("regions") {
+        let mut regions = Vec::new();
+        for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            regions.push(resolve_region(name)?);
+        }
+        if regions.is_empty() {
+            return Err(ToolError::Config(
+                "--regions requires a comma-separated list of region names".into(),
+            ));
+        }
+        config.regions = regions;
+        changed = true;
+    }
+    Ok(changed)
+}
+
 fn deploy(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
     match args.positional.get(1).map(|s| s.as_str()) {
         Some("create") => {
@@ -58,7 +99,12 @@ fn deploy(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
                 ToolError::Config("deploy create requires -c <config.yaml>".into())
             })?;
             let text = std::fs::read_to_string(config_path)?;
-            let config = UserConfig::from_yaml(&text)?;
+            let mut config = UserConfig::from_yaml(&text)?;
+            let text = if apply_region_flags(args, &mut config)? {
+                config.to_yaml()
+            } else {
+                text
+            };
             let seed = args.seed()?;
             // Provision (validates the whole Section III-B sequence).
             let mut manager = DeploymentManager::new(&config.subscription, &config.region, seed)?;
@@ -1049,6 +1095,60 @@ mod tests {
         let (out, ok) = run_in(&dir, &["collect", "--sampler", "aggressive"]);
         assert!(ok, "{out}");
         assert!(out.contains("sampler 'aggressive-discard'"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn region_flags_validate_against_the_catalog() {
+        let dir = tempdir("region-flags");
+        let config = write_config(&dir);
+        let cfg = config.to_str().unwrap();
+
+        // A typo'd region fails fast with the full catalog in the message.
+        let argv: Vec<String> = ["deploy", "create", "-c", cfg, "--region", "mars"]
+            .iter()
+            .map(|s| s.to_string())
+            .chain(["--workdir".to_string(), dir.to_string_lossy().into_owned()])
+            .collect();
+        let err = super::dispatch(&argv, &mut Vec::new()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown region 'mars'"), "{msg}");
+        assert!(
+            msg.contains("southcentralus") && msg.contains("japaneast"),
+            "{msg}"
+        );
+
+        // Same for the multi-region list.
+        let argv: Vec<String> = [
+            "deploy",
+            "create",
+            "-c",
+            cfg,
+            "--regions",
+            "westeurope,atlantis",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .chain(["--workdir".to_string(), dir.to_string_lossy().into_owned()])
+        .collect();
+        let err = super::dispatch(&argv, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("unknown region 'atlantis'"));
+
+        // Valid flags canonicalize case and multiply the grid region-major.
+        let (out, ok) = run_in(
+            &dir,
+            &[
+                "deploy",
+                "create",
+                "-c",
+                cfg,
+                "--regions",
+                "SouthCentralUS, westeurope",
+            ],
+        );
+        assert!(ok, "{out}");
+        assert!(out.contains("4 scenarios pending"), "{out}");
+
         let _ = std::fs::remove_dir_all(&dir);
     }
 

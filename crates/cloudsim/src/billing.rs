@@ -22,6 +22,8 @@ pub struct UsageRecord {
     pub cost: f64,
     /// Resource group the usage was billed to.
     pub resource_group: String,
+    /// Region the VMs ran in (and whose price multiplier the cost used).
+    pub region: String,
 }
 
 impl UsageRecord {
@@ -78,6 +80,15 @@ impl BillingMeter {
         self.records
             .iter()
             .filter(|r| r.resource_group == group)
+            .map(|r| r.cost)
+            .sum()
+    }
+
+    /// Total cost metered in one region.
+    pub fn cost_for_region(&self, region: &str) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.region.eq_ignore_ascii_case(region))
             .map(|r| r.cost)
             .sum()
     }
@@ -163,6 +174,7 @@ mod tests {
             end: t0 + one_hour,
             cost: cost_for(v3, 1.0, 2, one_hour),
             resource_group: "rg1".into(),
+            region: "southcentralus".into(),
         });
         meter.record(UsageRecord {
             sku: hc.name.clone(),
@@ -171,6 +183,7 @@ mod tests {
             end: t0 + one_hour,
             cost: cost_for(hc, 1.0, 1, one_hour),
             resource_group: "rg2".into(),
+            region: "southcentralus".into(),
         });
         assert!((meter.total_cost() - (7.2 + 3.168)).abs() < 1e-9);
         assert!((meter.cost_for_sku("standard_hb120rs_v3") - 7.2).abs() < 1e-9);
@@ -193,6 +206,7 @@ mod tests {
                 end: t0 + one_hour,
                 cost: cost_for(v3, 1.0, nodes, one_hour),
                 resource_group: group.into(),
+                region: "southcentralus".into(),
             });
         }
         let all = meter.summarize_by_sku(None);
@@ -239,6 +253,7 @@ mod tests {
             end: t0,
             cost,
             resource_group: "rg1".into(),
+            region: "southcentralus".into(),
         });
         assert_eq!(meter.total_cost(), 0.0);
         assert_eq!(meter.total_node_hours(), 0.0);

@@ -42,6 +42,40 @@ pub enum Operation {
     /// Spot/low-priority capacity being reclaimed by the provider while a
     /// task is running on it. Only checked for spot allocations.
     Eviction,
+    /// A whole region rejecting all allocations (control-plane outage).
+    RegionOutage,
+    /// A region running out of sellable capacity: allocations fail even
+    /// though the caller's quota has room.
+    RegionCapacityCrunch,
+    /// A region provisioning slowly: allocations succeed but node boot
+    /// latency is multiplied.
+    RegionProvisionDelay,
+}
+
+/// The region-level fault taxonomy: which failure mode a region exhibits.
+/// Each variant maps onto one [`Operation`] so the same deterministic
+/// `Nth`/`Probability`/`Burst` machinery that drives node faults drives
+/// region faults; rolls are keyed by region name so they replay under any
+/// worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionFault {
+    /// Every allocation in the region fails outright.
+    Outage,
+    /// Allocations fail for lack of regional capacity.
+    CapacityCrunch,
+    /// Allocations succeed but provisioning is slowed.
+    ProvisionDelay,
+}
+
+impl RegionFault {
+    /// The fault-plan operation this region fault is checked as.
+    pub fn operation(self) -> Operation {
+        match self {
+            RegionFault::Outage => Operation::RegionOutage,
+            RegionFault::CapacityCrunch => Operation::RegionCapacityCrunch,
+            RegionFault::ProvisionDelay => Operation::RegionProvisionDelay,
+        }
+    }
 }
 
 /// How an injected fault should be treated by retry logic.
@@ -110,6 +144,10 @@ pub enum FaultMode {
 struct FaultRule {
     mode: FaultMode,
     kind: FaultKind,
+    /// When set, the rule only fires for this roll scope (compared
+    /// case-insensitively — region names are user input). `None` matches
+    /// every scope, which is the behavior all pre-scoped rules had.
+    scope: Option<String>,
 }
 
 /// An immutable, deterministic plan of which invocations of each operation
@@ -139,10 +177,11 @@ impl FaultPlan {
 
     /// Registers a rule with an explicit mode and kind.
     pub fn fail_with(mut self, op: Operation, mode: FaultMode, kind: FaultKind) -> Self {
-        self.rules
-            .entry(op)
-            .or_default()
-            .push(FaultRule { mode, kind });
+        self.rules.entry(op).or_default().push(FaultRule {
+            mode,
+            kind,
+            scope: None,
+        });
         self
     }
 
@@ -189,20 +228,73 @@ impl FaultPlan {
         )
     }
 
+    /// Registers a region fault (see [`RegionFault`]) with an explicit mode.
+    /// Region faults are transient: retrying in another region — or later in
+    /// the same one — can succeed.
+    pub fn fail_region(self, fault: RegionFault, mode: FaultMode) -> Self {
+        self.fail_with(fault.operation(), mode, FaultKind::Transient)
+    }
+
+    /// [`FaultPlan::fail_region`] scoped to one region: the rule only fires
+    /// for allocations placed in `region` (matched case-insensitively),
+    /// leaving every other region healthy. This is how chaos experiments
+    /// force an outage in a *primary* region and watch placement fail over
+    /// to the rest of the candidate list.
+    pub fn fail_region_named(mut self, region: &str, fault: RegionFault, mode: FaultMode) -> Self {
+        self.rules
+            .entry(fault.operation())
+            .or_default()
+            .push(FaultRule {
+                mode,
+                kind: FaultKind::Transient,
+                scope: Some(region.to_string()),
+            });
+        self
+    }
+
     /// Whether the plan injects any faults at all.
     pub fn is_empty(&self) -> bool {
         self.rules.is_empty()
     }
 
+    /// Whether the plan has any rule for `op`. Callers use this to skip
+    /// rolling (and counting) operations the plan cannot fire, keeping
+    /// fault-free runs byte-identical to pre-fault behavior.
+    pub fn targets(&self, op: Operation) -> bool {
+        self.rules.contains_key(&op)
+    }
+
     /// Decides whether invocation `attempt` of `op` in `scope` fails.
     /// The first matching rule wins. Pure: never mutates the plan.
     pub fn decide(&self, op: Operation, scope: &str, attempt: u64) -> Option<Fault> {
+        self.decide_scaled(op, scope, attempt, 1.0)
+    }
+
+    /// [`FaultPlan::decide`] with probabilistic rates scaled by `pressure`
+    /// (clamped to certainty). A pressure of 1.0 is identical to `decide`;
+    /// spot pools in capacity-tight regions pass the region's
+    /// `spot_pressure` so the same plan evicts harder there. `Nth` and
+    /// `Always` rules are exact schedules and never scale.
+    pub fn decide_scaled(
+        &self,
+        op: Operation,
+        scope: &str,
+        attempt: u64,
+        pressure: f64,
+    ) -> Option<Fault> {
         let rules = self.rules.get(&op)?;
         for rule in rules {
+            if let Some(only) = &rule.scope {
+                if !only.eq_ignore_ascii_case(scope) {
+                    continue;
+                }
+            }
             let fires = match rule.mode {
                 FaultMode::Nth(n) => attempt == n,
                 FaultMode::Always => true,
-                FaultMode::Probability(p) => fault_roll(self.seed, op, scope, attempt) < p,
+                FaultMode::Probability(p) => {
+                    fault_roll(self.seed, op, scope, attempt) < (p * pressure).min(1.0)
+                }
                 FaultMode::Burst {
                     every,
                     width,
@@ -214,7 +306,7 @@ impl FaultPlan {
                     } else {
                         calm
                     };
-                    fault_roll(self.seed, op, scope, attempt) < p
+                    fault_roll(self.seed, op, scope, attempt) < (p * pressure).min(1.0)
                 }
             };
             if fires {
@@ -271,10 +363,43 @@ impl FaultTracker {
     /// Records one invocation of `op` in `scope` and reports the injected
     /// fault, if the plan has one for this invocation.
     pub fn check(&mut self, plan: &FaultPlan, op: Operation, scope: &str) -> Result<(), Fault> {
-        let count = self.counters.entry((op, scope.to_string())).or_insert(0);
+        self.check_keyed(plan, op, scope, scope, 1.0)
+    }
+
+    /// [`FaultTracker::check`] with probabilistic rates scaled by
+    /// `pressure` (see [`FaultPlan::decide_scaled`]).
+    pub fn check_scaled(
+        &mut self,
+        plan: &FaultPlan,
+        op: Operation,
+        scope: &str,
+        pressure: f64,
+    ) -> Result<(), Fault> {
+        self.check_keyed(plan, op, scope, scope, pressure)
+    }
+
+    /// Like [`FaultTracker::check`] but with the invocation counter and the
+    /// probabilistic roll keyed separately. Region faults count attempts
+    /// under `counter_scope` (a shard-owned key such as `sku@region`, so
+    /// the sequence is independent of worker interleaving on the shared
+    /// provider) while rolling under `roll_scope` (the region name, so an
+    /// outage decision at a given attempt index is region-wide and replays
+    /// under any worker count).
+    pub fn check_keyed(
+        &mut self,
+        plan: &FaultPlan,
+        op: Operation,
+        counter_scope: &str,
+        roll_scope: &str,
+        pressure: f64,
+    ) -> Result<(), Fault> {
+        let count = self
+            .counters
+            .entry((op, counter_scope.to_string()))
+            .or_insert(0);
         let attempt = *count;
         *count += 1;
-        match plan.decide(op, scope, attempt) {
+        match plan.decide_scaled(op, roll_scope, attempt, pressure) {
             Some(fault) => Err(fault),
             None => Ok(()),
         }
@@ -440,6 +565,132 @@ mod tests {
             .collect();
         assert_ne!(a, b, "scopes roll independently");
         assert!(a.iter().any(|&x| x) && a.iter().any(|&x| !x));
+    }
+
+    #[test]
+    fn region_faults_map_to_operations() {
+        assert_eq!(RegionFault::Outage.operation(), Operation::RegionOutage);
+        assert_eq!(
+            RegionFault::CapacityCrunch.operation(),
+            Operation::RegionCapacityCrunch
+        );
+        assert_eq!(
+            RegionFault::ProvisionDelay.operation(),
+            Operation::RegionProvisionDelay
+        );
+        let plan = FaultPlan::none().fail_region(RegionFault::Outage, FaultMode::Nth(0));
+        let fault = plan.decide(Operation::RegionOutage, "eastus", 0).unwrap();
+        assert_eq!(fault.kind, FaultKind::Transient);
+        assert!(plan.decide(Operation::RegionOutage, "eastus", 1).is_none());
+    }
+
+    #[test]
+    fn region_scoped_rules_spare_other_regions() {
+        // An Always outage pinned to one region fires there on every
+        // attempt and never anywhere else — the chaos-test primitive for
+        // "the primary region is down, everything should fail over".
+        let plan =
+            FaultPlan::none().fail_region_named("eastus", RegionFault::Outage, FaultMode::Always);
+        assert!(plan.decide(Operation::RegionOutage, "eastus", 0).is_some());
+        assert!(plan.decide(Operation::RegionOutage, "EastUS", 3).is_some());
+        assert!(plan.decide(Operation::RegionOutage, "westus2", 0).is_none());
+        assert!(plan
+            .decide(Operation::RegionOutage, "westeurope", 7)
+            .is_none());
+    }
+
+    #[test]
+    fn keyed_checks_count_per_counter_scope_and_roll_per_region() {
+        // Nth(1): counters are per counter_scope, so two SKUs in the same
+        // region each see their own second attempt fail — independent of
+        // the order the shared tracker is hit in.
+        let plan = FaultPlan::none().fail_with(
+            Operation::RegionCapacityCrunch,
+            FaultMode::Nth(1),
+            FaultKind::Transient,
+        );
+        let mut tracker = FaultTracker::new();
+        let check = |tr: &mut FaultTracker, counter: &str| {
+            tr.check_keyed(
+                &plan,
+                Operation::RegionCapacityCrunch,
+                counter,
+                "eastus",
+                1.0,
+            )
+            .is_err()
+        };
+        assert!(!check(&mut tracker, "hb@eastus"));
+        assert!(!check(&mut tracker, "hc@eastus"));
+        assert!(check(&mut tracker, "hb@eastus"), "hb's 2nd attempt fails");
+        assert!(check(&mut tracker, "hc@eastus"), "hc's 2nd attempt fails");
+
+        // Probability rolls use the roll scope: identical attempt index in
+        // the same region rolls identically regardless of counter scope.
+        let plan = FaultPlan::none().seed(7).fail_with(
+            Operation::RegionOutage,
+            FaultMode::Probability(0.5),
+            FaultKind::Transient,
+        );
+        let mut a = FaultTracker::new();
+        let mut b = FaultTracker::new();
+        let rolls_a: Vec<bool> = (0..32)
+            .map(|_| {
+                a.check_keyed(&plan, Operation::RegionOutage, "hb@westus2", "westus2", 1.0)
+                    .is_err()
+            })
+            .collect();
+        let rolls_b: Vec<bool> = (0..32)
+            .map(|_| {
+                b.check_keyed(&plan, Operation::RegionOutage, "hc@westus2", "westus2", 1.0)
+                    .is_err()
+            })
+            .collect();
+        assert_eq!(rolls_a, rolls_b, "region-wide decisions replay per attempt");
+    }
+
+    #[test]
+    fn pressure_scales_probabilistic_rates_only() {
+        let plan = FaultPlan::none()
+            .seed(5)
+            .fail_probabilistic(Operation::Eviction, 0.3);
+        let base = (0..256)
+            .filter(|&i| {
+                plan.decide_scaled(Operation::Eviction, "pool", i, 1.0)
+                    .is_some()
+            })
+            .count();
+        let pressured = (0..256)
+            .filter(|&i| {
+                plan.decide_scaled(Operation::Eviction, "pool", i, 2.0)
+                    .is_some()
+            })
+            .count();
+        assert!(pressured > base, "pressure raises the eviction rate");
+        // Certainty clamps.
+        let all = (0..64)
+            .filter(|&i| {
+                plan.decide_scaled(Operation::Eviction, "pool", i, 100.0)
+                    .is_some()
+            })
+            .count();
+        assert_eq!(all, 64);
+        // Exact schedules never scale.
+        let nth = FaultPlan::none().fail_nth(Operation::AllocateNodes, 1);
+        assert!(nth
+            .decide_scaled(Operation::AllocateNodes, "s", 0, 100.0)
+            .is_none());
+        assert!(nth
+            .decide_scaled(Operation::AllocateNodes, "s", 1, 0.0)
+            .is_some());
+        // Pressure 1.0 is byte-identical to the unscaled decision.
+        for i in 0..64 {
+            assert_eq!(
+                plan.decide(Operation::Eviction, "pool", i).is_some(),
+                plan.decide_scaled(Operation::Eviction, "pool", i, 1.0)
+                    .is_some()
+            );
+        }
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod sku;
 
 pub use billing::{BillingMeter, BillingSummary, UsageRecord};
 pub use error::CloudError;
-pub use fault::{Fault, FaultKind, FaultMode, FaultPlan, FaultTracker, Operation};
+pub use fault::{Fault, FaultKind, FaultMode, FaultPlan, FaultTracker, Operation, RegionFault};
 pub use provider::{AllocationId, Capacity, CloudProvider, ProviderConfig};
 pub use quota::QuotaTracker;
 pub use region::{Region, RegionCatalog};

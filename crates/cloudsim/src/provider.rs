@@ -95,6 +95,7 @@ struct Allocation {
     start: SimInstant,
     resource_group: String,
     capacity: Capacity,
+    region: String,
 }
 
 /// The simulated cloud provider.
@@ -104,7 +105,10 @@ pub struct CloudProvider {
     clock: SharedClock,
     catalog: SkuCatalog,
     regions: RegionCatalog,
-    quota: QuotaTracker,
+    /// Per-region quota pools, keyed by canonical (catalog) region name.
+    /// Each region is its own fault domain: exhausting one pool leaves the
+    /// others untouched.
+    quotas: HashMap<String, QuotaTracker>,
     billing: BillingMeter,
     fault: FaultPlan,
     tracker: FaultTracker,
@@ -131,13 +135,22 @@ impl CloudProvider {
         if regions.get(&config.region).is_none() {
             return Err(CloudError::UnknownRegion(config.region.clone()));
         }
-        let quota = QuotaTracker::with_default_limit(config.default_quota_cores);
+        // One quota pool per region: a region's `quota_cores` caps its pool,
+        // regions without a profile inherit the provider default.
+        let quotas = regions
+            .all()
+            .iter()
+            .map(|r| {
+                let limit = r.quota_cores.unwrap_or(config.default_quota_cores);
+                (r.name.clone(), QuotaTracker::with_default_limit(limit))
+            })
+            .collect();
         let rng = StdRng::seed_from_u64(config.seed);
         Ok(CloudProvider {
             clock: SharedClock::new(),
             catalog,
             regions,
-            quota,
+            quotas,
             billing: BillingMeter::new(),
             fault: FaultPlan::none(),
             tracker: FaultTracker::new(),
@@ -172,11 +185,23 @@ impl CloudProvider {
         &self.catalog
     }
 
-    /// The provider's region.
+    /// The provider's home region.
     pub fn region(&self) -> &Region {
         self.regions
             .get(&self.config.region)
             .expect("validated at construction")
+    }
+
+    /// The region catalog.
+    pub fn regions(&self) -> &RegionCatalog {
+        &self.regions
+    }
+
+    /// Looks a region up, erroring on names absent from the catalog.
+    pub fn region_named(&self, name: &str) -> Result<&Region, CloudError> {
+        self.regions
+            .get(name)
+            .ok_or_else(|| CloudError::UnknownRegion(name.to_string()))
     }
 
     /// The billing meter.
@@ -184,9 +209,17 @@ impl CloudProvider {
         &self.billing
     }
 
-    /// Quota tracker (mutable, e.g. for tests lowering limits).
+    /// Quota tracker of the home region (mutable, e.g. for tests lowering
+    /// limits).
     pub fn quota_mut(&mut self) -> &mut QuotaTracker {
-        &mut self.quota
+        let name = self.region().name.clone();
+        self.quotas.get_mut(&name).expect("every region has a pool")
+    }
+
+    /// Quota tracker of a specific region's pool.
+    pub fn quota_mut_in(&mut self, region: &str) -> Result<&mut QuotaTracker, CloudError> {
+        let name = self.region_named(region)?.name.clone();
+        Ok(self.quotas.get_mut(&name).expect("every region has a pool"))
     }
 
     /// Validates the caller's subscription.
@@ -201,10 +234,17 @@ impl CloudProvider {
         }
     }
 
-    /// Effective hourly price for a SKU in this provider's region.
+    /// Effective hourly price for a SKU in this provider's home region.
     pub fn price_per_hour(&self, sku: &str) -> Result<f64, CloudError> {
         let s = self.sku(sku)?;
         Ok(s.price_per_hour * self.region().price_multiplier)
+    }
+
+    /// Effective hourly price for a SKU in a specific region.
+    pub fn price_per_hour_in(&self, sku: &str, region: &str) -> Result<f64, CloudError> {
+        let mult = self.region_named(region)?.price_multiplier;
+        let s = self.sku(sku)?;
+        Ok(s.price_per_hour * mult)
     }
 
     fn sku(&self, name: &str) -> Result<&VmSku, CloudError> {
@@ -249,7 +289,16 @@ impl CloudProvider {
     }
 
     fn roll_fault(&mut self, op: Operation, scope: &str) -> Result<(), Fault> {
-        let rolled = self.tracker.check(&self.fault, op, scope);
+        self.roll_fault_scaled(op, scope, 1.0)
+    }
+
+    fn roll_fault_scaled(
+        &mut self,
+        op: Operation,
+        scope: &str,
+        pressure: f64,
+    ) -> Result<(), Fault> {
+        let rolled = self.tracker.check_scaled(&self.fault, op, scope, pressure);
         if self.trace_on {
             let attempt = self.tracker.attempts(op, scope).saturating_sub(1);
             let fired = rolled.is_err();
@@ -278,6 +327,19 @@ impl CloudProvider {
     /// and node-death faults, keyed by pool name).
     pub fn inject_fault(&mut self, op: Operation, scope: &str) -> Result<(), Fault> {
         self.roll_fault(op, scope)
+    }
+
+    /// [`CloudProvider::inject_fault`] with a multiplier on probabilistic
+    /// rates (Nth/Burst/Always rules are unaffected). The batch layer scales
+    /// spot-eviction rolls by the placement region's spot-pressure profile;
+    /// a pressure of 1.0 is byte-identical to [`CloudProvider::inject_fault`].
+    pub fn inject_fault_scaled(
+        &mut self,
+        op: Operation,
+        scope: &str,
+        pressure: f64,
+    ) -> Result<(), Fault> {
+        self.roll_fault_scaled(op, scope, pressure)
     }
 
     /// Per-scope invocation counts recorded so far (for tests/diagnostics).
@@ -511,25 +573,101 @@ impl CloudProvider {
         nodes: u32,
         capacity: Capacity,
     ) -> Result<AllocationId, CloudError> {
+        let home = self.region().name.clone();
+        self.allocate_nodes_in(group, sku_name, nodes, capacity, &home)
+    }
+
+    /// Rolls a region-level fault. The invocation counter is keyed
+    /// `sku@region` — a shard-owned key, since shards own SKUs — so the
+    /// attempt sequence is independent of worker interleaving on this
+    /// shared provider; the probabilistic roll is keyed by the region name
+    /// alone, so an outage decision at a given attempt index is
+    /// region-wide. Skipped entirely (no counter, no trace) when the plan
+    /// has no rule for `op`, keeping fault-free runs byte-identical.
+    fn roll_region_fault(&mut self, op: Operation, sku: &str, region: &str) -> Result<(), Fault> {
+        if !self.fault.targets(op) {
+            return Ok(());
+        }
+        let counter_scope = format!("{sku}@{region}");
+        let rolled = self
+            .tracker
+            .check_keyed(&self.fault, op, &counter_scope, region, 1.0);
+        if self.trace_on {
+            let attempt = self.tracker.attempts(op, &counter_scope).saturating_sub(1);
+            let fired = rolled.is_err();
+            self.trace_buf
+                .push(TraceEvent::pending("fault_roll", region, |m| {
+                    m.insert("op", Value::str(format!("{op:?}")));
+                    m.insert("attempt", Value::Int(attempt as i64));
+                    m.insert("fired", Value::Bool(fired));
+                }));
+        }
+        rolled
+    }
+
+    /// [`CloudProvider::allocate_nodes_with`] targeting an explicit region:
+    /// the allocation draws on that region's quota pool, pays its
+    /// provisioning-latency profile, honors its SKU-family availability,
+    /// and is exposed to its injected region faults
+    /// ([`crate::RegionFault`]). Billing on release uses the region's price
+    /// multiplier.
+    pub fn allocate_nodes_in(
+        &mut self,
+        group: &str,
+        sku_name: &str,
+        nodes: u32,
+        capacity: Capacity,
+        region_name: &str,
+    ) -> Result<AllocationId, CloudError> {
         self.group_mut(group)?;
+        let region = self.region_named(region_name)?.clone();
         let sku = self.sku(sku_name)?.clone();
-        if !self.region().offers_family(&sku.family) {
+        if !region.offers_family(&sku.family) {
             return Err(CloudError::SkuNotInRegion {
                 sku: sku.name.clone(),
-                region: self.config.region.clone(),
+                region: region.name.clone(),
             });
         }
+        // Region fault domain: an outage rejects everything, a capacity
+        // crunch fails allocations even with quota to spare, a provision
+        // delay lets the allocation through but slows the boot below.
+        if let Err(fault) = self.roll_region_fault(Operation::RegionOutage, &sku.name, &region.name)
+        {
+            return Err(CloudError::ProvisioningFailed {
+                operation: "region outage".into(),
+                reason: format!("region {}: {fault}", region.name),
+                transient: fault.kind == FaultKind::Transient,
+            });
+        }
+        if let Err(fault) =
+            self.roll_region_fault(Operation::RegionCapacityCrunch, &sku.name, &region.name)
+        {
+            return Err(CloudError::ProvisioningFailed {
+                operation: "region capacity crunch".into(),
+                reason: format!("region {}: {fault}", region.name),
+                transient: fault.kind == FaultKind::Transient,
+            });
+        }
+        let delayed = self
+            .roll_region_fault(Operation::RegionProvisionDelay, &sku.name, &region.name)
+            .is_err();
         self.check_fault(Operation::AllocateNodes, &sku.name, "allocate nodes")?;
+        let quota_available = self.quota_in(&region.name).available(&sku.family);
         let cores = sku
             .cores
             .checked_mul(nodes)
             .ok_or_else(|| CloudError::QuotaExceeded {
                 family: sku.family.clone(),
                 requested: u32::MAX,
-                available: self.quota.available(&sku.family),
+                available: quota_available,
             })?;
-        if let Err(e) = self.quota.try_acquire(&sku.family, cores) {
-            let available = self.quota.available(&sku.family);
+        if let Err(e) = self
+            .quotas
+            .get_mut(&region.name)
+            .expect("every region has a pool")
+            .try_acquire(&sku.family, cores)
+        {
+            let available = self.quota_in(&region.name).available(&sku.family);
             self.trace("quota", &sku.family, |m| {
                 m.insert("granted", Value::Bool(false));
                 m.insert("cores", Value::Int(i64::from(cores)));
@@ -544,19 +682,30 @@ impl CloudProvider {
         // A node can come up unhealthy after capacity was granted; the
         // failed allocation hands its quota straight back.
         if let Err(e) = self.check_fault(Operation::BootNode, &sku.name, "boot nodes") {
-            self.quota.release(&sku.family, cores);
+            self.quotas
+                .get_mut(&region.name)
+                .expect("every region has a pool")
+                .release(&sku.family, cores);
             return Err(e);
         }
         // Nodes boot in parallel: total latency is the max of per-node boots,
-        // which grows slowly with pool size.
-        let boot = 150.0 + 10.0 * (nodes as f64).ln_1p();
+        // which grows slowly with pool size. Congested regions pay their
+        // provisioning profile; an injected delay fault triples the latency.
+        let mut boot = (150.0 + 10.0 * (nodes as f64).ln_1p()) * region.provision_multiplier;
+        if delayed {
+            boot *= 3.0;
+        }
         // The trace records the un-jittered base latency: jitter comes from
         // the shared RNG whose draw order depends on worker interleaving.
+        let home = self.region().name.clone();
         self.trace("provision", &sku.name, |m| {
             m.insert("nodes", Value::Int(i64::from(nodes)));
             m.insert("cores", Value::Int(i64::from(cores)));
             m.insert("boot_secs", Value::Float(boot));
             m.insert("capacity", Value::str(capacity.as_str()));
+            if region.name != home {
+                m.insert("region", Value::str(&region.name));
+            }
         });
         self.spend(boot);
         let id = self.next_allocation;
@@ -570,9 +719,15 @@ impl CloudProvider {
                 start: self.clock.now(),
                 resource_group: group.to_string(),
                 capacity,
+                region: region.name.clone(),
             },
         );
         Ok(AllocationId(id))
+    }
+
+    /// Read-only view of a region's quota pool.
+    fn quota_in(&self, region: &str) -> &QuotaTracker {
+        self.quotas.get(region).expect("every region has a pool")
     }
 
     /// Capacity class of a live allocation.
@@ -587,13 +742,23 @@ impl CloudProvider {
             .remove(&id.0)
             .ok_or(CloudError::UnknownAllocation(id.0))?;
         let sku = self.sku(&alloc.sku)?.clone();
-        self.quota.release(&alloc.family, sku.cores * alloc.nodes);
+        // Quota goes back to the pool of the region that granted it — a
+        // failover must never refund (or re-bill) the abandoned region.
+        self.quotas
+            .get_mut(&alloc.region)
+            .expect("every region has a pool")
+            .release(&alloc.family, sku.cores * alloc.nodes);
         let end = self.clock.now();
         // Spot nodes bill the same span at the discounted rate; an eviction
         // closes the span early, so only the consumed node-hours are charged.
+        let region_multiplier = self
+            .regions
+            .get(&alloc.region)
+            .expect("allocation region validated at allocate")
+            .price_multiplier;
         let multiplier = match alloc.capacity {
-            Capacity::Dedicated => self.region().price_multiplier,
-            Capacity::Spot => self.region().price_multiplier * (1.0 - sku.spot_discount),
+            Capacity::Dedicated => region_multiplier,
+            Capacity::Spot => region_multiplier * (1.0 - sku.spot_discount),
         };
         let cost = cost_for(&sku, multiplier, alloc.nodes, end - alloc.start);
         // No cost/duration in the trace: the billed span runs on the
@@ -611,6 +776,7 @@ impl CloudProvider {
             end,
             cost,
             resource_group: alloc.resource_group,
+            region: alloc.region,
         });
         Ok(cost)
     }
@@ -856,6 +1022,187 @@ mod tests {
         let p = CloudProvider::new(config).unwrap();
         let price = p.price_per_hour("HB120rs_v3").unwrap();
         assert!((price - 3.60 * 1.08).abs() < 1e-9);
+    }
+
+    #[test]
+    fn foreign_region_allocation_uses_its_pool_and_price() {
+        let mut p = provider();
+        deploy_landing_zone(&mut p, "rg1");
+        let id = p
+            .allocate_nodes_in("rg1", "HB120rs_v3", 2, Capacity::Dedicated, "westeurope")
+            .unwrap();
+        // Quota came out of westeurope's pool, not the home region's.
+        assert_eq!(p.quota_mut().used("HBv3"), 0);
+        assert_eq!(p.quota_mut_in("westeurope").unwrap().used("HBv3"), 240);
+        p.clock().advance_by(SimDuration::from_hours(1));
+        let cost = p.release_nodes(id).unwrap();
+        // Billed at westeurope's price multiplier and stamped with its name.
+        assert!((cost - 3.60 * 1.08 * 2.0).abs() < 1e-9, "cost {cost}");
+        let rec = &p.billing().records()[0];
+        assert_eq!(rec.region, "westeurope");
+        assert!((p.billing().cost_for_region("westeurope") - cost).abs() < 1e-12);
+        assert_eq!(p.billing().cost_for_region("southcentralus"), 0.0);
+        // Quota returned to the pool that granted it.
+        assert_eq!(p.quota_mut_in("westeurope").unwrap().used("HBv3"), 0);
+        // Availability is checked against the target region, not home.
+        assert!(matches!(
+            p.allocate_nodes_in("rg1", "HB60rs", 1, Capacity::Dedicated, "japaneast"),
+            Err(CloudError::SkuNotInRegion { .. })
+        ));
+    }
+
+    #[test]
+    fn region_quota_pools_are_isolated_fault_domains() {
+        let mut p = provider();
+        deploy_landing_zone(&mut p, "rg1");
+        // japaneast's profile caps its pool at 8 000 cores; exhaust it.
+        let id = p
+            .allocate_nodes_in("rg1", "HB120rs_v3", 66, Capacity::Dedicated, "japaneast")
+            .unwrap();
+        assert!(matches!(
+            p.allocate_nodes_in("rg1", "HB120rs_v3", 1, Capacity::Dedicated, "japaneast"),
+            Err(CloudError::QuotaExceeded { .. })
+        ));
+        // The home region's (default 20 000-core) pool is untouched.
+        assert!(p.allocate_nodes("rg1", "HB120rs_v3", 1).is_ok());
+        p.release_nodes(id).unwrap();
+        assert_eq!(p.quota_mut_in("japaneast").unwrap().used("HBv3"), 0);
+    }
+
+    #[test]
+    fn region_outage_fails_allocation_without_consuming_quota() {
+        use crate::fault::{FaultMode, RegionFault};
+        let mut p = provider();
+        p.set_fault_plan(FaultPlan::none().fail_region(RegionFault::Outage, FaultMode::Nth(0)));
+        deploy_landing_zone(&mut p, "rg1");
+        let err = p
+            .allocate_nodes_in("rg1", "HB120rs_v3", 2, Capacity::Dedicated, "eastus")
+            .unwrap_err();
+        match err {
+            CloudError::ProvisioningFailed {
+                operation,
+                reason,
+                transient,
+            } => {
+                assert_eq!(operation, "region outage");
+                assert!(reason.contains("eastus"), "{reason}");
+                assert!(transient);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert_eq!(p.quota_mut_in("eastus").unwrap().used("HBv3"), 0);
+        // The Nth(0) rule fired once; the retry (attempt 1) goes through.
+        assert!(p
+            .allocate_nodes_in("rg1", "HB120rs_v3", 2, Capacity::Dedicated, "eastus")
+            .is_ok());
+    }
+
+    #[test]
+    fn region_capacity_crunch_fails_even_with_quota_to_spare() {
+        use crate::fault::{FaultMode, RegionFault};
+        let mut p = provider();
+        p.set_fault_plan(
+            FaultPlan::none().fail_region(RegionFault::CapacityCrunch, FaultMode::Nth(0)),
+        );
+        deploy_landing_zone(&mut p, "rg1");
+        let err = p
+            .allocate_nodes_in("rg1", "HB120rs_v3", 1, Capacity::Dedicated, "westus2")
+            .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                CloudError::ProvisioningFailed { operation, transient: true, .. }
+                    if operation == "region capacity crunch"
+            ),
+            "{err:?}"
+        );
+        assert_eq!(p.quota_mut_in("westus2").unwrap().used("HBv3"), 0);
+    }
+
+    #[test]
+    fn region_provision_delay_triples_boot_latency() {
+        use crate::fault::{FaultMode, RegionFault};
+        let mut p = provider();
+        p.set_fault_plan(
+            FaultPlan::none().fail_region(RegionFault::ProvisionDelay, FaultMode::Nth(0)),
+        );
+        deploy_landing_zone(&mut p, "rg1");
+        p.set_trace_enabled(true);
+        let id = p
+            .allocate_nodes_in("rg1", "HB120rs_v3", 2, Capacity::Dedicated, "westeurope")
+            .unwrap();
+        let events = p.drain_trace();
+        let prov = events.iter().find(|e| e.kind == "provision").unwrap();
+        // Base boot × westeurope's provisioning profile × 3 for the delay.
+        let expected = (150.0 + 10.0 * 2f64.ln_1p()) * 1.15 * 3.0;
+        assert!(
+            (prov.f64_field("boot_secs").unwrap() - expected).abs() < 1e-9,
+            "boot {:?} vs {expected}",
+            prov.f64_field("boot_secs")
+        );
+        // Foreign placements stamp the region into the provision trace.
+        assert_eq!(prov.str_field("region"), Some("westeurope"));
+        p.release_nodes(id).unwrap();
+        // The next boot (attempt 1) pays only the region profile.
+        p.set_trace_enabled(true);
+        let id = p
+            .allocate_nodes_in("rg1", "HB120rs_v3", 2, Capacity::Dedicated, "westeurope")
+            .unwrap();
+        let events = p.drain_trace();
+        let prov = events.iter().find(|e| e.kind == "provision").unwrap();
+        let expected = (150.0 + 10.0 * 2f64.ln_1p()) * 1.15;
+        assert!((prov.f64_field("boot_secs").unwrap() - expected).abs() < 1e-9);
+        p.release_nodes(id).unwrap();
+    }
+
+    #[test]
+    fn region_fault_counters_are_keyed_per_sku_and_region() {
+        use crate::fault::{FaultMode, RegionFault};
+        let mut p = provider();
+        p.set_fault_plan(FaultPlan::none().fail_region(RegionFault::Outage, FaultMode::Nth(0)));
+        deploy_landing_zone(&mut p, "rg1");
+        // Each (sku, region) pair owns its attempt counter, so the first
+        // attempt of every pair fails regardless of the order the shared
+        // provider is hit in — this is what makes outage grids replay
+        // byte-identically under any worker count.
+        for (sku, region) in [
+            ("HB120rs_v3", "eastus"),
+            ("HC44rs", "eastus"),
+            ("HB120rs_v3", "westeurope"),
+        ] {
+            assert!(
+                p.allocate_nodes_in("rg1", sku, 1, Capacity::Dedicated, region)
+                    .is_err(),
+                "{sku}@{region} first attempt must hit the outage"
+            );
+            assert!(
+                p.allocate_nodes_in("rg1", sku, 1, Capacity::Dedicated, region)
+                    .is_ok(),
+                "{sku}@{region} retry must succeed"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_free_foreign_allocation_traces_no_region_rolls() {
+        // With no region rules installed, the fast path skips region fault
+        // rolls entirely — same trace shape as before regions became fault
+        // domains.
+        let mut p = provider();
+        deploy_landing_zone(&mut p, "rg1");
+        p.set_trace_enabled(true);
+        let id = p
+            .allocate_nodes_in("rg1", "HB120rs_v3", 2, Capacity::Dedicated, "westeurope")
+            .unwrap();
+        p.release_nodes(id).unwrap();
+        let events = p.drain_trace();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.as_str()).collect();
+        // Only the pre-existing AllocateNodes/BootNode rolls appear — no
+        // RegionOutage/CapacityCrunch/ProvisionDelay events were added.
+        assert_eq!(
+            kinds,
+            ["fault_roll", "quota", "fault_roll", "provision", "release"]
+        );
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub struct AdviceRow {
     pub sku: String,
     /// Appinput combination the row was measured at.
     pub appinputs: Vec<(String, String)>,
+    /// Region the row's measurement actually ran in (after any failover).
+    /// `None` for single-region sweeps, where every row ran in the
+    /// deployment's home region.
+    pub region: Option<String>,
 }
 
 /// Aggregate spot-vs-dedicated comparison, available when the dataset
@@ -52,6 +56,32 @@ pub struct CapacityComparison {
     /// scenarios (negative ⇒ spot cheaper, e.g. -0.35 = 35% cheaper even
     /// after paying for evicted attempts).
     pub mean_cost_delta: f64,
+}
+
+/// One region's outcome tally in a multi-region sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionReport {
+    /// Region name (catalog-canonical).
+    pub region: String,
+    /// Rows that completed in this region.
+    pub completed: usize,
+    /// Rows that failed or timed out in this region.
+    pub unfinished: usize,
+    /// Rows degraded to SLA skips while targeting this region.
+    pub sla_skipped: usize,
+    /// Mean fractional cost premium of this region's completed rows over
+    /// the cheapest completed row of the same configuration (SKU, nodes,
+    /// ppn, appinputs) in any region. 0.0 means this region was the
+    /// cheapest for every configuration it completed.
+    pub mean_cost_premium: f64,
+}
+
+/// Per-region completion/cost/SLA deltas, present when the dataset carries
+/// placed rows (a multi-region sweep).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementComparison {
+    /// One report per region, sorted by region name.
+    pub regions: Vec<RegionReport>,
 }
 
 impl CapacityComparison {
@@ -80,6 +110,9 @@ pub struct Advice {
     /// Spot-vs-dedicated comparison, present when the dataset holds
     /// completed points in both capacity classes.
     pub capacity_comparison: Option<CapacityComparison>,
+    /// Per-region placement deltas, present when the dataset holds placed
+    /// rows (a multi-region sweep).
+    pub placement_comparison: Option<PlacementComparison>,
 }
 
 impl Advice {
@@ -107,6 +140,7 @@ impl Advice {
                     ppn: p.ppn,
                     sku: p.sku_short(),
                     appinputs: p.appinputs.clone(),
+                    region: p.region.clone(),
                 }
             })
             .collect();
@@ -126,6 +160,7 @@ impl Advice {
             sort,
             skipped_scenarios,
             capacity_comparison: compare_capacity(ds),
+            placement_comparison: compare_placement(ds),
         }
     }
 
@@ -138,12 +173,18 @@ impl Advice {
     pub fn render_text(&self) -> String {
         let mut out = String::from("Exectime(s)  Cost($)  Nodes  SKU\n");
         for r in &self.rows {
+            // Placed rows carry their region on the SKU axis, so a front
+            // mixing regions stays unambiguous (hb120rs_v3@westeurope).
+            let sku = match &r.region {
+                Some(region) => format!("{}@{}", r.sku, region),
+                None => r.sku.clone(),
+            };
             out.push_str(&format!(
                 "{:<12} {:<8.4} {:<6} {}\n",
                 r.exec_time_secs.round() as i64,
                 r.cost_dollars,
                 r.nodes,
-                r.sku
+                sku
             ));
         }
         if self.skipped_scenarios > 0 {
@@ -166,6 +207,29 @@ impl Advice {
                 if c.pairs == 1 { "" } else { "s" },
                 c.mean_cost_delta * 100.0,
             ));
+        }
+        if let Some(p) = &self.placement_comparison {
+            for r in &p.regions {
+                let total = r.completed + r.unfinished + r.sla_skipped;
+                out.push_str(&format!(
+                    "placement {}: {}/{} completed",
+                    r.region, r.completed, total
+                ));
+                if r.sla_skipped > 0 {
+                    out.push_str(&format!(
+                        ", {} SLA skip{}",
+                        r.sla_skipped,
+                        if r.sla_skipped == 1 { "" } else { "s" },
+                    ));
+                }
+                if r.completed > 0 {
+                    out.push_str(&format!(
+                        ", cost {:+.1}% vs cheapest region",
+                        r.mean_cost_premium * 100.0
+                    ));
+                }
+                out.push('\n');
+            }
         }
         out
     }
@@ -207,6 +271,9 @@ impl Advice {
     /// tool's own deployment sequence as a reusable shell script.
     pub fn cluster_recipe(&self, row: &AdviceRow, appname: &str, region: &str) -> String {
         let sku_full = format!("Standard_{}", row.sku.to_uppercase());
+        // A placed row was measured in a specific region; the recipe
+        // deploys there rather than in the session's home region.
+        let region = row.region.as_deref().unwrap_or(region);
         format!(
             "#!/bin/bash\n\
              # Cluster recipe generated by hpcadvisor for '{appname}'\n\
@@ -296,6 +363,73 @@ fn compare_capacity(ds: &Dataset) -> Option<CapacityComparison> {
         } else {
             0.0
         },
+    })
+}
+
+/// Builds the per-region placement comparison from a dataset holding
+/// placed rows. Returns `None` for single-region datasets (no row carries
+/// a region). Cost premiums pair configurations — (SKU, nodes, ppn,
+/// appinputs) — across regions and measure each completed row against the
+/// cheapest completed sibling anywhere.
+fn compare_placement(ds: &Dataset) -> Option<PlacementComparison> {
+    use std::collections::BTreeMap;
+    if !ds.points.iter().any(|p| p.region.is_some()) {
+        return None;
+    }
+    let config_key = |p: &crate::dataset::DataPoint| {
+        let mut inputs: Vec<String> = p
+            .appinputs
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        inputs.sort();
+        format!("{}|{}|{}|{}", p.sku, p.nnodes, p.ppn, inputs.join(","))
+    };
+    // Cheapest completed cost per configuration across all regions.
+    let mut floor: BTreeMap<String, f64> = BTreeMap::new();
+    for p in &ds.points {
+        if p.region.is_none() || p.status != ScenarioStatus::Completed || p.cost_dollars <= 0.0 {
+            continue;
+        }
+        let key = config_key(p);
+        let entry = floor.entry(key).or_insert(f64::INFINITY);
+        *entry = entry.min(p.cost_dollars);
+    }
+    // Region name -> (completed, unfinished, sla_skipped, premium sum, premium count).
+    let mut tallies: BTreeMap<String, (usize, usize, usize, f64, usize)> = BTreeMap::new();
+    for p in &ds.points {
+        let Some(region) = &p.region else { continue };
+        let t = tallies.entry(region.clone()).or_default();
+        match p.status {
+            ScenarioStatus::Completed => {
+                t.0 += 1;
+                if p.cost_dollars > 0.0 {
+                    if let Some(&min) = floor.get(&config_key(p)) {
+                        if min.is_finite() && min > 0.0 {
+                            t.3 += (p.cost_dollars - min) / min;
+                            t.4 += 1;
+                        }
+                    }
+                }
+            }
+            ScenarioStatus::Failed | ScenarioStatus::TimedOut => t.1 += 1,
+            ScenarioStatus::Skipped => t.2 += 1,
+            ScenarioStatus::Pending => {}
+        }
+    }
+    Some(PlacementComparison {
+        regions: tallies
+            .into_iter()
+            .map(
+                |(region, (completed, unfinished, sla_skipped, sum, n))| RegionReport {
+                    region,
+                    completed,
+                    unfinished,
+                    sla_skipped,
+                    mean_cost_premium: if n > 0 { sum / n as f64 } else { 0.0 },
+                },
+            )
+            .collect(),
     })
 }
 
@@ -440,6 +574,64 @@ mod tests {
         assert!(text.contains("-50.0%"), "{text}");
         // The timed-out row also counts into the partial-grid note.
         assert_eq!(advice.skipped_scenarios, 1);
+    }
+
+    #[test]
+    fn placement_comparison_reports_per_region_deltas() {
+        // Single-region dataset: no placement section.
+        let ds = listing4_like();
+        let advice = Advice::from_dataset(&ds, &DataFilter::all());
+        assert!(advice.placement_comparison.is_none());
+        assert!(!advice.render_text().contains("placement"));
+
+        // Two regions measuring the same configurations: westeurope runs
+        // 8% dearer; japaneast lost one row to an SLA skip.
+        let mut ds = Dataset::new();
+        for (id, region, cost, status) in [
+            (1u32, "southcentralus", 0.50, ScenarioStatus::Completed),
+            (2, "westeurope", 0.54, ScenarioStatus::Completed),
+            (3, "japaneast", 0.0, ScenarioStatus::Skipped),
+        ] {
+            let mut p = point(id, "lammps", "Standard_HB120rs_v3", 4, 120, 100.0, cost);
+            p.region = Some(region.into());
+            p.status = status;
+            if status == ScenarioStatus::Skipped {
+                p.metrics.push((
+                    "SKIPREASON".into(),
+                    "no region satisfies placement SLA".into(),
+                ));
+            }
+            ds.push(p);
+        }
+        let advice = Advice::from_dataset(&ds, &DataFilter::all());
+        let pc = advice.placement_comparison.clone().expect("placed rows");
+        assert_eq!(pc.regions.len(), 3);
+        let by_name = |n: &str| pc.regions.iter().find(|r| r.region == n).unwrap().clone();
+        let home = by_name("southcentralus");
+        assert_eq!((home.completed, home.sla_skipped), (1, 0));
+        assert!(home.mean_cost_premium.abs() < 1e-9, "{home:?}");
+        let we = by_name("westeurope");
+        assert!((we.mean_cost_premium - 0.08).abs() < 1e-9, "{we:?}");
+        let jp = by_name("japaneast");
+        assert_eq!((jp.completed, jp.sla_skipped), (0, 1));
+        // The render carries one line per region and region-tagged SKUs.
+        let text = advice.render_text();
+        assert!(
+            text.contains("placement westeurope: 1/1 completed, cost +8.0% vs cheapest region"),
+            "{text}"
+        );
+        assert!(
+            text.contains("placement japaneast: 0/1 completed, 1 SLA skip"),
+            "{text}"
+        );
+        assert!(text.contains("hb120rs_v3@southcentralus"), "{text}");
+        // Pareto keeps the placed axis: the same config in a dearer region
+        // is dominated, so only the cheapest region's row survives.
+        assert_eq!(advice.rows.len(), 1, "{:?}", advice.rows);
+        assert_eq!(advice.rows[0].region.as_deref(), Some("southcentralus"));
+        // Cluster recipes deploy into the row's placed region.
+        let recipe = advice.cluster_recipe(&advice.rows[0], "lammps", "eastus");
+        assert!(recipe.contains("--location southcentralus"), "{recipe}");
     }
 
     #[test]

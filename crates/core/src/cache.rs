@@ -180,6 +180,12 @@ impl Fingerprinter {
     }
 
     /// Fingerprints one scenario under this run's collection inputs.
+    ///
+    /// The placement region folds in last, and only when the scenario pins
+    /// one: default-region scenarios keep their pre-placement fingerprints,
+    /// so caches populated before multi-region grids existed stay warm.
+    /// (No aliasing with the appinput pairs is possible — appinputs always
+    /// contribute an even number of fields, the region exactly one.)
     pub fn scenario(&self, s: &Scenario) -> Fingerprint {
         let mut h = self.base.clone();
         h.field(s.sku.as_bytes());
@@ -188,6 +194,9 @@ impl Fingerprinter {
         for (k, v) in &s.appinputs {
             h.field(k.as_bytes());
             h.field(v.as_bytes());
+        }
+        if let Some(region) = &s.region {
+            h.field(region.as_bytes());
         }
         Fingerprint(h.finish())
     }
@@ -460,6 +469,7 @@ mod tests {
             nnodes,
             ppn: 120,
             appinputs: vec![("BOXFACTOR".into(), "8".into())],
+            region: None,
             status: ScenarioStatus::Pending,
         }
     }
@@ -501,6 +511,32 @@ mod tests {
         let dedicated = Fingerprinter::new("lammps", "script", 42, 7)
             .with_capacity(cloudsim::Capacity::Dedicated);
         assert_eq!(fpr.scenario(&s), dedicated.scenario(&s));
+    }
+
+    #[test]
+    fn region_folds_only_when_pinned() {
+        let fpr = Fingerprinter::new("lammps", "script", 42, 7);
+        let s = scenario(1, "Standard_HB120rs_v3", 4);
+        // Placement moves the fingerprint: results from different regions
+        // are different measurements and must not collide in the cache.
+        let mut placed = s.clone();
+        placed.region = Some("westeurope".into());
+        assert_ne!(fpr.scenario(&s), fpr.scenario(&placed));
+        let mut elsewhere = s.clone();
+        elsewhere.region = Some("japaneast".into());
+        assert_ne!(fpr.scenario(&placed), fpr.scenario(&elsewhere));
+        // Back-compat: a region-less scenario folds nothing, so its
+        // fingerprint is exactly what pre-placement versions computed —
+        // existing caches stay warm.
+        let mut unpinned = placed.clone();
+        unpinned.region = None;
+        assert_eq!(fpr.scenario(&s), fpr.scenario(&unpinned));
+        // The region field cannot alias an appinput pair: a region never
+        // collides with a scenario whose extra appinput spells the same
+        // bytes, because pairs fold two fields and the region folds one.
+        let mut inputish = s.clone();
+        inputish.appinputs.push(("westeurope".into(), "".into()));
+        assert_ne!(fpr.scenario(&placed), fpr.scenario(&inputish));
     }
 
     #[test]

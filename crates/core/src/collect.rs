@@ -207,6 +207,9 @@ pub struct ScenarioOutcome {
     pub backoff_secs: f64,
     /// Spot evictions the scenario survived (0 on dedicated capacity).
     pub evictions: u32,
+    /// Region failovers the scenario went through before settling (0 when
+    /// its first candidate region provisioned, or without a regions list).
+    pub failovers: u32,
     /// Failure reason (quota, setup, task failure, deadline) when `status`
     /// is failed, skipped, or timed out.
     pub fail_reason: Option<String>,
@@ -239,6 +242,9 @@ pub struct CollectStats {
     pub retried: usize,
     /// Total simulated backoff across all scenarios, in seconds.
     pub backoff_secs: f64,
+    /// Total region failovers across all scenarios (0 without a multi-region
+    /// placement grid).
+    pub failovers: u32,
     /// Scenarios replayed from the run journal without executing.
     pub journal_replayed: usize,
     /// Scenarios answered from the result cache without running.
@@ -352,6 +358,14 @@ impl CollectReport {
                 self.stats.retried,
                 if self.stats.retried == 1 { "" } else { "s" },
                 self.stats.backoff_secs,
+            );
+        }
+        if self.stats.failovers > 0 {
+            let _ = writeln!(
+                out,
+                "  failovers: {} region failover{} rerouted scenarios to healthy regions",
+                self.stats.failovers,
+                if self.stats.failovers == 1 { "" } else { "s" },
             );
         }
         if let Some(trace) = &self.trace {
@@ -619,6 +633,7 @@ impl Collector {
                             attempts: oc.attempts,
                             backoff_secs: oc.backoff_secs,
                             evictions: oc.evictions,
+                            failovers: oc.failovers,
                             fail_reason: oc.fail_reason,
                         });
                     }
@@ -641,6 +656,7 @@ impl Collector {
                             attempts: 1,
                             backoff_secs: 0.0,
                             evictions: 0,
+                            failovers: 0,
                             fail_reason: Some(reason.clone()),
                         });
                     }
@@ -661,6 +677,7 @@ impl Collector {
                 attempts: 0,
                 backoff_secs: 0.0,
                 evictions: 0,
+                failovers: 0,
                 fail_reason: None,
             });
             points.push(hit.point);
@@ -704,6 +721,7 @@ impl Collector {
                 attempts: 0,
                 backoff_secs: 0.0,
                 evictions: 0,
+                failovers: 0,
                 fail_reason: hit.entry.fail_reason,
             });
             points.push(point);
@@ -741,6 +759,7 @@ impl Collector {
             .filter(|o| o.status == ScenarioStatus::TimedOut)
             .count();
         let evictions = outcomes.iter().map(|o| o.evictions).sum();
+        let failovers = outcomes.iter().map(|o| o.failovers).sum();
         let retried = outcomes.iter().filter(|o| o.attempts > 1).count();
         let backoff_secs = outcomes.iter().map(|o| o.backoff_secs).sum();
         for p in points {
@@ -781,6 +800,7 @@ impl Collector {
                 skipped,
                 timed_out,
                 evictions,
+                failovers,
                 retried,
                 backoff_secs,
                 journal_replayed,

@@ -33,6 +33,7 @@ use crate::config::UserConfig;
 use crate::dataset::{DataPoint, Dataset};
 use crate::error::ToolError;
 use crate::journal::{JournalEntry, RunJournal};
+use crate::placement::PlacementPolicy;
 use crate::retry::{classify_batch, FaultClass, RetryPolicy};
 use crate::scenario::{Scenario, ScenarioStatus};
 use appmodel::AppRegistry;
@@ -84,6 +85,13 @@ pub struct CollectorOptions {
     /// resume honors the stop) instead of executed. `None` disables the
     /// circuit breaker.
     pub budget_dollars: Option<f64>,
+    /// Region-fault tolerance for multi-region sweeps: transient
+    /// provisioning faults a `(SKU, region)` pair absorbs before the
+    /// region is marked down for that SKU and later scenarios fail over
+    /// without touching the cloud. Quota exhaustion marks down
+    /// immediately. Irrelevant (and ignored) when the run has no
+    /// `regions` list.
+    pub region_markdown_after: u32,
 }
 
 impl Default for CollectorOptions {
@@ -97,6 +105,7 @@ impl Default for CollectorOptions {
             escalate_after: 2,
             deadline_secs: None,
             budget_dollars: None,
+            region_markdown_after: 2,
         }
     }
 }
@@ -165,6 +174,13 @@ impl CollectorOptionsBuilder {
         self
     }
 
+    /// Transient region faults tolerated before a `(SKU, region)` pair is
+    /// marked down and failover stops retrying it.
+    pub fn region_markdown_after(mut self, faults: u32) -> Self {
+        self.options.region_markdown_after = faults;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> CollectorOptions {
         self.options
@@ -216,6 +232,7 @@ impl ExecContext {
             cost_dollars: 0.0,
             status: ScenarioStatus::Failed,
             capacity: self.options.capacity,
+            region: scenario.region.clone(),
             metrics: vec![("FAILREASON".into(), reason.to_string())],
             infra: Vec::new(),
             tags: self.config.tags.clone(),
@@ -239,6 +256,7 @@ impl ExecContext {
             cost_dollars: 0.0,
             status: ScenarioStatus::TimedOut,
             capacity: self.options.capacity,
+            region: scenario.region.clone(),
             metrics: vec![("TIMEOUTREASON".into(), reason.to_string())],
             infra: Vec::new(),
             tags: self.config.tags.clone(),
@@ -262,6 +280,7 @@ impl ExecContext {
             cost_dollars: 0.0,
             status: ScenarioStatus::Skipped,
             capacity: self.options.capacity,
+            region: scenario.region.clone(),
             metrics: vec![("SKIPREASON".into(), reason.to_string())],
             infra: Vec::new(),
             tags: self.config.tags.clone(),
@@ -297,6 +316,9 @@ pub(crate) struct ShardOutcome {
     pub(crate) backoff_secs: f64,
     /// Spot evictions the scenario survived (0 on dedicated capacity).
     pub(crate) evictions: u32,
+    /// Region failovers the scenario went through before settling (0 when
+    /// its first candidate region provisioned, or without a regions list).
+    pub(crate) failovers: u32,
 }
 
 /// Per-scenario retry bookkeeping: how many attempts were spent (across
@@ -308,6 +330,7 @@ struct Tally {
     attempts: u32,
     backoff_secs: f64,
     evictions: u32,
+    failovers: u32,
 }
 
 impl Tally {
@@ -316,6 +339,7 @@ impl Tally {
             attempts: 1,
             backoff_secs: 0.0,
             evictions: 0,
+            failovers: 0,
         }
     }
 }
@@ -356,6 +380,31 @@ pub(crate) struct ShardOutput {
     pub(crate) outcomes: Vec<ShardOutcome>,
 }
 
+/// The pool a shard currently holds. Algorithm 1 reuses one pool per VM
+/// type; the placement dimension extends the reuse key with the region the
+/// pool's nodes actually live in, so a failed-over scenario and its
+/// same-placement successors share a pool.
+#[derive(Debug, Clone)]
+struct PoolCtx {
+    sku: String,
+    /// Placement region; `None` is the deployment's home region.
+    region: Option<String>,
+    name: String,
+    /// Whether the app's setup task succeeded on this pool.
+    setup_ok: bool,
+}
+
+/// Pool name for a `(SKU, region)` pair. Home-region pools keep the
+/// pre-placement name so existing trace scopes and backoff jitter streams
+/// stay byte-identical.
+fn pool_name_for(sku: &str, region: Option<&str>) -> String {
+    let base = format!("pool-{}", sku.to_ascii_lowercase().replace("standard_", ""));
+    match region {
+        Some(r) => format!("{base}-{}", r.to_ascii_lowercase()),
+        None => base,
+    }
+}
+
 /// Scope string for one scenario's trace events (`s<id>`).
 fn scenario_scope(scenario: &Scenario) -> String {
     format!("s{}", scenario.id)
@@ -388,14 +437,18 @@ impl ShardRun<'_> {
     pub(crate) fn run(&mut self, scenarios: &[Scenario]) -> Result<ShardOutput, ToolError> {
         let mut out = ShardOutput::default();
         // Status updates made during this run, so a scenario id appearing
-        // twice in the slice sees its first outcome (completed ⇒ skipped).
+        // twice in the slice sees its first outcome (completed => skipped).
         let mut updated: HashMap<u32, ScenarioStatus> = HashMap::new();
         // SKUs whose family quota ran out mid-run: their remaining
         // scenarios are skipped, not failed, and the sweep keeps going.
         let mut exhausted_skus: HashSet<String> = HashSet::new();
-        let mut previous_vmtype: Option<String> = None;
-        let mut pool_name = String::new();
-        let mut setup_ok = true;
+        // Region failover state, keyed per (SKU, region) so serial and
+        // per-SKU-sharded runs make identical placement decisions.
+        let mut placement = PlacementPolicy::new(
+            &self.ctx.config.regions,
+            self.ctx.options.region_markdown_after,
+        );
+        let mut current: Option<PoolCtx> = None;
 
         for scenario in scenarios {
             let mut scenario = scenario.clone();
@@ -420,7 +473,7 @@ impl ShardRun<'_> {
                 let spent = self.ctx.provider.lock().billing().total_cost();
                 if spent >= budget {
                     tally.attempts = 0;
-                    self.record_budget_skip(
+                    self.record_journaled_skip(
                         &mut out,
                         &mut updated,
                         &scenario,
@@ -442,124 +495,251 @@ impl ShardRun<'_> {
                 continue;
             }
 
-            // Pool management per Algorithm 1.
-            if previous_vmtype.as_deref() != Some(scenario.sku.as_str()) {
-                if previous_vmtype.is_some() {
-                    self.teardown_pool(&pool_name)?;
+            // Candidate placements in failover order. Home-region scenarios
+            // (no placement dimension) keep the legacy single-candidate
+            // path; placed ones start at their grid region and fall through
+            // the remaining configured regions.
+            let placements: Vec<Option<String>> = match &scenario.region {
+                None => vec![None],
+                Some(requested) => {
+                    let family = self
+                        .ctx
+                        .provider
+                        .lock()
+                        .catalog()
+                        .get(&scenario.sku)
+                        .map(|s| s.family.clone())
+                        .unwrap_or_default();
+                    placement
+                        .candidates(&scenario.sku, &family, requested)
+                        .into_iter()
+                        .map(Some)
+                        .collect()
                 }
-                pool_name = format!(
-                    "pool-{}",
-                    scenario.sku.to_ascii_lowercase().replace("standard_", "")
-                );
-                if self
-                    .service
-                    .pool(&pool_name)
-                    .map(|p| p.state != batchsim::PoolState::Active)
-                    .unwrap_or(true)
-                {
-                    // Deleted pools cannot be recreated under the same name;
-                    // uniquify defensively.
-                    if self.service.pool(&pool_name).is_some() {
-                        pool_name = format!("{pool_name}-{}", scenario.id);
-                    }
-                    self.service.create_pool(&pool_name, &scenario.sku)?;
-                }
-                self.apply_capacity(&pool_name)?;
-                match self.resize_with_retry(&pool_name, scenario.nnodes, &mut tally) {
-                    Ok(()) => {
-                        setup_ok = self.run_setup_task(&pool_name, &mut tally)?;
-                    }
-                    Err((e, class)) => {
-                        previous_vmtype = Some(scenario.sku.clone());
-                        setup_ok = false;
-                        self.record_resize_error(
-                            &mut out,
-                            &mut updated,
-                            &mut exhausted_skus,
-                            &scenario,
-                            &e,
-                            class,
-                            tally,
-                        );
-                        continue;
-                    }
-                }
-            } else if self
-                .service
-                .pool(&pool_name)
-                .map(|p| p.nodes < scenario.nnodes)
-                .unwrap_or(false)
-            {
-                // "The number of nodes that the user requested for testing
-                // is then incremented in the pool."
-                if let Err((e, class)) =
-                    self.resize_with_retry(&pool_name, scenario.nnodes, &mut tally)
-                {
-                    self.record_resize_error(
-                        &mut out,
-                        &mut updated,
-                        &mut exhausted_skus,
-                        &scenario,
-                        &e,
-                        class,
-                        tally,
-                    );
-                    continue;
-                }
-            }
-            previous_vmtype = Some(scenario.sku.clone());
-
-            if !setup_ok {
-                self.record_failure(
+            };
+            if placements.is_empty() {
+                tally.attempts = 0;
+                self.record_journaled_skip(
                     &mut out,
                     &mut updated,
                     &scenario,
-                    "application setup failed on this pool",
+                    &format!(
+                        "no region satisfies placement SLA: every candidate region for {} \
+                         is marked down",
+                        scenario.sku
+                    ),
                     tally,
                 );
                 continue;
             }
 
-            // Compute task.
-            let point = self.run_compute_task(&pool_name, &scenario, &mut tally)?;
-            // Escalation is scoped to the scenario: hand the pool back to
-            // the run's configured capacity class before the next scenario
-            // reuses it.
-            self.apply_capacity(&pool_name)?;
-            updated.insert(scenario.id, point.status);
-            self.trace_scenario_end(&scenario, point.status, tally, point.cost_dollars);
-            let outcome = ShardOutcome {
-                scenario_id: scenario.id,
-                status: point.status,
-                fail_reason: match point.status {
-                    ScenarioStatus::Failed => Some(
-                        point
-                            .metric("FAILREASON")
-                            .map(str::to_string)
-                            .unwrap_or_else(|| "compute task failed".into()),
-                    ),
-                    ScenarioStatus::TimedOut => Some(
-                        point
-                            .metric("TIMEOUTREASON")
-                            .map(str::to_string)
-                            .unwrap_or_else(|| "deadline exceeded".into()),
-                    ),
-                    _ => None,
-                },
-                attempts: tally.attempts,
-                backoff_secs: tally.backoff_secs,
-                evictions: tally.evictions,
-            };
-            if let Some(writer) = &self.journal {
-                writer.record(&outcome, &point);
+            let mut handled = false;
+            let mut tried: Vec<String> = Vec::new();
+            let mut last_fault = String::new();
+            for region in &placements {
+                let attempt_region = region.as_deref();
+                match self.ensure_pool(&scenario, attempt_region, &mut current, &mut tally)? {
+                    Ok(()) => {
+                        let (pool_name, setup_ok) = {
+                            let pool = current.as_ref().expect("ensure_pool sets the pool context");
+                            (pool.name.clone(), pool.setup_ok)
+                        };
+                        if !setup_ok {
+                            self.record_failure(
+                                &mut out,
+                                &mut updated,
+                                &scenario,
+                                "application setup failed on this pool",
+                                tally,
+                            );
+                            handled = true;
+                            break;
+                        }
+                        // Compute task.
+                        let point = self.run_compute_task(
+                            &pool_name,
+                            &scenario,
+                            attempt_region,
+                            &mut tally,
+                        )?;
+                        // Escalation is scoped to the scenario: hand the pool
+                        // back to the run's configured capacity class before
+                        // the next scenario reuses it.
+                        self.apply_capacity(&pool_name)?;
+                        updated.insert(scenario.id, point.status);
+                        self.trace_scenario_end(&scenario, point.status, tally, point.cost_dollars);
+                        let outcome = ShardOutcome {
+                            scenario_id: scenario.id,
+                            status: point.status,
+                            fail_reason: match point.status {
+                                ScenarioStatus::Failed => Some(
+                                    point
+                                        .metric("FAILREASON")
+                                        .map(str::to_string)
+                                        .unwrap_or_else(|| "compute task failed".into()),
+                                ),
+                                ScenarioStatus::TimedOut => Some(
+                                    point
+                                        .metric("TIMEOUTREASON")
+                                        .map(str::to_string)
+                                        .unwrap_or_else(|| "deadline exceeded".into()),
+                                ),
+                                _ => None,
+                            },
+                            attempts: tally.attempts,
+                            backoff_secs: tally.backoff_secs,
+                            evictions: tally.evictions,
+                            failovers: tally.failovers,
+                        };
+                        if let Some(writer) = &self.journal {
+                            writer.record(&outcome, &point);
+                        }
+                        out.outcomes.push(outcome);
+                        out.points.push(point);
+                        handled = true;
+                        break;
+                    }
+                    Err((e, class)) => match (&scenario.region, class) {
+                        (None, _) => {
+                            // Legacy single-region semantics, untouched.
+                            self.record_resize_error(
+                                &mut out,
+                                &mut updated,
+                                &mut exhausted_skus,
+                                &scenario,
+                                &e,
+                                class,
+                                tally,
+                            );
+                            handled = true;
+                            break;
+                        }
+                        (Some(_), FaultClass::Permanent) => {
+                            // Hard rejections are not a region's fault; no
+                            // other placement would fare better.
+                            self.record_failure(
+                                &mut out,
+                                &mut updated,
+                                &scenario,
+                                &format!("pool resize: {e}"),
+                                tally,
+                            );
+                            handled = true;
+                            break;
+                        }
+                        (Some(_), _) => {
+                            // The region fault domain tripped (outage,
+                            // capacity crunch, exhausted quota pool): mark it
+                            // and fail over to the next candidate.
+                            let region_name = attempt_region.unwrap_or_default().to_string();
+                            let permanent = class == FaultClass::PermanentForSku;
+                            let down =
+                                placement.record_fault(&scenario.sku, &region_name, permanent);
+                            tally.failovers += 1;
+                            last_fault = e.to_string();
+                            tried.push(region_name.clone());
+                            self.service.trace_mut().emit(
+                                "failover",
+                                &scenario_scope(&scenario),
+                                |m| {
+                                    m.insert("region", Value::str(region_name.clone()));
+                                    m.insert("fault", Value::str(last_fault.clone()));
+                                    m.insert(
+                                        "marked_down",
+                                        Value::str(if down { "true" } else { "false" }),
+                                    );
+                                },
+                            );
+                        }
+                    },
+                }
             }
-            out.outcomes.push(outcome);
-            out.points.push(point);
+            if !handled {
+                // Every candidate region faulted out: degrade to a journaled
+                // skip so a resume honors the decision instead of re-rolling
+                // the whole failover chain against the cloud.
+                self.record_journaled_skip(
+                    &mut out,
+                    &mut updated,
+                    &scenario,
+                    &format!(
+                        "no region satisfies placement SLA: tried {}; last fault: {last_fault}",
+                        tried.join(", ")
+                    ),
+                    tally,
+                );
+            }
         }
-        if previous_vmtype.is_some() {
-            self.teardown_pool(&pool_name)?;
+        if let Some(pool) = current.take() {
+            self.teardown_pool(&pool.name)?;
         }
         Ok(out)
+    }
+
+    /// Makes sure the active pool matches `(scenario.sku, region)` with at
+    /// least `scenario.nnodes` nodes and a finished app setup, tearing down
+    /// the previous pool on a key change (Algorithm 1's pool reuse,
+    /// extended with the placement dimension). The outer `Result` carries
+    /// systemic errors; the inner one reports provisioning failures with
+    /// their retry classification so the caller can fail over.
+    #[allow(clippy::type_complexity)]
+    fn ensure_pool(
+        &mut self,
+        scenario: &Scenario,
+        region: Option<&str>,
+        current: &mut Option<PoolCtx>,
+        tally: &mut Tally,
+    ) -> Result<Result<(), (batchsim::BatchError, FaultClass)>, ToolError> {
+        let reusable = current
+            .as_ref()
+            .map(|pool| pool.sku == scenario.sku && pool.region.as_deref() == region)
+            .unwrap_or(false);
+        if reusable {
+            let name = current.as_ref().map(|p| p.name.clone()).unwrap_or_default();
+            if self
+                .service
+                .pool(&name)
+                .map(|p| p.nodes < scenario.nnodes)
+                .unwrap_or(false)
+            {
+                // "The number of nodes that the user requested for testing
+                // is then incremented in the pool."
+                if let Err(err) = self.resize_with_retry(&name, scenario.nnodes, tally) {
+                    return Ok(Err(err));
+                }
+            }
+            return Ok(Ok(()));
+        }
+        if let Some(pool) = current.take() {
+            self.teardown_pool(&pool.name)?;
+        }
+        let mut name = pool_name_for(&scenario.sku, region);
+        if self
+            .service
+            .pool(&name)
+            .map(|p| p.state != batchsim::PoolState::Active)
+            .unwrap_or(true)
+        {
+            // Deleted pools cannot be recreated under the same name;
+            // uniquify defensively.
+            if self.service.pool(&name).is_some() {
+                name = format!("{name}-{}", scenario.id);
+            }
+            self.service.create_pool_in(&name, &scenario.sku, region)?;
+        }
+        self.apply_capacity(&name)?;
+        let provisioned = self.resize_with_retry(&name, scenario.nnodes, tally);
+        let setup_ok = match &provisioned {
+            Ok(()) => self.run_setup_task(&name, tally)?,
+            Err(_) => false,
+        };
+        *current = Some(PoolCtx {
+            sku: scenario.sku.clone(),
+            region: region.map(str::to_string),
+            name,
+            setup_ok,
+        });
+        Ok(provisioned)
     }
 
     /// Resizes a pool under the retry policy: transient faults back off on
@@ -694,6 +874,7 @@ impl ShardRun<'_> {
             attempts: tally.attempts,
             backoff_secs: tally.backoff_secs,
             evictions: tally.evictions,
+            failovers: tally.failovers,
         };
         if let Some(writer) = &self.journal {
             writer.record(&outcome, &point);
@@ -722,14 +903,16 @@ impl ShardRun<'_> {
             attempts: tally.attempts,
             backoff_secs: tally.backoff_secs,
             evictions: tally.evictions,
+            failovers: tally.failovers,
         });
     }
 
-    /// Records a budget-breaker skip. Unlike quota skips this one IS
-    /// journaled: the breaker dropped the scenario on purpose, and a
-    /// `--resume` must honor the stop instead of silently re-running (and
-    /// re-billing) everything the breaker cut.
-    fn record_budget_skip(
+    /// Records a journaled skip — a deliberate terminal decision (the
+    /// budget breaker tripping, or placement exhausting every candidate
+    /// region). Unlike quota skips this one IS journaled: a `--resume`
+    /// must honor the stop instead of silently re-running (and re-billing)
+    /// everything the run deliberately cut.
+    fn record_journaled_skip(
         &mut self,
         out: &mut ShardOutput,
         updated: &mut HashMap<u32, ScenarioStatus>,
@@ -747,6 +930,7 @@ impl ShardRun<'_> {
             attempts: tally.attempts,
             backoff_secs: tally.backoff_secs,
             evictions: tally.evictions,
+            failovers: tally.failovers,
         };
         if let Some(writer) = &self.journal {
             writer.record(&outcome, &point);
@@ -818,6 +1002,7 @@ impl ShardRun<'_> {
         &mut self,
         pool: &str,
         scenario: &Scenario,
+        region: Option<&str>,
         tally: &mut Tally,
     ) -> Result<DataPoint, ToolError> {
         let max_attempts = self.ctx.options.retry.max_attempts;
@@ -829,7 +1014,7 @@ impl ShardRun<'_> {
         // the final point so spot rows carry their true cost.
         let mut eviction_cost = 0.0f64;
         loop {
-            let (mut point, meta) = self.run_compute_task_once(pool, scenario)?;
+            let (mut point, meta) = self.run_compute_task_once(pool, scenario, region)?;
             task_secs_total += point.task_secs;
             if point.status == ScenarioStatus::Completed {
                 if tally.evictions > 0 {
@@ -847,14 +1032,18 @@ impl ShardRun<'_> {
             let elapsed = task_secs_total + (tally.backoff_secs - backoff_start);
             if let Some(deadline) = self.ctx.options.deadline_secs {
                 if elapsed >= deadline {
-                    return Ok(self.ctx.timed_out_point(
+                    let mut point = self.ctx.timed_out_point(
                         scenario,
                         &format!(
                             "deadline exceeded: {elapsed:.0}s elapsed over {attempt} attempt(s) \
                              and {} eviction(s) against a {deadline:.0}s deadline",
                             tally.evictions
                         ),
-                    ));
+                    );
+                    // The attempts ran in the placed region; label the row
+                    // with it, not the grid's requested one.
+                    point.region = region.map(str::to_string);
+                    return Ok(point);
                 }
             }
             if meta.evicted {
@@ -892,6 +1081,7 @@ impl ShardRun<'_> {
         &mut self,
         pool: &str,
         scenario: &Scenario,
+        region: Option<&str>,
     ) -> Result<(DataPoint, AttemptMeta), ToolError> {
         let task_dir = format!("{}/task-{}", self.ctx.app_dir(), scenario.id);
         // The capacity class this attempt runs on (escalation may have
@@ -960,7 +1150,12 @@ impl ShardRun<'_> {
             .unwrap_or(task_secs);
         let price = {
             let provider = self.ctx.provider.lock();
-            let base = provider.price_per_hour(&scenario.sku)?;
+            // Placed scenarios bill at the placed region's multiplier — a
+            // failover's cost delta is real and lands in the dataset.
+            let base = match region {
+                Some(r) => provider.price_per_hour_in(&scenario.sku, r)?,
+                None => provider.price_per_hour(&scenario.sku)?,
+            };
             match capacity {
                 Capacity::Dedicated => base,
                 Capacity::Spot => {
@@ -998,6 +1193,9 @@ impl ShardRun<'_> {
                 // cost (plus eviction overhead) is the true price of asking
                 // for spot under that pressure.
                 capacity: self.ctx.options.capacity,
+                // Where the row actually ran: the placed region after any
+                // failover, or the home region (implicit) without one.
+                region: region.map(str::to_string),
                 metrics,
                 infra,
                 tags: self.ctx.config.tags.clone(),

@@ -22,6 +22,11 @@ pub struct UserConfig {
     pub tags: Vec<(String, String)>,
     /// Region to provision in.
     pub region: String,
+    /// Candidate placement regions for the scenario grid. Empty (the
+    /// default) keeps the legacy single-region behavior: everything runs in
+    /// `region`. Non-empty, the grid is multiplied by these regions and
+    /// their order is the failover order when a region faults mid-run.
+    pub regions: Vec<String>,
     /// Whether to create a jumpbox VM.
     pub createjumpbox: bool,
     /// Percentage of each node's cores to use as processes-per-node.
@@ -193,6 +198,10 @@ impl UserConfig {
             appname: req_str(&doc, "appname")?,
             tags,
             region: req_str(&doc, "region")?,
+            regions: match doc.get("regions") {
+                None | Some(Value::Null) => Vec::new(),
+                Some(_) => str_list(&doc, "regions")?,
+            },
             createjumpbox: get_bool("createjumpbox"),
             ppr,
             appinputs,
@@ -220,6 +229,12 @@ impl UserConfig {
         kv("appsetupurl", &self.appsetupurl);
         kv("appname", &self.appname);
         kv("region", &self.region);
+        if !self.regions.is_empty() {
+            out.push_str("regions:\n");
+            for r in &self.regions {
+                out.push_str(&format!("- {}\n", yaml_scalar(r)));
+            }
+        }
         out.push_str(&format!("ppr: {}\n", self.ppr));
         if self.createjumpbox {
             out.push_str("createjumpbox: true\n");
@@ -256,14 +271,16 @@ impl UserConfig {
         out
     }
 
-    /// Total number of scenarios this configuration expands to.
+    /// Total number of scenarios this configuration expands to. With a
+    /// multi-region `regions` list this is an upper bound: generation drops
+    /// (SKU, region) pairs where the region does not offer the SKU's family.
     pub fn scenario_count(&self) -> usize {
         let input_combos: usize = self
             .appinputs
             .iter()
             .map(|(_, vs)| vs.len().max(1))
             .product();
-        self.skus.len() * self.nnodes.len() * input_combos.max(1)
+        self.skus.len() * self.nnodes.len() * input_combos.max(1) * self.regions.len().max(1)
     }
 
     /// The paper's OpenFOAM Listing 1 configuration (3 SKUs × 6 node counts
@@ -444,6 +461,20 @@ mod tests {
             ]
         );
         assert_eq!(c.scenario_count(), 2);
+    }
+
+    #[test]
+    fn regions_list_round_trips_and_defaults_empty() {
+        let c = UserConfig::from_yaml(
+            "subscription: s\nrgprefix: r\nappsetupurl: u\nappname: a\nregion: southcentralus\nskus:\n- A\nnnodes: [1]\n",
+        )
+        .unwrap();
+        assert!(c.regions.is_empty(), "no 'regions' key means single-region");
+        let mut c = UserConfig::example_lammps_small();
+        c.regions = vec!["southcentralus".into(), "westeurope".into()];
+        let back = UserConfig::from_yaml(&c.to_yaml()).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(c.scenario_count(), 6, "two regions double the 3-point grid");
     }
 
     #[test]

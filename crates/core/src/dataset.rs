@@ -43,6 +43,12 @@ pub struct DataPoint {
     /// Capacity class the row was measured on. Spot rows carry the eviction
     /// overhead in their cost/time; the advisor compares the two classes.
     pub capacity: Capacity,
+    /// Region the scenario actually ran in after placement (which may
+    /// differ from the requested region when the collector failed over).
+    /// `None` means the deployment's home region — the only case before
+    /// multi-region placement existed, so it is omitted from JSON to keep
+    /// old datasets byte-identical.
+    pub region: Option<String>,
 }
 
 impl DataPoint {
@@ -93,6 +99,10 @@ pub struct DataFilter {
     pub include_failed: bool,
     /// Restrict to one capacity class (`capacity=spot|dedicated`).
     pub capacity: Option<Capacity>,
+    /// Restrict to one placement region (`region=westeurope`). Rows without
+    /// a region (home-region rows of single-region runs) match no region
+    /// filter; multi-region grids always stamp the placed region.
+    pub region: Option<String>,
 }
 
 impl DataFilter {
@@ -122,6 +132,7 @@ impl DataFilter {
                         ToolError::Config(format!("bad capacity '{v}': expected spot or dedicated"))
                     })?)
                 }
+                "region" => f.region = Some(v.to_string()),
                 "tag" => match v.split_once(':') {
                     Some((tk, tv)) => f.tags.push((tk.to_string(), tv.to_string())),
                     None => {
@@ -163,6 +174,12 @@ impl DataFilter {
         if let Some(c) = self.capacity {
             if p.capacity != c {
                 return false;
+            }
+        }
+        if let Some(region) = &self.region {
+            match &p.region {
+                Some(r) if r.eq_ignore_ascii_case(region) => {}
+                _ => return false,
             }
         }
         true
@@ -312,6 +329,10 @@ pub(crate) fn point_to_value(p: &DataPoint) -> Value {
     if p.capacity != Capacity::Dedicated {
         m.insert("capacity", Value::str(p.capacity.as_str()));
     }
+    // Same pattern for placement: the home region is implicit.
+    if let Some(region) = &p.region {
+        m.insert("region", Value::str(region));
+    }
     m.insert("metrics", pairs_to_value(&p.metrics));
     m.insert("infra", pairs_to_value(&p.infra));
     m.insert("tags", pairs_to_value(&p.tags));
@@ -358,6 +379,10 @@ pub(crate) fn value_to_point(v: &Value) -> Result<DataPoint, ToolError> {
                 .ok_or_else(|| ToolError::Config(format!("bad capacity '{s}'")))?,
             None => Capacity::Dedicated,
         },
+        region: v
+            .get("region")
+            .and_then(|x| x.as_str())
+            .map(|s| s.to_string()),
     })
 }
 
@@ -387,6 +412,7 @@ pub fn point(
         tags: Vec::new(),
         deployment: "test".to_string(),
         capacity: Capacity::Dedicated,
+        region: None,
     }
 }
 
@@ -566,6 +592,36 @@ mod tests {
     }
 
     #[test]
+    fn region_dimension_roundtrips_and_filters() {
+        let mut ds = Dataset::new();
+        let home = point(1, "lammps", "Standard_HB120rs_v3", 4, 120, 40.0, 0.5);
+        let mut placed = point(2, "lammps", "Standard_HB120rs_v3", 4, 120, 41.0, 0.54);
+        placed.region = Some("westeurope".into());
+        ds.push(home.clone());
+        ds.push(placed.clone());
+        // Only the placed row carries the region key; home-region rows stay
+        // implicit so pre-placement datasets remain byte-identical.
+        let text = ds.to_json();
+        assert_eq!(text.matches("\"region\"").count(), 1);
+        let back = Dataset::from_json(&text).unwrap();
+        assert_eq!(ds, back);
+        // The filter selects placed rows case-insensitively; rows without a
+        // region never match a region filter.
+        let f = DataFilter::parse("region=WestEurope").unwrap();
+        let rows = ds.filter(&f);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].scenario_id, 2);
+        let none = ds.filter(&DataFilter::parse("region=japaneast").unwrap());
+        assert!(none.is_empty());
+        // CSV carries the region column, empty for home-region rows.
+        let csv = ds.to_csv();
+        let rows = hpcadvisor_formats::csv::read(&csv).unwrap();
+        let idx = rows[0].iter().position(|h| h == "region").unwrap();
+        assert_eq!(rows[1][idx], "");
+        assert_eq!(rows[2][idx], "westeurope");
+    }
+
+    #[test]
     fn distinct_skus_and_inputs() {
         let ds = sample();
         assert_eq!(ds.skus(&DataFilter::all()), vec!["hb120rs_v3", "hc44rs"]);
@@ -619,6 +675,7 @@ impl Dataset {
             "cost_dollars",
             "status",
             "capacity",
+            "region",
             "deployment",
         ]
         .iter()
@@ -639,6 +696,7 @@ impl Dataset {
                 format!("{}", p.cost_dollars),
                 p.status.as_str().to_string(),
                 p.capacity.as_str().to_string(),
+                p.region.clone().unwrap_or_default(),
                 p.deployment.clone(),
             ];
             for k in &input_keys {

@@ -64,6 +64,7 @@ pub mod error;
 pub mod journal;
 pub mod metrics;
 pub mod pareto;
+pub mod placement;
 pub mod plot;
 pub mod predictor;
 pub mod regress;
@@ -85,6 +86,7 @@ pub use dataset::{DataFilter, DataPoint, Dataset};
 pub use deployment::{Deployment, DeploymentManager};
 pub use error::ToolError;
 pub use journal::{JournalEntry, RunJournal};
+pub use placement::PlacementPolicy;
 pub use retry::{FaultClass, RetryPolicy};
 pub use scenario::{Scenario, ScenarioStatus};
 pub use service::{

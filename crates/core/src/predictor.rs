@@ -213,6 +213,7 @@ pub fn advise_from_history(
                 ppn: s.ppn,
                 sku: s.sku.to_ascii_lowercase().replace("standard_", ""),
                 appinputs: s.appinputs.clone(),
+                region: s.region.clone(),
             }
         })
         .collect();
@@ -223,6 +224,7 @@ pub fn advise_from_history(
             sort: AdviceSort::ByTime,
             skipped_scenarios: 0,
             capacity_comparison: None,
+            placement_comparison: None,
         },
         predictions,
     ))

@@ -229,11 +229,13 @@ mod tests {
                     ppn: 120,
                     sku: sku.to_string(),
                     appinputs: Vec::new(),
+                    region: None,
                 })
                 .collect(),
             sort: Default::default(),
             skipped_scenarios: 0,
             capacity_comparison: None,
+            placement_comparison: None,
         }
     }
 

@@ -71,6 +71,10 @@ pub struct Scenario {
     pub ppn: u32,
     /// Application input assignment for this point.
     pub appinputs: Vec<(String, String)>,
+    /// Requested placement region. `None` means the deployment's home
+    /// region — the only case before multi-region grids existed, so it is
+    /// omitted from the JSON task list to keep old lists byte-identical.
+    pub region: Option<String>,
     /// Execution status.
     pub status: ScenarioStatus,
 }
@@ -86,6 +90,9 @@ impl Scenario {
         );
         for (k, v) in &self.appinputs {
             s.push_str(&format!("-{k}={}", v.replace(' ', "_")));
+        }
+        if let Some(region) = &self.region {
+            s.push_str(&format!("-{region}"));
         }
         s
     }
@@ -106,6 +113,27 @@ pub fn generate_scenarios(
     config: &UserConfig,
     catalog: &SkuCatalog,
 ) -> Result<Vec<Scenario>, ToolError> {
+    // An empty `regions` list is the legacy single-region grid: every
+    // scenario carries `region: None` and runs in the deployment's home
+    // region, keeping the task list (and everything fingerprinted from it)
+    // byte-identical to pre-placement versions. A non-empty list multiplies
+    // the grid, region-major inside each SKU so one pool per (SKU, region)
+    // is reused across node counts.
+    let region_catalog = cloudsim::RegionCatalog::azure();
+    let mut placements: Vec<Option<&cloudsim::Region>> = Vec::new();
+    if config.regions.is_empty() {
+        placements.push(None);
+    } else {
+        for name in &config.regions {
+            let region = region_catalog.get(name).ok_or_else(|| {
+                ToolError::Config(format!(
+                    "unknown region '{name}'; known regions: {}",
+                    region_catalog.names().join(", ")
+                ))
+            })?;
+            placements.push(Some(region));
+        }
+    }
     let mut out = Vec::new();
     let mut id = 1u32;
     let combos = input_combinations(&config.appinputs);
@@ -116,17 +144,27 @@ pub fn generate_scenarios(
         let ppn = (sku.cores * config.ppr / 100).max(1);
         let mut nnodes = config.nnodes.clone();
         nnodes.sort_unstable();
-        for n in nnodes {
-            for combo in &combos {
-                out.push(Scenario {
-                    id,
-                    sku: sku.name.clone(),
-                    nnodes: n,
-                    ppn,
-                    appinputs: combo.clone(),
-                    status: ScenarioStatus::Pending,
-                });
-                id += 1;
+        for placement in &placements {
+            // (SKU, region) pairs the region does not offer are dropped up
+            // front rather than generated and failed.
+            if let Some(region) = placement {
+                if !region.offers_family(&sku.family) {
+                    continue;
+                }
+            }
+            for n in &nnodes {
+                for combo in &combos {
+                    out.push(Scenario {
+                        id,
+                        sku: sku.name.clone(),
+                        nnodes: *n,
+                        ppn,
+                        appinputs: combo.clone(),
+                        region: placement.map(|r| r.name.clone()),
+                        status: ScenarioStatus::Pending,
+                    });
+                    id += 1;
+                }
             }
         }
     }
@@ -168,6 +206,11 @@ pub fn to_json(scenarios: &[Scenario]) -> String {
                 inputs.insert(k.clone(), Value::str(v));
             }
             m.insert("appinputs", Value::Map(inputs));
+            // None (home region) is omitted so pre-placement task lists
+            // stay byte-identical.
+            if let Some(region) = &s.region {
+                m.insert("region", Value::str(region));
+            }
             m.insert("status", Value::str(s.status.as_str()));
             Value::Map(m)
         })
@@ -207,6 +250,10 @@ pub fn from_json(text: &str) -> Result<Vec<Scenario>, ToolError> {
             nnodes: get_int("nnodes")? as u32,
             ppn: get_int("ppn")? as u32,
             appinputs,
+            region: item
+                .get("region")
+                .and_then(|v| v.as_str())
+                .map(|s| s.to_string()),
             status: ScenarioStatus::parse(&status_str)
                 .ok_or_else(|| ToolError::Config(format!("bad status '{status_str}'")))?,
         });
@@ -293,6 +340,62 @@ mod tests {
             "lammps-hb120rs_v3-n16-ppn120-BOXFACTOR=30"
         );
         assert_eq!(s.ranks(), 1920);
+    }
+
+    #[test]
+    fn multi_region_grid_multiplies_filters_and_roundtrips() {
+        let mut config = UserConfig::example_lammps_small();
+        config.regions = vec!["southcentralus".into(), "westeurope".into()];
+        let catalog = SkuCatalog::azure_hpc();
+        let scenarios = generate_scenarios(&config, &catalog).unwrap();
+        // 1 SKU × 3 node counts × 1 input × 2 regions.
+        assert_eq!(scenarios.len(), 6);
+        // Region-major inside the SKU: all southcentralus first.
+        assert!(scenarios[..3]
+            .iter()
+            .all(|s| s.region.as_deref() == Some("southcentralus")));
+        assert!(scenarios[3..]
+            .iter()
+            .all(|s| s.region.as_deref() == Some("westeurope")));
+        // Ids stay stable 1..=6 and the region survives the JSON task list.
+        let back = from_json(&to_json(&scenarios)).unwrap();
+        assert_eq!(back, scenarios);
+        // The region shows in the task label so logs disambiguate placements.
+        assert!(scenarios[5].label("lammps").ends_with("-westeurope"));
+
+        // A (SKU, region) pair the region does not offer is dropped up
+        // front: japaneast lacks the HB (Naples) family entirely.
+        let mut config = UserConfig::example_lammps_small();
+        config.skus = vec!["Standard_HB60rs".into()];
+        config.regions = vec!["southcentralus".into(), "japaneast".into()];
+        let scenarios = generate_scenarios(&config, &catalog).unwrap();
+        assert_eq!(scenarios.len(), 3, "japaneast offers no HB-family SKUs");
+        assert!(scenarios
+            .iter()
+            .all(|s| s.region.as_deref() == Some("southcentralus")));
+    }
+
+    #[test]
+    fn unknown_region_rejected_with_catalog_listing() {
+        let mut config = UserConfig::example_lammps_small();
+        config.regions = vec!["atlantis".into()];
+        let catalog = SkuCatalog::azure_hpc();
+        let err = generate_scenarios(&config, &catalog).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown region 'atlantis'"), "{msg}");
+        assert!(msg.contains("southcentralus"), "lists the catalog: {msg}");
+    }
+
+    #[test]
+    fn single_region_task_list_bytes_unchanged() {
+        // The serialized task list of a region-less config must not contain
+        // a region key at all — old lists and new ones are interchangeable.
+        let config = UserConfig::example_lammps_small();
+        let catalog = SkuCatalog::azure_hpc();
+        let scenarios = generate_scenarios(&config, &catalog).unwrap();
+        assert!(scenarios.iter().all(|s| s.region.is_none()));
+        let text = to_json(&scenarios);
+        assert!(!text.contains("\"region\""));
     }
 
     #[test]

@@ -762,6 +762,7 @@ impl AdvisorService {
             seed: request.seed,
             workers: request.workers,
             config_yaml: request.config.to_yaml(),
+            regions: request.config.regions.clone(),
             cache_policy: request.cache_policy,
         }));
         let job = Job {

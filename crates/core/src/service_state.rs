@@ -50,6 +50,12 @@ pub struct PendingJob {
     pub workers: usize,
     /// The full configuration, serialized with `UserConfig::to_yaml`.
     pub config_yaml: String,
+    /// Placement regions of the job's grid, denormalized from the config
+    /// so an operator reading the journal (or a restarted daemon deciding
+    /// re-admission order) sees the placement dimension without parsing
+    /// YAML. Empty for single-region jobs, and then omitted from the
+    /// journal line so pre-placement journals replay byte-identically.
+    pub regions: Vec<String>,
     /// Cache-policy override, if the request carried one.
     pub cache_policy: Option<CachePolicy>,
 }
@@ -97,6 +103,12 @@ fn record_to_line(r: &ServiceRecord) -> String {
             m.insert("seed", Value::Int(job.seed as i64));
             m.insert("workers", Value::Int(job.workers as i64));
             m.insert("config_yaml", Value::str(&job.config_yaml));
+            if !job.regions.is_empty() {
+                m.insert(
+                    "regions",
+                    Value::Seq(job.regions.iter().map(Value::str).collect()),
+                );
+            }
             if let Some(policy) = job.cache_policy {
                 m.insert("cache_policy", Value::str(policy.as_str()));
             }
@@ -122,6 +134,13 @@ fn line_to_record(line: &str) -> Option<ServiceRecord> {
             seed: v.get("seed")?.as_int()? as u64,
             workers: v.get("workers")?.as_int()?.max(1) as usize,
             config_yaml: v.get("config_yaml")?.as_str()?.to_string(),
+            regions: match v.get("regions") {
+                Some(Value::Seq(items)) => items
+                    .iter()
+                    .map(|r| Some(r.as_str()?.to_string()))
+                    .collect::<Option<Vec<_>>>()?,
+                _ => Vec::new(),
+            },
             cache_policy: match v.get("cache_policy") {
                 Some(p) => Some(parse_cache_policy(p.as_str()?)?),
                 None => None,
@@ -321,8 +340,28 @@ mod tests {
             seed: 42,
             workers: 2,
             config_yaml: UserConfig::example_lammps_small().to_yaml(),
+            regions: Vec::new(),
             cache_policy: Some(CachePolicy::ReadWrite),
         })
+    }
+
+    #[test]
+    fn placed_jobs_journal_their_regions() {
+        let job = PendingJob {
+            key: "k".into(),
+            tenant: "acme".into(),
+            seed: 7,
+            workers: 4,
+            config_yaml: UserConfig::example_lammps_small().to_yaml(),
+            regions: vec!["southcentralus".into(), "westeurope".into()],
+            cache_policy: None,
+        };
+        let line = record_to_line(&ServiceRecord::Admitted(job.clone()));
+        assert!(line.contains("\"regions\""), "{line}");
+        assert_eq!(line_to_record(&line), Some(ServiceRecord::Admitted(job)));
+        // Single-region jobs keep the pre-placement line shape.
+        let legacy = record_to_line(&admitted("k2", "acme"));
+        assert!(!legacy.contains("regions"), "{legacy}");
     }
 
     #[test]

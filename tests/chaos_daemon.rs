@@ -537,6 +537,7 @@ fn fabricated_crash_state_recovers_without_double_billing() {
             seed: 42,
             workers: 1,
             config_yaml: config.to_yaml(),
+            regions: Vec::new(),
             cache_policy: Some(CachePolicy::ReadWrite),
         }));
     }
