@@ -40,6 +40,7 @@ pub struct BatchService {
     running: HashMap<TaskId, RunningTask>,
     next_task: u64,
     trace: EventSink,
+    fault_qualifier: Option<String>,
 }
 
 impl BatchService {
@@ -58,7 +59,18 @@ impl BatchService {
             running: HashMap::new(),
             next_task: 1,
             trace: EventSink::disabled(),
+            fault_qualifier: None,
         }
+    }
+
+    /// Sets a private fault-counter qualifier for every fault this service
+    /// rolls on the shared provider (task faults, evictions, allocation
+    /// faults). Schedulers that run several services against the same pool
+    /// scope concurrently key each service (`c0`, `c1`, …) so their
+    /// attempt sequences never interleave; `None` (the default) keeps the
+    /// legacy shared counters exactly.
+    pub fn set_fault_qualifier(&mut self, qualifier: Option<String>) {
+        self.fault_qualifier = qualifier;
     }
 
     /// The virtual clock shared with the provider.
@@ -179,12 +191,19 @@ impl BatchService {
             // Call and drain under one lock hold so no other shard's
             // provider events interleave into this shard's trace.
             let mut provider = self.provider.lock();
-            let allocated = match &region {
-                Some(r) => {
-                    provider.allocate_nodes_in(&self.resource_group, &sku, target, capacity, r)
-                }
-                None => provider.allocate_nodes_with(&self.resource_group, &sku, target, capacity),
+            let qualifier = self.fault_qualifier.as_deref();
+            let target_region = match &region {
+                Some(r) => r.clone(),
+                None => provider.region().name.clone(),
             };
+            let allocated = provider.allocate_nodes_keyed(
+                &self.resource_group,
+                &sku,
+                target,
+                capacity,
+                &target_region,
+                qualifier,
+            );
             let drained = provider.drain_trace();
             drop(provider);
             let boot_secs = drained
@@ -436,7 +455,7 @@ impl BatchService {
     /// shard's events interleave into this shard's trace.
     fn roll_traced(&mut self, op: Operation, scope: &str) -> Result<(), Fault> {
         let mut provider = self.provider.lock();
-        let rolled = provider.inject_fault(op, scope);
+        let rolled = provider.inject_fault_keyed(op, scope, self.fault_qualifier.as_deref());
         let drained = provider.drain_trace();
         drop(provider);
         self.trace.absorb(drained);
@@ -453,7 +472,12 @@ impl BatchService {
             .and_then(|r| provider.regions().get(r))
             .map(|r| r.spot_pressure)
             .unwrap_or(1.0);
-        let rolled = provider.inject_fault_scaled(Operation::Eviction, pool_name, pressure);
+        let rolled = provider.inject_fault_scaled_keyed(
+            Operation::Eviction,
+            pool_name,
+            pressure,
+            self.fault_qualifier.as_deref(),
+        );
         let drained = provider.drain_trace();
         drop(provider);
         self.trace.absorb(drained);

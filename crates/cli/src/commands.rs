@@ -201,6 +201,7 @@ fn cache_cmd(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> 
         None | Some("stats") => {
             let cache = ScenarioCache::open(&path);
             wline(out, &format!("cache file: {}", path.display()))?;
+            wline(out, &format!("store format: {}", cache.format().as_str()))?;
             let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
             wline(
                 out,
@@ -209,7 +210,7 @@ fn cache_cmd(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> 
             if cache.recovered() {
                 wline(
                     out,
-                    "warning: cache file was unreadable; it will be rebuilt on the next collect",
+                    "warning: cache file was damaged; intact entries were salvaged and the store will be rebuilt on the next save",
                 )?;
             }
             Ok(())
@@ -221,8 +222,23 @@ fn cache_cmd(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> 
             cache.save()?;
             wline(out, &format!("cleared {n} cached results"))
         }
+        Some("migrate") => {
+            let mut cache = ScenarioCache::open(&path);
+            if cache.migrate_to_binary() {
+                cache.save()?;
+                wline(
+                    out,
+                    &format!(
+                        "migrated {} cached results to the indexed binary store",
+                        cache.len()
+                    ),
+                )
+            } else {
+                wline(out, "cache store is already in the binary format")
+            }
+        }
         other => Err(ToolError::Config(format!(
-            "cache needs a subcommand (stats|clear), got {other:?}"
+            "cache needs a subcommand (stats|clear|migrate), got {other:?}"
         ))),
     }
 }
@@ -378,10 +394,27 @@ fn collect(args: &Args, workdir: &WorkDir, out: Out) -> Result<(), ToolError> {
                 wline(
                     out,
                     &format!(
-                        "parallel collect: {} workers over {} shards in {:.2}s",
-                        report.stats.workers, report.stats.shards, report.stats.wall_secs
+                        "parallel collect: {} workers over {} chunks ({} stolen) in {:.2}s",
+                        report.stats.workers,
+                        report.stats.shards,
+                        report.stats.steals,
+                        report.stats.wall_secs
                     ),
                 )?;
+                for (i, load) in report.stats.worker_loads.iter().enumerate() {
+                    let busy_pct = if report.stats.wall_secs > 0.0 {
+                        100.0 * load.busy_secs / report.stats.wall_secs
+                    } else {
+                        0.0
+                    };
+                    wline(
+                        out,
+                        &format!(
+                            "  worker {i}: {} chunks ({} stolen), {} scenarios, {busy_pct:.0}% busy",
+                            load.chunks, load.steals, load.scenarios
+                        ),
+                    )?;
+                }
             }
             if report.stats.cache_hits > 0 {
                 wline(
@@ -879,6 +912,15 @@ mod tests {
         assert!(dir.join("cache/scenario-cache.json").exists());
         let (out, _) = run_in(&dir, &["cache", "stats"]);
         assert!(out.contains("cached results: 2"), "{out}");
+        assert!(
+            out.contains("store format: binary"),
+            "new stores are binary: {out}"
+        );
+
+        // Migrating an already-binary store is a friendly no-op.
+        let (out, ok) = run_in(&dir, &["cache", "migrate"]);
+        assert!(ok, "{out}");
+        assert!(out.contains("already in the binary format"), "{out}");
 
         // Reset scenario statuses so the grid is pending again, then a warm
         // collect serves everything from the cache.
@@ -930,6 +972,44 @@ mod tests {
         assert!(out.contains("cached results: 2"), "{out}");
         let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_dir_all(&alt);
+    }
+
+    #[test]
+    fn legacy_json_store_migrates_and_stays_warm() {
+        let dir = tempdir("cache-migrate");
+        let config = write_config(&dir);
+        let (_, ok) = run_in(&dir, &["deploy", "create", "-c", config.to_str().unwrap()]);
+        assert!(ok);
+
+        // Seed a legacy whole-file JSON store; collect keeps the format.
+        std::fs::create_dir_all(dir.join("cache")).unwrap();
+        std::fs::write(
+            dir.join("cache/scenario-cache.json"),
+            "{\"version\": 1, \"entries\": {}}",
+        )
+        .unwrap();
+        let (out, ok) = run_in(&dir, &["collect"]);
+        assert!(ok, "{out}");
+        let (out, _) = run_in(&dir, &["cache", "stats"]);
+        assert!(out.contains("store format: json"), "{out}");
+        assert!(out.contains("cached results: 2"), "{out}");
+
+        // Migration converts in place and stats agree across formats.
+        let (out, ok) = run_in(&dir, &["cache", "migrate"]);
+        assert!(ok, "{out}");
+        assert!(out.contains("migrated 2 cached results"), "{out}");
+        let (out, _) = run_in(&dir, &["cache", "stats"]);
+        assert!(out.contains("store format: binary"), "{out}");
+        assert!(out.contains("cached results: 2"), "{out}");
+
+        // The migrated store still serves a warm collect in full.
+        let scenarios_json = dir.join("scenarios.json");
+        let text = std::fs::read_to_string(&scenarios_json).unwrap();
+        std::fs::write(&scenarios_json, text.replace("completed", "pending")).unwrap();
+        let (out, ok) = run_in(&dir, &["collect"]);
+        assert!(ok, "{out}");
+        assert!(out.contains("cache: reused 2 of 2 scenarios"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

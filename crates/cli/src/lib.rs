@@ -59,6 +59,8 @@ COMMANDS:
                                      are served from the scenario cache)
     cache stats                      show the scenario-result cache
     cache clear                      drop all cached scenario results
+    cache migrate                    convert a legacy JSON cache store to
+                                     the indexed binary record log
     plot [-f <filter>] [--ascii]     generate the four plots (+ Pareto)
     advice [-f <filter>] [--sort time|cost] [--slurm]
                                      print the Pareto-front advice table

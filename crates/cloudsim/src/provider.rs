@@ -289,18 +289,33 @@ impl CloudProvider {
     }
 
     fn roll_fault(&mut self, op: Operation, scope: &str) -> Result<(), Fault> {
-        self.roll_fault_scaled(op, scope, 1.0)
+        self.roll_fault_qualified(op, scope, 1.0, None)
     }
 
-    fn roll_fault_scaled(
+    /// Core fault roll. The invocation counter is keyed `scope` (or
+    /// `scope#qualifier` when the caller owns a private attempt sequence —
+    /// the chunked scheduler qualifies by chunk so two chunks of the same
+    /// pool running concurrently never interleave their counters), while
+    /// the probabilistic roll and the trace event always use the bare
+    /// `scope`, so a fault decision at a given attempt index is
+    /// scope-wide and replays under any worker count. A `None` qualifier
+    /// is byte-identical to the unkeyed roll.
+    fn roll_fault_qualified(
         &mut self,
         op: Operation,
         scope: &str,
         pressure: f64,
+        qualifier: Option<&str>,
     ) -> Result<(), Fault> {
-        let rolled = self.tracker.check_scaled(&self.fault, op, scope, pressure);
+        let counter_scope = match qualifier {
+            Some(q) => std::borrow::Cow::Owned(format!("{scope}#{q}")),
+            None => std::borrow::Cow::Borrowed(scope),
+        };
+        let rolled = self
+            .tracker
+            .check_keyed(&self.fault, op, &counter_scope, scope, pressure);
         if self.trace_on {
-            let attempt = self.tracker.attempts(op, scope).saturating_sub(1);
+            let attempt = self.tracker.attempts(op, &counter_scope).saturating_sub(1);
             let fired = rolled.is_err();
             self.trace_buf
                 .push(TraceEvent::pending("fault_roll", scope, |m| {
@@ -313,7 +328,17 @@ impl CloudProvider {
     }
 
     fn check_fault(&mut self, op: Operation, scope: &str, label: &str) -> Result<(), CloudError> {
-        self.roll_fault(op, scope)
+        self.check_fault_keyed(op, scope, label, None)
+    }
+
+    fn check_fault_keyed(
+        &mut self,
+        op: Operation,
+        scope: &str,
+        label: &str,
+        qualifier: Option<&str>,
+    ) -> Result<(), CloudError> {
+        self.roll_fault_qualified(op, scope, 1.0, qualifier)
             .map_err(|fault| CloudError::ProvisioningFailed {
                 operation: label.to_string(),
                 reason: fault.to_string(),
@@ -339,7 +364,31 @@ impl CloudProvider {
         scope: &str,
         pressure: f64,
     ) -> Result<(), Fault> {
-        self.roll_fault_scaled(op, scope, pressure)
+        self.roll_fault_qualified(op, scope, pressure, None)
+    }
+
+    /// [`CloudProvider::inject_fault`] with the invocation counter privately
+    /// keyed `scope#qualifier` while rolling (and tracing) under the bare
+    /// `scope`. `None` is byte-identical to [`CloudProvider::inject_fault`].
+    pub fn inject_fault_keyed(
+        &mut self,
+        op: Operation,
+        scope: &str,
+        qualifier: Option<&str>,
+    ) -> Result<(), Fault> {
+        self.roll_fault_qualified(op, scope, 1.0, qualifier)
+    }
+
+    /// [`CloudProvider::inject_fault_scaled`] with a counter qualifier
+    /// (see [`CloudProvider::inject_fault_keyed`]).
+    pub fn inject_fault_scaled_keyed(
+        &mut self,
+        op: Operation,
+        scope: &str,
+        pressure: f64,
+        qualifier: Option<&str>,
+    ) -> Result<(), Fault> {
+        self.roll_fault_qualified(op, scope, pressure, qualifier)
     }
 
     /// Per-scope invocation counts recorded so far (for tests/diagnostics).
@@ -578,17 +627,27 @@ impl CloudProvider {
     }
 
     /// Rolls a region-level fault. The invocation counter is keyed
-    /// `sku@region` — a shard-owned key, since shards own SKUs — so the
-    /// attempt sequence is independent of worker interleaving on this
-    /// shared provider; the probabilistic roll is keyed by the region name
-    /// alone, so an outage decision at a given attempt index is
-    /// region-wide. Skipped entirely (no counter, no trace) when the plan
-    /// has no rule for `op`, keeping fault-free runs byte-identical.
-    fn roll_region_fault(&mut self, op: Operation, sku: &str, region: &str) -> Result<(), Fault> {
+    /// `sku@region` (plus the caller's chunk qualifier, when set) — a
+    /// shard-owned key, since shards own SKUs — so the attempt sequence is
+    /// independent of worker interleaving on this shared provider; the
+    /// probabilistic roll is keyed by the region name alone, so an outage
+    /// decision at a given attempt index is region-wide. Skipped entirely
+    /// (no counter, no trace) when the plan has no rule for `op`, keeping
+    /// fault-free runs byte-identical.
+    fn roll_region_fault(
+        &mut self,
+        op: Operation,
+        sku: &str,
+        region: &str,
+        qualifier: Option<&str>,
+    ) -> Result<(), Fault> {
         if !self.fault.targets(op) {
             return Ok(());
         }
-        let counter_scope = format!("{sku}@{region}");
+        let counter_scope = match qualifier {
+            Some(q) => format!("{sku}@{region}#{q}"),
+            None => format!("{sku}@{region}"),
+        };
         let rolled = self
             .tracker
             .check_keyed(&self.fault, op, &counter_scope, region, 1.0);
@@ -619,6 +678,24 @@ impl CloudProvider {
         capacity: Capacity,
         region_name: &str,
     ) -> Result<AllocationId, CloudError> {
+        self.allocate_nodes_keyed(group, sku_name, nodes, capacity, region_name, None)
+    }
+
+    /// [`CloudProvider::allocate_nodes_in`] with a private fault-counter
+    /// qualifier: the `AllocateNodes`/`BootNode`/region-fault invocation
+    /// counters are keyed `scope#qualifier` so concurrent callers (chunks
+    /// of the same SKU) keep independent, interleaving-free attempt
+    /// sequences. Rolls and traces stay keyed by the bare scope; `None` is
+    /// byte-identical to [`CloudProvider::allocate_nodes_in`].
+    pub fn allocate_nodes_keyed(
+        &mut self,
+        group: &str,
+        sku_name: &str,
+        nodes: u32,
+        capacity: Capacity,
+        region_name: &str,
+        qualifier: Option<&str>,
+    ) -> Result<AllocationId, CloudError> {
         self.group_mut(group)?;
         let region = self.region_named(region_name)?.clone();
         let sku = self.sku(sku_name)?.clone();
@@ -631,7 +708,8 @@ impl CloudProvider {
         // Region fault domain: an outage rejects everything, a capacity
         // crunch fails allocations even with quota to spare, a provision
         // delay lets the allocation through but slows the boot below.
-        if let Err(fault) = self.roll_region_fault(Operation::RegionOutage, &sku.name, &region.name)
+        if let Err(fault) =
+            self.roll_region_fault(Operation::RegionOutage, &sku.name, &region.name, qualifier)
         {
             return Err(CloudError::ProvisioningFailed {
                 operation: "region outage".into(),
@@ -639,9 +717,12 @@ impl CloudProvider {
                 transient: fault.kind == FaultKind::Transient,
             });
         }
-        if let Err(fault) =
-            self.roll_region_fault(Operation::RegionCapacityCrunch, &sku.name, &region.name)
-        {
+        if let Err(fault) = self.roll_region_fault(
+            Operation::RegionCapacityCrunch,
+            &sku.name,
+            &region.name,
+            qualifier,
+        ) {
             return Err(CloudError::ProvisioningFailed {
                 operation: "region capacity crunch".into(),
                 reason: format!("region {}: {fault}", region.name),
@@ -649,9 +730,19 @@ impl CloudProvider {
             });
         }
         let delayed = self
-            .roll_region_fault(Operation::RegionProvisionDelay, &sku.name, &region.name)
+            .roll_region_fault(
+                Operation::RegionProvisionDelay,
+                &sku.name,
+                &region.name,
+                qualifier,
+            )
             .is_err();
-        self.check_fault(Operation::AllocateNodes, &sku.name, "allocate nodes")?;
+        self.check_fault_keyed(
+            Operation::AllocateNodes,
+            &sku.name,
+            "allocate nodes",
+            qualifier,
+        )?;
         let quota_available = self.quota_in(&region.name).available(&sku.family);
         let cores = sku
             .cores
@@ -681,7 +772,9 @@ impl CloudProvider {
         });
         // A node can come up unhealthy after capacity was granted; the
         // failed allocation hands its quota straight back.
-        if let Err(e) = self.check_fault(Operation::BootNode, &sku.name, "boot nodes") {
+        if let Err(e) =
+            self.check_fault_keyed(Operation::BootNode, &sku.name, "boot nodes", qualifier)
+        {
             self.quotas
                 .get_mut(&region.name)
                 .expect("every region has a pool")
@@ -728,6 +821,16 @@ impl CloudProvider {
     /// Read-only view of a region's quota pool.
     fn quota_in(&self, region: &str) -> &QuotaTracker {
         self.quotas.get(region).expect("every region has a pool")
+    }
+
+    /// Core quota limit for `family` in `region`. Unknown regions report
+    /// `u32::MAX` (no cap) so callers sizing admission decisions never
+    /// under-gate on a name the runtime would reject anyway.
+    pub fn quota_limit(&self, region: &str, family: &str) -> u32 {
+        self.quotas
+            .get(region)
+            .map(|q| q.limit(family))
+            .unwrap_or(u32::MAX)
     }
 
     /// Capacity class of a live allocation.

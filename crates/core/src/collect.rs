@@ -3,16 +3,34 @@
 //! The paper's Algorithm 1 keeps one pool per VM type and walks the scenario
 //! grid serially. Because each SKU owns an independent pool (and an
 //! independent quota family on Azure's H-series), the per-SKU slices of the
-//! grid are embarrassingly parallel: this module shards the scenario list by
-//! VM type and runs the shards on scoped worker threads, each against its
-//! own [`BatchService`] and a clone of the deployment's shared filesystem.
+//! grid are embarrassingly parallel — and within a SKU, scenarios are
+//! independent too. This module splits the id-ordered scenario list into
+//! per-SKU groups and each group into fixed-size *chunks*
+//! ([`CollectPlan::chunk_size`], default 32): workers drain the chunk list
+//! through an admission-gated queue, so a hot SKU whose group dwarfs the
+//! others is stolen chunk by chunk instead of serializing the run behind
+//! one worker. Each chunk runs against its own [`BatchService`] and a clone
+//! of the deployment's shared filesystem; pool contexts and backoff scopes
+//! stay keyed `(sku, region)`.
 //!
 //! Determinism: a scenario's data point depends only on the scenario itself,
 //! the experiment seed, and the setup artifacts on the filesystem — not on
 //! wall-clock interleaving — so the merged, id-ordered [`Dataset`] is
-//! byte-identical to what the serial path produces on the generated grid
-//! (where ids ascend SKU-major). Shard filesystems are merged back into the
-//! deployment's shared filesystem when all shards finish.
+//! byte-identical for any worker count. Three mechanisms keep that true
+//! under chunking:
+//!
+//! - chunk boundaries depend only on the scenario list and the plan's chunk
+//!   size, never on the worker count or on which worker ran what;
+//! - each chunk's service qualifies its fault-injection counters by chunk
+//!   index (`c0`, `c1`, …) on the shared provider, so two chunks of the
+//!   same pool running concurrently keep interleaving-free attempt
+//!   sequences while probabilistic rolls stay keyed by the bare pool scope;
+//! - an admission gate reserves each chunk's worst-case `(family, region)`
+//!   quota cores before it starts, so concurrent chunks of one family can
+//!   never trip quota denials a serial run would not see.
+//!
+//! Chunk filesystems are merged back into the deployment's shared
+//! filesystem, in chunk-index order, when all chunks finish.
 //!
 //! Incremental collection: before sharding, the run consults the
 //! collector's [`crate::cache::ScenarioCache`] — scenarios whose
@@ -45,6 +63,7 @@ use crate::scenario::{Scenario, ScenarioStatus};
 use batchsim::BatchService;
 use cloudsim::{BillingSummary, Capacity};
 use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use taskshell::Vfs;
@@ -72,6 +91,7 @@ pub enum ShardPolicy {
 pub struct CollectPlan {
     workers: usize,
     shard_policy: ShardPolicy,
+    chunk_size: Option<usize>,
     rerun_failed: Option<bool>,
     experiment_seed: Option<u64>,
     subset: Option<Vec<u32>>,
@@ -100,6 +120,17 @@ impl CollectPlan {
     /// Sets the shard policy.
     pub fn shard_policy(mut self, policy: ShardPolicy) -> Self {
         self.shard_policy = policy;
+        self
+    }
+
+    /// Maximum scenarios per work-stealing chunk (default
+    /// [`DEFAULT_CHUNK_SIZE`]). Chunk boundaries depend only on the
+    /// scenario list and this value — never on the worker count — so
+    /// results stay byte-identical across worker counts at any setting.
+    /// `usize::MAX` restores the legacy one-chunk-per-SKU scheduling
+    /// (useful for A/B benchmarks); 0 is treated as 1.
+    pub fn chunk_size(mut self, n: usize) -> Self {
+        self.chunk_size = Some(n);
         self
     }
 
@@ -215,13 +246,36 @@ pub struct ScenarioOutcome {
     pub fail_reason: Option<String>,
 }
 
+/// Per-worker execution accounting for one collection run. Worker
+/// attribution is wall-clock-dependent bookkeeping (like
+/// [`CollectStats::wall_secs`]): it never reaches the dataset, the journal
+/// or the run trace, which stay byte-identical across worker counts.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerLoad {
+    /// Chunks this worker executed.
+    pub chunks: usize,
+    /// Scenarios this worker executed.
+    pub scenarios: usize,
+    /// Wall-clock seconds this worker spent executing chunks.
+    pub busy_secs: f64,
+    /// Chunks this worker stole: chunks of a SKU group whose first chunk
+    /// was taken by a different worker.
+    pub steals: usize,
+}
+
 /// Aggregate statistics for one collection run.
 #[derive(Debug, Clone)]
 pub struct CollectStats {
     /// Worker threads actually used.
     pub workers: usize,
-    /// Number of shards the scenario list was split into.
+    /// Number of work-stealing chunks the scenario list was split into
+    /// (one per SKU group when the group fits [`DEFAULT_CHUNK_SIZE`]).
     pub shards: usize,
+    /// Total stolen chunks across all workers (0 on serial runs and on
+    /// grids where every SKU group fits in one chunk).
+    pub steals: usize,
+    /// Per-worker utilization, indexed by worker id.
+    pub worker_loads: Vec<WorkerLoad>,
     /// Scenarios the executor visited this run (cache hits and journal
     /// replays not counted; quota skips are, since the run reached them).
     pub executed: usize,
@@ -291,7 +345,7 @@ impl CollectReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "collected {} scenarios: {} completed, {} failed ({} worker{}, {} shard{}, {:.2}s)",
+            "collected {} scenarios: {} completed, {} failed ({} worker{}, {} chunk{}, {:.2}s)",
             self.stats.executed + self.stats.cache_hits,
             self.stats.completed,
             self.stats.failed,
@@ -301,6 +355,25 @@ impl CollectReport {
             if self.stats.shards == 1 { "" } else { "s" },
             self.stats.wall_secs,
         );
+        if self.stats.workers > 1 {
+            for (i, w) in self.stats.worker_loads.iter().enumerate() {
+                let busy_pct = if self.stats.wall_secs > 0.0 {
+                    100.0 * w.busy_secs / self.stats.wall_secs
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    out,
+                    "  worker {i}: {} chunk{} ({} stolen), {} scenario{}, {:.0}% busy",
+                    w.chunks,
+                    if w.chunks == 1 { "" } else { "s" },
+                    w.steals,
+                    w.scenarios,
+                    if w.scenarios == 1 { "" } else { "s" },
+                    busy_pct,
+                );
+            }
+        }
         if self.stats.cache_hits > 0 || self.stats.cache_misses > 0 {
             let _ = writeln!(
                 out,
@@ -441,6 +514,192 @@ fn split_shards(ordered: Vec<Scenario>, policy: ShardPolicy) -> Vec<Vec<Scenario
     }
 }
 
+/// Default scenarios per work-stealing chunk. Small enough that a hot SKU's
+/// group splits across workers, large enough that pool setup amortizes; on
+/// the bundled example grids (≤ a dozen scenarios per SKU) every group fits
+/// in one chunk, making chunked scheduling bit-for-bit identical to the
+/// legacy per-SKU shards.
+pub const DEFAULT_CHUNK_SIZE: usize = 32;
+
+/// One work-stealing unit: a consecutive, id-ordered run of scenarios from
+/// a single SKU group, plus the group index (steal accounting).
+struct Chunk {
+    scenarios: Vec<Scenario>,
+    group: usize,
+}
+
+/// Splits ordered scenarios into SKU groups under `policy`, then each group
+/// into consecutive chunks of at most `chunk_size` scenarios. Boundaries
+/// depend only on the inputs — never on the worker count.
+fn split_chunks(ordered: Vec<Scenario>, policy: ShardPolicy, chunk_size: usize) -> Vec<Chunk> {
+    let chunk_size = chunk_size.max(1);
+    let mut chunks = Vec::new();
+    for (group, scenarios) in split_shards(ordered, policy).into_iter().enumerate() {
+        let mut rest = scenarios;
+        while rest.len() > chunk_size {
+            let tail = rest.split_off(chunk_size);
+            chunks.push(Chunk {
+                scenarios: std::mem::replace(&mut rest, tail),
+                group,
+            });
+        }
+        chunks.push(Chunk {
+            scenarios: rest,
+            group,
+        });
+    }
+    chunks
+}
+
+/// The shared chunk queue workers drain: a deterministic scan order (always
+/// the lowest-index untaken chunk) plus a quota admission gate. Before a
+/// chunk starts, its worst-case `(family, region)` core usage is reserved
+/// against the region quota limits; a chunk that does not fit waits until a
+/// running chunk releases its reservation. Serial runs see each chunk's
+/// pool torn down (quota released) before the next starts, so the gate is
+/// what keeps concurrent chunks of one family from tripping quota denials
+/// a serial run would never see — and with it, keeps results byte-identical
+/// across worker counts.
+///
+/// Known limitation: region-failover targets are not reserved — a scenario
+/// rerouted mid-run draws on the target region's quota best-effort, which
+/// only matters when concurrent failovers alone exceed a region's limit.
+struct ChunkQueue {
+    // std primitives (not the workspace's parking_lot) because the gate
+    // needs a condition variable; poisoning is recovered, never propagated.
+    state: std::sync::Mutex<QueueState>,
+    ready: std::sync::Condvar,
+    /// Per chunk: `(quota key id, cores)` reservations, each clamped to the
+    /// key's limit so a lone over-sized chunk still admits on an idle gate.
+    reservations: Vec<Vec<(usize, u32)>>,
+    /// Per quota key id: the region's core limit for the family.
+    limits: Vec<u32>,
+    /// Per chunk: its SKU group index.
+    groups: Vec<usize>,
+}
+
+struct QueueState {
+    taken: Vec<bool>,
+    /// Cores currently reserved per quota key id.
+    used: Vec<u32>,
+    /// Worker that took each group's first chunk; later chunks taken by a
+    /// different worker count as steals.
+    group_owner: Vec<Option<usize>>,
+    remaining: usize,
+}
+
+impl ChunkQueue {
+    /// Builds the queue, sizing each chunk's reservation from the SKU
+    /// catalog (family, cores) and each scenario's pinned or home region.
+    fn new(ctx: &ExecContext, chunks: &[Chunk]) -> ChunkQueue {
+        let provider = ctx.provider.lock();
+        let home = provider.region().name.clone();
+        let mut key_ids: HashMap<(String, String), usize> = HashMap::new();
+        let mut limits: Vec<u32> = Vec::new();
+        let mut reservations = Vec::with_capacity(chunks.len());
+        let mut groups = Vec::with_capacity(chunks.len());
+        let mut ngroups = 0usize;
+        for chunk in chunks {
+            let mut need: BTreeMap<usize, u32> = BTreeMap::new();
+            for s in &chunk.scenarios {
+                // Unknown SKUs fail at runtime anyway; no reservation.
+                let Some(sku) = provider.catalog().get(&s.sku) else {
+                    continue;
+                };
+                let region = s.region.as_deref().unwrap_or(&home);
+                let id = *key_ids
+                    .entry((sku.family.clone(), region.to_string()))
+                    .or_insert_with(|| {
+                        limits.push(provider.quota_limit(region, &sku.family));
+                        limits.len() - 1
+                    });
+                let cores = sku.cores.saturating_mul(s.nnodes);
+                let entry = need.entry(id).or_insert(0);
+                *entry = (*entry).max(cores);
+            }
+            reservations.push(
+                need.into_iter()
+                    .map(|(id, cores)| (id, cores.min(limits[id])))
+                    .collect(),
+            );
+            groups.push(chunk.group);
+            ngroups = ngroups.max(chunk.group + 1);
+        }
+        ChunkQueue {
+            state: std::sync::Mutex::new(QueueState {
+                taken: vec![false; chunks.len()],
+                used: vec![0; limits.len()],
+                group_owner: vec![None; ngroups],
+                remaining: chunks.len(),
+            }),
+            ready: std::sync::Condvar::new(),
+            reservations,
+            limits,
+            groups,
+        }
+    }
+
+    fn fits(&self, state: &QueueState, chunk: usize) -> bool {
+        self.reservations[chunk]
+            .iter()
+            .all(|&(id, cores)| state.used[id].saturating_add(cores) <= self.limits[id])
+    }
+
+    /// Takes the lowest-index untaken chunk whose reservation fits,
+    /// blocking while nothing fits but chunks remain. Returns the chunk
+    /// index and whether taking it counts as a steal; `None` once every
+    /// chunk has been claimed.
+    fn acquire(&self, worker: usize) -> Option<(usize, bool)> {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if state.remaining == 0 {
+                return None;
+            }
+            let next = (0..self.groups.len()).find(|&i| !state.taken[i] && self.fits(&state, i));
+            match next {
+                Some(i) => {
+                    state.taken[i] = true;
+                    state.remaining -= 1;
+                    for &(id, cores) in &self.reservations[i] {
+                        state.used[id] += cores;
+                    }
+                    let group = self.groups[i];
+                    let stolen = match state.group_owner[group] {
+                        None => {
+                            state.group_owner[group] = Some(worker);
+                            false
+                        }
+                        Some(owner) => owner != worker,
+                    };
+                    return Some((i, stolen));
+                }
+                None => {
+                    state = self
+                        .ready
+                        .wait(state)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    /// Releases a finished chunk's reservation and wakes waiting workers.
+    fn release(&self, chunk: usize) {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for &(id, cores) in &self.reservations[chunk] {
+            state.used[id] = state.used[id].saturating_sub(cores);
+        }
+        drop(state);
+        self.ready.notify_all();
+    }
+}
+
 impl Collector {
     /// Runs a collection under `plan` and returns a full [`CollectReport`].
     ///
@@ -525,8 +784,9 @@ impl Collector {
             journal: j.clone(),
             fingerprints: Arc::new(jconsult.fingerprints.clone()),
         });
-        let shards = split_shards(consult.misses, plan.shard_policy);
-        let workers = plan.workers.max(1).min(shards.len().max(1));
+        let chunk_size = plan.chunk_size.unwrap_or(DEFAULT_CHUNK_SIZE);
+        let chunks = split_chunks(consult.misses, plan.shard_policy, chunk_size);
+        let workers = plan.workers.max(1).min(chunks.len().max(1));
 
         // Coordinator trace framing: run_start, then the decisions made
         // before any shard executes (journal replays, cache hits, in
@@ -563,48 +823,53 @@ impl Collector {
             });
         }
 
-        let mut results: Vec<ShardResult> = Vec::with_capacity(shards.len());
+        let mut results: Vec<ShardResult> = Vec::with_capacity(chunks.len());
+        let worker_loads: Vec<WorkerLoad>;
         if workers <= 1 {
-            // Every shard starts from a snapshot of the shared filesystem
+            // Every chunk starts from a snapshot of the shared filesystem
             // and merges back afterwards, exactly like the parallel path —
-            // otherwise a later shard would see files an earlier shard
+            // otherwise a later chunk would see files an earlier chunk
             // downloaded, skip the fetch, and its simulated timeline (and
-            // run trace) would depend on the worker count.
+            // run trace) would depend on the worker count. Likewise each
+            // chunk gets a fresh service with chunk-qualified fault
+            // counters, so serial and parallel runs replay identically.
             let initial_vfs = self.shared_vfs.lock().clone();
-            for (idx, shard) in shards.iter().enumerate() {
+            let mut load = WorkerLoad::default();
+            for (idx, chunk) in chunks.iter().enumerate() {
+                let chunk_started = std::time::Instant::now();
+                let mut service = BatchService::new(ctx.provider.clone(), &ctx.deployment);
+                service.set_fault_qualifier(Some(format!("c{idx}")));
                 if sink_on {
-                    self.service
-                        .set_trace(shard_sink(idx as i64, sink_on, &tap));
+                    service.set_trace(shard_sink(idx as i64, sink_on, &tap));
                 }
                 let vfs = Arc::new(Mutex::new(initial_vfs.clone()));
                 let out = ShardRun {
                     ctx: &ctx,
-                    service: &mut self.service,
+                    service: &mut service,
                     vfs: vfs.clone(),
                     journal: writer.clone(),
                 }
-                .run(shard);
-                let events = self.service.take_trace();
+                .run(&chunk.scenarios);
+                let events = service.take_trace();
                 let vfs = Arc::try_unwrap(vfs)
                     .map(Mutex::into_inner)
                     .unwrap_or_else(|arc| arc.lock().clone());
                 results.push(out.map(|o| (o, Some(vfs), events)));
+                load.chunks += 1;
+                load.scenarios += chunk.scenarios.len();
+                load.busy_secs += chunk_started.elapsed().as_secs_f64();
             }
+            worker_loads = vec![load];
         } else {
-            results = run_parallel(
+            (results, worker_loads) = run_parallel(
                 &ctx,
-                &shards,
+                &chunks,
                 workers,
                 &self.shared_vfs.lock().clone(),
                 writer.as_ref(),
                 sink_on,
                 &tap,
             );
-        }
-        if sink_on {
-            // Detach the sink (and with it the tap) from the collector's
-            // persistent service so later runs neither buffer nor stream.
-            self.service.set_trace(EventSink::disabled());
         }
         if tracing {
             ctx.provider.lock().set_trace_enabled(false);
@@ -613,7 +878,7 @@ impl Collector {
         let mut trace_events: Vec<TraceEvent> = coord.take();
         let mut points = Vec::new();
         let mut outcomes: Vec<ScenarioOutcome> = Vec::new();
-        for (shard_idx, result) in results.into_iter().enumerate() {
+        for (chunk_idx, result) in results.into_iter().enumerate() {
             match result {
                 Ok((out, vfs, events)) => {
                     trace_events.extend(events);
@@ -627,7 +892,7 @@ impl Collector {
                             sku: scenario.sku.clone(),
                             nnodes: scenario.nnodes,
                             status: oc.status,
-                            shard: Some(shard_idx),
+                            shard: Some(chunk_idx),
                             cached: false,
                             replayed: false,
                             attempts: oc.attempts,
@@ -640,17 +905,21 @@ impl Collector {
                     points.extend(out.points);
                 }
                 Err(e) => {
-                    // Systemic shard failure: fail the shard's runnable
-                    // scenarios, leave sibling shards untouched.
+                    // Systemic chunk failure: fail the chunk's runnable
+                    // scenarios, leave sibling chunks untouched.
                     let reason = format!("shard error: {e}");
-                    for scenario in shards[shard_idx].iter().filter(|s| ctx.should_run(s)) {
+                    for scenario in chunks[chunk_idx]
+                        .scenarios
+                        .iter()
+                        .filter(|s| ctx.should_run(s))
+                    {
                         points.push(ctx.failed_point(scenario, &reason));
                         outcomes.push(ScenarioOutcome {
                             scenario_id: scenario.id,
                             sku: scenario.sku.clone(),
                             nnodes: scenario.nnodes,
                             status: ScenarioStatus::Failed,
-                            shard: Some(shard_idx),
+                            shard: Some(chunk_idx),
                             cached: false,
                             replayed: false,
                             attempts: 1,
@@ -793,7 +1062,9 @@ impl Collector {
             trace,
             stats: CollectStats {
                 workers,
-                shards: shards.len(),
+                shards: chunks.len(),
+                steals: worker_loads.iter().map(|w| w.steals).sum(),
+                worker_loads,
                 executed,
                 completed,
                 failed,
@@ -812,68 +1083,81 @@ impl Collector {
     }
 }
 
-/// Runs shards on `workers` scoped threads draining a work-stealing queue.
-/// Each shard executes against a fresh [`BatchService`] (same provider, so
-/// billing/quota stay global) and its own clone of the shared filesystem.
+/// Runs chunks on `workers` scoped threads draining the admission-gated
+/// [`ChunkQueue`]. Each chunk executes against a fresh [`BatchService`]
+/// (same provider, so billing/quota stay global) with chunk-qualified
+/// fault counters, and its own clone of the shared filesystem.
 #[allow(clippy::too_many_arguments)]
 fn run_parallel(
     ctx: &ExecContext,
-    shards: &[Vec<Scenario>],
+    chunks: &[Chunk],
     workers: usize,
     initial_vfs: &Vfs,
     journal: Option<&JournalWriter>,
     sink_on: bool,
     tap: &Option<Arc<dyn EventTap>>,
-) -> Vec<ShardResult> {
-    let slots: Vec<Mutex<Option<ShardResult>>> = shards.iter().map(|_| Mutex::new(None)).collect();
-    let queue = crossbeam::deque::Injector::new();
-    for i in 0..shards.len() {
-        queue.push(i);
-    }
+) -> (Vec<ShardResult>, Vec<WorkerLoad>) {
+    let slots: Vec<Mutex<Option<ShardResult>>> = chunks.iter().map(|_| Mutex::new(None)).collect();
+    let loads: Vec<Mutex<WorkerLoad>> = (0..workers)
+        .map(|_| Mutex::new(WorkerLoad::default()))
+        .collect();
+    let queue = ChunkQueue::new(ctx, chunks);
     let slots_ref = &slots;
+    let loads_ref = &loads;
     let queue_ref = &queue;
     let scope_result = crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(move |_| loop {
-                let i = match queue_ref.steal() {
-                    crossbeam::deque::Steal::Success(i) => i,
-                    crossbeam::deque::Steal::Empty => break,
-                    crossbeam::deque::Steal::Retry => continue,
-                };
-                let mut service = BatchService::new(ctx.provider.clone(), &ctx.deployment);
-                if sink_on {
-                    // Sinks are keyed by shard index, not worker id, so the
+        for (worker, worker_load) in loads_ref.iter().enumerate() {
+            scope.spawn(move |_| {
+                while let Some((i, stolen)) = queue_ref.acquire(worker) {
+                    let chunk_started = std::time::Instant::now();
+                    let mut service = BatchService::new(ctx.provider.clone(), &ctx.deployment);
+                    // Fault counters are qualified by chunk index, and sinks
+                    // are keyed by chunk index — not worker id — so the
                     // merged stream is invariant to which worker ran what.
-                    service.set_trace(shard_sink(i as i64, sink_on, tap));
+                    service.set_fault_qualifier(Some(format!("c{i}")));
+                    if sink_on {
+                        service.set_trace(shard_sink(i as i64, sink_on, tap));
+                    }
+                    let vfs = Arc::new(Mutex::new(initial_vfs.clone()));
+                    let result = ShardRun {
+                        ctx,
+                        service: &mut service,
+                        vfs: vfs.clone(),
+                        journal: journal.cloned(),
+                    }
+                    .run(&chunks[i].scenarios);
+                    let events = service.take_trace();
+                    // All runner closures are gone once the chunk finishes,
+                    // so the Arc is unique and the filesystem moves out
+                    // copy-free.
+                    let result = result.map(|out| {
+                        let vfs = Arc::try_unwrap(vfs)
+                            .map(Mutex::into_inner)
+                            .unwrap_or_else(|arc| arc.lock().clone());
+                        (out, Some(vfs), events)
+                    });
+                    *slots_ref[i].lock() = Some(result);
+                    queue_ref.release(i);
+                    let mut load = worker_load.lock();
+                    load.chunks += 1;
+                    load.scenarios += chunks[i].scenarios.len();
+                    load.busy_secs += chunk_started.elapsed().as_secs_f64();
+                    if stolen {
+                        load.steals += 1;
+                    }
                 }
-                let vfs = Arc::new(Mutex::new(initial_vfs.clone()));
-                let result = ShardRun {
-                    ctx,
-                    service: &mut service,
-                    vfs: vfs.clone(),
-                    journal: journal.cloned(),
-                }
-                .run(&shards[i]);
-                let events = service.take_trace();
-                // All runner closures are gone once the shard finishes, so
-                // the Arc is unique and the filesystem moves out copy-free.
-                let result = result.map(|out| {
-                    let vfs = Arc::try_unwrap(vfs)
-                        .map(Mutex::into_inner)
-                        .unwrap_or_else(|arc| arc.lock().clone());
-                    (out, Some(vfs), events)
-                });
-                *slots_ref[i].lock() = Some(result);
             });
         }
     });
     if let Err(payload) = scope_result {
         std::panic::resume_unwind(payload);
     }
-    slots
+    let results = slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("every shard slot is filled"))
-        .collect()
+        .map(|slot| slot.into_inner().expect("every chunk slot is filled"))
+        .collect();
+    let loads = loads.into_iter().map(Mutex::into_inner).collect();
+    (results, loads)
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@ use std::collections::{HashMap, HashSet};
 /// Deterministic failover policy for one shard run.
 ///
 /// Tracks provisioning faults per `(SKU, region)` and marks a region down
-/// for a SKU after [`PlacementPolicy::markdown_after`] transient faults
+/// for a SKU after a configured number of transient faults
 /// (immediately for permanent ones, e.g. an exhausted quota pool).
 /// Marked-down regions drop out of every later candidate list, so
 /// subsequent scenarios fail over without touching the cloud.

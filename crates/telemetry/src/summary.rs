@@ -71,6 +71,12 @@ impl Histogram {
 pub struct TraceSummary {
     /// Total events in the trace.
     pub events: usize,
+    /// Distinct execution chunks that emitted events (coordinator events
+    /// excluded). Chunk splitting depends only on the scenario list, never
+    /// on the worker count, so this is identical across 1/4/8-worker runs
+    /// of the same grid — unlike per-worker utilization, which lives in
+    /// `CollectStats`, not the trace.
+    pub chunks: usize,
     /// Provider allocations (`provision` events).
     pub provisions: u64,
     /// Provider releases.
@@ -120,7 +126,11 @@ impl TraceSummary {
             events: events.len(),
             ..TraceSummary::default()
         };
+        let mut chunks = std::collections::BTreeSet::new();
         for ev in events {
+            if ev.shard >= 0 {
+                chunks.insert(ev.shard);
+            }
             match ev.kind.as_str() {
                 "provision" => {
                     s.provisions += 1;
@@ -174,6 +184,7 @@ impl TraceSummary {
                 _ => {}
             }
         }
+        s.chunks = chunks.len();
         s
     }
 
@@ -201,7 +212,12 @@ impl TraceSummary {
     /// Multi-line human-readable rendering for the CLI.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("trace: {} events\n", self.events));
+        out.push_str(&format!(
+            "trace: {} events across {} execution chunk{}\n",
+            self.events,
+            self.chunks,
+            if self.chunks == 1 { "" } else { "s" }
+        ));
         out.push_str(&format!(
             "scenarios: {} completed, {} failed, {} skipped, {} timed out, {} cached, {} replayed\n",
             self.completed,
@@ -315,6 +331,7 @@ mod tests {
         ];
         let s = TraceSummary::from_events(&events);
         assert_eq!(s.events, events.len());
+        assert_eq!(s.chunks, 1, "all events carry shard 0");
         assert_eq!(s.provisions, 1);
         assert_eq!(s.releases, 1);
         assert_eq!(s.quota_denials, 1);

@@ -181,14 +181,15 @@ fn read_only_and_off_policies() {
     assert_eq!(report.stats.cache_misses, 0);
     assert_eq!(report.stats.executed, 6);
 
-    // ReadOnly on the warm file: full hits, and the file is untouched.
-    let before = std::fs::read_to_string(&path).unwrap();
+    // ReadOnly on the warm file: full hits, and the file is untouched
+    // (compared as raw bytes — the store is a binary record log).
+    let before = std::fs::read(&path).unwrap();
     let mut ro = session_with_cache(config(), &path);
     let report = ro
         .collect_with(&CollectPlan::new().cache(CachePolicy::ReadOnly))
         .unwrap();
     assert_eq!(report.stats.cache_hits, 6);
-    assert_eq!(std::fs::read_to_string(&path).unwrap(), before);
+    assert_eq!(std::fs::read(&path).unwrap(), before);
     let _ = std::fs::remove_file(&path);
 }
 
